@@ -1,0 +1,84 @@
+//! Criterion counterpart of Table 4: software inference latency of the
+//! discriminator designs, per shot.
+//!
+//! The hardware latency gap (8–21 vs 924–4023 cycles) is modelled
+//! analytically in `fpga-model`; this bench demonstrates the same structural
+//! gap in software — the HERQULES path (demodulate + 10 filter dot products
+//! + tiny FNN) vs the baseline's 633 k-parameter forward pass — plus the
+//! fixed-point (FPGA datapath) variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
+use readout_nn::net::TrainConfig;
+use readout_nn::{QuantConfig, QuantizedMlp};
+use readout_sim::{ChipConfig, Dataset};
+
+fn quick_config() -> TrainerConfig {
+    TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 20,
+            ..TrainerConfig::default().nn_train
+        },
+        baseline_train: TrainConfig {
+            epochs: 2,
+            ..TrainerConfig::default().baseline_train
+        },
+        ..TrainerConfig::default()
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_default();
+    let dataset = Dataset::generate(&config, 40, 99);
+    let split = dataset.split(0.5, 0.0, 1);
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &split.train, quick_config());
+
+    let shot = &dataset.shots[split.test[0]];
+    let mut group = c.benchmark_group("inference_per_shot");
+
+    let herqules = trainer.train(DesignKind::MfRmfNn);
+    group.bench_function("mf-rmf-nn", |b| {
+        b.iter(|| black_box(herqules.discriminate(black_box(&shot.raw))))
+    });
+
+    let mf = trainer.train(DesignKind::Mf);
+    group.bench_function("mf", |b| {
+        b.iter(|| black_box(mf.discriminate(black_box(&shot.raw))))
+    });
+
+    let baseline = trainer.train(DesignKind::BaselineFnn);
+    group.bench_function("baseline-fnn", |b| {
+        b.iter(|| black_box(baseline.discriminate(black_box(&shot.raw))))
+    });
+    group.finish();
+}
+
+fn bench_quantized_head(c: &mut Criterion) {
+    // The NN head alone, float vs fixed point (the FPGA datapath mirror).
+    let mut net = readout_nn::Mlp::new(&[10, 20, 40, 20, 32], 5);
+    let inputs: Vec<Vec<f64>> = (0..64)
+        .map(|k| (0..10).map(|j| ((k * 7 + j * 3) % 13) as f64 / 13.0 - 0.5).collect())
+        .collect();
+    let labels: Vec<usize> = (0..64).map(|k| k % 32).collect();
+    net.train(
+        &inputs,
+        &labels,
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+    let x = &inputs[0];
+
+    let mut group = c.benchmark_group("nn_head");
+    group.bench_function("float64", |b| b.iter(|| black_box(net.predict(black_box(x)))));
+    group.bench_function("fixed16", |b| b.iter(|| black_box(qnet.predict(black_box(x)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_quantized_head);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Throughput of the substrate stages: trace generation, demodulation,
+//! surface-code decoding, and noisy circuit simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use nisq_sim::benchmarks::ghz;
+use nisq_sim::{run_noisy, NoiseModel};
+use readout_dsp::Demodulator;
+use readout_sim::{ChipConfig, Dataset};
+use surface_code::syndrome::NoiseParams;
+use surface_code::{decode_block, RotatedSurfaceCode, SyndromeBlock};
+
+fn bench_generation(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_default();
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("one_shot_per_state", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Dataset::generate(&config, 1, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_demodulation(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_default();
+    let dataset = Dataset::generate(&config, 1, 3);
+    let demod = Demodulator::new(&config);
+    c.bench_function("demodulate_5q_shot", |b| {
+        b.iter(|| black_box(demod.demodulate(black_box(&dataset.shots[0].raw))))
+    });
+}
+
+fn bench_qec_block(c: &mut Criterion) {
+    let code = RotatedSurfaceCode::new(7);
+    let noise = NoiseParams {
+        data_error_prob: 0.004,
+        meas_error_prob: 0.01,
+    };
+    c.bench_function("surface_d7_block_decode", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let block = SyndromeBlock::simulate_seeded(&code, &noise, 7, seed);
+            black_box(decode_block(&code, &block))
+        })
+    });
+}
+
+fn bench_nisq_shots(c: &mut Criterion) {
+    let circuit = ghz(10);
+    let noise = NoiseModel::ibm_hanoi_like(0.05);
+    let mut group = c.benchmark_group("nisq");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("ghz10_100shots", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_noisy(&circuit, &noise, 100, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_demodulation,
+    bench_qec_block,
+    bench_nisq_shots
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion counterpart of Table 5: training cost per design on a reduced
+//! dataset. Demonstrates the training-time ordering (mf ≪ mf-nn <
+//! mf-rmf-nn ≪ baseline) at bench-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
+use readout_nn::net::TrainConfig;
+use readout_sim::{ChipConfig, Dataset};
+
+fn quick_config() -> TrainerConfig {
+    TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 10,
+            ..TrainerConfig::default().nn_train
+        },
+        baseline_train: TrainConfig {
+            epochs: 1,
+            ..TrainerConfig::default().baseline_train
+        },
+        ..TrainerConfig::default()
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_default();
+    let dataset = Dataset::generate(&config, 30, 7);
+    let split = dataset.split(0.5, 0.0, 1);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for kind in [DesignKind::Mf, DesignKind::MfNn, DesignKind::MfRmfNn] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || ReadoutTrainer::with_config(&dataset, &split.train, quick_config()),
+                |mut trainer| black_box(trainer.train(kind)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_matched_filter_training(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_default();
+    let dataset = Dataset::generate(&config, 30, 9);
+    let split = dataset.split(0.5, 0.0, 1);
+
+    c.bench_function("matched_filters_5q", |b| {
+        b.iter_batched(
+            || ReadoutTrainer::new(&dataset, &split.train),
+            |mut trainer| {
+                trainer.matched_filters();
+                black_box(trainer)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_training, bench_matched_filter_training);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation (paper §5.1.2): boxcar pre-filtering before the matched filter.
+//! Sweeps the boxcar window length and reports per-qubit threshold accuracy
+//! on the filtered traces — longer windows average more noise but smear the
+//! relaxation edge, so an optimum exists per qubit.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin ablation_boxcar`.
+
+use herqles_bench::{f3, render_table, BenchConfig};
+use readout_classifiers::ThresholdDiscriminator;
+use readout_dsp::filters::MatchedFilter;
+use readout_dsp::{boxcar_filter, Demodulator};
+use readout_sim::trace::IqTrace;
+
+fn main() {
+    let bench = BenchConfig {
+        shots_per_state: BenchConfig::from_env().shots_per_state.min(400),
+        ..BenchConfig::from_env()
+    };
+    let (dataset, split) = bench.standard_dataset();
+    let demod = Demodulator::new(&dataset.config);
+    let n = dataset.n_qubits();
+
+    let windows = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for &w in &windows {
+        let mut row = vec![format!("boxcar {w}")];
+        for q in 0..n {
+            let filtered = |idx: &[usize]| -> Vec<IqTrace> {
+                idx.iter()
+                    .map(|&i| boxcar_filter(&demod.demodulate_qubit(&dataset.shots[i].raw, q), w))
+                    .collect()
+            };
+            let train_traces = filtered(&split.train);
+            let (mut exc, mut gnd) = (Vec::new(), Vec::new());
+            for (&i, tr) in split.train.iter().zip(&train_traces) {
+                if dataset.shots[i].prepared.qubit(q) {
+                    exc.push(tr);
+                } else {
+                    gnd.push(tr);
+                }
+            }
+            let mf = MatchedFilter::train(&exc, &gnd).expect("non-empty classes");
+            let e_out: Vec<f64> = exc.iter().map(|t| mf.apply(t)).collect();
+            let g_out: Vec<f64> = gnd.iter().map(|t| mf.apply(t)).collect();
+            let th = ThresholdDiscriminator::train(&e_out, &g_out);
+
+            let test_traces = filtered(&split.test);
+            let correct = split
+                .test
+                .iter()
+                .zip(&test_traces)
+                .filter(|(&i, tr)| {
+                    th.classify_a(mf.apply(tr)) == dataset.shots[i].prepared.qubit(q)
+                })
+                .count();
+            row.push(f3(correct as f64 / split.test.len() as f64));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Boxcar ablation: per-qubit MF+threshold accuracy vs boxcar window (bins)",
+            &["prefilter", "Q1", "Q2", "Q3", "Q4", "Q5"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation (beyond the paper's figures): accuracy of the HERQULES NN head
+//! when executed in fixed-point arithmetic at different bit widths — the
+//! datapath choice an FPGA implementation actually has to make.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin ablation_quant`.
+
+use herqles_bench::{f3, render_table, BenchConfig};
+use herqles_core::trainer::ReadoutTrainer;
+use herqles_core::FilterBank;
+use readout_dsp::Demodulator;
+use readout_nn::net::TrainConfig;
+use readout_nn::{Mlp, QuantConfig, QuantizedMlp, Standardizer};
+
+fn main() {
+    let bench = BenchConfig {
+        shots_per_state: BenchConfig::from_env().shots_per_state.min(400),
+        ..BenchConfig::from_env()
+    };
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    let bank = FilterBank::with_rmfs(
+        trainer.matched_filters().to_vec(),
+        trainer.relaxation_filters().to_vec(),
+    );
+    let demod = Demodulator::new(&dataset.config);
+
+    // Train the head directly so we can wrap it in a quantized copy.
+    let features = |idx: &[usize]| -> Vec<Vec<f64>> {
+        idx.iter()
+            .map(|&i| bank.features(&demod.demodulate(&dataset.shots[i].raw)))
+            .collect()
+    };
+    let train_f = features(&split.train);
+    let standardizer = Standardizer::fit(&train_f);
+    let train_f = standardizer.transform_all(&train_f);
+    let labels: Vec<usize> = split.train.iter()
+        .map(|&i| dataset.shots[i].prepared.index()).collect();
+    let mut net = Mlp::new(&[10, 20, 40, 20, 32], 5);
+    eprintln!("[ablation_quant] training float head…");
+    net.train(&train_f, &labels, &TrainConfig { epochs: 150, learning_rate: 3e-3, ..TrainConfig::default() });
+
+    let test_f = standardizer.transform_all(&features(&split.test));
+    let test_labels: Vec<usize> = split.test.iter()
+        .map(|&i| dataset.shots[i].prepared.index()).collect();
+    let accuracy = |preds: &[usize]| -> f64 {
+        preds.iter().zip(&test_labels).filter(|(p, l)| p == l).count() as f64
+            / test_labels.len() as f64
+    };
+
+    let float_acc = accuracy(&net.predict_batch(&test_f));
+    let mut rows = vec![vec!["float64".to_string(), f3(float_acc), "-".into()]];
+    for (total, frac) in [(16u32, 10u32), (12, 7), (8, 4), (6, 3), (4, 2)] {
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig { total_bits: total, frac_bits: frac });
+        let acc = accuracy(&qnet.predict_batch(&test_f));
+        rows.push(vec![
+            format!("fixed<{total},{frac}>"),
+            f3(acc),
+            format!("{:+.3}", acc - float_acc),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Quantization ablation: mf-rmf-nn head state accuracy vs bit width",
+            &["datapath", "state accuracy", "vs float"],
+            &rows,
+        )
+    );
+}

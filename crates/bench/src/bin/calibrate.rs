@@ -1,0 +1,37 @@
+//! Calibration helper (not a paper artifact): trains the filter-based
+//! designs only and prints their Table 1 rows, so simulator/hyper-parameter
+//! tuning can iterate without paying for baseline-FNN training.
+//!
+//! `HERQULES_SHOTS` / `HERQULES_SEED` control the dataset as usual.
+
+use herqles_bench::{f3, render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::metrics::evaluate;
+use herqles_core::trainer::ReadoutTrainer;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+
+    let designs = [DesignKind::Mf, DesignKind::MfNn, DesignKind::MfRmfNn];
+    let mut rows = Vec::new();
+    for kind in designs {
+        let t = std::time::Instant::now();
+        let disc = trainer.train(kind);
+        let result = evaluate(disc.as_ref(), &dataset, &split.test);
+        let mut row = vec![kind.label().to_string()];
+        row.extend(result.per_qubit_accuracy().iter().map(|&a| f3(a)));
+        row.push(f3(result.cumulative_accuracy()));
+        row.push(format!("{:.1?}", t.elapsed()));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Calibration",
+            &["Design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q", "train+eval"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 10**: ground vs excited misclassification counts per
+//! qubit for `mf-nn` and `mf-rmf-nn` — the RMF's effect is concentrated on
+//! the excited-state bars.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig10`.
+
+use herqles_bench::{render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::metrics::evaluate;
+use herqles_core::trainer::ReadoutTrainer;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+
+    let mut rows = Vec::new();
+    for kind in [DesignKind::MfNn, DesignKind::MfRmfNn] {
+        eprintln!("[fig10] training {kind}…");
+        let disc = trainer.train(kind);
+        let result = evaluate(disc.as_ref(), &dataset, &split.test);
+        for q in 0..dataset.n_qubits() {
+            let (ground_err, excited_err) = result.misclassification_counts(q);
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("qubit {}", q + 1),
+                ground_err.to_string(),
+                excited_err.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 10: misclassification counts (test set)",
+            &["Design", "Qubit", "prepared |0> errors", "prepared |1> errors"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Figure 11(b)**: iterative-QPE circuit duration vs number of
+//! phase bits, comparing full (1 µs) and halved (500 ns) readout — the
+//! mid-circuit-measurement application where HERQULES's per-qubit fast
+//! readout pays off (the paper reads the feedback qubit with qubit 5, which
+//! Table 3 shows can be read twice as fast).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig11b`.
+
+use herqles_bench::render_table;
+use nisq_sim::qpe::QpeTimings;
+
+fn main() {
+    let slow = QpeTimings::with_readout_ns(1000.0);
+    let fast = QpeTimings::with_readout_ns(500.0);
+    let mut rows = Vec::new();
+    for bits in (4..=14).step_by(2) {
+        let d_slow = slow.circuit_duration_us(bits);
+        let d_fast = fast.circuit_duration_us(bits);
+        rows.push(vec![
+            bits.to_string(),
+            format!("{d_slow:.2}"),
+            format!("{d_fast:.2}"),
+            format!("{:.1} %", 100.0 * (1.0 - d_fast / d_slow)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 11b: iterative QPE duration vs phase bits",
+            &["bits", "1 µs readout (µs)", "500 ns readout (µs)", "saving"],
+            &rows,
+        )
+    );
+}

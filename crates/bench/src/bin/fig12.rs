@@ -1,0 +1,98 @@
+//! Regenerates **Figure 12**: normalized fidelity of NISQ benchmarks when the
+//! per-qubit readout error improves from the baseline discriminator's
+//! cumulative accuracy to HERQULES's (gate noise held at IBM-Hanoi-like
+//! levels).
+//!
+//! Paper reference: mean normalized fidelity 1.118, max 1.322 (bv-20); all
+//! benchmarks ≥ 1.03.
+//!
+//! Env overrides: `HERQULES_F5Q_BASE` / `HERQULES_F5Q_HERQ` set the two
+//! cumulative accuracies (defaults: the paper's 0.9122 and 0.9266, which our
+//! Table 1 reproduction matches to within half a point).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig12`.
+
+use herqles_bench::render_table;
+use nisq_sim::benchmarks::{alternating_secret, bernstein_vazirani, ghz, qaoa_ring, qft_roundtrip};
+use nisq_sim::fidelity::{success_probability, tvd_fidelity};
+use nisq_sim::sim::{counts_to_distribution, run_ideal, run_noisy};
+use nisq_sim::{Circuit, NoiseModel};
+
+/// Success metric per benchmark family.
+enum Metric {
+    /// Probability of the given target outcome.
+    Success(u64),
+    /// `1 − TVD` against the ideal distribution.
+    Tvd,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().expect("env override must be a float"))
+        .unwrap_or(default)
+}
+
+fn fidelity(circuit: &Circuit, metric: &Metric, readout_error: f64, shots: usize, seed: u64) -> f64 {
+    let noise = NoiseModel::ibm_hanoi_like(readout_error);
+    let counts = run_noisy(circuit, &noise, shots, seed);
+    match metric {
+        Metric::Success(target) => success_probability(&counts, *target),
+        Metric::Tvd => {
+            let ideal = run_ideal(circuit).probabilities();
+            let measured = counts_to_distribution(&counts, circuit.n_qubits());
+            tvd_fidelity(&ideal, &measured)
+        }
+    }
+}
+
+fn main() {
+    let f5q_base = env_f64("HERQULES_F5Q_BASE", 0.9122);
+    let f5q_herq = env_f64("HERQULES_F5Q_HERQ", 0.9266);
+    let err_base = 1.0 - f5q_base;
+    let err_herq = 1.0 - f5q_herq;
+
+    let benchmarks: Vec<(&str, Circuit, Metric, usize)> = vec![
+        ("qft-4", qft_roundtrip(4), Metric::Success(0), 4000),
+        ("ghz-5", ghz(5), Metric::Tvd, 4000),
+        ("ghz-10", ghz(10), Metric::Tvd, 2000),
+        ("bv-5", bernstein_vazirani(5, alternating_secret(5)), Metric::Success(alternating_secret(5)), 4000),
+        ("bv-10", bernstein_vazirani(10, alternating_secret(10)), Metric::Success(alternating_secret(10)), 2000),
+        ("bv-15", bernstein_vazirani(15, alternating_secret(15)), Metric::Success(alternating_secret(15)), 800),
+        ("bv-20", bernstein_vazirani(20, alternating_secret(20)), Metric::Success(alternating_secret(20)), 400),
+        ("qaoa-8a", qaoa_ring(8, 0.7, 0.35), Metric::Tvd, 3000),
+        ("qaoa-8b", qaoa_ring(8, 0.4, 0.62), Metric::Tvd, 3000),
+        ("qaoa-10", qaoa_ring(10, 0.7, 0.35), Metric::Tvd, 2000),
+    ];
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (name, circuit, metric, shots) in &benchmarks {
+        eprintln!("[fig12] running {name} ({shots} shots per error level)…");
+        let f_base = fidelity(circuit, metric, err_base, *shots, 11);
+        let f_herq = fidelity(circuit, metric, err_herq, *shots, 12);
+        let ratio = f_herq / f_base;
+        ratios.push(ratio);
+        rows.push(vec![
+            (*name).to_string(),
+            format!("{f_base:.3}"),
+            format!("{f_herq:.3}"),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    rows.push(vec![
+        "mean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{mean:.3}"),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "Fig 12: benchmark fidelity, baseline readout vs HERQULES readout",
+            &["Benchmark", "baseline fid.", "herqules fid.", "normalized"],
+            &rows,
+        )
+    );
+}

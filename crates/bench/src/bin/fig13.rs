@@ -1,0 +1,51 @@
+//! Regenerates **Figure 13**: distance-7 surface-code logical error rate per
+//! round vs physical gate error rate, for readout errors
+//! `εR ∈ {0, 0.5 %, 1 %, 2 %}`.
+//!
+//! The paper's point: a 1 % increase in readout error can push the logical
+//! error rate past the physical rate, undoing the code's protection. The
+//! dash-dot "logical = physical" line is printed as its own column for easy
+//! comparison.
+//!
+//! `HERQULES_BLOCKS` overrides the Monte-Carlo block count (default 20 000).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig13`.
+
+use herqles_bench::render_table;
+use surface_code::{estimate_logical_error_rate, LogicalErrorConfig};
+
+fn main() {
+    let blocks: usize = std::env::var("HERQULES_BLOCKS")
+        .ok()
+        .map(|v| v.parse().expect("HERQULES_BLOCKS must be an integer"))
+        .unwrap_or(20_000);
+    let physical = [2e-3, 3e-3, 4e-3, 6e-3];
+    let readout = [0.0, 0.005, 0.01, 0.02];
+
+    let mut rows = Vec::new();
+    for &p in &physical {
+        let mut row = vec![format!("{p:.0e}")];
+        for &er in &readout {
+            let cfg = LogicalErrorConfig {
+                distance: 7,
+                rounds: 7,
+                data_error_prob: p,
+                meas_error_prob: er,
+                blocks,
+                seed: 0xF16_13,
+            };
+            let rate = estimate_logical_error_rate(&cfg);
+            row.push(format!("{rate:.2e}"));
+        }
+        row.push(format!("{p:.0e}"));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Fig 13: distance-7 logical error rate per round ({blocks} blocks/point)"),
+            &["physical p", "eR=0", "eR=0.5%", "eR=1%", "eR=2%", "logical=physical"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 14**: (a) HERQULES FPGA resource utilization by
+//! category (paper: BRAM 2.56 %, DSP 1.85 %, FF 0.75 %, LUT 7.79 %), and
+//! (b) the normalized surface-code syndrome cycle time with a 25 % shorter
+//! readout on Google-like and IBM-like gate sets (paper: 0.795 and 0.836).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig14`.
+
+use fpga_model::{estimate_pipeline, FpgaDevice, PipelineSpec};
+use herqles_bench::render_table;
+use surface_code::{CycleTimes, GateSet};
+
+fn main() {
+    // (a) resource categories for the flagship pipeline.
+    let est = estimate_pipeline(&PipelineSpec::herqules(5, true, 4));
+    let util = est.utilization(&FpgaDevice::XCZU7EV);
+    let rows = vec![
+        vec!["BRAM".to_string(), est.brams.to_string(), format!("{:.2}", util.bram_pct)],
+        vec!["DSP".to_string(), est.dsps.to_string(), format!("{:.2}", util.dsp_pct)],
+        vec!["FF".to_string(), est.ffs.to_string(), format!("{:.2}", util.ff_pct)],
+        vec!["LUT".to_string(), est.luts.to_string(), format!("{:.2}", util.lut_pct)],
+    ];
+    println!(
+        "{}",
+        render_table(
+            "Fig 14a: HERQULES resource utilization (xczu7ev, RF 4)",
+            &["Resource", "used", "util (%)"],
+            &rows,
+        )
+    );
+
+    // (b) syndrome cycle time at 75 % readout duration.
+    let mut rows = Vec::new();
+    for gates in [GateSet::GOOGLE, GateSet::IBM] {
+        let norm = CycleTimes::SURFACE17.normalized_duration(&gates, 0.75);
+        rows.push(vec![
+            gates.name.to_string(),
+            format!("{:.0}", CycleTimes::SURFACE17.duration_ns(&gates)),
+            format!("{norm:.3}"),
+        ]);
+    }
+    println!(
+        "\n{}",
+        render_table(
+            "Fig 14b: surface-17 syndrome cycle with 25% shorter readout",
+            &["Gate set", "full cycle (ns)", "normalized cycle"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Figure 4**: (a) the MTV scatter showing excited-state shots
+//! relaxing into the ground region, (b) per-state correct/incorrect
+//! discrimination counts for every qubit under a simple discriminator, and
+//! (c) the FPGA cost of the 40 %-scale baseline network (400-200-100-32).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig4`.
+
+use fpga_model::{estimate_pipeline, FpgaDevice, NetworkShape, PipelineSpec};
+use herqles_bench::{render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::metrics::evaluate;
+use herqles_core::trainer::ReadoutTrainer;
+use readout_dsp::Demodulator;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let demod = Demodulator::new(&dataset.config);
+
+    // (a) MTV scatter for the highest-relaxation qubit (CSV on stdout, first
+    // 400 points per class; pipe to a plotting tool of choice).
+    let q = 3;
+    println!("# fig4a: MTV scatter for qubit {} (i, q, prepared, relaxed)", q + 1);
+    println!("i,q,prepared,relaxed");
+    let mut per_class = [0usize; 2];
+    for &idx in &split.test {
+        let shot = &dataset.shots[idx];
+        let class = usize::from(shot.prepared.qubit(q));
+        if per_class[class] >= 400 {
+            continue;
+        }
+        per_class[class] += 1;
+        let mtv = demod.demodulate_qubit(&shot.raw, q).mtv();
+        println!(
+            "{:.4},{:.4},{},{}",
+            mtv.i,
+            mtv.q,
+            class,
+            u8::from(shot.truth.relaxation_time_s[q].is_some())
+        );
+    }
+
+    // (b) correct/incorrect per prepared state per qubit with the simple
+    // centroid discriminator (IBM-Manila-style hardware default).
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    let disc = trainer.train(DesignKind::Centroid);
+    let result = evaluate(disc.as_ref(), &dataset, &split.test);
+    let mut rows = Vec::new();
+    for qi in 0..dataset.n_qubits() {
+        let (ground_err, excited_err) = result.misclassification_counts(qi);
+        let n0 = result
+            .outcomes()
+            .iter()
+            .filter(|(prep, _)| !prep.qubit(qi))
+            .count();
+        let n1 = result.n_shots() - n0;
+        rows.push(vec![
+            format!("qubit {}", qi + 1),
+            format!("{}/{}", n0 - ground_err, n0),
+            format!("{}/{}", n1 - excited_err, n1),
+        ]);
+    }
+    println!(
+        "\n{}",
+        render_table(
+            "fig4b: centroid-discriminator correct shots per prepared state",
+            &["Qubit", "ground correct", "excited correct"],
+            &rows,
+        )
+    );
+
+    // (c) 40 %-scale baseline on the paper's RF-25 synthesis point.
+    let spec = PipelineSpec::baseline(NetworkShape::baseline_fnn_40pct(), 25);
+    let util = estimate_pipeline(&spec).utilization(&FpgaDevice::XCZU7EV);
+    println!(
+        "\nfig4c: 400-200-100-32 baseline at RF 25 on xczu7ev: {:.0} % LUT ({}×{} over capacity)",
+        util.lut_pct,
+        (util.lut_pct / 100.0).floor(),
+        if util.fits() { " — fits" } else { "" }
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 7(d)**: FPGA LUT utilization of the `mf-nn` pipeline
+//! vs the `mf-rmf-nn` pipeline — the point being that adding RMFs and
+//! doubling the network input costs only a marginal amount of fabric
+//! (paper: 7.15 % → 7.79 %).
+//!
+//! Run with `cargo run --release -p herqles-bench --bin fig7d`.
+
+use fpga_model::{estimate_pipeline, FpgaDevice, PipelineSpec};
+use herqles_bench::render_table;
+
+fn main() {
+    let device = FpgaDevice::XCZU7EV;
+    let mut rows = Vec::new();
+    for (label, with_rmf) in [("mf-nn", false), ("mf-rmf-nn", true)] {
+        let est = estimate_pipeline(&PipelineSpec::herqules(5, with_rmf, 4));
+        let util = est.utilization(&device);
+        rows.push(vec![
+            label.to_string(),
+            est.luts.to_string(),
+            format!("{:.2}", util.lut_pct),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 7d: LUT utilization, mf-nn vs mf-rmf-nn (xczu7ev, RF 4)",
+            &["Design", "LUTs", "LUT util (%)"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,87 @@
+//! Diagnostic (not a paper artifact): where do the MF threshold's errors on
+//! an excited qubit come from, and do relaxers occupy a distinct region of
+//! the (MF, RMF) plane?
+
+use herqles_bench::BenchConfig;
+use herqles_core::trainer::ReadoutTrainer;
+use herqles_core::FilterBank;
+use readout_classifiers::ThresholdDiscriminator;
+use readout_dsp::Demodulator;
+
+fn main() {
+    let q = 3; // qubit 4: highest relaxation fraction
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    let bank = FilterBank::with_rmfs(
+        trainer.matched_filters().to_vec(),
+        trainer.relaxation_filters().to_vec(),
+    );
+    let demod = Demodulator::new(&dataset.config);
+
+    let feat = |i: usize| -> (f64, f64) {
+        let f = bank.features(&demod.demodulate(&dataset.shots[i].raw));
+        (f[2 * q], f[2 * q + 1])
+    };
+
+    let e: Vec<f64> = split.train.iter().filter(|&&i| dataset.shots[i].prepared.qubit(q))
+        .map(|&i| feat(i).0).collect();
+    let g: Vec<f64> = split.train.iter().filter(|&&i| !dataset.shots[i].prepared.qubit(q))
+        .map(|&i| feat(i).0).collect();
+    let th = ThresholdDiscriminator::train(&e, &g);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let sd = |v: &[f64]| {
+        let m = mean(v);
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64).sqrt()
+    };
+    println!("threshold = {:.2} (excited above: {})", th.threshold(), th.a_is_above());
+    println!("train MF: ground {:.2}±{:.2}, excited {:.2}±{:.2}", mean(&g), sd(&g), mean(&e), sd(&e));
+
+    let mut n_exc = 0usize;
+    let mut errors = 0usize;
+    let mut errors_relax = 0usize;
+    let mut relax_mf = Vec::new();
+    let mut relax_rmf = Vec::new();
+    let mut ground_mf = Vec::new();
+    let mut ground_rmf = Vec::new();
+    let mut relax_times = Vec::new();
+    for &i in &split.test {
+        let shot = &dataset.shots[i];
+        let (mf, rmf) = feat(i);
+        if shot.prepared.qubit(q) {
+            n_exc += 1;
+            let correct = th.classify_a(mf);
+            if !correct {
+                errors += 1;
+                if shot.truth.relaxation_time_s[q].is_some() {
+                    errors_relax += 1;
+                }
+            }
+            if let Some(t) = shot.truth.relaxation_time_s[q] {
+                relax_mf.push(mf);
+                relax_rmf.push(rmf);
+                relax_times.push(t * 1e9);
+            }
+        } else {
+            ground_mf.push(mf);
+            ground_rmf.push(rmf);
+        }
+    }
+    println!("excited shots: {n_exc}, threshold errors: {errors}, of which true relaxers: {errors_relax}");
+    println!("relaxers: {} traces, mean t_r = {:.0} ns", relax_mf.len(), mean(&relax_times));
+    println!("relaxer   MF {:.2}±{:.2}  RMF {:.2}±{:.2}", mean(&relax_mf), sd(&relax_mf), mean(&relax_rmf), sd(&relax_rmf));
+    println!("ground    MF {:.2}±{:.2}  RMF {:.2}±{:.2}", mean(&ground_mf), sd(&ground_mf), mean(&ground_rmf), sd(&ground_rmf));
+
+    // Conditional on MF below threshold (the ambiguous region), how well
+    // does RMF separate relaxers from ground?
+    let thr = th.threshold();
+    let amb_relax: Vec<f64> = relax_mf.iter().zip(&relax_rmf)
+        .filter(|(&m, _)| m < thr).map(|(_, &r)| r).collect();
+    let amb_ground: Vec<f64> = ground_mf.iter().zip(&ground_rmf)
+        .filter(|(&m, _)| m < thr).map(|(_, &r)| r).collect();
+    println!(
+        "ambiguous region: relaxer RMF {:.2}±{:.2} ({} shots) vs ground RMF {:.2}±{:.2} ({} shots)",
+        mean(&amb_relax), sd(&amb_relax), amb_relax.len(),
+        mean(&amb_ground), sd(&amb_ground), amb_ground.len()
+    );
+}

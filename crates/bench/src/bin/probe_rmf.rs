@@ -1,0 +1,82 @@
+//! Diagnostic (not a paper artifact): per-qubit information content of the
+//! (MF, RMF) feature pair.
+//!
+//! For each qubit trains (a) the optimal 1-D threshold on the MF output and
+//! (b) a small per-qubit binary network on the 2-D (MF, RMF) pair, and
+//! prints both test accuracies. If (b) does not beat (a), the relaxation
+//! matched filter carries no usable signal in the current simulator
+//! calibration.
+
+use herqles_bench::{f3, render_table, BenchConfig};
+use herqles_core::trainer::ReadoutTrainer;
+use herqles_core::FilterBank;
+use readout_classifiers::ThresholdDiscriminator;
+use readout_dsp::Demodulator;
+use readout_nn::net::TrainConfig;
+use readout_nn::{Mlp, Standardizer};
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    let bank = FilterBank::with_rmfs(
+        trainer.matched_filters().to_vec(),
+        trainer.relaxation_filters().to_vec(),
+    );
+    let demod = Demodulator::new(&dataset.config);
+
+    let features = |idx: &[usize]| -> Vec<Vec<f64>> {
+        idx.iter()
+            .map(|&i| bank.features(&demod.demodulate(&dataset.shots[i].raw)))
+            .collect()
+    };
+    let train_f = features(&split.train);
+    let test_f = features(&split.test);
+
+    let mut rows = Vec::new();
+    for q in 0..dataset.n_qubits() {
+        let label = |i: usize| dataset.shots[i].prepared.qubit(q);
+        let (mf_i, rmf_i) = (2 * q, 2 * q + 1);
+
+        // (a) optimal threshold on the raw MF output.
+        let e: Vec<f64> = split.train.iter().zip(&train_f)
+            .filter(|(&i, _)| label(i)).map(|(_, f)| f[mf_i]).collect();
+        let g: Vec<f64> = split.train.iter().zip(&train_f)
+            .filter(|(&i, _)| !label(i)).map(|(_, f)| f[mf_i]).collect();
+        let th = ThresholdDiscriminator::train(&e, &g);
+        let th_acc = split.test.iter().zip(&test_f)
+            .filter(|(&i, f)| th.classify_a(f[mf_i]) == label(i))
+            .count() as f64 / split.test.len() as f64;
+
+        // (b) 2-feature per-qubit network.
+        let pair = |f: &Vec<f64>| vec![f[mf_i], f[rmf_i]];
+        let train_pairs: Vec<Vec<f64>> = train_f.iter().map(pair).collect();
+        let st = Standardizer::fit(&train_pairs);
+        let train_pairs = st.transform_all(&train_pairs);
+        let labels: Vec<usize> = split.train.iter().map(|&i| usize::from(label(i))).collect();
+        let mut net = Mlp::new(&[2, 16, 16, 2], 7);
+        let cfg = TrainConfig { epochs: 200, learning_rate: 3e-3, ..TrainConfig::default() };
+        net.train(&train_pairs, &labels, &cfg);
+        let test_pairs: Vec<Vec<f64>> =
+            test_f.iter().map(|f| st.transform(&pair(f))).collect();
+        let preds = net.predict_batch(&test_pairs);
+        let nn_acc = split.test.iter().zip(&preds)
+            .filter(|(&i, &p)| (p == 1) == label(i))
+            .count() as f64 / split.test.len() as f64;
+
+        rows.push(vec![
+            format!("qubit {}", q + 1),
+            f3(th_acc),
+            f3(nn_acc),
+            format!("{:+.3}", nn_acc - th_acc),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "RMF information probe",
+            &["Qubit", "MF threshold", "(MF,RMF) net", "gain"],
+            &rows,
+        )
+    );
+}

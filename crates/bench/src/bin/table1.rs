@@ -1,0 +1,74 @@
+//! Regenerates **Table 1**: per-qubit readout accuracy and cumulative
+//! accuracy (`F5Q`, `F4Q`) for every discriminator design.
+//!
+//! Paper reference values (five-qubit dataset, 1 µs readout):
+//!
+//! ```text
+//! Design      Q1    Q2    Q3    Q4    Q5    F5Q   F4Q
+//! Baseline   0.969 0.753 0.943 0.946 0.970 0.912 0.957
+//! mf         0.968 0.734 0.891 0.934 0.956 0.892 0.937
+//! mf-svm     0.968 0.738 0.895 0.928 0.953 0.892 0.936
+//! mf-nn      0.969 0.740 0.901 0.936 0.957 0.896 0.940
+//! mf-rmf-svm 0.981 0.752 0.959 0.957 0.986 0.923 0.970
+//! mf-rmf-nn  0.985 0.754 0.966 0.962 0.989 0.927 0.975
+//! ```
+//!
+//! Run with `cargo run --release -p herqles-bench --bin table1`.
+
+use herqles_bench::{f3, render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::metrics::evaluate;
+use herqles_core::trainer::ReadoutTrainer;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+
+    let designs = [
+        DesignKind::BaselineFnn,
+        DesignKind::Mf,
+        DesignKind::MfSvm,
+        DesignKind::MfNn,
+        DesignKind::MfRmfSvm,
+        DesignKind::MfRmfNn,
+    ];
+
+    let mut rows = Vec::new();
+    for kind in designs {
+        eprintln!("[table1] training {kind}…");
+        let disc = trainer.train(kind);
+        let result = evaluate(disc.as_ref(), &dataset, &split.test);
+        let mut row = vec![kind.label().to_string()];
+        row.extend(result.per_qubit_accuracy().iter().map(|&a| f3(a)));
+        row.push(f3(result.cumulative_accuracy()));
+        row.push(f3(result.cumulative_accuracy_excluding(&[1])));
+        rows.push(row);
+
+        if kind == DesignKind::MfRmfNn {
+            let precision: Vec<String> = (0..5).map(|q| f3(result.precision(q))).collect();
+            let recall: Vec<String> = (0..5).map(|q| f3(result.recall(q))).collect();
+            eprintln!("[table1] mf-rmf-nn precision: {}", precision.join(" "));
+            eprintln!("[table1] mf-rmf-nn recall:    {}", recall.join(" "));
+        }
+    }
+
+    let fractions = trainer.relaxation_fractions();
+    eprintln!(
+        "[table1] Algorithm 1 relaxation fractions: {}",
+        fractions
+            .iter()
+            .map(|f| format!("{:.1}%", 100.0 * f))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    println!(
+        "{}",
+        render_table(
+            "Table 1: qubit-readout accuracy per design",
+            &["Design", "Qubit 1", "Qubit 2", "Qubit 3", "Qubit 4", "Qubit 5", "F5Q", "F4Q"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 2**: mean absolute cross-fidelity `⟨|F^CF|⟩` per
+//! Hamming (chain) distance for the baseline, mf, mf-nn, mf-rmf-svm and
+//! mf-rmf-nn designs. Lower is better; the paper's headline is the >3×
+//! reduction of distance-1 crosstalk going from SVM to NN heads.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin table2`.
+
+use herqles_bench::{f4, render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::metrics::evaluate;
+use herqles_core::trainer::ReadoutTrainer;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+
+    let designs = [
+        DesignKind::BaselineFnn,
+        DesignKind::Mf,
+        DesignKind::MfNn,
+        DesignKind::MfRmfSvm,
+        DesignKind::MfRmfNn,
+    ];
+    let mut rows = Vec::new();
+    for kind in designs {
+        eprintln!("[table2] training {kind}…");
+        let disc = trainer.train(kind);
+        let result = evaluate(disc.as_ref(), &dataset, &split.test);
+        let mut row = vec![kind.label().to_string()];
+        for dist in 1..=4 {
+            row.push(f4(result.mean_abs_cross_fidelity(dist)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 2: mean |cross-fidelity| by qubit distance (lower is better)",
+            &["Design", "|i-j|=1", "|i-j|=2", "|i-j|=3", "|i-j|=4"],
+            &rows,
+        )
+    );
+}

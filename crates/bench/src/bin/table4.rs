@@ -1,0 +1,50 @@
+//! Regenerates **Table 4**: inference latency (cycles) and LUT utilization on
+//! the `xczu7ev` for HERQULES (reuse factors 4 and 64) and for a hypothetical
+//! hardware implementation of the baseline FNN (reuse factors 200/500/1000).
+//!
+//! Paper reference: HERQULES 8–21 cycles at 7.2–7.8 % LUT; baseline 924–4023
+//! cycles at 216–469 % LUT (infeasible). Our analytic model reproduces the
+//! structure (tens of cycles and <15 % vs thousands of cycles and >150 %);
+//! absolute constants differ from Vivado HLS reports — see EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin table4`.
+
+use fpga_model::{estimate_pipeline, FpgaDevice, NetworkShape, PipelineSpec};
+use herqles_bench::render_table;
+
+fn main() {
+    let device = FpgaDevice::XCZU7EV;
+    let mut rows = Vec::new();
+
+    for rf in [4usize, 64] {
+        let spec = PipelineSpec::herqules(5, true, rf);
+        let est = estimate_pipeline(&spec);
+        let util = est.utilization(&device);
+        rows.push(vec![
+            format!("herqles (RF = {rf})"),
+            est.latency_cycles.to_string(),
+            format!("{:.2}", util.lut_pct),
+            if util.fits() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    for rf in [200usize, 500, 1000] {
+        let spec = PipelineSpec::baseline(NetworkShape::baseline_fnn(), rf);
+        let est = estimate_pipeline(&spec);
+        let util = est.utilization(&device);
+        rows.push(vec![
+            format!("baseline (RF = {rf})"),
+            est.latency_cycles.to_string(),
+            format!("{:.2}", util.lut_pct),
+            if util.fits() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Table 4: inference latency and LUT utilization on xczu7ev",
+            &["Design", "Latency (cycles)", "LUT util (%)", "fits?"],
+            &rows,
+        )
+    );
+}

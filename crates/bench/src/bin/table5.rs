@@ -1,0 +1,57 @@
+//! Regenerates **Table 5**: total training time per discriminator design.
+//!
+//! Paper reference (AMD EPYC, 32 cores): baseline 38 min, mf-rmf-nn 19 min,
+//! mf-nn 17 min, mf 3 min. Absolute times scale with the dataset volume
+//! (ours is reduced); the *ratios* — baseline ≈ 2× the HERQULES designs,
+//! plain mf far cheaper — are the reproduced shape.
+//!
+//! Each design is trained with a fresh trainer so shared stages (matched
+//! filters, Algorithm 1) are honestly re-computed per row.
+//!
+//! Run with `cargo run --release -p herqles-bench --bin table5`.
+
+use std::time::Instant;
+
+use herqles_bench::{render_table, BenchConfig};
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::ReadoutTrainer;
+
+fn main() {
+    let bench = BenchConfig::from_env();
+    let (dataset, split) = bench.standard_dataset();
+
+    let designs = [
+        DesignKind::BaselineFnn,
+        DesignKind::MfRmfNn,
+        DesignKind::MfNn,
+        DesignKind::Mf,
+    ];
+    let mut rows = Vec::new();
+    let mut baseline_time = None;
+    for kind in designs {
+        eprintln!("[table5] training {kind}…");
+        let start = Instant::now();
+        let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+        let _disc = trainer.train(kind);
+        let elapsed = start.elapsed();
+        if kind == DesignKind::BaselineFnn {
+            baseline_time = Some(elapsed);
+        }
+        let relative = baseline_time
+            .map(|b| elapsed.as_secs_f64() / b.as_secs_f64())
+            .unwrap_or(1.0);
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.2}", elapsed.as_secs_f64()),
+            format!("{relative:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 5: total training time per design",
+            &["Design", "Training time (s)", "relative to baseline"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,144 @@
+//! Nearest-centroid classification.
+//!
+//! The "hardware centroid-based discriminator" cloud systems ship (paper
+//! §3.4, ref. IBM selectable discriminators): each class is represented by
+//! the mean of its training features and queries are assigned to the nearest
+//! centroid.
+
+/// A nearest-centroid classifier over `f64` feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidClassifier {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl CentroidClassifier {
+    /// Computes one centroid per class from labeled samples.
+    ///
+    /// `classes[k]` holds the samples of class `k`; classes must be
+    /// non-empty and share one feature dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than two classes, any class is empty, or
+    /// dimensions differ.
+    pub fn train(classes: &[Vec<Vec<f64>>]) -> Self {
+        assert!(classes.len() >= 2, "need at least two classes");
+        let dim = classes
+            .first()
+            .and_then(|c| c.first())
+            .map(Vec::len)
+            .expect("class 0 must be non-empty");
+        let centroids = classes
+            .iter()
+            .enumerate()
+            .map(|(k, samples)| {
+                assert!(!samples.is_empty(), "class {k} has no samples");
+                let mut c = vec![0.0; dim];
+                for s in samples {
+                    assert_eq!(s.len(), dim, "inconsistent feature dimension in class {k}");
+                    for (acc, &x) in c.iter_mut().zip(s) {
+                        *acc += x;
+                    }
+                }
+                for acc in &mut c {
+                    *acc /= samples.len() as f64;
+                }
+                c
+            })
+            .collect();
+        CentroidClassifier { centroids }
+    }
+
+    /// The per-class centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Classifies a feature vector by nearest centroid (squared Euclidean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from the training dimension.
+    pub fn classify(&self, features: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (k, c) in self.centroids.iter().enumerate() {
+            assert_eq!(features.len(), c.len(), "feature dimension mismatch");
+            let d: f64 = features.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_classifier() -> CentroidClassifier {
+        CentroidClassifier::train(&[
+            vec![vec![0.0, 0.0], vec![0.2, -0.2], vec![-0.2, 0.2]],
+            vec![vec![4.0, 4.0], vec![4.2, 3.8], vec![3.8, 4.2]],
+        ])
+    }
+
+    #[test]
+    fn centroids_are_class_means() {
+        let c = two_blob_classifier();
+        assert!(c.centroids()[0].iter().all(|&v| v.abs() < 1e-12));
+        assert!(c.centroids()[1].iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn classifies_by_proximity() {
+        let c = two_blob_classifier();
+        assert_eq!(c.classify(&[0.5, 0.5]), 0);
+        assert_eq!(c.classify(&[3.5, 3.5]), 1);
+    }
+
+    #[test]
+    fn boundary_is_equidistant() {
+        let c = two_blob_classifier();
+        // Exactly between the centroids: first class wins by strict `<`.
+        assert_eq!(c.classify(&[2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn supports_many_classes() {
+        let c = CentroidClassifier::train(&[
+            vec![vec![0.0]],
+            vec![vec![10.0]],
+            vec![vec![20.0]],
+        ]);
+        assert_eq!(c.n_classes(), 3);
+        assert_eq!(c.classify(&[11.0]), 1);
+        assert_eq!(c.classify(&[19.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_class_panics() {
+        let _ = CentroidClassifier::train(&[vec![vec![0.0]], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_class_panics() {
+        let _ = CentroidClassifier::train(&[vec![vec![0.0]]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dimension_panics() {
+        let c = two_blob_classifier();
+        let _ = c.classify(&[1.0]);
+    }
+}

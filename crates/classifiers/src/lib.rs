@@ -1,0 +1,31 @@
+//! Classical discriminators for qubit readout.
+//!
+//! These are the non-neural classifiers the paper compares against and
+//! composes with:
+//!
+//! * [`threshold`] — a 1-D decision threshold on a matched-filter output,
+//!   i.e. the plain `mf` design of Table 1;
+//! * [`centroid`] — nearest-centroid classification in feature space, the
+//!   hardware discriminator cloud systems ship by default (paper §3.4);
+//! * [`svm`] — a linear support vector machine trained with the Pegasos
+//!   subgradient algorithm, the `mf-svm` / `mf-rmf-svm` designs.
+//!
+//! # Example
+//!
+//! ```
+//! use readout_classifiers::ThresholdDiscriminator;
+//!
+//! let ground = [4.0, 4.2, 3.9];
+//! let excited = [1.0, 1.2, 0.8];
+//! let th = ThresholdDiscriminator::train(&ground, &excited);
+//! assert!(th.classify_a(4.1));
+//! assert!(!th.classify_a(0.9));
+//! ```
+
+pub mod centroid;
+pub mod svm;
+pub mod threshold;
+
+pub use centroid::CentroidClassifier;
+pub use svm::LinearSvm;
+pub use threshold::ThresholdDiscriminator;

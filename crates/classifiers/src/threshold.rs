@@ -1,0 +1,177 @@
+//! 1-D threshold discrimination of matched-filter outputs.
+//!
+//! The plain `mf` design reduces each qubit's trace to one scalar and
+//! thresholds it. Training picks the cut that minimizes empirical error on
+//! the two labeled classes (equivalent to the optimal 1-D decision stump),
+//! which is strictly better than the midpoint rule when the classes are
+//! imbalanced by relaxation tails.
+
+/// A trained scalar threshold separating class A from class B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDiscriminator {
+    threshold: f64,
+    a_is_above: bool,
+}
+
+impl ThresholdDiscriminator {
+    /// Finds the error-minimizing threshold between two scalar classes.
+    ///
+    /// Ties are broken toward the midpoint of the adjacent values. With empty
+    /// classes the threshold degenerates to classifying everything as the
+    /// non-empty class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both classes are empty.
+    pub fn train(class_a: &[f64], class_b: &[f64]) -> Self {
+        assert!(
+            !(class_a.is_empty() && class_b.is_empty()),
+            "at least one class must be non-empty"
+        );
+        if class_a.is_empty() {
+            return ThresholdDiscriminator { threshold: f64::INFINITY, a_is_above: true };
+        }
+        if class_b.is_empty() {
+            return ThresholdDiscriminator { threshold: f64::NEG_INFINITY, a_is_above: true };
+        }
+        // Candidate cuts: midpoints of the merged sorted values.
+        let mut merged: Vec<(f64, bool)> = class_a
+            .iter()
+            .map(|&v| (v, true))
+            .chain(class_b.iter().map(|&v| (v, false)))
+            .collect();
+        merged.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("non-NaN filter outputs"));
+
+        let total_a = class_a.len();
+        let total_b = class_b.len();
+        // Evaluate "A above cut" errors for every prefix boundary: when the
+        // cut sits after index i, everything ≤ merged[i] is classified B.
+        let mut best_err = usize::MAX;
+        let mut best_threshold = 0.0;
+        let mut best_above = true;
+        let mut a_below = 0usize;
+        let mut b_below = 0usize;
+        for i in 0..=merged.len() {
+            // err(A above) = A below cut + B above cut.
+            let err_above = a_below + (total_b - b_below);
+            let err_below = b_below + (total_a - a_below);
+            let threshold = if i == 0 {
+                merged[0].0 - 1.0
+            } else if i == merged.len() {
+                merged[i - 1].0 + 1.0
+            } else {
+                0.5 * (merged[i - 1].0 + merged[i].0)
+            };
+            if err_above < best_err {
+                best_err = err_above;
+                best_threshold = threshold;
+                best_above = true;
+            }
+            if err_below < best_err {
+                best_err = err_below;
+                best_threshold = threshold;
+                best_above = false;
+            }
+            if i < merged.len() {
+                if merged[i].1 {
+                    a_below += 1;
+                } else {
+                    b_below += 1;
+                }
+            }
+        }
+        ThresholdDiscriminator {
+            threshold: best_threshold,
+            a_is_above: best_above,
+        }
+    }
+
+    /// The decision boundary value.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether values above the threshold are classified as class A.
+    pub fn a_is_above(&self) -> bool {
+        self.a_is_above
+    }
+
+    /// Classifies a value: `true` means class A.
+    pub fn classify_a(&self, value: f64) -> bool {
+        (value > self.threshold) == self.a_is_above
+    }
+
+    /// Empirical accuracy on labeled scalar data.
+    pub fn accuracy(&self, class_a: &[f64], class_b: &[f64]) -> f64 {
+        let correct = class_a.iter().filter(|&&v| self.classify_a(v)).count()
+            + class_b.iter().filter(|&&v| !self.classify_a(v)).count();
+        correct as f64 / (class_a.len() + class_b.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_classes_are_split_perfectly() {
+        let a = [3.0, 4.0, 5.0];
+        let b = [-1.0, 0.0, 1.0];
+        let th = ThresholdDiscriminator::train(&a, &b);
+        assert_eq!(th.accuracy(&a, &b), 1.0);
+        assert!(th.classify_a(10.0));
+        assert!(!th.classify_a(-10.0));
+    }
+
+    #[test]
+    fn orientation_flips_when_a_is_below() {
+        let a = [-5.0, -4.0];
+        let b = [4.0, 5.0];
+        let th = ThresholdDiscriminator::train(&a, &b);
+        assert!(!th.a_is_above());
+        assert!(th.classify_a(-6.0));
+        assert!(!th.classify_a(6.0));
+    }
+
+    #[test]
+    fn overlapping_classes_get_min_error_cut() {
+        // A = {0, 2, 4}, B = {3, 5, 7}: the best cut (A below) has one error.
+        let a = [0.0, 2.0, 4.0];
+        let b = [3.0, 5.0, 7.0];
+        let th = ThresholdDiscriminator::train(&a, &b);
+        let errors = a.iter().filter(|&&v| !th.classify_a(v)).count()
+            + b.iter().filter(|&&v| th.classify_a(v)).count();
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn imbalanced_classes_use_error_count_not_midpoint() {
+        // 9 tight A values at 0 plus one B at 0.1; midpoint rules would split
+        // inside A's cluster, optimal threshold keeps all A correct.
+        let a = [0.0; 9];
+        let b = [0.1, 10.0, 10.0, 10.0];
+        let th = ThresholdDiscriminator::train(&a, &b);
+        assert_eq!(th.accuracy(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_class_degenerates_gracefully() {
+        let th = ThresholdDiscriminator::train(&[], &[1.0, 2.0]);
+        assert!(!th.classify_a(0.0));
+        assert!(!th.classify_a(100.0));
+        let th = ThresholdDiscriminator::train(&[1.0], &[]);
+        assert!(th.classify_a(-100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn both_empty_panics() {
+        let _ = ThresholdDiscriminator::train(&[], &[]);
+    }
+
+    #[test]
+    fn accuracy_counts_both_classes() {
+        let th = ThresholdDiscriminator::train(&[1.0], &[-1.0]);
+        assert!((th.accuracy(&[1.0, -1.0], &[-1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+}

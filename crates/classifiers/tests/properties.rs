@@ -1,0 +1,81 @@
+//! Property-based tests of the classical classifiers.
+
+use proptest::prelude::*;
+use readout_classifiers::svm::SvmConfig;
+use readout_classifiers::{CentroidClassifier, LinearSvm, ThresholdDiscriminator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threshold_accuracy_is_at_least_half(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..30),
+        b in proptest::collection::vec(-10.0..10.0f64, 1..30),
+    ) {
+        // The trained cut can always fall back to "classify everything as
+        // the majority class", so training accuracy is ≥ the majority rate
+        // and hence ≥ 0.5 for the worst split.
+        let th = ThresholdDiscriminator::train(&a, &b);
+        let majority = a.len().max(b.len()) as f64 / (a.len() + b.len()) as f64;
+        prop_assert!(th.accuracy(&a, &b) >= majority - 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_invariant_to_common_shifts(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..15),
+        b in proptest::collection::vec(-5.0..5.0f64, 1..15),
+        shift in -50.0..50.0f64,
+    ) {
+        let th = ThresholdDiscriminator::train(&a, &b);
+        let sa: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let sb: Vec<f64> = b.iter().map(|x| x + shift).collect();
+        let th2 = ThresholdDiscriminator::train(&sa, &sb);
+        prop_assert!((th.accuracy(&a, &b) - th2.accuracy(&sa, &sb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_classifies_training_means_correctly(
+        c0 in (-10.0..10.0f64, -10.0..10.0f64),
+        c1 in (-10.0..10.0f64, -10.0..10.0f64),
+    ) {
+        prop_assume!(((c0.0 - c1.0).powi(2) + (c0.1 - c1.1).powi(2)).sqrt() > 0.1);
+        let cls = CentroidClassifier::train(&[
+            vec![vec![c0.0, c0.1]],
+            vec![vec![c1.0, c1.1]],
+        ]);
+        prop_assert_eq!(cls.classify(&[c0.0, c0.1]), 0);
+        prop_assert_eq!(cls.classify(&[c1.0, c1.1]), 1);
+    }
+
+    #[test]
+    fn svm_decision_is_monotone_along_the_weight_vector(
+        sep in 1.0..5.0f64,
+        step in 0.1..3.0f64,
+    ) {
+        let samples: Vec<Vec<f64>> = (0..40)
+            .map(|k| {
+                let noise = ((k * 37) % 17) as f64 / 17.0 - 0.5;
+                if k % 2 == 0 { vec![sep + noise] } else { vec![-sep + noise] }
+            })
+            .collect();
+        let labels: Vec<bool> = (0..40).map(|k| k % 2 == 0).collect();
+        let svm = LinearSvm::train(&samples, &labels, &SvmConfig::default());
+        // Moving further in the positive direction must not decrease the
+        // decision value (1-D linear function).
+        let d1 = svm.decision(&[sep]);
+        let d2 = svm.decision(&[sep + step]);
+        if svm.weights()[0] > 0.0 {
+            prop_assert!(d2 >= d1);
+        } else {
+            prop_assert!(d2 <= d1);
+        }
+    }
+
+    #[test]
+    fn svm_prediction_matches_decision_sign(x in -20.0..20.0f64) {
+        let samples = vec![vec![2.0], vec![2.5], vec![-2.0], vec![-2.5]];
+        let labels = vec![true, true, false, false];
+        let svm = LinearSvm::train(&samples, &labels, &SvmConfig::default());
+        prop_assert_eq!(svm.predict(&[x]), svm.decision(&[x]) > 0.0);
+    }
+}

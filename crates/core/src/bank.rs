@@ -1,0 +1,217 @@
+//! The per-qubit filter bank: matched filters, relaxation matched filters,
+//! and feature assembly.
+//!
+//! A [`FilterBank`] owns one MF per qubit (trained ground vs excited) and
+//! optionally one RMF per qubit (trained relaxation vs ground, on the traces
+//! Algorithm 1 mined). Applying the bank to a shot's demodulated traces
+//! yields the low-dimensional feature vector that feeds the downstream
+//! classifier:
+//!
+//! * without RMFs: `[mf_0, …, mf_{N−1}]` (the `mf-*` designs);
+//! * with RMFs: interleaved `[mf_0, rmf_0, …, mf_{N−1}, rmf_{N−1}]`
+//!   (the `mf-rmf-*` designs, Fig. 9's `2N`-wide input).
+//!
+//! Because each filter output is a dot product over however many bins the
+//! trace actually has, the feature vector's *dimension* is independent of the
+//! readout duration — the property that lets HERQULES shorten readout without
+//! retraining (paper §5.2). Truncation is expressed by passing per-qubit bin
+//! budgets to [`FilterBank::features_truncated`].
+
+use readout_dsp::filters::MatchedFilter;
+use readout_sim::trace::IqTrace;
+
+/// A trained bank of per-qubit filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterBank {
+    mfs: Vec<MatchedFilter>,
+    rmfs: Option<Vec<MatchedFilter>>,
+}
+
+impl FilterBank {
+    /// Builds a bank from per-qubit matched filters only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfs` is empty.
+    pub fn new(mfs: Vec<MatchedFilter>) -> Self {
+        assert!(!mfs.is_empty(), "at least one matched filter required");
+        FilterBank { mfs, rmfs: None }
+    }
+
+    /// Builds a bank with relaxation matched filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths or are empty.
+    pub fn with_rmfs(mfs: Vec<MatchedFilter>, rmfs: Vec<MatchedFilter>) -> Self {
+        assert!(!mfs.is_empty(), "at least one matched filter required");
+        assert_eq!(mfs.len(), rmfs.len(), "one RMF per MF required");
+        FilterBank {
+            mfs,
+            rmfs: Some(rmfs),
+        }
+    }
+
+    /// Number of qubits covered.
+    pub fn n_qubits(&self) -> usize {
+        self.mfs.len()
+    }
+
+    /// Whether the bank contains relaxation matched filters.
+    pub fn has_rmfs(&self) -> bool {
+        self.rmfs.is_some()
+    }
+
+    /// Feature vector width (`N` without RMFs, `2N` with).
+    pub fn n_features(&self) -> usize {
+        if self.has_rmfs() {
+            2 * self.mfs.len()
+        } else {
+            self.mfs.len()
+        }
+    }
+
+    /// The matched filter of `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn mf(&self, qubit: usize) -> &MatchedFilter {
+        &self.mfs[qubit]
+    }
+
+    /// The relaxation matched filter of `qubit`, if the bank has RMFs.
+    pub fn rmf(&self, qubit: usize) -> Option<&MatchedFilter> {
+        self.rmfs.as_ref().map(|r| &r[qubit])
+    }
+
+    /// Assembles the feature vector from one shot's per-qubit demodulated
+    /// traces (full duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != self.n_qubits()`.
+    pub fn features(&self, traces: &[IqTrace]) -> Vec<f64> {
+        assert_eq!(traces.len(), self.n_qubits(), "one trace per qubit required");
+        let mut out = Vec::with_capacity(self.n_features());
+        for (q, tr) in traces.iter().enumerate() {
+            out.push(self.mfs[q].apply(tr));
+            if let Some(rmfs) = &self.rmfs {
+                out.push(rmfs[q].apply(tr));
+            }
+        }
+        out
+    }
+
+    /// Assembles features using at most `bins[q]` bins of qubit `q`'s trace.
+    ///
+    /// Supports both the uniform-duration sweep of Fig. 11(a) (all budgets
+    /// equal) and the per-qubit asymmetric durations of §5.2 / Table 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn features_truncated(&self, traces: &[IqTrace], bins: &[usize]) -> Vec<f64> {
+        assert_eq!(traces.len(), self.n_qubits(), "one trace per qubit required");
+        assert_eq!(bins.len(), self.n_qubits(), "one bin budget per qubit required");
+        let mut out = Vec::with_capacity(self.n_features());
+        for (q, tr) in traces.iter().enumerate() {
+            out.push(self.mfs[q].apply_truncated(tr, bins[q]));
+            if let Some(rmfs) = &self.rmfs {
+                out.push(rmfs[q].apply_truncated(tr, bins[q]));
+            }
+        }
+        out
+    }
+
+    /// Index of qubit `q`'s MF output within the feature vector.
+    pub fn mf_feature_index(&self, qubit: usize) -> usize {
+        if self.has_rmfs() {
+            2 * qubit
+        } else {
+            qubit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_filter(w: f64, len: usize) -> MatchedFilter {
+        MatchedFilter::from_envelope(IqTrace::new(vec![w; len], vec![0.0; len]))
+    }
+
+    fn flat_trace(v: f64, len: usize) -> IqTrace {
+        IqTrace::new(vec![v; len], vec![0.0; len])
+    }
+
+    #[test]
+    fn features_without_rmfs_are_mf_outputs() {
+        let bank = FilterBank::new(vec![flat_filter(1.0, 4), flat_filter(2.0, 4)]);
+        let f = bank.features(&[flat_trace(1.0, 4), flat_trace(1.0, 4)]);
+        assert_eq!(f, vec![4.0, 8.0]);
+        assert_eq!(bank.n_features(), 2);
+        assert!(!bank.has_rmfs());
+    }
+
+    #[test]
+    fn features_with_rmfs_interleave() {
+        let bank = FilterBank::with_rmfs(
+            vec![flat_filter(1.0, 4), flat_filter(1.0, 4)],
+            vec![flat_filter(10.0, 4), flat_filter(20.0, 4)],
+        );
+        let f = bank.features(&[flat_trace(1.0, 4), flat_trace(2.0, 4)]);
+        assert_eq!(f, vec![4.0, 40.0, 8.0, 160.0]);
+        assert_eq!(bank.n_features(), 4);
+        assert_eq!(bank.mf_feature_index(1), 2);
+    }
+
+    #[test]
+    fn truncated_features_use_bin_budgets() {
+        let bank = FilterBank::new(vec![flat_filter(1.0, 4), flat_filter(1.0, 4)]);
+        let f = bank.features_truncated(
+            &[flat_trace(1.0, 4), flat_trace(1.0, 4)],
+            &[2, 3],
+        );
+        assert_eq!(f, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn truncated_budget_beyond_length_is_clamped() {
+        let bank = FilterBank::new(vec![flat_filter(1.0, 4)]);
+        let f = bank.features_truncated(&[flat_trace(1.0, 4)], &[99]);
+        assert_eq!(f, vec![4.0]);
+    }
+
+    #[test]
+    fn short_traces_yield_prefix_features() {
+        // Feeding a 2-bin trace through 4-bin filters uses the overlap only —
+        // the duration-agnosticism HERQULES relies on.
+        let bank = FilterBank::new(vec![flat_filter(1.0, 4)]);
+        let f = bank.features(&[flat_trace(1.0, 2)]);
+        assert_eq!(f, vec![2.0]);
+    }
+
+    #[test]
+    fn accessors_expose_filters() {
+        let bank = FilterBank::with_rmfs(vec![flat_filter(1.0, 3)], vec![flat_filter(2.0, 3)]);
+        assert_eq!(bank.n_qubits(), 1);
+        assert_eq!(bank.mf(0).len(), 3);
+        assert!(bank.rmf(0).is_some());
+        assert!(FilterBank::new(vec![flat_filter(1.0, 3)]).rmf(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one RMF per MF")]
+    fn mismatched_rmf_count_panics() {
+        let _ = FilterBank::with_rmfs(vec![flat_filter(1.0, 3)], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per qubit")]
+    fn wrong_trace_count_panics() {
+        let bank = FilterBank::new(vec![flat_filter(1.0, 3)]);
+        let _ = bank.features(&[]);
+    }
+}

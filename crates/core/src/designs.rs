@@ -1,0 +1,159 @@
+//! The discriminator designs compared in the paper (Table 1).
+//!
+//! Every design implements [`Discriminator`]: raw multiplexed ADC trace in,
+//! multi-qubit [`BasisState`] out. The designs differ in what happens between
+//! demodulation and the final decision:
+//!
+//! | design | features | decision head | paper section |
+//! |---|---|---|---|
+//! | `centroid` | per-qubit MTV | nearest centroid | §3.4 (cloud default) |
+//! | `mf` | per-qubit MF | scalar threshold | §4.2 |
+//! | `mf-svm` | all MFs | per-qubit linear SVM | §4.2 |
+//! | `mf-nn` | all MFs | small FNN | §4.2.1 |
+//! | `mf-rmf-svm` | MFs + RMFs | per-qubit linear SVM | §4.3 |
+//! | `mf-rmf-nn` | MFs + RMFs | small FNN | §4.3 (flagship) |
+//! | `baseline-fnn` | raw 1000-dim trace | large FNN | §3.2 (Lienhard et al.) |
+
+pub mod baseline;
+pub mod centroid;
+pub mod mf;
+pub mod nn_head;
+pub mod svm_head;
+
+use std::fmt;
+
+use readout_sim::trace::{BasisState, IqTrace};
+
+pub use baseline::BaselineFnnDiscriminator;
+pub use centroid::CentroidDiscriminator;
+pub use mf::MfDiscriminator;
+pub use nn_head::NnDiscriminator;
+pub use svm_head::SvmDiscriminator;
+
+/// Identifier of a discriminator design, used to request training and label
+/// benchmark output rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Per-qubit nearest-centroid on the mean trace value.
+    Centroid,
+    /// Per-qubit matched filter + threshold.
+    Mf,
+    /// Matched filters + per-qubit linear SVMs.
+    MfSvm,
+    /// Matched filters + small FNN.
+    MfNn,
+    /// Matched + relaxation matched filters + per-qubit linear SVMs.
+    MfRmfSvm,
+    /// Matched + relaxation matched filters + small FNN (the HERQULES
+    /// flagship).
+    MfRmfNn,
+    /// The baseline large FNN on raw ADC traces (Lienhard et al.).
+    BaselineFnn,
+}
+
+impl DesignKind {
+    /// All designs in Table 1 order.
+    pub const ALL: [DesignKind; 7] = [
+        DesignKind::BaselineFnn,
+        DesignKind::Centroid,
+        DesignKind::Mf,
+        DesignKind::MfSvm,
+        DesignKind::MfNn,
+        DesignKind::MfRmfSvm,
+        DesignKind::MfRmfNn,
+    ];
+
+    /// The paper's name for the design.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::Centroid => "centroid",
+            DesignKind::Mf => "mf",
+            DesignKind::MfSvm => "mf-svm",
+            DesignKind::MfNn => "mf-nn",
+            DesignKind::MfRmfSvm => "mf-rmf-svm",
+            DesignKind::MfRmfNn => "mf-rmf-nn",
+            DesignKind::BaselineFnn => "baseline",
+        }
+    }
+
+    /// Whether the design uses relaxation matched filters.
+    pub fn uses_rmf(self) -> bool {
+        matches!(self, DesignKind::MfRmfSvm | DesignKind::MfRmfNn)
+    }
+}
+
+impl fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A trained multi-qubit state discriminator.
+///
+/// Implementations are `Send + Sync` so evaluation can be parallelized.
+pub trait Discriminator: Send + Sync {
+    /// The design's display name (Table 1 row label).
+    fn name(&self) -> &str;
+
+    /// Number of qubits discriminated per shot.
+    fn n_qubits(&self) -> usize;
+
+    /// Discriminates one raw multiplexed ADC trace.
+    fn discriminate(&self, raw: &IqTrace) -> BasisState;
+
+    /// Discriminates a batch (overridden by network designs to amortize the
+    /// forward pass).
+    fn discriminate_batch(&self, raws: &[&IqTrace]) -> Vec<BasisState> {
+        raws.iter().map(|r| self.discriminate(r)).collect()
+    }
+
+    /// Discriminates with per-qubit readout-duration budgets, expressed in
+    /// demodulation bins.
+    ///
+    /// Returns `None` if the design cannot handle truncated inputs without
+    /// retraining — which is exactly the baseline FNN's limitation the paper
+    /// highlights (§5.2).
+    fn discriminate_truncated(&self, _raw: &IqTrace, _bins: &[usize]) -> Option<BasisState> {
+        None
+    }
+
+    /// Batch version of [`Discriminator::discriminate_truncated`].
+    fn discriminate_truncated_batch(
+        &self,
+        raws: &[&IqTrace],
+        bins: &[usize],
+    ) -> Option<Vec<BasisState>> {
+        raws.iter()
+            .map(|r| self.discriminate_truncated(r, bins))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(DesignKind::MfRmfNn.label(), "mf-rmf-nn");
+        assert_eq!(DesignKind::BaselineFnn.to_string(), "baseline");
+    }
+
+    #[test]
+    fn rmf_usage_flags() {
+        assert!(DesignKind::MfRmfNn.uses_rmf());
+        assert!(DesignKind::MfRmfSvm.uses_rmf());
+        assert!(!DesignKind::MfNn.uses_rmf());
+        assert!(!DesignKind::BaselineFnn.uses_rmf());
+    }
+
+    #[test]
+    fn all_contains_every_variant_once() {
+        assert_eq!(DesignKind::ALL.len(), 7);
+        for (i, a) in DesignKind::ALL.iter().enumerate() {
+            for b in &DesignKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

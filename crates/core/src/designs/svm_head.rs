@@ -1,0 +1,174 @@
+//! The `mf-svm` / `mf-rmf-svm` designs: per-qubit linear SVMs over the full
+//! filter-bank feature vector.
+//!
+//! Each qubit gets its own binary SVM, but every SVM sees *all* qubits'
+//! filter outputs — that is what lets a linear model subtract the linear part
+//! of readout crosstalk (paper §4.3.3, Table 2's `MF-RMF-SVM` row).
+
+use readout_classifiers::LinearSvm;
+use readout_dsp::Demodulator;
+use readout_nn::Standardizer;
+use readout_sim::trace::{BasisState, IqTrace};
+
+use crate::bank::FilterBank;
+use crate::designs::Discriminator;
+
+/// Linear-SVM discriminator over filter-bank features.
+#[derive(Debug, Clone)]
+pub struct SvmDiscriminator {
+    demod: Demodulator,
+    bank: FilterBank,
+    standardizer: Standardizer,
+    svms: Vec<LinearSvm>,
+    name: &'static str,
+}
+
+impl SvmDiscriminator {
+    /// Builds the discriminator; `bank.has_rmfs()` decides whether it is the
+    /// `mf-svm` or `mf-rmf-svm` design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SVM count differs from the qubit count or the
+    /// standardizer dimension differs from the feature width.
+    pub fn new(
+        demod: Demodulator,
+        bank: FilterBank,
+        standardizer: Standardizer,
+        svms: Vec<LinearSvm>,
+    ) -> Self {
+        assert_eq!(svms.len(), bank.n_qubits(), "one SVM per qubit required");
+        assert_eq!(
+            standardizer.dim(),
+            bank.n_features(),
+            "standardizer must match feature width"
+        );
+        let name = if bank.has_rmfs() { "mf-rmf-svm" } else { "mf-svm" };
+        SvmDiscriminator {
+            demod,
+            bank,
+            standardizer,
+            svms,
+            name,
+        }
+    }
+
+    /// The underlying filter bank.
+    pub fn bank(&self) -> &FilterBank {
+        &self.bank
+    }
+
+    fn classify_features(&self, features: &[f64]) -> BasisState {
+        let f = self.standardizer.transform(features);
+        let mut state = BasisState::new(0);
+        for (q, svm) in self.svms.iter().enumerate() {
+            state = state.with_qubit(q, svm.predict(&f));
+        }
+        state
+    }
+}
+
+impl Discriminator for SvmDiscriminator {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.bank.n_qubits()
+    }
+
+    fn discriminate(&self, raw: &IqTrace) -> BasisState {
+        let traces = self.demod.demodulate(raw);
+        self.classify_features(&self.bank.features(&traces))
+    }
+
+    fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
+        let traces = self.demod.demodulate(raw);
+        Some(self.classify_features(&self.bank.features_truncated(&traces, bins)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readout_classifiers::svm::SvmConfig;
+    use readout_dsp::filters::MatchedFilter;
+    use readout_sim::{ChipConfig, Dataset};
+
+    fn train_mf_svm(dataset: &Dataset) -> SvmDiscriminator {
+        let demod = Demodulator::new(&dataset.config);
+        let n = dataset.n_qubits();
+        let demod_traces: Vec<Vec<IqTrace>> = dataset
+            .shots
+            .iter()
+            .map(|s| demod.demodulate(&s.raw))
+            .collect();
+        let mut mfs = Vec::new();
+        for q in 0..n {
+            let excited: Vec<&IqTrace> = dataset
+                .shots
+                .iter()
+                .zip(&demod_traces)
+                .filter(|(s, _)| s.prepared.qubit(q))
+                .map(|(_, tr)| &tr[q])
+                .collect();
+            let ground: Vec<&IqTrace> = dataset
+                .shots
+                .iter()
+                .zip(&demod_traces)
+                .filter(|(s, _)| !s.prepared.qubit(q))
+                .map(|(_, tr)| &tr[q])
+                .collect();
+            mfs.push(MatchedFilter::train(&excited, &ground).unwrap());
+        }
+        let bank = FilterBank::new(mfs);
+        let features: Vec<Vec<f64>> = demod_traces.iter().map(|tr| bank.features(tr)).collect();
+        let standardizer = Standardizer::fit(&features);
+        let features = standardizer.transform_all(&features);
+        let svms = (0..n)
+            .map(|q| {
+                let labels: Vec<bool> =
+                    dataset.shots.iter().map(|s| s.prepared.qubit(q)).collect();
+                LinearSvm::train(&features, &labels, &SvmConfig::default())
+            })
+            .collect();
+        SvmDiscriminator::new(demod, bank, standardizer, svms)
+    }
+
+    #[test]
+    fn svm_head_discriminates() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 50, 19);
+        let disc = train_mf_svm(&ds);
+        assert_eq!(disc.name(), "mf-svm");
+        let correct = ds
+            .shots
+            .iter()
+            .filter(|s| disc.discriminate(&s.raw) == s.prepared)
+            .count();
+        let acc = correct as f64 / ds.shots.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn truncated_path_is_supported() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 20, 20);
+        let disc = train_mf_svm(&ds);
+        assert!(disc.discriminate_truncated(&ds.shots[0].raw, &[15, 15]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "one SVM per qubit")]
+    fn svm_count_mismatch_panics() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 10, 21);
+        let trained = train_mf_svm(&ds);
+        let _ = SvmDiscriminator::new(
+            Demodulator::new(&cfg),
+            trained.bank.clone(),
+            trained.standardizer.clone(),
+            vec![],
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Readout-duration reduction without retraining (paper §5).
+//!
+//! HERQULES trains on the full readout window; at inference the traces (and
+//! envelopes) are truncated to a shorter window. The feature dimension is
+//! unchanged, so the trained network applies as-is. This module provides the
+//! sweep utilities behind Fig. 11(a) and Table 3, and the shortest-duration
+//! search described in §5.2 ("an iterative sweep can be done on the readout
+//! duration to find the shortest time whose cumulative accuracy saturates").
+
+use readout_sim::dataset::Dataset;
+use readout_sim::trace::IqTrace;
+
+use crate::designs::Discriminator;
+use crate::metrics::EvalResult;
+
+/// Evaluates a discriminator at a uniform per-qubit bin budget.
+///
+/// Returns `None` for designs that cannot run truncated (the baseline FNN).
+///
+/// # Panics
+///
+/// Panics if `indices` is empty.
+pub fn evaluate_truncated(
+    disc: &dyn Discriminator,
+    dataset: &Dataset,
+    indices: &[usize],
+    bins: usize,
+) -> Option<EvalResult> {
+    let budgets = vec![bins; disc.n_qubits()];
+    evaluate_truncated_per_qubit(disc, dataset, indices, &budgets)
+}
+
+/// Evaluates with per-qubit bin budgets (the asymmetric readout of §5.2).
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or budget length differs from the qubit
+/// count.
+pub fn evaluate_truncated_per_qubit(
+    disc: &dyn Discriminator,
+    dataset: &Dataset,
+    indices: &[usize],
+    bins: &[usize],
+) -> Option<EvalResult> {
+    assert!(!indices.is_empty(), "evaluation set must be non-empty");
+    assert_eq!(bins.len(), disc.n_qubits(), "one bin budget per qubit required");
+    let raws: Vec<&IqTrace> = indices.iter().map(|&i| &dataset.shots[i].raw).collect();
+    let preds = disc.discriminate_truncated_batch(&raws, bins)?;
+    let outcomes = indices
+        .iter()
+        .zip(preds)
+        .map(|(&i, pred)| (dataset.shots[i].prepared, pred))
+        .collect();
+    Some(EvalResult::from_outcomes(dataset.n_qubits(), outcomes))
+}
+
+/// One point of a duration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Bin budget applied to every qubit.
+    pub bins: usize,
+    /// Readout duration in seconds implied by the budget.
+    pub duration_s: f64,
+    /// Evaluation at this duration.
+    pub result: EvalResult,
+}
+
+/// Sweeps the uniform readout duration over the given bin budgets
+/// (Fig. 11(a)'s x-axis).
+///
+/// # Panics
+///
+/// Panics if the design does not support truncation or `bin_budgets` is
+/// empty.
+pub fn sweep_durations(
+    disc: &dyn Discriminator,
+    dataset: &Dataset,
+    indices: &[usize],
+    bin_budgets: &[usize],
+) -> Vec<SweepPoint> {
+    assert!(!bin_budgets.is_empty(), "need at least one bin budget");
+    bin_budgets
+        .iter()
+        .map(|&bins| SweepPoint {
+            bins,
+            duration_s: bins as f64 * dataset.config.demod_bin_s,
+            result: evaluate_truncated(disc, dataset, indices, bins)
+                .expect("design must support truncated inference"),
+        })
+        .collect()
+}
+
+/// Finds the smallest uniform bin budget whose cumulative accuracy is within
+/// `tolerance` of the full-duration cumulative accuracy (§5.2's saturation
+/// search).
+///
+/// # Panics
+///
+/// Panics if the design does not support truncation.
+pub fn shortest_saturating_duration(
+    disc: &dyn Discriminator,
+    dataset: &Dataset,
+    indices: &[usize],
+    tolerance: f64,
+) -> SweepPoint {
+    let full_bins = dataset.config.n_bins();
+    let full = evaluate_truncated(disc, dataset, indices, full_bins)
+        .expect("design must support truncated inference");
+    let target = full.cumulative_accuracy() - tolerance;
+    for bins in 1..full_bins {
+        let result = evaluate_truncated(disc, dataset, indices, bins)
+            .expect("design must support truncated inference");
+        if result.cumulative_accuracy() >= target {
+            let duration_s = bins as f64 * dataset.config.demod_bin_s;
+            return SweepPoint { bins, duration_s, result };
+        }
+    }
+    SweepPoint {
+        bins: full_bins,
+        duration_s: full_bins as f64 * dataset.config.demod_bin_s,
+        result: full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::DesignKind;
+    use crate::trainer::ReadoutTrainer;
+    use readout_sim::ChipConfig;
+
+    fn trained_mf() -> (Dataset, Vec<usize>, Box<dyn Discriminator>) {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 50, 23);
+        let split = ds.split(0.5, 0.0, 2);
+        let mut trainer = ReadoutTrainer::new(&ds, &split.train);
+        let disc = trainer.train(DesignKind::Mf);
+        (ds, split.test, disc)
+    }
+
+    #[test]
+    fn full_budget_matches_untruncated_evaluation() {
+        let (ds, test, disc) = trained_mf();
+        let full = crate::metrics::evaluate(disc.as_ref(), &ds, &test);
+        let truncated = evaluate_truncated(disc.as_ref(), &ds, &test, ds.config.n_bins()).unwrap();
+        assert_eq!(full.per_qubit_accuracy(), truncated.per_qubit_accuracy());
+    }
+
+    #[test]
+    fn sweep_reports_increasing_durations() {
+        let (ds, test, disc) = trained_mf();
+        let sweep = sweep_durations(disc.as_ref(), &ds, &test, &[4, 10, 20]);
+        assert_eq!(sweep.len(), 3);
+        assert!((sweep[0].duration_s - 200e-9).abs() < 1e-15);
+        assert!((sweep[2].duration_s - 1e-6).abs() < 1e-15);
+        // Longer readout must not be dramatically worse than the shortest.
+        assert!(
+            sweep[2].result.cumulative_accuracy() + 0.05
+                >= sweep[0].result.cumulative_accuracy()
+        );
+    }
+
+    #[test]
+    fn shortest_duration_is_at_most_full() {
+        let (ds, test, disc) = trained_mf();
+        let point = shortest_saturating_duration(disc.as_ref(), &ds, &test, 0.02);
+        assert!(point.bins <= ds.config.n_bins());
+        assert!(point.bins >= 1);
+    }
+
+    #[test]
+    fn asymmetric_budgets_are_honoured() {
+        let (ds, test, disc) = trained_mf();
+        let res = evaluate_truncated_per_qubit(disc.as_ref(), &ds, &test, &[20, 5]);
+        assert!(res.is_some());
+    }
+
+    #[test]
+    fn baseline_reports_unsupported() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 20, 29);
+        let split = ds.split(0.5, 0.0, 2);
+        let mut trainer = ReadoutTrainer::with_config(
+            &ds,
+            &split.train,
+            crate::trainer::TrainerConfig {
+                baseline_train: readout_nn::net::TrainConfig {
+                    epochs: 1,
+                    ..crate::trainer::TrainerConfig::default().baseline_train
+                },
+                ..crate::trainer::TrainerConfig::default()
+            },
+        );
+        let disc = trainer.train(DesignKind::BaselineFnn);
+        assert!(evaluate_truncated(disc.as_ref(), &ds, &split.test, 10).is_none());
+    }
+}

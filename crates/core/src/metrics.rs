@@ -1,0 +1,336 @@
+//! Readout-quality metrics: assignment fidelity, cumulative accuracy,
+//! precision/recall, cross-fidelity, and misclassification counts.
+//!
+//! All metrics are derived from the stored `(prepared, predicted)` pairs of
+//! one evaluation pass, so a single [`evaluate`] call feeds Table 1
+//! (accuracies), Table 2 (cross-fidelity), Fig. 4(b)/Fig. 10
+//! (misclassification counts), and the precision/recall numbers of §4.3.2.
+
+use readout_sim::dataset::Dataset;
+use readout_sim::trace::{BasisState, IqTrace};
+
+use crate::designs::Discriminator;
+
+/// Outcome of evaluating a discriminator on a labeled shot set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    n_qubits: usize,
+    /// `(prepared, predicted)` per evaluated shot.
+    outcomes: Vec<(BasisState, BasisState)>,
+}
+
+impl EvalResult {
+    /// Builds a result from raw outcome pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty or `n_qubits == 0`.
+    pub fn from_outcomes(n_qubits: usize, outcomes: Vec<(BasisState, BasisState)>) -> Self {
+        assert!(n_qubits > 0, "need at least one qubit");
+        assert!(!outcomes.is_empty(), "need at least one outcome");
+        EvalResult { n_qubits, outcomes }
+    }
+
+    /// Number of evaluated shots.
+    pub fn n_shots(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The raw `(prepared, predicted)` pairs.
+    pub fn outcomes(&self) -> &[(BasisState, BasisState)] {
+        &self.outcomes
+    }
+
+    /// Assignment fidelity of qubit `q`: fraction of shots whose predicted
+    /// bit `q` matches the prepared bit.
+    pub fn qubit_accuracy(&self, q: usize) -> f64 {
+        let correct = self
+            .outcomes
+            .iter()
+            .filter(|(prep, pred)| prep.qubit(q) == pred.qubit(q))
+            .count();
+        correct as f64 / self.n_shots() as f64
+    }
+
+    /// Per-qubit accuracies, qubit 0 first.
+    pub fn per_qubit_accuracy(&self) -> Vec<f64> {
+        (0..self.n_qubits).map(|q| self.qubit_accuracy(q)).collect()
+    }
+
+    /// Fraction of shots where the entire basis state was assigned correctly.
+    pub fn state_accuracy(&self) -> f64 {
+        let correct = self
+            .outcomes
+            .iter()
+            .filter(|(prep, pred)| prep == pred)
+            .count();
+        correct as f64 / self.n_shots() as f64
+    }
+
+    /// Cumulative accuracy: the geometric mean of per-qubit accuracies
+    /// (`F5Q = (F1 F2 F3 F4 F5)^{1/5}` in the paper).
+    pub fn cumulative_accuracy(&self) -> f64 {
+        geometric_mean(&self.per_qubit_accuracy())
+    }
+
+    /// Cumulative accuracy excluding the listed qubits (the paper's `F4Q`
+    /// drops qubit 2, index 1).
+    pub fn cumulative_accuracy_excluding(&self, excluded: &[usize]) -> f64 {
+        let accs: Vec<f64> = (0..self.n_qubits)
+            .filter(|q| !excluded.contains(q))
+            .map(|q| self.qubit_accuracy(q))
+            .collect();
+        geometric_mean(&accs)
+    }
+
+    /// `(ground_misclassified, excited_misclassified)` counts for qubit `q`:
+    /// shots prepared `0` but read `1`, and prepared `1` but read `0`
+    /// (Fig. 10's two bars).
+    pub fn misclassification_counts(&self, q: usize) -> (usize, usize) {
+        let mut ground_err = 0;
+        let mut excited_err = 0;
+        for (prep, pred) in &self.outcomes {
+            match (prep.qubit(q), pred.qubit(q)) {
+                (false, true) => ground_err += 1,
+                (true, false) => excited_err += 1,
+                _ => {}
+            }
+        }
+        (ground_err, excited_err)
+    }
+
+    /// Precision of the excited-state prediction for qubit `q`:
+    /// `TP / (TP + FP)`. Returns 1.0 when the qubit was never read excited.
+    pub fn precision(&self, q: usize) -> f64 {
+        let (mut tp, mut fp) = (0usize, 0usize);
+        for (prep, pred) in &self.outcomes {
+            if pred.qubit(q) {
+                if prep.qubit(q) {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        }
+    }
+
+    /// Recall of the excited-state prediction for qubit `q`:
+    /// `TP / (TP + FN)`. Returns 1.0 when the qubit was never prepared
+    /// excited.
+    pub fn recall(&self, q: usize) -> f64 {
+        let (mut tp, mut fnn) = (0usize, 0usize);
+        for (prep, pred) in &self.outcomes {
+            if prep.qubit(q) {
+                if pred.qubit(q) {
+                    tp += 1;
+                } else {
+                    fnn += 1;
+                }
+            }
+        }
+        if tp + fnn == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fnn) as f64
+        }
+    }
+
+    /// Cross-fidelity between measured qubit `i` and prepared qubit `j`
+    /// (paper §4.3.3): `F^CF_{ij} = 1 − [P(e_i | 0_j) + P(g_i | 1_j)]`.
+    ///
+    /// Uncorrelated, balanced readout gives values near zero; crosstalk
+    /// pushes the magnitude up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn cross_fidelity(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "cross-fidelity is defined for distinct qubits");
+        assert!(i < self.n_qubits && j < self.n_qubits, "qubit index out of range");
+        let (mut e_i_given_0j, mut n_0j) = (0usize, 0usize);
+        let (mut g_i_given_1j, mut n_1j) = (0usize, 0usize);
+        for (prep, pred) in &self.outcomes {
+            if prep.qubit(j) {
+                n_1j += 1;
+                if !pred.qubit(i) {
+                    g_i_given_1j += 1;
+                }
+            } else {
+                n_0j += 1;
+                if pred.qubit(i) {
+                    e_i_given_0j += 1;
+                }
+            }
+        }
+        let p_e = e_i_given_0j as f64 / n_0j.max(1) as f64;
+        let p_g = g_i_given_1j as f64 / n_1j.max(1) as f64;
+        1.0 - (p_e + p_g)
+    }
+
+    /// Mean of `|F^CF_{ij}|` over all ordered pairs with `|i − j| == dist`
+    /// (one row of Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair has the requested distance.
+    pub fn mean_abs_cross_fidelity(&self, dist: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.n_qubits {
+            for j in 0..self.n_qubits {
+                if i != j && i.abs_diff(j) == dist {
+                    sum += self.cross_fidelity(i, j).abs();
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 0, "no qubit pair at distance {dist}");
+        sum / count as f64
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Evaluates a discriminator over the dataset shots at `indices`, comparing
+/// predictions against the prepared labels.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or out of range.
+pub fn evaluate(disc: &dyn Discriminator, dataset: &Dataset, indices: &[usize]) -> EvalResult {
+    assert!(!indices.is_empty(), "evaluation set must be non-empty");
+    let raws: Vec<&IqTrace> = indices.iter().map(|&i| &dataset.shots[i].raw).collect();
+    let preds = disc.discriminate_batch(&raws);
+    let outcomes = indices
+        .iter()
+        .zip(preds)
+        .map(|(&i, pred)| (dataset.shots[i].prepared, pred))
+        .collect();
+    EvalResult::from_outcomes(dataset.n_qubits(), outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: u32) -> BasisState {
+        BasisState::new(bits)
+    }
+
+    fn perfect_result() -> EvalResult {
+        let outcomes = (0..4u32).map(|b| (s(b), s(b))).collect();
+        EvalResult::from_outcomes(2, outcomes)
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let r = perfect_result();
+        assert_eq!(r.per_qubit_accuracy(), vec![1.0, 1.0]);
+        assert_eq!(r.state_accuracy(), 1.0);
+        assert_eq!(r.cumulative_accuracy(), 1.0);
+        assert_eq!(r.misclassification_counts(0), (0, 0));
+        assert_eq!(r.precision(0), 1.0);
+        assert_eq!(r.recall(1), 1.0);
+    }
+
+    #[test]
+    fn single_bit_error_is_attributed() {
+        // Prepared 0b00..0b11, one error: 0b01 read as 0b00 (qubit 0 excited
+        // read ground).
+        let outcomes = vec![
+            (s(0b00), s(0b00)),
+            (s(0b01), s(0b00)),
+            (s(0b10), s(0b10)),
+            (s(0b11), s(0b11)),
+        ];
+        let r = EvalResult::from_outcomes(2, outcomes);
+        assert_eq!(r.qubit_accuracy(0), 0.75);
+        assert_eq!(r.qubit_accuracy(1), 1.0);
+        assert_eq!(r.state_accuracy(), 0.75);
+        assert_eq!(r.misclassification_counts(0), (0, 1));
+        // Recall of qubit 0's excited state: 1 of 2 prepared-excited read
+        // correctly.
+        assert_eq!(r.recall(0), 0.5);
+        assert_eq!(r.precision(0), 1.0);
+    }
+
+    #[test]
+    fn cumulative_accuracy_is_geometric_mean() {
+        let outcomes = vec![
+            (s(0b00), s(0b00)),
+            (s(0b01), s(0b00)),
+            (s(0b10), s(0b10)),
+            (s(0b11), s(0b11)),
+        ];
+        let r = EvalResult::from_outcomes(2, outcomes);
+        let expect = (0.75f64 * 1.0).sqrt();
+        assert!((r.cumulative_accuracy() - expect).abs() < 1e-12);
+        assert_eq!(r.cumulative_accuracy_excluding(&[0]), 1.0);
+    }
+
+    #[test]
+    fn cross_fidelity_zero_for_uncorrelated_balanced_readout() {
+        // Predictions equal preparations: P(e_i|0_j) and P(g_i|1_j) are the
+        // marginals, each 0.5 over all four balanced states.
+        let r = perfect_result();
+        assert!(r.cross_fidelity(0, 1).abs() < 1e-12);
+        assert!(r.mean_abs_cross_fidelity(1) < 1e-12);
+    }
+
+    #[test]
+    fn cross_fidelity_detects_correlated_errors() {
+        // Qubit 0's prediction copies qubit 1's prepared state → maximal
+        // correlation.
+        let outcomes = vec![
+            (s(0b00), s(0b00)),
+            (s(0b01), s(0b01)),
+            (s(0b10), s(0b11)),
+            (s(0b11), s(0b11)),
+        ];
+        let r = EvalResult::from_outcomes(2, outcomes);
+        assert!(r.cross_fidelity(0, 1).abs() > 0.4);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[0.5]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geometric_mean_empty_panics() {
+        let _ = geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_cross_fidelity_panics() {
+        let _ = perfect_result().cross_fidelity(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no qubit pair")]
+    fn missing_distance_panics() {
+        let _ = perfect_result().mean_abs_cross_fidelity(5);
+    }
+}

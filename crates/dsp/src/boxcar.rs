@@ -1,0 +1,101 @@
+//! Boxcar (moving-average) filtering.
+//!
+//! Boxcar filters are the classical signal-processing alternative the paper
+//! discusses for shortening effective readout (§5.1.2): a per-qubit window
+//! length trades noise averaging against sensitivity to late-trace
+//! relaxation. Provided here both as a pre-filter ablation for the HERQULES
+//! pipeline and for parity with hardware platforms (QICK ships averaging
+//! filters natively).
+
+use readout_sim::trace::IqTrace;
+
+/// Applies a trailing moving average of `window` bins to both channels.
+///
+/// Output sample `t` is the mean of input samples `max(0, t−window+1) ..= t`,
+/// so the output has the same length as the input and no look-ahead (causal,
+/// as implementable in streaming hardware).
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn boxcar_filter(trace: &IqTrace, window: usize) -> IqTrace {
+    assert!(window > 0, "boxcar window must be at least 1");
+    IqTrace::new(
+        boxcar_channel(trace.i(), window),
+        boxcar_channel(trace.q(), window),
+    )
+}
+
+fn boxcar_channel(x: &[f64], window: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = 0.0;
+    for t in 0..x.len() {
+        acc += x[t];
+        if t >= window {
+            acc -= x[t - window];
+        }
+        let n = (t + 1).min(window) as f64;
+        out.push(acc / n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_one_is_identity() {
+        let tr = IqTrace::new(vec![1.0, -2.0, 3.0], vec![0.5, 0.5, 0.5]);
+        assert_eq!(boxcar_filter(&tr, 1), tr);
+    }
+
+    #[test]
+    fn constant_signal_is_unchanged() {
+        let tr = IqTrace::new(vec![2.0; 8], vec![-1.0; 8]);
+        let out = boxcar_filter(&tr, 4);
+        for t in 0..8 {
+            assert!((out.i()[t] - 2.0).abs() < 1e-12);
+            assert!((out.q()[t] + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn warmup_region_averages_prefix() {
+        let tr = IqTrace::new(vec![4.0, 0.0, 2.0], vec![0.0; 3]);
+        let out = boxcar_filter(&tr, 3);
+        assert!((out.i()[0] - 4.0).abs() < 1e-12);
+        assert!((out.i()[1] - 2.0).abs() < 1e-12);
+        assert!((out.i()[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_window_behaves_like_running_mean() {
+        let tr = IqTrace::new(vec![1.0, 2.0, 3.0, 4.0], vec![0.0; 4]);
+        let out = boxcar_filter(&tr, 100);
+        assert!((out.i()[3] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use readout_sim::noise::GaussianNoise;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = GaussianNoise::new(1.0);
+        let i: Vec<f64> = (0..1000).map(|_| g.sample(&mut rng)).collect();
+        let tr = IqTrace::new(i, vec![0.0; 1000]);
+        let out = boxcar_filter(&tr, 10);
+        let var = |x: &[f64]| {
+            let m = x.iter().sum::<f64>() / x.len() as f64;
+            x.iter().map(|v| (v - m).powi(2)).sum::<f64>() / x.len() as f64
+        };
+        assert!(var(out.i()) < 0.25 * var(tr.i()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_panics() {
+        let _ = boxcar_filter(&IqTrace::zeros(3), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Digital signal processing for superconducting-qubit readout.
+//!
+//! This crate implements the signal-processing stages that sit between the
+//! ADC and the classifier in the HERQULES pipeline:
+//!
+//! * [`demod`] — digital downconversion of the frequency-multiplexed ADC
+//!   waveform into per-qubit baseband traces (multiply by the conjugate
+//!   carrier, average over 50 ns bins; paper §2.2);
+//! * [`filters`] — (mode) matched filters: supervised envelope training
+//!   `env = mean(ΔTr)/var(ΔTr)` and the MAC-style dot-product inference used
+//!   on FPGAs (paper §4.2 and Appendix A), including truncated application
+//!   for readout-duration reduction (paper §5);
+//! * [`boxcar`] — boxcar (moving-average) filtering, the classical
+//!   alternative dimensionality reduction the paper discusses in §5.1.2.
+//!
+//! # Example
+//!
+//! ```
+//! use readout_sim::{ChipConfig, Dataset};
+//! use readout_dsp::Demodulator;
+//!
+//! let config = ChipConfig::five_qubit_default();
+//! let dataset = Dataset::generate(&config, 1, 3);
+//! let demod = Demodulator::new(&config);
+//! let per_qubit = demod.demodulate(&dataset.shots[0].raw);
+//! assert_eq!(per_qubit.len(), 5);
+//! assert_eq!(per_qubit[0].len(), config.n_bins());
+//! ```
+
+pub mod boxcar;
+pub mod demod;
+pub mod filters;
+
+pub use boxcar::boxcar_filter;
+pub use demod::Demodulator;
+pub use filters::{FilterError, MatchedFilter};

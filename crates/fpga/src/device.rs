@@ -1,0 +1,69 @@
+//! FPGA device resource inventories.
+
+/// Resource inventory of an FPGA / MPSoC fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Marketing/device name.
+    pub name: &'static str,
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Block RAMs (36 kb each).
+    pub brams: u64,
+}
+
+impl FpgaDevice {
+    /// Xilinx Zynq UltraScale+ MPSoC `xczu7ev-ffvc1156-2-i` — the paper's
+    /// target, representative of RFSoC-class control hardware (QICK).
+    pub const XCZU7EV: FpgaDevice = FpgaDevice {
+        name: "xczu7ev",
+        luts: 230_400,
+        ffs: 460_800,
+        dsps: 1_728,
+        brams: 312,
+    };
+
+    /// Xilinx Virtex UltraScale+ `xcvu9p` — the "larger fabric" the paper
+    /// mentions as the expensive alternative (§7.3).
+    pub const XCVU9P: FpgaDevice = FpgaDevice {
+        name: "xcvu9p",
+        luts: 1_182_240,
+        ffs: 2_364_480,
+        dsps: 6_840,
+        brams: 2_160,
+    };
+
+    /// Total BRAM capacity in bits (36 kb per block).
+    pub fn bram_bits(&self) -> u64 {
+        self.brams * 36 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xczu7ev_matches_datasheet() {
+        let d = FpgaDevice::XCZU7EV;
+        assert_eq!(d.luts, 230_400);
+        assert_eq!(d.dsps, 1_728);
+        assert_eq!(d.brams, 312);
+        assert_eq!(d.ffs, 2 * d.luts);
+    }
+
+    #[test]
+    fn vu9p_is_larger_everywhere() {
+        let a = FpgaDevice::XCZU7EV;
+        let b = FpgaDevice::XCVU9P;
+        assert!(b.luts > a.luts && b.ffs > a.ffs && b.dsps > a.dsps && b.brams > a.brams);
+    }
+
+    #[test]
+    fn bram_capacity_in_bits() {
+        assert_eq!(FpgaDevice::XCZU7EV.bram_bits(), 312 * 36 * 1024);
+    }
+}

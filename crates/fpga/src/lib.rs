@@ -1,0 +1,44 @@
+//! Analytic FPGA resource and latency model for qubit-readout datapaths.
+//!
+//! The paper estimates hardware cost with hls4ml + Vivado HLS targeting a
+//! Xilinx Zynq MPSoC (`xczu7ev`). This crate replaces the synthesis flow with
+//! a component-level analytic model — the quantities the paper reports
+//! (Tables 4, Figs. 4c / 7d / 14a) are arithmetic consequences of
+//!
+//! * how many multiply-accumulate engines a network needs at a given
+//!   **reuse factor** (RF: one physical multiplier shared across RF logical
+//!   multiplications),
+//! * where those multipliers live (DSP slices until the budget runs out,
+//!   LUT fabric after),
+//! * where the weights live (BRAM until the budget runs out, LUT-RAM after),
+//! * and the fixed signal-processing frontend (digital downconversion and
+//!   matched-filter MACs per qubit) that HERQULES keeps in fabric.
+//!
+//! Absolute constants are calibrated to land in the regime the paper reports
+//! (HERQULES ≈ 7–8 % LUT on `xczu7ev`; the baseline FNN several times
+//! over-capacity); the *relations* — baseline infeasibility, marginal RMF
+//! cost, orders-of-magnitude latency gap — are structural and robust to the
+//! constants. See `DESIGN.md` for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use fpga_model::{FpgaDevice, NetworkShape, PipelineSpec, estimate_pipeline};
+//!
+//! // HERQULES mf-rmf-nn head for five qubits at reuse factor 4.
+//! let spec = PipelineSpec::herqules(5, true, 4);
+//! let est = estimate_pipeline(&spec);
+//! let util = est.utilization(&FpgaDevice::XCZU7EV);
+//! assert!(util.lut_pct < 14.0);
+//! ```
+
+pub mod device;
+pub mod estimate;
+pub mod network;
+pub mod pipeline;
+pub mod scaling;
+
+pub use device::FpgaDevice;
+pub use estimate::{estimate_nn_engine, estimate_pipeline, ResourceEstimate, Utilization};
+pub use network::NetworkShape;
+pub use pipeline::PipelineSpec;

@@ -1,0 +1,118 @@
+//! Dense-network shape descriptions (decoupled from the training crate).
+
+/// The shape of a dense feed-forward network: layer widths, input first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkShape {
+    sizes: Vec<usize>,
+}
+
+impl NetworkShape {
+    /// Builds a shape from layer widths, e.g. `[1000, 500, 250, 32]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output widths");
+        assert!(sizes.iter().all(|&s| s > 0), "layer widths must be positive");
+        NetworkShape {
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// The paper's baseline FNN (1000-500-250-32).
+    pub fn baseline_fnn() -> Self {
+        Self::from_sizes(&[1000, 500, 250, 32])
+    }
+
+    /// The 40 %-scale baseline of Fig. 4(c) (400-200-100-32) — the largest
+    /// network Vivado HLS managed to synthesize.
+    pub fn baseline_fnn_40pct() -> Self {
+        Self::from_sizes(&[400, 200, 100, 32])
+    }
+
+    /// The HERQULES head for `n` qubits: `F → 2F → 4F → 2F → 2^n` where `F`
+    /// is `n` (without RMF) or `2n` (with RMF).
+    pub fn herqules_head(n_qubits: usize, with_rmf: bool) -> Self {
+        let f = if with_rmf { 2 * n_qubits } else { n_qubits };
+        Self::from_sizes(&[f, 2 * f, 4 * f, 2 * f, 1 << n_qubits])
+    }
+
+    /// Layer widths, input first.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of dense layers.
+    pub fn n_layers(&self) -> usize {
+        self.sizes.len() - 1
+    }
+
+    /// Per-layer `(fan_in, fan_out)` pairs.
+    pub fn layers(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.sizes.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Total multiply-accumulates per inference.
+    pub fn n_macs(&self) -> usize {
+        self.layers().map(|(i, o)| i * o).sum()
+    }
+
+    /// Total trainable parameters (weights + biases).
+    pub fn n_parameters(&self) -> usize {
+        self.layers().map(|(i, o)| i * o + o).sum()
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        *self.sizes.last().expect("at least two widths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_macs_match_hand_count() {
+        let n = NetworkShape::baseline_fnn();
+        assert_eq!(n.n_macs(), 1000 * 500 + 500 * 250 + 250 * 32);
+        assert_eq!(n.n_parameters(), n.n_macs() + 500 + 250 + 32);
+        assert_eq!(n.n_layers(), 3);
+    }
+
+    #[test]
+    fn herqules_head_shapes() {
+        assert_eq!(
+            NetworkShape::herqules_head(5, true).sizes(),
+            &[10, 20, 40, 20, 32]
+        );
+        assert_eq!(
+            NetworkShape::herqules_head(5, false).sizes(),
+            &[5, 10, 20, 10, 32]
+        );
+    }
+
+    #[test]
+    fn herqules_is_orders_of_magnitude_smaller() {
+        let big = NetworkShape::baseline_fnn().n_macs();
+        let small = NetworkShape::herqules_head(5, true).n_macs();
+        assert!(big > 200 * small, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn forty_pct_baseline_still_large() {
+        assert_eq!(NetworkShape::baseline_fnn_40pct().n_macs(), 103_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = NetworkShape::from_sizes(&[10, 0, 2]);
+    }
+}

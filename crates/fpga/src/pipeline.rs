@@ -1,0 +1,103 @@
+//! Specification of a complete readout datapath to estimate.
+
+use crate::network::NetworkShape;
+
+/// What sits on the FPGA for one frequency-multiplexed readout group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Number of multiplexed qubits handled by this pipeline.
+    pub n_qubits: usize,
+    /// Per-qubit digital downconversion (demodulation) blocks. The baseline
+    /// design has none — it ships raw samples to software.
+    pub has_demodulation: bool,
+    /// Matched filters per qubit (0 for the baseline, 1 for `mf-nn`, 2 for
+    /// `mf-rmf-nn` counting the RMF).
+    pub filters_per_qubit: usize,
+    /// The neural-network head (or the full baseline FNN).
+    pub network: NetworkShape,
+    /// Fixed-point word width of the datapath, in bits.
+    pub precision_bits: u32,
+    /// hls4ml-style reuse factor: logical multiplications per physical
+    /// multiplier.
+    pub reuse_factor: usize,
+    /// Raw samples that must be buffered ahead of the network. Zero for
+    /// HERQULES (filters stream over samples as they arrive); `2 × samples`
+    /// for the baseline, which needs the whole trace before layer 1.
+    pub buffered_inputs: usize,
+}
+
+impl PipelineSpec {
+    /// The HERQULES pipeline for `n` qubits (`mf-nn` without RMF, `mf-rmf-nn`
+    /// with), at 16-bit precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reuse_factor == 0` or `n_qubits == 0`.
+    pub fn herqules(n_qubits: usize, with_rmf: bool, reuse_factor: usize) -> Self {
+        assert!(n_qubits > 0, "need at least one qubit");
+        assert!(reuse_factor > 0, "reuse factor must be positive");
+        PipelineSpec {
+            n_qubits,
+            has_demodulation: true,
+            filters_per_qubit: if with_rmf { 2 } else { 1 },
+            network: NetworkShape::herqules_head(n_qubits, with_rmf),
+            precision_bits: 16,
+            reuse_factor,
+            buffered_inputs: 0,
+        }
+    }
+
+    /// A hypothetical on-FPGA implementation of the baseline FNN for an
+    /// `n_samples`-long readout window (what Fig. 4(c)/Table 4 cost out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reuse_factor == 0`.
+    pub fn baseline(network: NetworkShape, reuse_factor: usize) -> Self {
+        assert!(reuse_factor > 0, "reuse factor must be positive");
+        let buffered_inputs = network.input_size();
+        PipelineSpec {
+            n_qubits: 5,
+            has_demodulation: false,
+            filters_per_qubit: 0,
+            network,
+            precision_bits: 16,
+            reuse_factor,
+            buffered_inputs,
+        }
+    }
+
+    /// Total matched-filter MAC engines in the frontend (two per filter: one
+    /// per quadrature channel).
+    pub fn filter_macs(&self) -> usize {
+        2 * self.filters_per_qubit * self.n_qubits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn herqules_spec_shape() {
+        let spec = PipelineSpec::herqules(5, true, 4);
+        assert_eq!(spec.network.sizes(), &[10, 20, 40, 20, 32]);
+        assert_eq!(spec.filter_macs(), 20);
+        assert!(spec.has_demodulation);
+        assert_eq!(spec.buffered_inputs, 0);
+    }
+
+    #[test]
+    fn baseline_spec_buffers_whole_trace() {
+        let spec = PipelineSpec::baseline(NetworkShape::baseline_fnn(), 200);
+        assert_eq!(spec.buffered_inputs, 1000);
+        assert_eq!(spec.filter_macs(), 0);
+        assert!(!spec.has_demodulation);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reuse_factor_panics() {
+        let _ = PipelineSpec::herqules(5, true, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Multi-group scaling study (paper §8, Discussion).
+//!
+//! Scaling HERQULES beyond one multiplexed group can go two ways:
+//!
+//! 1. **Independent FNNs** — one HERQULES pipeline per 5-qubit group,
+//!    sharing only fixed infrastructure. Resources grow linearly; the
+//!    output width stays `2^5` per group.
+//! 2. **One shared FNN** across all `N` qubits — potentially more accurate
+//!    (it sees cross-group correlations), but its softmax output layer has
+//!    `2^N` neurons, which is exponential in the qubit count and dominates
+//!    all other costs almost immediately. This is the paper's argument for
+//!    partitioning a shared network between hardware and the RFSoC's CPU.
+
+use crate::device::FpgaDevice;
+use crate::estimate::{estimate_pipeline_with, CostModel, ResourceEstimate};
+use crate::network::NetworkShape;
+use crate::pipeline::PipelineSpec;
+
+/// Resource estimate for `k` independent five-qubit HERQULES groups on one
+/// device (fixed infrastructure counted once).
+pub fn independent_groups(k: usize, reuse_factor: usize, device: &FpgaDevice) -> ResourceEstimate {
+    assert!(k > 0, "need at least one group");
+    let model = CostModel::default();
+    let one = estimate_pipeline_with(&PipelineSpec::herqules(5, true, reuse_factor), &model, device);
+    let per_group_luts = one.luts - model.lut_fixed_pipeline;
+    ResourceEstimate {
+        luts: k as u64 * per_group_luts + model.lut_fixed_pipeline,
+        ffs: (k as u64 * per_group_luts + model.lut_fixed_pipeline) as f64 as u64 * 45 / 100,
+        dsps: k as u64 * one.dsps,
+        brams: k as u64 * one.brams,
+        latency_cycles: one.latency_cycles,
+    }
+}
+
+/// The output-layer width a *shared* FNN over `n_qubits` needs (`2^n`).
+///
+/// Returns `None` when the width overflows `u64` — i.e. it stopped being a
+/// hardware question long before.
+pub fn shared_fnn_output_width(n_qubits: usize) -> Option<u64> {
+    if n_qubits >= 64 {
+        None
+    } else {
+        Some(1u64 << n_qubits)
+    }
+}
+
+/// The shared-FNN network shape for `n_qubits` with RMFs (input `2n`,
+/// paper-proportioned hidden layers, `2^n` outputs).
+///
+/// # Panics
+///
+/// Panics if `n_qubits` is 0 or ≥ 26 (the shape itself becomes absurd).
+pub fn shared_fnn_shape(n_qubits: usize) -> NetworkShape {
+    assert!(n_qubits > 0 && n_qubits < 26, "shared FNN shape out of sane range");
+    let f = 2 * n_qubits;
+    NetworkShape::from_sizes(&[f, 2 * f, 4 * f, 2 * f, 1 << n_qubits])
+}
+
+/// Maximum number of five-qubit groups (50-qubit increments of readout) that
+/// fit in the given fraction of a device with independent FNNs.
+pub fn max_groups(device: &FpgaDevice, reuse_factor: usize, budget_frac: f64) -> usize {
+    let mut k = 1;
+    loop {
+        let est = independent_groups(k + 1, reuse_factor, device);
+        let lut_ok = (est.luts as f64) < budget_frac * device.luts as f64;
+        let dsp_ok = (est.dsps as f64) < budget_frac * device.dsps as f64;
+        let bram_ok = (est.brams as f64) < budget_frac * device.brams as f64;
+        if lut_ok && dsp_ok && bram_ok {
+            k += 1;
+        } else {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_groups_scale_linearly_minus_fixed() {
+        let d = FpgaDevice::XCZU7EV;
+        let one = independent_groups(1, 64, &d);
+        let four = independent_groups(4, 64, &d);
+        // Four groups cost less than 4× one group (shared infrastructure).
+        assert!(four.luts < 4 * one.luts);
+        assert!(four.luts > 3 * (one.luts - CostModel::default().lut_fixed_pipeline));
+        assert_eq!(four.dsps, 4 * one.dsps);
+    }
+
+    #[test]
+    fn ten_groups_fit_an_rfsoc_at_moderate_reuse() {
+        // The paper's ">50 qubits per RFSoC" claim (§7.3) with 80 % budget.
+        let k = max_groups(&FpgaDevice::XCZU7EV, 64, 0.8);
+        assert!(k >= 10, "only {k} groups fit");
+    }
+
+    #[test]
+    fn shared_fnn_output_explodes_exponentially() {
+        assert_eq!(shared_fnn_output_width(5), Some(32));
+        assert_eq!(shared_fnn_output_width(10), Some(1024));
+        assert_eq!(shared_fnn_output_width(50), Some(1u64 << 50));
+        assert_eq!(shared_fnn_output_width(64), None);
+        // Already at 20 qubits the shared output layer alone dwarfs the
+        // entire per-group design.
+        let shared = shared_fnn_shape(20);
+        let independent = shared_fnn_shape(5);
+        assert!(shared.n_macs() > 100 * 4 * independent.n_macs());
+    }
+
+    #[test]
+    fn shared_fnn_shape_follows_paper_proportions() {
+        let s = shared_fnn_shape(5);
+        assert_eq!(s.sizes(), &[10, 20, 40, 20, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        let _ = independent_groups(0, 4, &FpgaDevice::XCZU7EV);
+    }
+}

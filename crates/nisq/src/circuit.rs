@@ -1,0 +1,255 @@
+//! Circuits as gate sequences with a builder API.
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+
+/// A quantum gate with its operand qubits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Z-rotation by the angle (radians).
+    Rz(usize, f64),
+    /// X-rotation by the angle (radians).
+    Rx(usize, f64),
+    /// Controlled-NOT (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z.
+    Cz(usize, usize),
+    /// Controlled phase `diag(1,1,1,e^{iθ})`.
+    Cp(usize, usize, f64),
+    /// Swap.
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// The qubits this gate acts on (1 or 2).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::Y(q) | Gate::Z(q) | Gate::Rz(q, _) | Gate::Rx(q, _) => {
+                vec![q]
+            }
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Cp(a, b, _) | Gate::Swap(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether this is a two-qubit gate.
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().len() == 2
+    }
+
+    /// Applies the gate to a state vector.
+    pub fn apply(&self, state: &mut StateVector) {
+        const FRAC: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        let h = [
+            [Complex::new(FRAC, 0.0), Complex::new(FRAC, 0.0)],
+            [Complex::new(FRAC, 0.0), Complex::new(-FRAC, 0.0)],
+        ];
+        let x = [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]];
+        match *self {
+            Gate::H(q) => state.apply_1q(h, q),
+            Gate::X(q) => state.apply_1q(x, q),
+            Gate::Y(q) => state.apply_1q(
+                [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]],
+                q,
+            ),
+            Gate::Z(q) => state.apply_1q(
+                [
+                    [Complex::ONE, Complex::ZERO],
+                    [Complex::ZERO, Complex::new(-1.0, 0.0)],
+                ],
+                q,
+            ),
+            Gate::Rz(q, theta) => state.apply_1q(
+                [
+                    [Complex::from_polar_unit(-theta / 2.0), Complex::ZERO],
+                    [Complex::ZERO, Complex::from_polar_unit(theta / 2.0)],
+                ],
+                q,
+            ),
+            Gate::Rx(q, theta) => {
+                let c = Complex::new((theta / 2.0).cos(), 0.0);
+                let s = Complex::new(0.0, -(theta / 2.0).sin());
+                state.apply_1q([[c, s], [s, c]], q);
+            }
+            Gate::Cx(c, t) => state.apply_controlled_1q(x, c, t),
+            Gate::Cz(a, b) => state.apply_controlled_phase(Complex::new(-1.0, 0.0), a, b),
+            Gate::Cp(a, b, theta) => {
+                state.apply_controlled_phase(Complex::from_polar_unit(theta), a, b)
+            }
+            Gate::Swap(a, b) => state.apply_swap(a, b),
+        }
+    }
+}
+
+/// A circuit: a qubit count plus an ordered gate list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "need at least one qubit");
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates.
+    pub fn n_two_qubit(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(q < self.n_qubits, "gate operand {q} out of range");
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Z-rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(q, theta))
+    }
+
+    /// Appends an X-rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(q, theta))
+    }
+
+    /// Appends a CNOT.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Cx(c, t))
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz(a, b))
+    }
+
+    /// Appends a controlled phase.
+    pub fn cp(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Cp(a, b, theta))
+    }
+
+    /// Appends a swap.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.5);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.n_two_qubit(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn gate_qubits_are_reported() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::Cx(1, 2).qubits(), vec![1, 2]);
+        assert!(Gate::Cp(0, 1, 0.3).is_two_qubit());
+        assert!(!Gate::Rz(0, 0.1).is_two_qubit());
+    }
+
+    #[test]
+    fn rz_phases_commute_to_identity() {
+        let mut s = StateVector::zero_state(1);
+        Gate::H(0).apply(&mut s);
+        Gate::Rz(0, 1.1).apply(&mut s);
+        Gate::Rz(0, -1.1).apply(&mut s);
+        Gate::H(0).apply(&mut s);
+        assert!((s.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cz_equals_cp_pi() {
+        let build = |use_cz: bool| {
+            let mut s = StateVector::zero_state(2);
+            Gate::H(0).apply(&mut s);
+            Gate::H(1).apply(&mut s);
+            if use_cz {
+                Gate::Cz(0, 1).apply(&mut s);
+            } else {
+                Gate::Cp(0, 1, std::f64::consts::PI).apply(&mut s);
+            }
+            s
+        };
+        let a = build(true);
+        let b = build(false);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((*x - *y).norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn y_gate_is_ixz_up_to_phase() {
+        let mut s = StateVector::zero_state(1);
+        Gate::Y(0).apply(&mut s);
+        assert!((s.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_operand_panics() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 2);
+    }
+}

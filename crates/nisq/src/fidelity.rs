@@ -1,0 +1,75 @@
+//! Fidelity metrics for benchmark outcomes.
+
+use crate::sim::Counts;
+
+/// Total variation distance between two distributions over the same outcome
+/// space: `TVD = ½ Σ |p_i − q_i|`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or either is empty.
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share outcome space");
+    assert!(!p.is_empty(), "empty distributions");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// TVD-based fidelity, `1 − TVD` (the paper's GHZ/QAOA metric).
+pub fn tvd_fidelity(ideal: &[f64], measured: &[f64]) -> f64 {
+    1.0 - total_variation_distance(ideal, measured)
+}
+
+/// Fraction of shots that produced the target outcome (the BV / QFT-roundtrip
+/// success metric).
+///
+/// # Panics
+///
+/// Panics if counts are empty.
+pub fn success_probability(counts: &Counts, target: u64) -> f64 {
+    let total: usize = counts.values().sum();
+    assert!(total > 0, "empty counts");
+    *counts.get(&target).unwrap_or(&0) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tvd_of_identical_distributions_is_zero() {
+        let p = [0.25, 0.75];
+        assert_eq!(total_variation_distance(&p, &p), 0.0);
+        assert_eq!(tvd_fidelity(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn tvd_of_disjoint_distributions_is_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert_eq!(total_variation_distance(&p, &q), 1.0);
+    }
+
+    #[test]
+    fn tvd_is_symmetric() {
+        let p = [0.1, 0.4, 0.5];
+        let q = [0.3, 0.3, 0.4];
+        assert!(
+            (total_variation_distance(&p, &q) - total_variation_distance(&q, &p)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn success_probability_counts_target() {
+        let mut counts = Counts::new();
+        counts.insert(5, 30);
+        counts.insert(2, 70);
+        assert!((success_probability(&counts, 5) - 0.3).abs() < 1e-12);
+        assert_eq!(success_probability(&counts, 9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share outcome space")]
+    fn mismatched_lengths_panic() {
+        let _ = total_variation_distance(&[1.0], &[0.5, 0.5]);
+    }
+}

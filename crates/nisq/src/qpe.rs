@@ -1,0 +1,95 @@
+//! Iterative quantum-phase-estimation timing model (Fig. 11(b)).
+//!
+//! The dynamic-circuit QPE variant (Córcoles et al., the paper's ref. 7) extracts
+//! an `m`-bit phase with `m` sequential iterations on a single ancilla. Each
+//! iteration applies a Hadamard, a controlled-`U^{2^k}`, a classically
+//! conditioned phase correction, another Hadamard, and a **mid-circuit
+//! measurement with feed-forward** — so the readout duration enters `m`
+//! times and dominates the total runtime. Halving readout (what HERQULES
+//! enables on its fastest qubit, Table 3) bends the whole curve down.
+
+/// Durations of the iterative-QPE primitive operations, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpeTimings {
+    /// Single-qubit gate duration.
+    pub single_qubit_ns: f64,
+    /// Duration of one controlled-`U^{2^k}` application (modelled constant
+    /// per iteration: hardware compiles the power into a calibrated pulse).
+    pub controlled_u_ns: f64,
+    /// Readout duration (the swept parameter).
+    pub readout_ns: f64,
+    /// Classical feed-forward latency after each measurement.
+    pub feedforward_ns: f64,
+}
+
+impl QpeTimings {
+    /// Superconducting-hardware-like defaults with the given readout length.
+    pub fn with_readout_ns(readout_ns: f64) -> Self {
+        QpeTimings {
+            single_qubit_ns: 30.0,
+            controlled_u_ns: 300.0,
+            readout_ns,
+            feedforward_ns: 200.0,
+        }
+    }
+
+    /// Duration of one QPE iteration.
+    pub fn iteration_ns(&self) -> f64 {
+        // H + controlled-U + conditioned Rz + H + measurement + feed-forward.
+        3.0 * self.single_qubit_ns + self.controlled_u_ns + self.readout_ns + self.feedforward_ns
+    }
+
+    /// Total circuit duration for an `m`-bit phase estimate, in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn circuit_duration_us(&self, bits: usize) -> f64 {
+        assert!(bits > 0, "need at least one phase bit");
+        bits as f64 * self.iteration_ns() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_is_linear_in_bits() {
+        let t = QpeTimings::with_readout_ns(1000.0);
+        let d4 = t.circuit_duration_us(4);
+        let d8 = t.circuit_duration_us(8);
+        assert!((d8 - 2.0 * d4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halved_readout_shrinks_duration_substantially() {
+        // Fig. 11(b): with ~1.6 µs iterations, readout is ~60 %; halving it
+        // must save ~30 % end to end.
+        let full = QpeTimings::with_readout_ns(1000.0).circuit_duration_us(14);
+        let fast = QpeTimings::with_readout_ns(500.0).circuit_duration_us(14);
+        let saving = 1.0 - fast / full;
+        assert!(saving > 0.25 && saving < 0.40, "saving {saving}");
+    }
+
+    #[test]
+    fn fourteen_bit_qpe_is_tens_of_microseconds() {
+        // Fig. 11(b)'s y-axis tops out around 20 µs at m = 14.
+        let d = QpeTimings::with_readout_ns(1000.0).circuit_duration_us(14);
+        assert!(d > 10.0 && d < 30.0, "duration {d} µs");
+    }
+
+    #[test]
+    fn iteration_includes_all_components() {
+        let t = QpeTimings::with_readout_ns(100.0);
+        assert!(
+            (t.iteration_ns() - (90.0 + 300.0 + 100.0 + 200.0)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase bit")]
+    fn zero_bits_panics() {
+        let _ = QpeTimings::with_readout_ns(1000.0).circuit_duration_us(0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Ideal and Monte-Carlo noisy circuit execution.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::circuit::{Circuit, Gate};
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+
+/// Measured bit-string counts.
+pub type Counts = HashMap<u64, usize>;
+
+/// Runs a circuit without noise and returns the final state.
+pub fn run_ideal(circuit: &Circuit) -> StateVector {
+    let mut state = StateVector::zero_state(circuit.n_qubits());
+    for gate in circuit.gates() {
+        gate.apply(&mut state);
+    }
+    state
+}
+
+/// Runs `shots` noisy executions and returns outcome counts.
+///
+/// Each shot samples depolarizing Pauli insertions after gates; shots whose
+/// error locations are all empty reuse the (lazily computed) ideal final
+/// state, which makes low-noise simulation of large circuits cheap.
+///
+/// # Panics
+///
+/// Panics if the noise model is invalid or `shots == 0`.
+pub fn run_noisy(circuit: &Circuit, noise: &NoiseModel, shots: usize, seed: u64) -> Counts {
+    noise.validate().expect("invalid noise model");
+    assert!(shots > 0, "need at least one shot");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = circuit.n_qubits();
+    let mut counts = Counts::new();
+    let mut ideal: Option<StateVector> = None;
+
+    for _ in 0..shots {
+        // Sample error insertions per gate position first, so noise-free
+        // shots can skip the state-vector work entirely.
+        let mut insertions: Vec<(usize, usize, usize)> = Vec::new(); // (gate idx, qubit, pauli)
+        for (g_idx, gate) in circuit.gates().iter().enumerate() {
+            let p = if gate.is_two_qubit() {
+                noise.two_qubit_depol
+            } else {
+                noise.single_qubit_depol
+            };
+            if p == 0.0 {
+                continue;
+            }
+            for q in gate.qubits() {
+                if rng.random::<f64>() < p {
+                    insertions.push((g_idx, q, NoiseModel::sample_pauli(&mut rng)));
+                }
+            }
+        }
+
+        let outcome = if insertions.is_empty() {
+            let state = ideal.get_or_insert_with(|| run_ideal(circuit));
+            state.sample(&mut rng)
+        } else {
+            sample_with_insertions(circuit, &insertions, &mut rng)
+        };
+        let outcome = noise.flip_readout(outcome, n, &mut rng);
+        *counts.entry(outcome).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn sample_with_insertions<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    insertions: &[(usize, usize, usize)],
+    rng: &mut R,
+) -> u64 {
+    let mut state = StateVector::zero_state(circuit.n_qubits());
+    let mut ins_iter = insertions.iter().peekable();
+    for (g_idx, gate) in circuit.gates().iter().enumerate() {
+        gate.apply(&mut state);
+        while let Some(&&(idx, q, pauli)) = ins_iter.peek() {
+            if idx != g_idx {
+                break;
+            }
+            match pauli {
+                0 => Gate::X(q).apply(&mut state),
+                1 => Gate::Y(q).apply(&mut state),
+                _ => Gate::Z(q).apply(&mut state),
+            }
+            ins_iter.next();
+        }
+    }
+    state.sample(rng)
+}
+
+/// Converts counts to a probability distribution over `2^n` outcomes.
+///
+/// # Panics
+///
+/// Panics if counts are empty.
+pub fn counts_to_distribution(counts: &Counts, n_qubits: usize) -> Vec<f64> {
+    let total: usize = counts.values().sum();
+    assert!(total > 0, "empty counts");
+    let mut dist = vec![0.0; 1 << n_qubits];
+    for (&outcome, &count) in counts {
+        dist[outcome as usize] = count as f64 / total as f64;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{bernstein_vazirani, ghz};
+
+    #[test]
+    fn noiseless_run_matches_ideal_distribution() {
+        let c = ghz(3);
+        let counts = run_noisy(&c, &NoiseModel::noiseless(), 4_000, 5);
+        let dist = counts_to_distribution(&counts, 3);
+        assert!((dist[0] - 0.5).abs() < 0.03);
+        assert!((dist[7] - 0.5).abs() < 0.03);
+        for (mid, &p) in dist.iter().enumerate().take(7).skip(1) {
+            assert_eq!(p, 0.0, "outcome {mid} should be impossible");
+        }
+    }
+
+    #[test]
+    fn readout_error_degrades_bv_success() {
+        let c = bernstein_vazirani(5, 0b10101);
+        let clean = run_noisy(&c, &NoiseModel::noiseless(), 500, 1);
+        let noisy_model = NoiseModel {
+            readout_error: 0.1,
+            ..NoiseModel::noiseless()
+        };
+        let noisy = run_noisy(&c, &noisy_model, 500, 1);
+        let success = |counts: &Counts| *counts.get(&0b10101).unwrap_or(&0);
+        assert_eq!(success(&clean), 500);
+        let s = success(&noisy);
+        // Expected success ≈ 0.9^5 ≈ 0.59.
+        assert!(s < 400 && s > 200, "noisy successes {s}");
+    }
+
+    #[test]
+    fn gate_noise_degrades_ghz() {
+        let c = ghz(4);
+        let model = NoiseModel {
+            two_qubit_depol: 0.05,
+            ..NoiseModel::noiseless()
+        };
+        let counts = run_noisy(&c, &model, 2_000, 3);
+        let dist = counts_to_distribution(&counts, 4);
+        let leaked: f64 = dist[1..15].iter().sum();
+        assert!(leaked > 0.02, "expected leakage, got {leaked}");
+    }
+
+    #[test]
+    fn noisy_run_is_deterministic_in_seed() {
+        let c = ghz(3);
+        let model = NoiseModel::ibm_hanoi_like(0.05);
+        let a = run_noisy(&c, &model, 200, 7);
+        let b = run_noisy(&c, &model, 200, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let c = ghz(2);
+        let counts = run_noisy(&c, &NoiseModel::ibm_hanoi_like(0.02), 300, 9);
+        let dist = counts_to_distribution(&counts, 2);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_panics() {
+        let _ = run_noisy(&ghz(2), &NoiseModel::noiseless(), 0, 0);
+    }
+}

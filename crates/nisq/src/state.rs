@@ -1,0 +1,249 @@
+//! State vector and gate-application kernels.
+
+use rand::Rng;
+use rand::RngExt;
+
+use crate::complex::Complex;
+
+/// A pure `n`-qubit state, little-endian (qubit 0 is the least significant
+/// bit of the amplitude index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The `|0…0⟩` state of `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 26` (amplitude vector would exceed 1 GiB).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n > 0, "need at least one qubit");
+        assert!(n <= 26, "state vector would be enormous");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes, little-endian indexed.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Measurement probabilities per basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a general single-qubit unitary `[[a, b], [c, d]]` to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn apply_1q(&mut self, matrix: [[Complex; 2]; 2], target: usize) {
+        assert!(target < self.n, "target qubit out of range");
+        let bit = 1usize << target;
+        for base in 0..self.amps.len() {
+            if base & bit == 0 {
+                let other = base | bit;
+                let a0 = self.amps[base];
+                let a1 = self.amps[other];
+                self.amps[base] = matrix[0][0] * a0 + matrix[0][1] * a1;
+                self.amps[other] = matrix[1][0] * a0 + matrix[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a single-qubit unitary only where `control` is `|1⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_controlled_1q(
+        &mut self,
+        matrix: [[Complex; 2]; 2],
+        control: usize,
+        target: usize,
+    ) {
+        assert!(control < self.n && target < self.n, "qubit out of range");
+        assert_ne!(control, target, "control and target must differ");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for base in 0..self.amps.len() {
+            if base & cbit != 0 && base & tbit == 0 {
+                let other = base | tbit;
+                let a0 = self.amps[base];
+                let a1 = self.amps[other];
+                self.amps[base] = matrix[0][0] * a0 + matrix[0][1] * a1;
+                self.amps[other] = matrix[1][0] * a0 + matrix[1][1] * a1;
+            }
+        }
+    }
+
+    /// Multiplies the amplitude of every basis state where both qubits are
+    /// `|1⟩` by `phase` (controlled-phase family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_controlled_phase(&mut self, phase: Complex, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "qubit out of range");
+        assert_ne!(a, b, "qubits must differ");
+        let mask = (1usize << a) | (1usize << b);
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if idx & mask == mask {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    /// Swaps two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "qubit out of range");
+        assert_ne!(a, b, "qubits must differ");
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for idx in 0..self.amps.len() {
+            // Swap amplitudes of |…1_a…0_b…⟩ and |…0_a…1_b…⟩ once.
+            if idx & abit != 0 && idx & bbit == 0 {
+                let other = (idx & !abit) | bbit;
+                self.amps.swap(idx, other);
+            }
+        }
+    }
+
+    /// Samples one measurement outcome of all qubits (does not collapse the
+    /// state — callers resample for independent shots).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut u: f64 = rng.random();
+        for (idx, amp) in self.amps.iter().enumerate() {
+            u -= amp.norm_sqr();
+            if u <= 0.0 {
+                return idx as u64;
+            }
+        }
+        (self.amps.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const H: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn hadamard() -> [[Complex; 2]; 2] {
+        [
+            [Complex::new(H, 0.0), Complex::new(H, 0.0)],
+            [Complex::new(H, 0.0), Complex::new(-H, 0.0)],
+        ]
+    }
+
+    fn pauli_x() -> [[Complex; 2]; 2] {
+        [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
+    }
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(pauli_x(), 1);
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_1q(hadamard(), 0);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+        // H² = I.
+        s.apply_1q(hadamard(), 0);
+        assert!((s.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_controlled_x() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(hadamard(), 0);
+        s.apply_controlled_1q(pauli_x(), 0, 1);
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01].abs() < 1e-12 && p[0b10].abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_phase_only_touches_11() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(hadamard(), 0);
+        s.apply_1q(hadamard(), 1);
+        s.apply_controlled_phase(Complex::new(-1.0, 0.0), 0, 1);
+        // CZ on |++⟩: amplitudes (1,1,1,-1)/2.
+        let a = s.amplitudes();
+        assert!((a[3].re + 0.5).abs() < 1e-12);
+        assert!((a[0].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(pauli_x(), 0); // |01⟩ (qubit0 = 1)
+        s.apply_swap(0, 1);
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitaries_preserve_norm() {
+        let mut s = StateVector::zero_state(4);
+        for q in 0..4 {
+            s.apply_1q(hadamard(), q);
+        }
+        s.apply_controlled_1q(pauli_x(), 0, 3);
+        s.apply_controlled_phase(Complex::from_polar_unit(0.73), 1, 2);
+        s.apply_swap(0, 2);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_1q(hadamard(), 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_1q(pauli_x(), 2);
+    }
+}

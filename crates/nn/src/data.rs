@@ -1,0 +1,155 @@
+//! Data utilities: feature standardization and minibatch iteration.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-feature affine normalizer: `x → (x − mean) / std`.
+///
+/// Fit on the training set and applied to every set; keeping the filter
+/// outputs roughly unit-scale makes the small FNN train reliably across
+/// qubits with very different separations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits mean and standard deviation per feature column.
+    ///
+    /// Features with vanishing deviation are given unit scale so transform
+    /// stays finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or rows have unequal lengths.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a standardizer on no samples");
+        let dim = samples[0].len();
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "all samples must have equal dimension"
+        );
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            for (m, &x) in mean.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; dim];
+        for s in samples {
+            for (d, (&x, &m)) in std.iter_mut().zip(s.iter().zip(&mean)) {
+                *d += (x - m) * (x - m);
+            }
+        }
+        for d in &mut std {
+            *d = (*d / n).sqrt();
+            if *d < 1e-12 {
+                *d = 1.0;
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Transforms one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample dimension differs from the fitted dimension.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.dim(), "sample dimension mismatch");
+        sample
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Transforms a whole set of samples.
+    pub fn transform_all(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+}
+
+/// Yields shuffled minibatch index ranges over `n` samples.
+///
+/// The last batch may be smaller than `batch_size`.
+pub fn minibatch_indices(n: usize, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        let s = Standardizer::fit(&data);
+        let t = s.transform_all(&data);
+        // Means of transformed columns must be 0, deviations 1.
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / 2.0;
+            let var: f64 = t.iter().map(|r| r[c] * r[c]).sum::<f64>() / 2.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_stays_finite() {
+        let data = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = Standardizer::fit(&data);
+        let t = s.transform(&[5.0]);
+        assert_eq!(t, vec![0.0]);
+        assert!(s.transform(&[6.0])[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        let _ = Standardizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_transform_panics() {
+        let s = Standardizer::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform(&[1.0]);
+    }
+
+    #[test]
+    fn minibatches_cover_every_index_once() {
+        let batches = minibatch_indices(10, 3, 4);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minibatches_are_shuffled_deterministically() {
+        assert_eq!(minibatch_indices(20, 4, 1), minibatch_indices(20, 4, 1));
+        assert_ne!(minibatch_indices(20, 4, 1), minibatch_indices(20, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        let _ = minibatch_indices(5, 0, 0);
+    }
+}

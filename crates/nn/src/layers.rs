@@ -1,0 +1,199 @@
+//! Dense (fully connected) layers.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::matrix::Matrix;
+
+/// A dense layer `y = x·W + b` with weights of shape `(input, output)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with He-initialized weights (`N(0, 2/fan_in)`), the
+    /// standard choice for ReLU networks, and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        assert!(input > 0 && output > 0, "layer dimensions must be positive");
+        let scale = (2.0 / input as f64).sqrt();
+        let mut data = Vec::with_capacity(input * output);
+        // Marsaglia polar method, inlined to avoid a cross-crate dependency
+        // on the simulator's noise type.
+        let mut spare: Option<f64> = None;
+        let mut normal = |rng: &mut StdRng| -> f64 {
+            if let Some(z) = spare.take() {
+                return z;
+            }
+            loop {
+                let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+                let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    let f = (-2.0 * s.ln() / s).sqrt();
+                    spare = Some(v * f);
+                    return u * f;
+                }
+            }
+        };
+        for _ in 0..input * output {
+            data.push(normal(rng) * scale);
+        }
+        Dense {
+            weights: Matrix::from_vec(input, output, data),
+            bias: vec![0.0; output],
+        }
+    }
+
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.cols()`.
+    pub fn from_parameters(weights: Matrix, bias: Vec<f64>) -> Self {
+        assert_eq!(bias.len(), weights.cols(), "bias length must equal output width");
+        Dense { weights, bias }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The weight matrix, shape `(input, output)`.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable weight matrix.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_parameters(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Number of multiply-accumulate operations per forward inference.
+    pub fn n_macs(&self) -> usize {
+        self.weights.rows() * self.weights.cols()
+    }
+
+    /// Forward pass for a batch: `(batch, input) → (batch, output)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_size()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weights);
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        y
+    }
+}
+
+/// Applies ReLU in place and returns the activation mask (1.0 where the
+/// pre-activation was positive) for the backward pass.
+pub fn relu_inplace(x: &mut Matrix) -> Matrix {
+    let mut mask = Matrix::zeros(x.rows(), x.cols());
+    for (m, v) in mask.as_mut_slice().iter_mut().zip(x.as_mut_slice()) {
+        if *v > 0.0 {
+            *m = 1.0;
+        } else {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let layer = Dense::from_parameters(w, vec![0.1, 0.2, 0.3]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.as_slice(), &[5.1, 7.2, 9.3]);
+    }
+
+    #[test]
+    fn he_init_has_expected_scale() {
+        let layer = Dense::new(1000, 10, &mut rng());
+        let w = layer.weights();
+        let var: f64 =
+            w.as_slice().iter().map(|v| v * v).sum::<f64>() / w.as_slice().len() as f64;
+        // He variance for fan_in 1000 is 0.002.
+        assert!((var - 0.002).abs() < 0.0005, "weight variance {var}");
+        assert!(layer.bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let layer = Dense::new(10, 20, &mut rng());
+        assert_eq!(layer.n_parameters(), 220);
+        assert_eq!(layer.n_macs(), 200);
+        assert_eq!(layer.input_size(), 10);
+        assert_eq!(layer.output_size(), 20);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_reports_mask() {
+        let mut x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let mask = relu_inplace(&mut x);
+        assert_eq!(x.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        assert_eq!(mask.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_forward_is_rowwise() {
+        let layer = Dense::new(3, 2, &mut rng());
+        let x = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let y = layer.forward(&x);
+        let y0 = layer.forward(&Matrix::from_vec(1, 3, x.row(0).to_vec()));
+        assert_eq!(y.row(0), y0.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_layer_panics() {
+        let _ = Dense::new(0, 3, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn mismatched_bias_panics() {
+        let _ = Dense::from_parameters(Matrix::zeros(2, 3), vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Minimal dense neural-network library for qubit-state discrimination.
+//!
+//! The HERQULES paper trains two kinds of feed-forward networks: the large
+//! baseline discriminator (1000-500-250-32 on raw ADC traces, Lienhard et
+//! al.) and the small HERQULES head (`2N → 2N → 4N → 2N → 2^N` on matched-
+//! filter outputs). This crate provides everything needed to train and run
+//! both from scratch:
+//!
+//! * [`matrix`] — a row-major `f64` matrix with a parallel blocked matmul;
+//! * [`layers`] — dense layers with He initialization and ReLU;
+//! * [`loss`] — numerically stable softmax cross-entropy;
+//! * [`optim`] — SGD-with-momentum and Adam optimizers;
+//! * [`net`] — the [`Mlp`] network: builder, forward, training loop;
+//! * [`data`] — feature standardization, one-hot labels, minibatching;
+//! * [`quant`] — fixed-point (quantized) inference mirroring the FPGA
+//!   datapath, for bit-width ablations.
+//!
+//! # Example
+//!
+//! Train a tiny network on a linearly separable problem:
+//!
+//! ```
+//! use readout_nn::{Mlp, TrainConfig};
+//!
+//! let inputs: Vec<Vec<f64>> = vec![vec![-1.0], vec![-0.8], vec![0.9], vec![1.1]];
+//! let labels = vec![0, 0, 1, 1];
+//! let mut net = Mlp::new(&[1, 4, 2], 7);
+//! let config = TrainConfig { epochs: 200, learning_rate: 2e-2, ..TrainConfig::default() };
+//! net.train(&inputs, &labels, &config);
+//! assert_eq!(net.predict(&[1.0]), 1);
+//! assert_eq!(net.predict(&[-1.0]), 0);
+//! ```
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod net;
+pub mod optim;
+pub mod quant;
+
+pub use data::Standardizer;
+pub use layers::Dense;
+pub use loss::softmax_cross_entropy;
+pub use matrix::Matrix;
+pub use net::{Mlp, TrainConfig, TrainReport};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use quant::{QuantConfig, QuantizedMlp};

@@ -1,0 +1,135 @@
+//! Softmax cross-entropy loss (numerically stable, combined form).
+
+use crate::matrix::Matrix;
+
+/// Computes the mean softmax cross-entropy of `logits` against integer class
+/// `labels`, plus the gradient with respect to the logits.
+///
+/// The gradient of the combined softmax+CE is `(softmax(logits) − onehot)/B`
+/// where `B` is the batch size, which is what the returned matrix contains.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per batch row required");
+    let classes = logits.cols();
+    let batch = logits.rows();
+    let mut grad = Matrix::zeros(batch, classes);
+    let mut loss = 0.0;
+    for (r, &label) in labels.iter().enumerate().take(batch) {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += -(row[label] - max - log_denom);
+        let grow = grad.row_mut(r);
+        for (c, &v) in row.iter().enumerate() {
+            let p = (v - max).exp() / denom;
+            grow[c] = (p - if c == label { 1.0 } else { 0.0 }) / batch as f64;
+        }
+    }
+    (loss / batch as f64, grad)
+}
+
+/// Row-wise softmax probabilities of a logits matrix.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Matrix::zeros(2, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, -0.5, 0.2, 3.0, 3.0, -1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 0]);
+        for r in 0..2 {
+            let s: f64 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-12, "row {r} gradient sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_vec(1, 3, vec![0.3, -0.7, 1.1]);
+        let labels = [2];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, c, logits.get(0, c) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, c, logits.get(0, c) - eps);
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad.get(0, c)).abs() < 1e-6, "component {c}");
+        }
+    }
+
+    #[test]
+    fn loss_is_stable_for_huge_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1e4, -1e4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss >= 0.0);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_vectors() {
+        let logits = Matrix::from_vec(2, 3, vec![0.0, 1.0, 2.0, -5.0, 5.0, 0.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = softmax_cross_entropy(&logits, &[2]);
+    }
+}

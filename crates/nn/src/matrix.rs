@@ -1,0 +1,367 @@
+//! Row-major `f64` matrix with a cache-blocked, thread-parallel matmul.
+//!
+//! Deliberately minimal: just what dense-layer training needs. The matmul
+//! uses `ikj` loop order (streaming the output row while broadcasting one
+//! left-operand element), parallelized over row blocks with scoped threads
+//! when the problem is large enough to amortize spawning.
+
+use std::fmt;
+
+/// Minimum number of multiply-accumulates before the matmul bothers spawning
+/// threads.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix whose rows are the given slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let work = self.rows * self.cols * rhs.cols;
+        let threads = if work >= PARALLEL_THRESHOLD {
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(self.rows.max(1))
+        } else {
+            1
+        };
+        if threads <= 1 {
+            matmul_rows(&self.data, &rhs.data, &mut out.data, self.cols, rhs.cols, 0, self.rows);
+        } else {
+            let chunk = self.rows.div_ceil(threads);
+            let cols = self.cols;
+            let rcols = rhs.cols;
+            let lhs = &self.data;
+            let rdata = &rhs.data;
+            std::thread::scope(|scope| {
+                for (block, out_block) in out.data.chunks_mut(chunk * rcols).enumerate() {
+                    let r0 = block * chunk;
+                    let r1 = (r0 + chunk).min(self.rows);
+                    scope.spawn(move || {
+                        matmul_rows(lhs, rdata, out_block, cols, rcols, r0, r1);
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scaled copy.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|a| a * k).collect())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Computes output rows `[r0, r1)` of `lhs · rhs` into `out_block`
+/// (`out_block` holds exactly those rows).
+fn matmul_rows(
+    lhs: &[f64],
+    rhs: &[f64],
+    out_block: &mut [f64],
+    inner: usize,
+    rcols: usize,
+    r0: usize,
+    r1: usize,
+) {
+    for r in r0..r1 {
+        let out_row = &mut out_block[(r - r0) * rcols..(r - r0 + 1) * rcols];
+        let lhs_row = &lhs[r * inner..(r + 1) * inner];
+        for (l, &a) in lhs_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = &rhs[l * rcols..(l + 1) * rcols];
+            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for l in 0..a.cols() {
+                    acc += a.get(r, l) * b.get(l, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // xorshift-based fill; deterministic and dependency-free.
+        let mut state = seed | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 500.0 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn small_matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive() {
+        let a = pseudo_random(33, 47, 1);
+        let b = pseudo_random(47, 29, 2);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.sub(&slow).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_naive() {
+        // Big enough to cross PARALLEL_THRESHOLD.
+        let a = pseudo_random(128, 200, 3);
+        let b = pseudo_random(200, 64, 4);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.sub(&slow).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = pseudo_random(5, 9, 5);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.get(2, 1), a.get(1, 2));
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+    }
+
+    #[test]
+    fn distributivity_holds() {
+        let a = pseudo_random(8, 6, 6);
+        let b = pseudo_random(6, 7, 7);
+        let c = pseudo_random(6, 7, 8);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        assert!(left.sub(&right).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((a.scale(2.0).frobenius_norm() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn map_inplace_applies_function() {
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        m.map_inplace(|x| x.max(0.0));
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+}

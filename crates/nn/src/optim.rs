@@ -1,0 +1,201 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Parameters are addressed by *slot*: each parameter group (a layer's weight
+//! matrix or bias vector) gets a stable slot index, and the optimizer keeps
+//! its per-element state (momentum, second moments) per slot, sized lazily on
+//! first use.
+
+/// A first-order optimizer updating parameter groups in place.
+pub trait Optimizer {
+    /// Applies one update to the parameter group identified by `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is reused with a different parameter length.
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]);
+
+    /// Informs the optimizer that one full optimization step (all slots) has
+    /// completed; Adam uses this for bias correction.
+    fn end_step(&mut self) {}
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. `momentum = 0` recovers plain SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive or momentum is not in
+    /// `[0, 1)`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.velocity.len() <= slot {
+            self.velocity.resize_with(slot + 1, Vec::new);
+        }
+        let v = &mut self.velocity[slot];
+        if v.is_empty() {
+            v.resize(params.len(), 0.0);
+        }
+        assert_eq!(v.len(), params.len(), "slot reused with a different shape");
+        for ((p, &g), vel) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            *vel = self.momentum * *vel - self.learning_rate * g;
+            *p += *vel;
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with standard hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    t: u64,
+    first: Vec<Vec<f64>>,
+    second: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 1,
+            first: Vec::new(),
+            second: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.first.len() <= slot {
+            self.first.resize_with(slot + 1, Vec::new);
+            self.second.resize_with(slot + 1, Vec::new);
+        }
+        let m = &mut self.first[slot];
+        let v = &mut self.second[slot];
+        if m.is_empty() {
+            m.resize(params.len(), 0.0);
+            v.resize(params.len(), 0.0);
+        }
+        assert_eq!(m.len(), params.len(), "slot reused with a different shape");
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            *p -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn end_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x-3)² with the given optimizer; returns final x.
+    fn minimize<O: Optimizer>(opt: &mut O, steps: usize) -> f64 {
+        let mut x = [0.0f64];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+            opt.end_step();
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = minimize(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut heavy = Sgd::new(0.01, 0.9);
+        let x_plain = minimize(&mut plain, 50);
+        let x_heavy = minimize(&mut heavy, 50);
+        assert!((x_heavy - 3.0).abs() < (x_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = minimize(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_learning_rate_sized() {
+        // With bias correction, the first Adam step is ≈ lr regardless of
+        // gradient scale.
+        let mut opt = Adam::new(0.5);
+        let mut x = [0.0f64];
+        opt.step(0, &mut x, &[1e6]);
+        assert!((x[0] + 0.5).abs() < 1e-6, "first step {}", x[0]);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut a = [0.0f64];
+        let mut b = [0.0f64];
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(1, &mut b, &[-1.0]);
+        assert!(a[0] < 0.0 && b[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn slot_shape_change_panics() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f64; 2];
+        opt.step(0, &mut a, &[1.0, 1.0]);
+        let mut b = [0.0f64; 3];
+        opt.step(0, &mut b, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_learning_rate_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

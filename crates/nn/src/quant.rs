@@ -1,0 +1,314 @@
+//! Fixed-point (quantized) inference mirroring the FPGA datapath.
+//!
+//! hls4ml-style FPGA implementations run dense layers in fixed-point
+//! arithmetic (`ap_fixed<W, I>`). This module quantizes a trained [`Mlp`]
+//! into integer weights/biases and executes inference entirely in `i64`
+//! multiply-accumulates, so the accuracy impact of a hardware bit-width
+//! choice can be measured in software (the bit-width ablation of the
+//! reproduction's FPGA study).
+
+use crate::net::{argmax, Mlp};
+
+/// Fixed-point format: `total_bits` including sign, of which `frac_bits`
+/// fractional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    /// Total word width (including the sign bit), at most 32.
+    pub total_bits: u32,
+    /// Fractional bits (the binary point position).
+    pub frac_bits: u32,
+}
+
+impl QuantConfig {
+    /// The paper's FPGA evaluations use 16-bit words with 10 fractional bits,
+    /// a common hls4ml default for small MLPs.
+    pub const DEFAULT_16BIT: QuantConfig = QuantConfig {
+        total_bits: 16,
+        frac_bits: 10,
+    };
+
+    /// Scale factor `2^frac_bits`.
+    pub fn scale(self) -> f64 {
+        f64::from(1u32 << self.frac_bits)
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Quantizes a float to the saturating fixed-point grid.
+    pub fn quantize(self, x: f64) -> i64 {
+        let v = (x * self.scale()).round();
+        let max = self.max_value() as f64;
+        v.clamp(-max, max) as i64
+    }
+
+    /// Dequantizes back to float.
+    pub fn dequantize(self, v: i64) -> f64 {
+        v as f64 / self.scale()
+    }
+
+    /// Validates the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if widths are inconsistent (`frac_bits >=
+    /// total_bits`, zero or oversized words).
+    pub fn validate(self) -> Result<(), String> {
+        if self.total_bits == 0 || self.total_bits > 32 {
+            return Err("total bits must be in 1..=32".into());
+        }
+        if self.frac_bits >= self.total_bits {
+            return Err("fractional bits must be smaller than total bits".into());
+        }
+        Ok(())
+    }
+}
+
+/// A quantized copy of an [`Mlp`] executing in integer arithmetic.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    /// Per layer: `(weights[input][output], bias[output])` in fixed point.
+    layers: Vec<(Vec<Vec<i64>>, Vec<i64>)>,
+    config: QuantConfig,
+}
+
+impl QuantizedMlp {
+    /// Quantizes every parameter of `net` into the given format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format fails [`QuantConfig::validate`].
+    pub fn from_mlp(net: &Mlp, config: QuantConfig) -> Self {
+        config.validate().expect("invalid quantization format");
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let w = layer.weights();
+                let weights: Vec<Vec<i64>> = (0..w.rows())
+                    .map(|r| w.row(r).iter().map(|&x| config.quantize(x)).collect())
+                    .collect();
+                let bias: Vec<i64> = layer.bias().iter().map(|&x| config.quantize(x)).collect();
+                (weights, bias)
+            })
+            .collect();
+        QuantizedMlp { layers, config }
+    }
+
+    /// The quantization format in use.
+    pub fn config(&self) -> QuantConfig {
+        self.config
+    }
+
+    /// Integer forward pass; returns fixed-point logits.
+    ///
+    /// Accumulation is in `i64`; after every layer the product scale
+    /// (`2^{2f}`) is renormalized back to `2^f` by an arithmetic shift, as a
+    /// DSP datapath would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input dimension is wrong.
+    pub fn forward_fixed(&self, input: &[f64]) -> Vec<i64> {
+        let mut act: Vec<i64> = input.iter().map(|&x| self.config.quantize(x)).collect();
+        let shift = self.config.frac_bits;
+        for (idx, (weights, bias)) in self.layers.iter().enumerate() {
+            assert_eq!(act.len(), weights.len(), "input dimension mismatch");
+            let out_dim = bias.len();
+            let mut next = vec![0i64; out_dim];
+            for (a, wrow) in act.iter().zip(weights) {
+                if *a == 0 {
+                    continue;
+                }
+                for (n, w) in next.iter_mut().zip(wrow) {
+                    *n += a * w;
+                }
+            }
+            for (n, b) in next.iter_mut().zip(bias) {
+                // Renormalize the product scale, then add the bias (already
+                // at scale 2^f).
+                *n >>= shift;
+                *n += b;
+            }
+            // ReLU on hidden layers.
+            if idx + 1 < self.layers.len() {
+                for n in &mut next {
+                    if *n < 0 {
+                        *n = 0;
+                    }
+                }
+            }
+            act = next;
+        }
+        act
+    }
+
+    /// Predicted class of one input.
+    pub fn predict(&self, input: &[f64]) -> usize {
+        let logits = self.forward_fixed(input);
+        let floats: Vec<f64> = logits.iter().map(|&v| v as f64).collect();
+        argmax(&floats)
+    }
+
+    /// Predicted classes for many inputs.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Vec<usize> {
+        inputs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Exports one layer's weights as a hexadecimal memory image — one word
+    /// per line, two's-complement at the configured word width, row-major
+    /// `[input][output]` order, biases appended. This is the `.mem`/`.mif`
+    /// format FPGA toolchains initialize block RAM and LUT-ROM from, which
+    /// is how a trained HERQULES head actually reaches the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn export_memory_image(&self, layer: usize) -> String {
+        assert!(layer < self.layers.len(), "layer index out of range");
+        let width_nibbles = (self.config.total_bits as usize).div_ceil(4);
+        let mask = if self.config.total_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.total_bits) - 1
+        };
+        let (weights, bias) = &self.layers[layer];
+        let mut out = String::new();
+        for row in weights {
+            for &w in row {
+                let word = (w as i64 as u64) & mask;
+                out.push_str(&format!("{word:0width_nibbles$x}\n"));
+            }
+        }
+        for &b in bias {
+            let word = (b as i64 as u64) & mask;
+            out.push_str(&format!("{word:0width_nibbles$x}\n"));
+        }
+        out
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::TrainConfig;
+
+    #[test]
+    fn quantize_roundtrips_representable_values() {
+        let q = QuantConfig::DEFAULT_16BIT;
+        for x in [-3.5, -0.125, 0.0, 0.5, 7.25] {
+            assert!((q.dequantize(q.quantize(x)) - x).abs() < 1.0 / q.scale());
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QuantConfig { total_bits: 8, frac_bits: 4 };
+        assert_eq!(q.quantize(1e9), q.max_value());
+        assert_eq!(q.quantize(-1e9), -q.max_value());
+    }
+
+    #[test]
+    fn invalid_formats_are_rejected() {
+        assert!(QuantConfig { total_bits: 8, frac_bits: 8 }.validate().is_err());
+        assert!(QuantConfig { total_bits: 0, frac_bits: 0 }.validate().is_err());
+        assert!(QuantConfig { total_bits: 40, frac_bits: 8 }.validate().is_err());
+        assert!(QuantConfig::DEFAULT_16BIT.validate().is_ok());
+    }
+
+    fn trained_net() -> (Mlp, Vec<Vec<f64>>, Vec<usize>) {
+        // Separable 2-class problem in 2D.
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..100 {
+            let t = k as f64 / 10.0;
+            inputs.push(vec![t.sin() + 2.0, t.cos()]);
+            labels.push(0);
+            inputs.push(vec![t.sin() - 2.0, t.cos()]);
+            labels.push(1);
+        }
+        let mut net = Mlp::new(&[2, 8, 2], 3);
+        net.train(&inputs, &labels, &TrainConfig { epochs: 60, ..TrainConfig::default() });
+        (net, inputs, labels)
+    }
+
+    #[test]
+    fn sixteen_bit_quantization_preserves_predictions() {
+        let (net, inputs, _) = trained_net();
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let float_preds = net.predict_batch(&inputs);
+        let fixed_preds = qnet.predict_batch(&inputs);
+        let agree = float_preds
+            .iter()
+            .zip(&fixed_preds)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 / inputs.len() as f64 > 0.98,
+            "agreement {agree}/{}",
+            inputs.len()
+        );
+    }
+
+    #[test]
+    fn very_low_bit_width_degrades() {
+        let (net, inputs, labels) = trained_net();
+        let q4 = QuantizedMlp::from_mlp(&net, QuantConfig { total_bits: 4, frac_bits: 2 });
+        let q16 = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let acc = |preds: &[usize]| {
+            preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+        };
+        let acc4 = acc(&q4.predict_batch(&inputs));
+        let acc16 = acc(&q16.predict_batch(&inputs));
+        assert!(acc16 >= acc4, "16-bit {acc16} must not be worse than 4-bit {acc4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dimension_panics() {
+        let (net, _, _) = trained_net();
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let _ = qnet.forward_fixed(&[1.0]);
+    }
+
+    #[test]
+    fn memory_image_has_one_word_per_parameter() {
+        let (net, _, _) = trained_net(); // 2-8-2 network
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        assert_eq!(qnet.n_layers(), 2);
+        let image = qnet.export_memory_image(0);
+        // Layer 0: 2×8 weights + 8 biases = 24 words of 4 hex nibbles.
+        let lines: Vec<&str> = image.lines().collect();
+        assert_eq!(lines.len(), 24);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        assert!(lines.iter().all(|l| l.chars().all(|c| c.is_ascii_hexdigit())));
+    }
+
+    #[test]
+    fn memory_image_words_decode_back_to_weights() {
+        let (net, _, _) = trained_net();
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let image = qnet.export_memory_image(1);
+        let first_word = image.lines().next().unwrap();
+        let raw = u64::from_str_radix(first_word, 16).unwrap();
+        // Sign-extend 16-bit two's complement.
+        let value = (raw as i64) << 48 >> 48;
+        let expected = QuantConfig::DEFAULT_16BIT.quantize(net.layers()[1].weights().get(0, 0));
+        assert_eq!(value, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn bad_layer_export_panics() {
+        let (net, _, _) = trained_net();
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let _ = qnet.export_memory_image(5);
+    }
+}

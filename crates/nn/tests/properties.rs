@@ -1,0 +1,81 @@
+//! Property-based tests of the NN library's algebraic invariants.
+
+use proptest::prelude::*;
+use readout_nn::loss::softmax_cross_entropy;
+use readout_nn::net::argmax;
+use readout_nn::{Matrix, Mlp, QuantConfig};
+
+fn vecs(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in vecs(6), b in vecs(6), c in vecs(6)) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 2, b);
+        let c = Matrix::from_vec(2, 3, c);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.sub(&right).frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in vecs(6), b in vecs(8), c in vecs(8)) {
+        let a = Matrix::from_vec(3, 2, a);
+        let b = Matrix::from_vec(2, 4, b);
+        let c = Matrix::from_vec(2, 4, c);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.sub(&right).frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_commutes_with_matmul(a in vecs(4), b in vecs(6), k in -3.0..3.0f64) {
+        let a = Matrix::from_vec(2, 2, a);
+        let b = Matrix::from_vec(2, 3, b);
+        let left = a.scale(k).matmul(&b);
+        let right = a.matmul(&b).scale(k);
+        prop_assert!(left.sub(&right).frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_finite(logits in vecs(8), label in 0usize..4) {
+        let m = Matrix::from_vec(2, 4, logits);
+        let (loss, grad) = softmax_cross_entropy(&m, &[label, (label + 1) % 4]);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn network_output_is_shift_equivariant_free(input in vecs(4), seed in 0u64..50) {
+        // Deterministic construction: same seed, same prediction.
+        let net = Mlp::new(&[4, 6, 3], seed);
+        prop_assert_eq!(net.predict(&input), net.predict(&input));
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_is_bounded(x in -15.0..15.0f64) {
+        let q = QuantConfig::DEFAULT_16BIT;
+        let err = (q.dequantize(q.quantize(x)) - x).abs();
+        prop_assert!(err <= 0.5 / q.scale() + 1e-12, "error {err}");
+    }
+
+    #[test]
+    fn argmax_returns_maximum(vals in proptest::collection::vec(-100.0..100.0f64, 1..20)) {
+        let idx = argmax(&vals);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(vals[idx], max);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single(inputs in proptest::collection::vec(vecs(3), 1..6)) {
+        let net = Mlp::new(&[3, 5, 4], 9);
+        let batch = net.predict_batch(&inputs);
+        for (x, &p) in inputs.iter().zip(&batch) {
+            prop_assert_eq!(net.predict(x), p);
+        }
+    }
+}

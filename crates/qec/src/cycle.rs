@@ -1,0 +1,128 @@
+//! Surface-code syndrome-extraction cycle timing (Fig. 14(b)).
+//!
+//! One syndrome cycle of the surface-17-style circuit (Versluis et al.)
+//! consists of two single-qubit gate layers (basis changes on ancillas),
+//! four two-qubit gate layers (the plaquette CZ/CNOT ladder), and the
+//! ancilla measurement. The measurement dominates, which is why shortening
+//! readout by 25 % (what HERQULES enables without retraining) compresses the
+//! whole cycle to ≈0.8× on Google-like timings and ≈0.84× on IBM-like
+//! timings.
+
+/// Gate/readout durations of a hardware generation, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateSet {
+    /// Descriptive name.
+    pub name: &'static str,
+    /// Single-qubit gate layer duration.
+    pub single_qubit_ns: f64,
+    /// Two-qubit gate layer duration.
+    pub two_qubit_ns: f64,
+    /// Readout (measurement) duration.
+    pub readout_ns: f64,
+}
+
+impl GateSet {
+    /// Google-Sycamore-like timings (fast gates, 1 µs-class readout).
+    pub const GOOGLE: GateSet = GateSet {
+        name: "Google",
+        single_qubit_ns: 30.0,
+        two_qubit_ns: 40.0,
+        readout_ns: 1000.0,
+    };
+
+    /// IBM-like timings (slower two-qubit gates).
+    pub const IBM: GateSet = GateSet {
+        name: "IBM",
+        single_qubit_ns: 50.0,
+        two_qubit_ns: 106.0,
+        readout_ns: 1000.0,
+    };
+
+    /// Returns a copy with a different readout duration.
+    #[must_use]
+    pub fn with_readout_ns(mut self, readout_ns: f64) -> GateSet {
+        self.readout_ns = readout_ns;
+        self
+    }
+}
+
+/// Layer structure of one syndrome-extraction cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleTimes {
+    /// Single-qubit gate layers per cycle (surface-17: 2).
+    pub single_qubit_layers: usize,
+    /// Two-qubit gate layers per cycle (surface-17: 4).
+    pub two_qubit_layers: usize,
+}
+
+impl CycleTimes {
+    /// The surface-17 circuit of Versluis et al. (the paper's ref. 52).
+    pub const SURFACE17: CycleTimes = CycleTimes {
+        single_qubit_layers: 2,
+        two_qubit_layers: 4,
+    };
+
+    /// Total cycle duration for a gate set, in nanoseconds.
+    pub fn duration_ns(&self, gates: &GateSet) -> f64 {
+        self.single_qubit_layers as f64 * gates.single_qubit_ns
+            + self.two_qubit_layers as f64 * gates.two_qubit_ns
+            + gates.readout_ns
+    }
+
+    /// Cycle duration with shortened readout, normalized to the full-readout
+    /// cycle (the y-axis of Fig. 14(b)).
+    pub fn normalized_duration(&self, gates: &GateSet, readout_scale: f64) -> f64 {
+        assert!(readout_scale > 0.0, "readout scale must be positive");
+        let short = gates.with_readout_ns(gates.readout_ns * readout_scale);
+        self.duration_ns(&short) / self.duration_ns(gates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn google_cycle_matches_hand_sum() {
+        let t = CycleTimes::SURFACE17.duration_ns(&GateSet::GOOGLE);
+        assert!((t - (2.0 * 30.0 + 4.0 * 40.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_shorter_readout_reproduces_fig14b() {
+        // Paper Fig. 14(b): normalized cycle times 0.795 (Google) and 0.836
+        // (IBM) for a 25 % readout reduction.
+        let g = CycleTimes::SURFACE17.normalized_duration(&GateSet::GOOGLE, 0.75);
+        let i = CycleTimes::SURFACE17.normalized_duration(&GateSet::IBM, 0.75);
+        assert!((g - 0.795).abs() < 0.01, "Google normalized {g}");
+        assert!((i - 0.836).abs() < 0.01, "IBM normalized {i}");
+    }
+
+    #[test]
+    fn faster_gates_benefit_more_from_short_readout() {
+        // Paper: "For processors with faster gates, the effect of a shorter
+        // readout duration is more pronounced."
+        let g = CycleTimes::SURFACE17.normalized_duration(&GateSet::GOOGLE, 0.75);
+        let i = CycleTimes::SURFACE17.normalized_duration(&GateSet::IBM, 0.75);
+        assert!(g < i);
+    }
+
+    #[test]
+    fn unit_scale_is_identity() {
+        let g = CycleTimes::SURFACE17.normalized_duration(&GateSet::GOOGLE, 1.0);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_readout_overrides_only_readout() {
+        let g = GateSet::GOOGLE.with_readout_ns(500.0);
+        assert_eq!(g.readout_ns, 500.0);
+        assert_eq!(g.single_qubit_ns, GateSet::GOOGLE.single_qubit_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = CycleTimes::SURFACE17.normalized_duration(&GateSet::GOOGLE, 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Geometry of the rotated surface code (Z-stabilizer sector).
+//!
+//! Data qubits live on a `d × d` grid. Bulk Z-plaquettes sit between grid
+//! cells at positions `(r, c)` with `r, c ∈ 0..d−1` and `(r+c)` even,
+//! covering the four data qubits `(r..r+1, c..c+1)`. Weight-2 boundary
+//! Z-stabilizers close the north edge (odd `c`) and south edge (even `c`).
+//! With this choice the `X` logical operator runs west–east along a row, the
+//! `Z` logical along a column, and every data qubit on the west/east columns
+//! touches exactly one Z-stabilizer (its other matching endpoint is the
+//! virtual west/east boundary node).
+
+/// One Z-stabilizer: its plaquette coordinates and supported data qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZStabilizer {
+    /// Plaquette row: `-1` for north boundary stabilizers, `d-1` for south,
+    /// `0..d-1` for bulk.
+    pub row: i32,
+    /// Plaquette column in `0..d-1`.
+    pub col: i32,
+    /// Indices (into the `d*d` data array, row-major) of supported qubits.
+    pub support: Vec<usize>,
+}
+
+/// The distance-`d` rotated surface code (Z sector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotatedSurfaceCode {
+    distance: usize,
+    stabilizers: Vec<ZStabilizer>,
+    /// For each data qubit: indices of the (1 or 2) Z-stabilizers covering it.
+    qubit_stabs: Vec<Vec<usize>>,
+}
+
+impl RotatedSurfaceCode {
+    /// Builds the code for an odd distance `d ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or smaller than 3.
+    pub fn new(distance: usize) -> Self {
+        assert!(distance >= 3 && distance % 2 == 1, "distance must be odd and ≥ 3");
+        let d = distance as i32;
+        let mut stabilizers = Vec::new();
+
+        // Bulk plaquettes, checkerboard.
+        for r in 0..d - 1 {
+            for c in 0..d - 1 {
+                if (r + c) % 2 == 0 {
+                    stabilizers.push(ZStabilizer {
+                        row: r,
+                        col: c,
+                        support: vec![
+                            Self::qidx(d, r, c),
+                            Self::qidx(d, r, c + 1),
+                            Self::qidx(d, r + 1, c),
+                            Self::qidx(d, r + 1, c + 1),
+                        ],
+                    });
+                }
+            }
+        }
+        // North boundary (row −1), odd columns.
+        for c in (1..d - 1).step_by(2) {
+            stabilizers.push(ZStabilizer {
+                row: -1,
+                col: c,
+                support: vec![Self::qidx(d, 0, c), Self::qidx(d, 0, c + 1)],
+            });
+        }
+        // South boundary (row d−1), even columns.
+        for c in (0..d - 1).step_by(2) {
+            stabilizers.push(ZStabilizer {
+                row: d - 1,
+                col: c,
+                support: vec![Self::qidx(d, d - 1, c), Self::qidx(d, d - 1, c + 1)],
+            });
+        }
+
+        let mut qubit_stabs = vec![Vec::new(); (d * d) as usize];
+        for (s, stab) in stabilizers.iter().enumerate() {
+            for &q in &stab.support {
+                qubit_stabs[q].push(s);
+            }
+        }
+        RotatedSurfaceCode {
+            distance,
+            stabilizers,
+            qubit_stabs,
+        }
+    }
+
+    fn qidx(d: i32, r: i32, c: i32) -> usize {
+        (r * d + c) as usize
+    }
+
+    /// The code distance.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits (`d²`).
+    pub fn n_data(&self) -> usize {
+        self.distance * self.distance
+    }
+
+    /// The Z-stabilizers.
+    pub fn stabilizers(&self) -> &[ZStabilizer] {
+        &self.stabilizers
+    }
+
+    /// Number of Z-stabilizers (`(d²−1)/2`).
+    pub fn n_stabilizers(&self) -> usize {
+        self.stabilizers.len()
+    }
+
+    /// Z-stabilizer indices covering data qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn stabs_of_qubit(&self, q: usize) -> &[usize] {
+        &self.qubit_stabs[q]
+    }
+
+    /// Column of data qubit `q`.
+    pub fn qubit_col(&self, q: usize) -> usize {
+        q % self.distance
+    }
+
+    /// Whether data qubit `q` lies on the west boundary (column 0) — the
+    /// column whose error parity decides the `X` logical class.
+    pub fn is_west_column(&self, q: usize) -> bool {
+        self.qubit_col(q) == 0
+    }
+
+    /// Spatial matching distance between two Z-stabilizers: diagonal steps
+    /// on the plaquette lattice, `max(|Δrow|, |Δcol|)`.
+    pub fn stab_distance(&self, a: usize, b: usize) -> usize {
+        let (sa, sb) = (&self.stabilizers[a], &self.stabilizers[b]);
+        let dr = (sa.row - sb.row).unsigned_abs() as usize;
+        let dc = (sa.col - sb.col).unsigned_abs() as usize;
+        dr.max(dc)
+    }
+
+    /// Matching distance from a Z-stabilizer to the west boundary: diagonal
+    /// steps to reach a column-0 plaquette plus the boundary edge itself.
+    pub fn dist_west(&self, s: usize) -> usize {
+        self.stabilizers[s].col as usize + 1
+    }
+
+    /// Matching distance from a Z-stabilizer to the east boundary.
+    pub fn dist_east(&self, s: usize) -> usize {
+        self.distance - 1 - self.stabilizers[s].col as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilizer_count_matches_formula() {
+        for d in [3, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            assert_eq!(code.n_stabilizers(), (d * d - 1) / 2, "distance {d}");
+            assert_eq!(code.n_data(), d * d);
+        }
+    }
+
+    #[test]
+    fn every_qubit_touches_one_or_two_z_stabilizers() {
+        let code = RotatedSurfaceCode::new(5);
+        for q in 0..code.n_data() {
+            let n = code.stabs_of_qubit(q).len();
+            assert!((1..=2).contains(&n), "qubit {q} touches {n} Z-stabilizers");
+        }
+    }
+
+    #[test]
+    fn single_neighbour_qubits_are_on_west_or_east_columns() {
+        let code = RotatedSurfaceCode::new(7);
+        for q in 0..code.n_data() {
+            if code.stabs_of_qubit(q).len() == 1 {
+                let c = code.qubit_col(q);
+                assert!(
+                    c == 0 || c == 6,
+                    "qubit {q} (column {c}) has one neighbour but is interior"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_qubits_touch_exactly_two() {
+        let code = RotatedSurfaceCode::new(7);
+        for q in 0..code.n_data() {
+            let c = code.qubit_col(q);
+            if c != 0 && c != 6 {
+                assert_eq!(code.stabs_of_qubit(q).len(), 2, "qubit {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_row_commutes_with_all_z_stabilizers() {
+        // A full row of X errors must flip every Z-stabilizer an even number
+        // of times.
+        for d in [3, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            for row in 0..d {
+                let mut flips = vec![0usize; code.n_stabilizers()];
+                for c in 0..d {
+                    let q = row * d + c;
+                    for &s in code.stabs_of_qubit(q) {
+                        flips[s] += 1;
+                    }
+                }
+                assert!(
+                    flips.iter().all(|&f| f % 2 == 0),
+                    "row {row} of distance-{d} code is detectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_row_crosses_west_column_once() {
+        let code = RotatedSurfaceCode::new(5);
+        // Row 0 of the logical X operator touches column 0 exactly once.
+        let crossings = (0..5).filter(|&c| code.is_west_column(c)).count();
+        assert_eq!(crossings, 1);
+    }
+
+    #[test]
+    fn single_errors_are_all_detectable() {
+        let code = RotatedSurfaceCode::new(5);
+        for q in 0..code.n_data() {
+            assert!(!code.stabs_of_qubit(q).is_empty(), "qubit {q} is invisible");
+        }
+    }
+
+    #[test]
+    fn stab_distance_is_symmetric_diagonal_metric() {
+        let code = RotatedSurfaceCode::new(5);
+        for a in 0..code.n_stabilizers() {
+            assert_eq!(code.stab_distance(a, a), 0);
+            for b in 0..code.n_stabilizers() {
+                assert_eq!(code.stab_distance(a, b), code.stab_distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_distances_cover_the_width() {
+        let code = RotatedSurfaceCode::new(7);
+        for s in 0..code.n_stabilizers() {
+            let w = code.dist_west(s);
+            let e = code.dist_east(s);
+            assert!(w >= 1 && e >= 1);
+            // Crossing the whole code always costs exactly d qubit flips.
+            assert_eq!(w + e, code.distance(), "stab {s}: {w} + {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_panics() {
+        let _ = RotatedSurfaceCode::new(4);
+    }
+}

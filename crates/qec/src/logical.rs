@@ -1,0 +1,110 @@
+//! Monte-Carlo logical error rate estimation (the Fig. 13 engine).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::decoder::decode_block;
+use crate::layout::RotatedSurfaceCode;
+use crate::syndrome::{NoiseParams, SyndromeBlock};
+
+/// Configuration of one logical-error-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalErrorConfig {
+    /// Code distance (odd, ≥ 3; the paper's Fig. 13 uses 7).
+    pub distance: usize,
+    /// Noisy measurement rounds per block (commonly `d`).
+    pub rounds: usize,
+    /// Per-round data-qubit error probability (x-axis of Fig. 13).
+    pub data_error_prob: f64,
+    /// Per-round readout error `εR` (the curve family of Fig. 13).
+    pub meas_error_prob: f64,
+    /// Monte-Carlo blocks to simulate.
+    pub blocks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Estimates the logical `X` error rate **per round**: block failures divided
+/// by blocks, divided by rounds — the normalization of the paper's
+/// "logical error rate per round" axis.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or the embedded parameters are invalid.
+pub fn estimate_logical_error_rate(config: &LogicalErrorConfig) -> f64 {
+    assert!(config.blocks > 0, "need at least one block");
+    let code = RotatedSurfaceCode::new(config.distance);
+    let noise = NoiseParams {
+        data_error_prob: config.data_error_prob,
+        meas_error_prob: config.meas_error_prob,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut failures = 0usize;
+    for _ in 0..config.blocks {
+        let block = SyndromeBlock::simulate(&code, &noise, config.rounds, &mut rng);
+        if decode_block(&code, &block).logical_error {
+            failures += 1;
+        }
+    }
+    failures as f64 / config.blocks as f64 / config.rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(distance: usize, p: f64, q: f64, blocks: usize) -> LogicalErrorConfig {
+        LogicalErrorConfig {
+            distance,
+            rounds: distance,
+            data_error_prob: p,
+            meas_error_prob: q,
+            blocks,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn noiseless_rate_is_zero() {
+        assert_eq!(estimate_logical_error_rate(&cfg(3, 0.0, 0.0, 200)), 0.0);
+    }
+
+    #[test]
+    fn rate_increases_with_physical_error() {
+        let lo = estimate_logical_error_rate(&cfg(3, 0.005, 0.005, 4_000));
+        let hi = estimate_logical_error_rate(&cfg(3, 0.05, 0.005, 4_000));
+        assert!(hi > lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn rate_increases_with_readout_error() {
+        // The headline mechanism of Fig. 13: worse readout → worse logical
+        // rate at fixed gate error.
+        let lo = estimate_logical_error_rate(&cfg(3, 0.01, 0.0, 6_000));
+        let hi = estimate_logical_error_rate(&cfg(3, 0.01, 0.04, 6_000));
+        assert!(hi > lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn larger_distance_suppresses_below_threshold() {
+        let d3 = estimate_logical_error_rate(&cfg(3, 0.008, 0.008, 6_000));
+        let d7 = estimate_logical_error_rate(&cfg(7, 0.008, 0.008, 6_000));
+        assert!(
+            d7 < d3,
+            "distance scaling violated below threshold: d3 {d3} vs d7 {d7}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = estimate_logical_error_rate(&cfg(3, 0.02, 0.01, 500));
+        let b = estimate_logical_error_rate(&cfg(3, 0.02, 0.01, 500));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = estimate_logical_error_rate(&cfg(3, 0.01, 0.0, 0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of surface-code invariants.
+
+use proptest::prelude::*;
+use surface_code::decoder::decode_block;
+use surface_code::syndrome::{DetectionEvent, NoiseParams, SyndromeBlock};
+use surface_code::RotatedSurfaceCode;
+
+/// Builds a single-round block from explicit errors with perfect syndromes.
+fn block_from_errors(code: &RotatedSurfaceCode, errors: Vec<bool>) -> SyndromeBlock {
+    let mut events = Vec::new();
+    for (s, stab) in code.stabilizers().iter().enumerate() {
+        let parity = stab.support.iter().filter(|&&q| errors[q]).count() % 2 == 1;
+        if parity {
+            events.push(DetectionEvent { stab: s, round: 0 });
+        }
+    }
+    SyndromeBlock {
+        events,
+        final_errors: errors,
+        rounds: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stabilizer_supports_have_valid_weights(d in prop::sample::select(vec![3usize, 5, 7])) {
+        let code = RotatedSurfaceCode::new(d);
+        for stab in code.stabilizers() {
+            let w = stab.support.len();
+            prop_assert!(w == 2 || w == 4, "weight {w}");
+            for &q in &stab.support {
+                prop_assert!(q < code.n_data());
+            }
+        }
+    }
+
+    #[test]
+    fn syndromes_are_linear_in_errors(
+        qs1 in proptest::collection::vec(0usize..25, 0..5),
+        qs2 in proptest::collection::vec(0usize..25, 0..5),
+    ) {
+        // syndrome(e1 ⊕ e2) = syndrome(e1) ⊕ syndrome(e2).
+        let code = RotatedSurfaceCode::new(5);
+        let build = |qs: &[usize]| -> Vec<bool> {
+            let mut e = vec![false; code.n_data()];
+            for &q in qs {
+                e[q] = !e[q];
+            }
+            e
+        };
+        let e1 = build(&qs1);
+        let e2 = build(&qs2);
+        let combined: Vec<bool> = e1.iter().zip(&e2).map(|(a, b)| a ^ b).collect();
+        let syndrome = |errors: Vec<bool>| -> Vec<bool> {
+            let block = block_from_errors(&code, errors);
+            let mut s = vec![false; code.n_stabilizers()];
+            for ev in &block.events {
+                s[ev.stab] = true;
+            }
+            s
+        };
+        let s1 = syndrome(e1);
+        let s2 = syndrome(e2);
+        let sc = syndrome(combined);
+        for i in 0..sc.len() {
+            prop_assert_eq!(sc[i], s1[i] ^ s2[i], "stabilizer {}", i);
+        }
+    }
+
+    #[test]
+    fn weight_one_and_two_errors_never_cause_logical_errors(
+        q1 in 0usize..25,
+        q2 in 0usize..25,
+    ) {
+        // All weight ≤ 2 errors are correctable at distance 5 by a decoder
+        // at least as strong as minimum weight on these configurations.
+        let code = RotatedSurfaceCode::new(5);
+        let mut errors = vec![false; code.n_data()];
+        errors[q1] = true;
+        if q2 != q1 {
+            errors[q2] = true;
+        }
+        // Skip the pathological pairs where the two errors form exactly half
+        // a logical: at weight 2 < d/2 = 2.5 that cannot happen, so assert.
+        let block = block_from_errors(&code, errors);
+        let out = decode_block(&code, &block);
+        prop_assert!(!out.logical_error, "qubits {q1},{q2}");
+    }
+
+    #[test]
+    fn decoding_is_deterministic(seed in 0u64..500) {
+        let code = RotatedSurfaceCode::new(5);
+        let noise = NoiseParams { data_error_prob: 0.05, meas_error_prob: 0.02 };
+        let block = SyndromeBlock::simulate_seeded(&code, &noise, 5, seed);
+        let a = decode_block(&code, &block);
+        let b = decode_block(&code, &block);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boundary_distances_sum_to_distance(d in prop::sample::select(vec![3usize, 5, 7, 9])) {
+        let code = RotatedSurfaceCode::new(d);
+        for s in 0..code.n_stabilizers() {
+            prop_assert_eq!(code.dist_west(s) + code.dist_east(s), d);
+        }
+    }
+}

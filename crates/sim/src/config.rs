@@ -1,0 +1,290 @@
+//! Chip- and qubit-level configuration of the simulated readout system.
+//!
+//! The default five-qubit chip ([`ChipConfig::five_qubit_default`]) is
+//! calibrated so the discriminator study reproduces the *shape* of the paper's
+//! Table 1: four well-separated qubits with relaxation fractions in the
+//! 4–12 % band, and one poorly separated qubit (qubit 2, index 1) whose
+//! ground/excited distributions overlap heavily.
+
+use crate::crosstalk::CrosstalkModel;
+use crate::trace::IqPoint;
+
+/// Calibration parameters of a single qubit's readout channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QubitParams {
+    /// Intermediate frequency of this qubit's readout tone, in Hz.
+    ///
+    /// Must be below the ADC Nyquist frequency. The defaults are multiples of
+    /// 20 MHz so an integer number of carrier cycles fits in each 50 ns
+    /// demodulation bin.
+    pub if_freq_hz: f64,
+    /// Steady-state baseband IQ point when the qubit is in the ground state.
+    pub ground_ss: IqPoint,
+    /// Steady-state baseband IQ point when the qubit is in the excited state.
+    pub excited_ss: IqPoint,
+    /// Resonator ring-up/ring-down time constant, in seconds.
+    ///
+    /// The baseband signal relaxes exponentially toward the steady-state point
+    /// with this time constant (`κ/2`-limited dynamics).
+    pub ringup_tau_s: f64,
+    /// Energy-relaxation time `T1`, in seconds. Excited-state shots decay to
+    /// the ground trajectory after an `Exp(T1)`-distributed time.
+    pub t1_s: f64,
+    /// Probability that the readout drive spuriously excites a ground-state
+    /// qubit at some point during the window (readout-induced excitation).
+    pub excitation_prob: f64,
+    /// Probability that state preparation failed, so the qubit starts the
+    /// readout in the opposite of its nominal state.
+    pub init_error_prob: f64,
+}
+
+impl QubitParams {
+    /// Distance between the two steady-state points (the "separation").
+    pub fn separation(&self) -> f64 {
+        self.ground_ss.distance(self.excited_ss)
+    }
+
+    /// Unit vector from the ground toward the excited steady-state point.
+    ///
+    /// Returns the I axis when the separation is zero.
+    pub fn separation_dir(&self) -> IqPoint {
+        let d = self.separation();
+        if d == 0.0 {
+            IqPoint::new(1.0, 0.0)
+        } else {
+            (self.excited_ss - self.ground_ss) * (1.0 / d)
+        }
+    }
+}
+
+/// Full configuration of a frequency-multiplexed readout line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Per-qubit calibration; the vector length is the number of multiplexed
+    /// qubits on this feedline.
+    pub qubits: Vec<QubitParams>,
+    /// ADC sampling rate in samples/second (paper: 500 MS/s).
+    pub sample_rate_hz: f64,
+    /// Total readout window, in seconds (paper: 1 µs).
+    pub readout_duration_s: f64,
+    /// Width of one demodulation averaging bin, in seconds (paper: 50 ns).
+    pub demod_bin_s: f64,
+    /// Standard deviation of the additive Gaussian noise on each raw ADC
+    /// sample (per channel), in the same arbitrary units as the IQ points.
+    pub adc_noise_sigma: f64,
+    /// Readout-crosstalk model between multiplexed channels.
+    pub crosstalk: CrosstalkModel,
+}
+
+impl ChipConfig {
+    /// Number of qubits on the feedline.
+    pub fn n_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Number of raw ADC samples in the readout window.
+    pub fn n_samples(&self) -> usize {
+        (self.sample_rate_hz * self.readout_duration_s).round() as usize
+    }
+
+    /// Number of demodulation bins in the readout window.
+    pub fn n_bins(&self) -> usize {
+        (self.readout_duration_s / self.demod_bin_s).round() as usize
+    }
+
+    /// Number of raw ADC samples per demodulation bin.
+    pub fn samples_per_bin(&self) -> usize {
+        (self.sample_rate_hz * self.demod_bin_s).round() as usize
+    }
+
+    /// Time of raw sample `t`, in seconds, measured from the start of the
+    /// readout window.
+    pub fn sample_time(&self, t: usize) -> f64 {
+        t as f64 / self.sample_rate_hz
+    }
+
+    /// Noise standard deviation per demodulated bin component.
+    ///
+    /// Averaging `B` raw samples reduces the per-sample deviation by `√B`.
+    pub fn bin_noise_sigma(&self) -> f64 {
+        self.adc_noise_sigma / (self.samples_per_bin() as f64).sqrt()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: empty qubit
+    /// list, non-positive rates/durations, bins not dividing the window, IF
+    /// frequencies above Nyquist, or a crosstalk matrix of the wrong size.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.qubits.is_empty() {
+            return Err("chip must have at least one qubit".into());
+        }
+        if self.sample_rate_hz <= 0.0 || self.readout_duration_s <= 0.0 || self.demod_bin_s <= 0.0
+        {
+            return Err("rates and durations must be positive".into());
+        }
+        let spb = self.sample_rate_hz * self.demod_bin_s;
+        if (spb - spb.round()).abs() > 1e-9 || spb < 1.0 {
+            return Err("demod bin must contain an integer number of ADC samples".into());
+        }
+        let bins = self.readout_duration_s / self.demod_bin_s;
+        if (bins - bins.round()).abs() > 1e-9 {
+            return Err("readout window must contain an integer number of bins".into());
+        }
+        let nyquist = self.sample_rate_hz / 2.0;
+        for (k, q) in self.qubits.iter().enumerate() {
+            if q.if_freq_hz >= nyquist {
+                return Err(format!("qubit {k} IF frequency exceeds Nyquist"));
+            }
+            if q.t1_s <= 0.0 || q.ringup_tau_s <= 0.0 {
+                return Err(format!("qubit {k} time constants must be positive"));
+            }
+            if !(0.0..=1.0).contains(&q.excitation_prob)
+                || !(0.0..=1.0).contains(&q.init_error_prob)
+            {
+                return Err(format!("qubit {k} probabilities must lie in [0, 1]"));
+            }
+        }
+        self.crosstalk.validate(self.n_qubits())?;
+        Ok(())
+    }
+
+    /// The five-qubit chip used throughout the reproduction.
+    ///
+    /// Matches the paper's setup dimensions (500 MS/s ADC, 1 µs readout,
+    /// 50 ns demodulation bins → 500 raw samples, 20 bins) and is calibrated
+    /// so that per-design accuracies land in the Table 1 regime:
+    ///
+    /// * qubit 2 (index 1) has ~0.6σ-scale separation → ≈75 % accuracy;
+    /// * relaxation fractions ≈ {4.3, 8, 8.9, 11.6, 6.5} % for qubits 1–5;
+    /// * nearest-neighbour crosstalk strong enough that a matched filter alone
+    ///   loses several percent, most of which a trained network recovers.
+    pub fn five_qubit_default() -> Self {
+        // Separation magnitudes in units of the per-bin noise deviation
+        // (bin noise is 1.0 with the defaults below).
+        let separations: [f64; 5] = [2.60, 0.45, 2.10, 1.85, 2.80];
+        // Direction of the ground→excited displacement, per qubit.
+        let angles_deg: [f64; 5] = [25.0, 110.0, 60.0, 150.0, 95.0];
+        // Ground-state steady-state points (offset from the origin, as in
+        // Fig. 3 where both blobs sit away from the ADC zero).
+        let ground_mag = 1.2;
+        let ground_angles_deg: [f64; 5] = [200.0, 250.0, 170.0, 220.0, 190.0];
+        // T1 chosen so the *Algorithm 1 detected* relaxation fractions land
+        // near the paper's 4.3 / — / 8.9 / 11.6 / 6.5 % (detection catches
+        // roughly the early half of all relaxers, so true fractions are about
+        // twice the detected ones).
+        let t1_us: [f64; 5] = [11.4, 6.0, 5.4, 4.1, 7.5];
+        let excitation: [f64; 5] = [0.004, 0.010, 0.005, 0.005, 0.002];
+        let if_freqs_mhz: [f64; 5] = [20.0, 40.0, 60.0, 80.0, 100.0];
+
+        let qubits = (0..5)
+            .map(|k| {
+                let g = IqPoint::new(ground_mag, 0.0).rotate(ground_angles_deg[k].to_radians());
+                let dir = IqPoint::new(1.0, 0.0).rotate(angles_deg[k].to_radians());
+                QubitParams {
+                    if_freq_hz: if_freqs_mhz[k] * 1e6,
+                    ground_ss: g,
+                    excited_ss: g + dir * separations[k],
+                    ringup_tau_s: 60e-9,
+                    t1_s: t1_us[k] * 1e-6,
+                    excitation_prob: excitation[k],
+                    init_error_prob: 0.003,
+                }
+            })
+            .collect();
+
+        ChipConfig {
+            qubits,
+            sample_rate_hz: 500e6,
+            readout_duration_s: 1e-6,
+            demod_bin_s: 50e-9,
+            // 25 samples per bin → per-bin noise deviation of exactly 1.0.
+            adc_noise_sigma: 5.0,
+            crosstalk: CrosstalkModel::chain_for_separations(&separations),
+        }
+    }
+
+    /// A reduced configuration for fast unit tests: the two *well separated*
+    /// qubits of the default chip (indices 0 and 2), so tests can assert
+    /// high accuracies without the deliberately pathological qubit 2.
+    pub fn two_qubit_test() -> Self {
+        let mut cfg = Self::five_qubit_default();
+        let q2 = cfg.qubits.swap_remove(2);
+        cfg.qubits.truncate(1);
+        cfg.qubits.push(q2);
+        let seps: Vec<f64> = cfg.qubits.iter().map(QubitParams::separation).collect();
+        cfg.crosstalk = CrosstalkModel::chain_for_separations(&seps);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chip_validates() {
+        let cfg = ChipConfig::five_qubit_default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.n_qubits(), 5);
+        assert_eq!(cfg.n_samples(), 500);
+        assert_eq!(cfg.n_bins(), 20);
+        assert_eq!(cfg.samples_per_bin(), 25);
+    }
+
+    #[test]
+    fn default_bin_noise_is_unity() {
+        let cfg = ChipConfig::five_qubit_default();
+        assert!((cfg.bin_noise_sigma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit2_is_poorly_separated() {
+        let cfg = ChipConfig::five_qubit_default();
+        let s: Vec<f64> = cfg.qubits.iter().map(|q| q.separation()).collect();
+        for (k, &sep) in s.iter().enumerate() {
+            if k == 1 {
+                assert!(sep < 0.6, "qubit 2 must be poorly separated");
+            } else {
+                assert!(sep > 1.2, "qubit {k} must be well separated");
+            }
+        }
+    }
+
+    #[test]
+    fn separation_dir_is_unit() {
+        let cfg = ChipConfig::five_qubit_default();
+        for q in &cfg.qubits {
+            assert!((q.separation_dir().norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_empty_chip() {
+        let mut cfg = ChipConfig::five_qubit_default();
+        cfg.qubits.clear();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_supra_nyquist_tone() {
+        let mut cfg = ChipConfig::five_qubit_default();
+        cfg.qubits[0].if_freq_hz = 300e6;
+        assert!(cfg.validate().unwrap_err().contains("Nyquist"));
+    }
+
+    #[test]
+    fn validation_rejects_fractional_bins() {
+        let mut cfg = ChipConfig::five_qubit_default();
+        cfg.demod_bin_s = 33e-9;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sample_time_is_linear() {
+        let cfg = ChipConfig::five_qubit_default();
+        assert!((cfg.sample_time(250) - 0.5e-6).abs() < 1e-15);
+    }
+}

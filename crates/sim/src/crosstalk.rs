@@ -1,0 +1,279 @@
+//! Readout-crosstalk model between frequency-multiplexed channels.
+//!
+//! When several qubits share one feedline, the state of qubit *j* perturbs the
+//! signal observed on qubit *q*'s channel (dispersive shifts pulling
+//! neighbouring resonators, finite isolation between tones). The model here is
+//! additive in the baseband: each aggressor contributes a shift proportional
+//! to its instantaneous normalized excitation, plus a weaker *pairwise*
+//! (nonlinear) term when two aggressors are excited simultaneously. The linear
+//! part can be compensated by a linear classifier over all matched-filter
+//! outputs; the pairwise part is what gives the neural network its measurable
+//! edge in the cross-fidelity study (paper Table 2).
+
+use crate::trace::IqPoint;
+
+/// Crosstalk coefficients for one victim/aggressor pair and the shared
+/// pairwise term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrosstalkModel {
+    n: usize,
+    /// `linear[victim][aggressor]`: baseband shift (absolute IQ units) applied
+    /// to the victim when the aggressor is fully excited. Diagonal is zero.
+    linear: Vec<Vec<IqPoint>>,
+    /// Direction and magnitude of the extra shift on victim `q` when a *pair*
+    /// of other qubits is simultaneously excited.
+    pairwise: Vec<IqPoint>,
+    /// Per-qubit aggressor strength entering the pairwise term (normalized
+    /// dispersive separation; a weakly coupled qubit contributes weakly).
+    pair_strength: Vec<f64>,
+    /// Extra multiplicative strength of the crosstalk during the ring-up
+    /// transient: the shift is scaled by `1 + boost · exp(−t/τ)`. Resonators
+    /// pull each other hardest while their fields are still building up,
+    /// which concentrates crosstalk in the early readout window — exactly
+    /// the window the relaxation matched filter projects onto, making the
+    /// RMF double as a crosstalk probe (paper §4.3.2's "additional
+    /// features").
+    transient_boost: f64,
+    /// Decay time of the transient boost, in seconds.
+    transient_tau_s: f64,
+}
+
+impl CrosstalkModel {
+    /// A crosstalk-free model for `n` qubits.
+    pub fn none(n: usize) -> Self {
+        CrosstalkModel {
+            n,
+            linear: vec![vec![IqPoint::ZERO; n]; n],
+            pairwise: vec![IqPoint::ZERO; n],
+            pair_strength: vec![1.0; n],
+            transient_boost: 0.0,
+            transient_tau_s: 1.0,
+        }
+    }
+
+    /// Builds a model from explicit coefficient matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `n × n` with `n == pairwise.len()`.
+    pub fn from_coefficients(linear: Vec<Vec<IqPoint>>, pairwise: Vec<IqPoint>) -> Self {
+        let n = linear.len();
+        assert!(linear.iter().all(|row| row.len() == n), "matrix must be square");
+        assert_eq!(pairwise.len(), n, "pairwise vector must have one entry per qubit");
+        CrosstalkModel {
+            n,
+            linear,
+            pairwise,
+            pair_strength: vec![1.0; n],
+            transient_boost: 0.0,
+            transient_tau_s: 1.0,
+        }
+    }
+
+    /// Default chain topology with unit aggressor strength: see
+    /// [`CrosstalkModel::chain_for_separations`], which is what the default
+    /// chips use. Kept for tests and for chips without per-qubit separation
+    /// information (all aggressors treated as unit-separation).
+    pub fn chain_default(n: usize) -> Self {
+        Self::chain_for_separations(&vec![2.5; n])
+    }
+
+    /// Chain topology where each aggressor's pull is proportional to its own
+    /// dispersive separation (a qubit that barely moves its own resonator
+    /// cannot move its neighbours' either). Relative couplings: 21 % of the
+    /// aggressor separation at chain distance 1, 7 % at distance 2, 1.5 %
+    /// farther; pairwise term 8.5 %. The shift direction is deterministic per
+    /// victim/aggressor pair so it has components both along and across each
+    /// victim's separation axis. The transient boost concentrates the shift
+    /// in the early window (2× extra at `t = 0`, τ = 200 ns).
+    pub fn chain_for_separations(separations: &[f64]) -> Self {
+        let n = separations.len();
+        let mut linear = vec![vec![IqPoint::ZERO; n]; n];
+        for (victim, row) in linear.iter_mut().enumerate() {
+            for (aggressor, c) in row.iter_mut().enumerate() {
+                if victim == aggressor {
+                    continue;
+                }
+                let dist = victim.abs_diff(aggressor);
+                let ratio = match dist {
+                    1 => 0.21,
+                    2 => 0.07,
+                    _ => 0.015,
+                };
+                let mag = ratio * separations[aggressor];
+                let angle = 0.9 * victim as f64 + 2.1 * aggressor as f64;
+                *c = IqPoint::new(mag, 0.0).rotate(angle);
+            }
+        }
+        let mean_sep = separations.iter().sum::<f64>() / n as f64;
+        let pairwise = (0..n)
+            .map(|q| IqPoint::new(0.085 * mean_sep, 0.0).rotate(1.3 * q as f64 + 0.4))
+            .collect();
+        CrosstalkModel {
+            n,
+            linear,
+            pairwise,
+            pair_strength: separations.iter().map(|s| s / mean_sep).collect(),
+            transient_boost: 2.0,
+            transient_tau_s: 200e-9,
+        }
+    }
+
+    /// Number of qubits the model is sized for.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Linear coefficient applied to `victim` per unit excitation of
+    /// `aggressor`.
+    pub fn linear_coeff(&self, victim: usize, aggressor: usize) -> IqPoint {
+        self.linear[victim][aggressor]
+    }
+
+    /// Time-dependent transient scale factor at `t` seconds into the window.
+    pub fn transient_scale(&self, t_s: f64) -> f64 {
+        1.0 + self.transient_boost * (-t_s / self.transient_tau_s).exp()
+    }
+
+    /// Instantaneous crosstalk shift on `victim` at time `t_s` (seconds into
+    /// the readout window) given every qubit's normalized excitation measure
+    /// `m` (0 = ground steady state, 1 = excited steady state; values in
+    /// between during ring-up or decay).
+    ///
+    /// The pairwise contribution sums `m_j · m_k` over all aggressor pairs;
+    /// the whole shift is scaled by the early-window transient factor.
+    pub fn shift_at(&self, victim: usize, m: &[f64], t_s: f64) -> IqPoint {
+        self.shift(victim, m) * self.transient_scale(t_s)
+    }
+
+    /// Steady-state crosstalk shift (no transient scaling); see
+    /// [`CrosstalkModel::shift_at`].
+    pub fn shift(&self, victim: usize, m: &[f64]) -> IqPoint {
+        debug_assert_eq!(m.len(), self.n);
+        let mut shift = IqPoint::ZERO;
+        for (aggressor, &mj) in m.iter().enumerate() {
+            if aggressor != victim && mj != 0.0 {
+                shift += self.linear[victim][aggressor] * mj;
+            }
+        }
+        let mut pair_sum = 0.0;
+        for j in 0..self.n {
+            if j == victim {
+                continue;
+            }
+            for k in (j + 1)..self.n {
+                if k == victim {
+                    continue;
+                }
+                pair_sum += m[j] * self.pair_strength[j] * m[k] * self.pair_strength[k];
+            }
+        }
+        shift + self.pairwise[victim] * pair_sum
+    }
+
+    /// Checks the model is sized for an `n`-qubit chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the dimension mismatch, if any.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if self.n != n {
+            return Err(format!("crosstalk model sized for {} qubits, chip has {n}", self.n));
+        }
+        for (v, row) in self.linear.iter().enumerate() {
+            if row[v] != IqPoint::ZERO {
+                return Err(format!("crosstalk diagonal for qubit {v} must be zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_produces_zero_shift() {
+        let xt = CrosstalkModel::none(3);
+        assert_eq!(xt.shift(0, &[1.0, 1.0, 1.0]), IqPoint::ZERO);
+    }
+
+    #[test]
+    fn chain_default_validates() {
+        CrosstalkModel::chain_default(5).validate(5).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_size() {
+        assert!(CrosstalkModel::chain_default(5).validate(4).is_err());
+    }
+
+    #[test]
+    fn shift_is_linear_in_single_aggressor() {
+        let xt = CrosstalkModel::chain_default(5);
+        let mut m = [0.0; 5];
+        m[2] = 1.0;
+        let full = xt.shift(1, &m);
+        m[2] = 0.5;
+        let half = xt.shift(1, &m);
+        assert!((full.i - 2.0 * half.i).abs() < 1e-12);
+        assert!((full.q - 2.0 * half.q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn own_state_does_not_shift_self() {
+        let xt = CrosstalkModel::chain_default(5);
+        let mut m = [0.0; 5];
+        m[1] = 1.0;
+        assert_eq!(xt.shift(1, &m), IqPoint::ZERO);
+    }
+
+    #[test]
+    fn adjacent_shift_exceeds_distant_shift() {
+        let xt = CrosstalkModel::chain_default(5);
+        let adj = xt.linear_coeff(2, 1).norm();
+        let far = xt.linear_coeff(2, 4).norm();
+        assert!(adj > far);
+    }
+
+    #[test]
+    fn pairwise_term_engages_with_two_aggressors() {
+        let xt = CrosstalkModel::chain_default(5);
+        let mut m = [0.0; 5];
+        m[0] = 1.0;
+        m[2] = 1.0;
+        let both = xt.shift(1, &m);
+        let lin = xt.linear_coeff(1, 0) + xt.linear_coeff(1, 2);
+        // Difference between the joint shift and the linear sum is exactly the
+        // pairwise contribution.
+        assert!((both - lin).norm() > 1e-6);
+    }
+
+    #[test]
+    fn transient_boosts_early_window() {
+        let xt = CrosstalkModel::chain_default(5);
+        let mut m = [0.0; 5];
+        m[0] = 1.0;
+        let early = xt.shift_at(1, &m, 0.0);
+        let late = xt.shift_at(1, &m, 1e-6);
+        assert!(early.norm() > 2.0 * late.norm());
+        // Late-window shift approaches the steady-state value.
+        assert!((late.norm() - xt.shift(1, &m).norm()).abs() < 0.05 * xt.shift(1, &m).norm());
+    }
+
+    #[test]
+    fn none_model_has_no_transient() {
+        let xt = CrosstalkModel::none(3);
+        assert_eq!(xt.transient_scale(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn from_coefficients_rejects_ragged_matrix() {
+        let _ = CrosstalkModel::from_coefficients(
+            vec![vec![IqPoint::ZERO; 2], vec![IqPoint::ZERO; 3]],
+            vec![IqPoint::ZERO; 2],
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Labeled shot generation: the synthetic counterpart of the paper's
+//! calibration dataset.
+//!
+//! The paper's dataset contains readout traces for all `2^5` basis states of
+//! the five-qubit chip (50 000 shots per state). [`Dataset::generate`]
+//! produces the same structure at a configurable scale: for every basis state
+//! and shot it samples per-qubit state paths (relaxation/excitation/init
+//! errors), evolves the resonator basebands, applies crosstalk, synthesizes
+//! the frequency-multiplexed ADC waveform, and records ground-truth event
+//! information for validating the semi-supervised relaxation labeling
+//! (Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ChipConfig;
+use crate::events::{sample_path, StatePath};
+use crate::multiplex::{synthesize, CarrierTable};
+use crate::noise::GaussianNoise;
+use crate::trace::{BasisState, IqPoint, IqTrace};
+use crate::trajectory::{baseband, excitation_measure};
+
+/// Ground-truth event record for one shot (not observable by discriminators;
+/// used to validate labeling algorithms and to compute oracle accuracies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotTruth {
+    /// State at the start of the window, after initialization errors.
+    pub initial: BasisState,
+    /// State at the end of the window, after any transitions.
+    pub final_state: BasisState,
+    /// Per-qubit relaxation times (seconds into the window), if the qubit
+    /// underwent a `1 → 0` transition during readout.
+    pub relaxation_time_s: Vec<Option<f64>>,
+    /// Per-qubit excitation times, if the qubit underwent a `0 → 1`
+    /// transition during readout.
+    pub excitation_time_s: Vec<Option<f64>>,
+}
+
+/// One labeled readout shot: the nominally prepared state plus the raw
+/// digitized ADC waveform of the shared feedline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shot {
+    /// The basis state the register was nominally prepared in (the label).
+    pub prepared: BasisState,
+    /// Raw quadrature-sampled ADC waveform (both channels, ADC rate).
+    pub raw: IqTrace,
+    /// Ground-truth events (hidden from discriminators).
+    pub truth: ShotTruth,
+}
+
+/// Index-based train/validation/test partition of a [`Dataset`].
+///
+/// Splits are stratified per prepared basis state, mirroring the paper's
+/// 9 750 / 5 250 / 35 000 split of each state's 50 000 traces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetSplit {
+    /// Indices of training shots.
+    pub train: Vec<usize>,
+    /// Indices of validation shots.
+    pub val: Vec<usize>,
+    /// Indices of test shots.
+    pub test: Vec<usize>,
+}
+
+/// A collection of labeled shots generated from one chip configuration.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration the shots were generated from.
+    pub config: ChipConfig,
+    /// All shots, grouped by prepared state (state-major order).
+    pub shots: Vec<Shot>,
+}
+
+impl Dataset {
+    /// Generates `shots_per_state` shots for each of the `2^n` basis states.
+    ///
+    /// Generation is deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ChipConfig::validate`].
+    pub fn generate(config: &ChipConfig, shots_per_state: usize, seed: u64) -> Dataset {
+        config.validate().expect("invalid chip configuration");
+        let carriers = CarrierTable::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.n_qubits();
+        let mut shots = Vec::with_capacity(shots_per_state << n);
+        for prepared in BasisState::all(n) {
+            for _ in 0..shots_per_state {
+                shots.push(generate_shot(config, &carriers, prepared, &mut rng));
+            }
+        }
+        Dataset {
+            config: config.clone(),
+            shots,
+        }
+    }
+
+    /// Number of qubits on the underlying chip.
+    pub fn n_qubits(&self) -> usize {
+        self.config.n_qubits()
+    }
+
+    /// Stratified split into train/validation/test index sets.
+    ///
+    /// Each prepared state's shots are shuffled (deterministically in `seed`)
+    /// and divided according to the two fractions; the remainder is the test
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac + val_frac > 1.0` or either fraction is negative.
+    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> DatasetSplit {
+        assert!(train_frac >= 0.0 && val_frac >= 0.0, "fractions must be non-negative");
+        assert!(train_frac + val_frac <= 1.0, "train + val fractions must not exceed 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_state: Vec<Vec<usize>> = Vec::new();
+        for (idx, shot) in self.shots.iter().enumerate() {
+            let s = shot.prepared.index();
+            if by_state.len() <= s {
+                by_state.resize_with(s + 1, Vec::new);
+            }
+            by_state[s].push(idx);
+        }
+        let mut split = DatasetSplit::default();
+        for mut group in by_state {
+            group.shuffle(&mut rng);
+            let n_train = (group.len() as f64 * train_frac).round() as usize;
+            let n_val = (group.len() as f64 * val_frac).round() as usize;
+            let n_val_end = (n_train + n_val).min(group.len());
+            split.train.extend_from_slice(&group[..n_train]);
+            split.val.extend_from_slice(&group[n_train..n_val_end]);
+            split.test.extend_from_slice(&group[n_val_end..]);
+        }
+        split
+    }
+
+    /// Borrows the shots at the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Vec<&Shot> {
+        indices.iter().map(|&i| &self.shots[i]).collect()
+    }
+}
+
+fn generate_shot<R: Rng + ?Sized>(
+    config: &ChipConfig,
+    carriers: &CarrierTable,
+    prepared: BasisState,
+    rng: &mut R,
+) -> Shot {
+    let n = config.n_qubits();
+    let n_samples = config.n_samples();
+    let times: Vec<f64> = (0..n_samples)
+        .map(|t| config.sample_time(t) + 0.5 / config.sample_rate_hz)
+        .collect();
+
+    // 1. Sample each qubit's state path.
+    let mut paths = Vec::with_capacity(n);
+    let mut initial = BasisState::new(0);
+    let mut final_state = BasisState::new(0);
+    let mut relaxation_time_s = Vec::with_capacity(n);
+    let mut excitation_time_s = Vec::with_capacity(n);
+    for (k, params) in config.qubits.iter().enumerate() {
+        let sampled = sample_path(params, prepared.qubit(k), config.readout_duration_s, rng);
+        initial = initial.with_qubit(k, sampled.path.initial_excited());
+        final_state = final_state.with_qubit(k, sampled.path.final_excited(config.readout_duration_s));
+        relaxation_time_s.push(sampled.path.relaxation_time());
+        excitation_time_s.push(match sampled.path {
+            StatePath::Excitation { time_s } => Some(time_s),
+            _ => None,
+        });
+        paths.push(sampled.path);
+    }
+
+    // 2. Evolve noiseless basebands and the excitation measures that drive
+    //    the crosstalk model.
+    let mut basebands: Vec<Vec<IqPoint>> = config
+        .qubits
+        .iter()
+        .zip(&paths)
+        .map(|(params, path)| baseband(params, path, &times))
+        .collect();
+    let measures: Vec<Vec<f64>> = config
+        .qubits
+        .iter()
+        .zip(&basebands)
+        .map(|(params, bb)| bb.iter().map(|&s| excitation_measure(params, s)).collect())
+        .collect();
+
+    // 3. Apply crosstalk shifts sample by sample.
+    let mut m = vec![0.0; n];
+    for t in 0..n_samples {
+        for (k, meas) in measures.iter().enumerate() {
+            m[k] = meas[t];
+        }
+        for (victim, bb) in basebands.iter_mut().enumerate() {
+            let shift = config.crosstalk.shift_at(victim, &m, times[t]);
+            bb[t] += shift;
+        }
+    }
+
+    // 4. Synthesize the multiplexed ADC waveform with additive noise.
+    let mut noise = GaussianNoise::new(config.adc_noise_sigma);
+    let raw = synthesize(carriers, &basebands, &mut noise, rng);
+
+    Shot {
+        prepared,
+        raw,
+        truth: ShotTruth {
+            initial,
+            final_state,
+            relaxation_time_s,
+            excitation_time_s,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        Dataset::generate(&ChipConfig::two_qubit_test(), 6, 99)
+    }
+
+    #[test]
+    fn generation_covers_all_states() {
+        let ds = small_dataset();
+        assert_eq!(ds.shots.len(), 6 * 4);
+        for s in BasisState::all(2) {
+            let count = ds.shots.iter().filter(|sh| sh.prepared == s).count();
+            assert_eq!(count, 6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let cfg = ChipConfig::two_qubit_test();
+        let a = Dataset::generate(&cfg, 3, 5);
+        let b = Dataset::generate(&cfg, 3, 5);
+        assert_eq!(a.shots, b.shots);
+        let c = Dataset::generate(&cfg, 3, 6);
+        assert_ne!(a.shots, c.shots);
+    }
+
+    #[test]
+    fn raw_traces_have_adc_length() {
+        let ds = small_dataset();
+        for shot in &ds.shots {
+            assert_eq!(shot.raw.len(), ds.config.n_samples());
+        }
+    }
+
+    #[test]
+    fn truth_tracks_prepared_state_mostly() {
+        // With default error rates the initial state should equal the
+        // prepared state in the overwhelming majority of shots.
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 50, 11);
+        let matching = ds
+            .shots
+            .iter()
+            .filter(|s| s.truth.initial == s.prepared)
+            .count();
+        assert!(matching as f64 / ds.shots.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn relaxation_truth_only_for_excited_preparations() {
+        let ds = small_dataset();
+        for shot in &ds.shots {
+            for (k, t) in shot.truth.relaxation_time_s.iter().enumerate() {
+                if t.is_some() {
+                    assert!(
+                        shot.truth.initial.qubit(k),
+                        "relaxation recorded for a qubit that started in ground"
+                    );
+                    assert!(!shot.truth.final_state.qubit(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_stratified_and_complete() {
+        let ds = Dataset::generate(&ChipConfig::two_qubit_test(), 10, 3);
+        let split = ds.split(0.2, 0.1, 7);
+        assert_eq!(split.train.len(), 4 * 2);
+        assert_eq!(split.val.len(), 4);
+        assert_eq!(split.test.len(), 40 - 8 - 4);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = small_dataset();
+        assert_eq!(ds.split(0.5, 0.2, 1), ds.split(0.5, 0.2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn split_rejects_oversubscription() {
+        let _ = small_dataset().split(0.8, 0.5, 0);
+    }
+
+    #[test]
+    fn subset_borrows_requested_shots() {
+        let ds = small_dataset();
+        let sub = ds.subset(&[0, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0].prepared, ds.shots[0].prepared);
+    }
+
+    #[test]
+    fn mtv_of_demixed_states_differs() {
+        // Sanity: the raw multiplexed waveform of |00> and |11> must differ
+        // substantially (different basebands on both tones).
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 4, 21);
+        let mean_raw = |state: BasisState| -> f64 {
+            let shots: Vec<_> = ds.shots.iter().filter(|s| s.prepared == state).collect();
+            shots
+                .iter()
+                .map(|s| s.raw.i().iter().map(|x| x * x).sum::<f64>())
+                .sum::<f64>()
+                / shots.len() as f64
+        };
+        let e00 = mean_raw(BasisState::new(0));
+        let e11 = mean_raw(BasisState::new(3));
+        assert!((e00 - e11).abs() > 1e-6);
+    }
+}

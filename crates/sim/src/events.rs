@@ -1,0 +1,221 @@
+//! Stochastic state-transition events during the readout window.
+//!
+//! Three error mechanisms change a qubit's *effective* state trajectory
+//! relative to its nominal preparation:
+//!
+//! * **initialization errors** — the qubit starts the window in the wrong
+//!   state;
+//! * **relaxation** — an excited qubit decays to the ground state after an
+//!   exponentially distributed time `t ~ Exp(T1)` (paper §3.3.1);
+//! * **readout-induced excitation** — the measurement tone spuriously excites
+//!   a ground-state qubit at a uniformly distributed time (paper §2.3).
+
+use rand::{Rng, RngExt};
+
+use crate::config::QubitParams;
+
+/// The resolved state path of one qubit over one readout window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatePath {
+    /// In the ground state for the whole window.
+    Ground,
+    /// In the excited state for the whole window.
+    Excited,
+    /// Excited until `time_s`, then relaxed to ground (a `1 → 0` transition).
+    Relaxation {
+        /// Transition time measured from the start of the window, in seconds.
+        time_s: f64,
+    },
+    /// Ground until `time_s`, then excited (a `0 → 1` transition).
+    Excitation {
+        /// Transition time measured from the start of the window, in seconds.
+        time_s: f64,
+    },
+}
+
+impl StatePath {
+    /// Whether the qubit is excited at time `t` (seconds into the window).
+    pub fn excited_at(&self, t: f64) -> bool {
+        match *self {
+            StatePath::Ground => false,
+            StatePath::Excited => true,
+            StatePath::Relaxation { time_s } => t < time_s,
+            StatePath::Excitation { time_s } => t >= time_s,
+        }
+    }
+
+    /// The state at the start of the window.
+    pub fn initial_excited(&self) -> bool {
+        self.excited_at(0.0)
+    }
+
+    /// The state at the end of a window of length `duration_s`.
+    pub fn final_excited(&self, duration_s: f64) -> bool {
+        self.excited_at(duration_s)
+    }
+
+    /// The relaxation time, if this path contains a `1 → 0` transition.
+    pub fn relaxation_time(&self) -> Option<f64> {
+        match *self {
+            StatePath::Relaxation { time_s } => Some(time_s),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of sampling one qubit's events for one shot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledPath {
+    /// The resolved state path.
+    pub path: StatePath,
+    /// Whether an initialization error flipped the starting state away from
+    /// the nominal preparation.
+    pub init_error: bool,
+}
+
+/// Samples the state path of one qubit prepared in `prepared_excited` over a
+/// window of `duration_s` seconds.
+///
+/// Initialization errors are applied first; the (possibly flipped) initial
+/// state then determines which transition mechanism can fire. At most one
+/// transition occurs per window — double transitions (`1→0→1`) have
+/// probability `O(p²)` and are neglected, as in the paper's Algorithm 1
+/// assumptions.
+pub fn sample_path<R: Rng + ?Sized>(
+    params: &QubitParams,
+    prepared_excited: bool,
+    duration_s: f64,
+    rng: &mut R,
+) -> SampledPath {
+    let init_error = rng.random::<f64>() < params.init_error_prob;
+    let initial_excited = prepared_excited ^ init_error;
+    let path = if initial_excited {
+        // Exponential relaxation: inverse-CDF sampling.
+        let u: f64 = rng.random();
+        // `u` is in [0, 1); guard the log anyway for pathological RNGs.
+        let t = -params.t1_s * (1.0 - u).max(f64::MIN_POSITIVE).ln();
+        if t < duration_s {
+            StatePath::Relaxation { time_s: t }
+        } else {
+            StatePath::Excited
+        }
+    } else if rng.random::<f64>() < params.excitation_prob {
+        StatePath::Excitation {
+            time_s: rng.random::<f64>() * duration_s,
+        }
+    } else {
+        StatePath::Ground
+    };
+    SampledPath { path, init_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q0() -> QubitParams {
+        ChipConfig::five_qubit_default().qubits[0].clone()
+    }
+
+    #[test]
+    fn ground_path_is_never_excited() {
+        let p = StatePath::Ground;
+        assert!(!p.excited_at(0.0) && !p.excited_at(1.0));
+        assert!(p.relaxation_time().is_none());
+    }
+
+    #[test]
+    fn relaxation_path_switches_state() {
+        let p = StatePath::Relaxation { time_s: 0.5e-6 };
+        assert!(p.excited_at(0.4e-6));
+        assert!(!p.excited_at(0.6e-6));
+        assert!(p.initial_excited());
+        assert!(!p.final_excited(1e-6));
+        assert_eq!(p.relaxation_time(), Some(0.5e-6));
+    }
+
+    #[test]
+    fn excitation_path_switches_state() {
+        let p = StatePath::Excitation { time_s: 0.3e-6 };
+        assert!(!p.excited_at(0.2e-6));
+        assert!(p.excited_at(0.3e-6));
+        assert!(p.final_excited(1e-6));
+    }
+
+    #[test]
+    fn relaxation_fraction_matches_t1() {
+        let params = q0(); // T1 = 22.7 µs over a 1 µs window → ~4.3 %.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let relaxed = (0..n)
+            .filter(|_| {
+                matches!(
+                    sample_path(&params, true, 1e-6, &mut rng).path,
+                    StatePath::Relaxation { .. }
+                )
+            })
+            .count();
+        let frac = relaxed as f64 / n as f64;
+        let expected = 1.0 - (-1e-6f64 / params.t1_s).exp();
+        assert!(
+            (frac - expected).abs() < 0.004,
+            "relaxation fraction {frac} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn relaxation_times_are_early_biased() {
+        // For Exp(T1) truncated to a window much shorter than T1, transition
+        // times are nearly uniform; their mean must be < 60 % of the window.
+        let params = q0();
+        let mut rng = StdRng::seed_from_u64(6);
+        let times: Vec<f64> = (0..200_000)
+            .filter_map(|_| sample_path(&params, true, 1e-6, &mut rng).path.relaxation_time())
+            .collect();
+        assert!(!times.is_empty());
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!(mean > 0.3e-6 && mean < 0.6e-6, "mean relaxation time {mean}");
+        assert!(times.iter().all(|&t| (0.0..1e-6).contains(&t)));
+    }
+
+    #[test]
+    fn ground_preparation_rarely_excites() {
+        let params = q0(); // excitation_prob = 0.4 %.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let excited = (0..n)
+            .filter(|_| {
+                matches!(
+                    sample_path(&params, false, 1e-6, &mut rng).path,
+                    StatePath::Excitation { .. }
+                )
+            })
+            .count();
+        let frac = excited as f64 / n as f64;
+        assert!((frac - params.excitation_prob).abs() < 0.002, "excitation fraction {frac}");
+    }
+
+    #[test]
+    fn init_errors_flip_starting_state() {
+        let mut params = q0();
+        params.init_error_prob = 1.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = sample_path(&params, true, 1e-6, &mut rng);
+        assert!(s.init_error);
+        assert!(!s.path.initial_excited());
+    }
+
+    #[test]
+    fn zero_error_probabilities_are_deterministic_for_ground() {
+        let mut params = q0();
+        params.init_error_prob = 0.0;
+        params.excitation_prob = 0.0;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sample_path(&params, false, 1e-6, &mut rng).path, StatePath::Ground);
+        }
+    }
+}

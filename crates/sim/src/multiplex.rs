@@ -1,0 +1,186 @@
+//! Frequency-multiplexed waveform synthesis.
+//!
+//! All qubits on a feedline are read out through the same physical channel:
+//! each qubit's baseband signal `s_q(t)` rides on its own intermediate
+//! frequency `ω_q`, and the ADC digitizes the quadrature-sampled sum
+//!
+//! ```text
+//! S(t) = Σ_q s_q(t) · e^{i ω_q t},    I(t) = Re S(t),   Q(t) = Im S(t).
+//! ```
+//!
+//! The carrier phasors are precomputed once per configuration in a
+//! [`CarrierTable`]; the same table is reused by the demodulator in
+//! `readout-dsp`, guaranteeing synthesis and demodulation agree on phases.
+
+use rand::Rng;
+
+use crate::config::ChipConfig;
+use crate::noise::GaussianNoise;
+use crate::trace::{IqPoint, IqTrace};
+
+/// Precomputed carrier phasors `e^{i ω_q t}` for every qubit and raw sample.
+#[derive(Debug, Clone)]
+pub struct CarrierTable {
+    /// `phasors[qubit][sample] = (cos ω_q t, sin ω_q t)`.
+    phasors: Vec<Vec<(f64, f64)>>,
+}
+
+impl CarrierTable {
+    /// Builds the table for a chip configuration.
+    pub fn new(config: &ChipConfig) -> Self {
+        let n_samples = config.n_samples();
+        let phasors = config
+            .qubits
+            .iter()
+            .map(|q| {
+                (0..n_samples)
+                    .map(|t| {
+                        let phase = 2.0 * std::f64::consts::PI * q.if_freq_hz
+                            * config.sample_time(t);
+                        let (s, c) = phase.sin_cos();
+                        (c, s)
+                    })
+                    .collect()
+            })
+            .collect();
+        CarrierTable { phasors }
+    }
+
+    /// The phasor of `qubit` at raw sample `t` as `(cos, sin)`.
+    pub fn phasor(&self, qubit: usize, t: usize) -> (f64, f64) {
+        self.phasors[qubit][t]
+    }
+
+    /// Number of qubits covered by the table.
+    pub fn n_qubits(&self) -> usize {
+        self.phasors.len()
+    }
+
+    /// Number of raw samples covered by the table.
+    pub fn n_samples(&self) -> usize {
+        self.phasors.first().map_or(0, Vec::len)
+    }
+}
+
+/// Synthesizes the raw ADC trace from per-qubit baseband signals, adding
+/// white Gaussian noise of deviation `noise.sigma()` to each channel sample.
+///
+/// `basebands[q][t]` is qubit `q`'s (crosstalk-shifted) baseband field at raw
+/// sample `t`.
+///
+/// # Panics
+///
+/// Panics if the baseband dimensions do not match the carrier table.
+pub fn synthesize<R: Rng + ?Sized>(
+    carriers: &CarrierTable,
+    basebands: &[Vec<IqPoint>],
+    noise: &mut GaussianNoise,
+    rng: &mut R,
+) -> IqTrace {
+    assert_eq!(basebands.len(), carriers.n_qubits(), "one baseband per qubit required");
+    let n = carriers.n_samples();
+    let mut i_ch = vec![0.0; n];
+    let mut q_ch = vec![0.0; n];
+    for (q, bb) in basebands.iter().enumerate() {
+        assert_eq!(bb.len(), n, "baseband length must match carrier table");
+        for (t, s) in bb.iter().enumerate() {
+            let (c, sn) = carriers.phasor(q, t);
+            // (s.i + i s.q) · (c + i sn)
+            i_ch[t] += s.i * c - s.q * sn;
+            q_ch[t] += s.i * sn + s.q * c;
+        }
+    }
+    for t in 0..n {
+        i_ch[t] += noise.sample(rng);
+        q_ch[t] += noise.sample(rng);
+    }
+    IqTrace::new(i_ch, q_ch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carrier_table_has_unit_phasors() {
+        let cfg = ChipConfig::five_qubit_default();
+        let table = CarrierTable::new(&cfg);
+        assert_eq!(table.n_qubits(), 5);
+        assert_eq!(table.n_samples(), 500);
+        for q in 0..5 {
+            for t in (0..500).step_by(37) {
+                let (c, s) = table.phasor(q, t);
+                assert!((c * c + s * s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn carriers_complete_integer_cycles_per_bin() {
+        // IFs are multiples of 20 MHz = 1 / 50 ns, so the phasor at the start
+        // of every bin equals the phasor at t = 0.
+        let cfg = ChipConfig::five_qubit_default();
+        let table = CarrierTable::new(&cfg);
+        let spb = cfg.samples_per_bin();
+        for q in 0..5 {
+            let (c0, s0) = table.phasor(q, 0);
+            for bin in 1..cfg.n_bins() {
+                let (c, s) = table.phasor(q, bin * spb);
+                assert!((c - c0).abs() < 1e-9 && (s - s0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_of_single_constant_tone() {
+        // A single qubit with constant baseband (1, 0) must synthesize exactly
+        // its carrier.
+        let mut cfg = ChipConfig::five_qubit_default();
+        cfg.qubits.truncate(1);
+        let table = CarrierTable::new(&cfg);
+        let bb = vec![vec![IqPoint::new(1.0, 0.0); cfg.n_samples()]];
+        let mut noise = GaussianNoise::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let raw = synthesize(&table, &bb, &mut noise, &mut rng);
+        for t in 0..cfg.n_samples() {
+            let (c, s) = table.phasor(0, t);
+            assert!((raw.i()[t] - c).abs() < 1e-12);
+            assert!((raw.q()[t] - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_additive_across_qubits() {
+        let cfg = {
+            let mut c = ChipConfig::five_qubit_default();
+            c.qubits.truncate(2);
+            c
+        };
+        let table = CarrierTable::new(&cfg);
+        let n = cfg.n_samples();
+        let bb0 = vec![vec![IqPoint::new(0.7, -0.2); n], vec![IqPoint::ZERO; n]];
+        let bb1 = vec![vec![IqPoint::ZERO; n], vec![IqPoint::new(-0.1, 0.9); n]];
+        let bb_both = vec![bb0[0].clone(), bb1[1].clone()];
+        let mut noise = GaussianNoise::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let r0 = synthesize(&table, &bb0, &mut noise, &mut rng);
+        let r1 = synthesize(&table, &bb1, &mut noise, &mut rng);
+        let rb = synthesize(&table, &bb_both, &mut noise, &mut rng);
+        for t in 0..n {
+            assert!((rb.i()[t] - r0.i()[t] - r1.i()[t]).abs() < 1e-12);
+            assert!((rb.q()[t] - r0.q()[t] - r1.q()[t]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one baseband per qubit")]
+    fn synthesis_rejects_wrong_qubit_count() {
+        let cfg = ChipConfig::five_qubit_default();
+        let table = CarrierTable::new(&cfg);
+        let mut noise = GaussianNoise::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = synthesize(&table, &[], &mut noise, &mut rng);
+    }
+}

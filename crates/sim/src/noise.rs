@@ -1,0 +1,124 @@
+//! Gaussian noise generation for the simulated amplifier chain.
+//!
+//! The readout chain (HEMT + room-temperature amplifiers) adds noise that is
+//! well modelled as white and Gaussian on both quadratures. `rand` does not
+//! ship a normal distribution, so we implement the Marsaglia polar method.
+
+use rand::{Rng, RngExt};
+
+/// A buffered standard-normal sampler (Marsaglia polar method).
+///
+/// Each call to [`GaussianNoise::sample`] returns `N(0, sigma²)`.
+///
+/// ```
+/// use readout_sim::GaussianNoise;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut noise = GaussianNoise::new(2.0);
+/// let x = noise.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a sampler with standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative");
+        GaussianNoise { sigma, spare: None }
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one `N(0, sigma²)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.sigma * self.standard(rng)
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(sigma: f64, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = GaussianNoise::new(sigma);
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn samples_have_requested_moments() {
+        let (mean, var) = moments(2.0, 200_000);
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 4.0).abs() < 0.1, "variance {var} too far from 4");
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = GaussianNoise::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = GaussianNoise::new(1.0);
+            (0..5).map(|_| g.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = GaussianNoise::new(-1.0);
+    }
+
+    #[test]
+    fn tail_fraction_is_plausible() {
+        // ~4.55 % of standard-normal mass lies beyond 2 sigma.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = GaussianNoise::new(1.0);
+        let n = 100_000;
+        let beyond = (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count();
+        let frac = beyond as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.005, "tail fraction {frac}");
+    }
+}

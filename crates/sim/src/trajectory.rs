@@ -1,0 +1,176 @@
+//! Noiseless baseband trajectory of a readout resonator.
+//!
+//! The resonator field follows first-order (κ-limited) dynamics toward a
+//! qubit-state-dependent steady-state point:
+//!
+//! ```text
+//! s(t) = target + (s(t₀) − target) · exp(−(t − t₀)/τ)
+//! ```
+//!
+//! where `target` switches between the ground and excited steady-state points
+//! whenever the qubit's [`StatePath`] transitions. The field starts at the
+//! origin (no drive before the window), producing the ring-up arcs of the
+//! paper's Fig. 3(a); a mid-window relaxation produces the characteristic
+//! excited-then-decaying traces of Fig. 8(b) that the relaxation matched
+//! filter detects.
+
+use crate::config::QubitParams;
+use crate::events::StatePath;
+use crate::trace::IqPoint;
+
+/// Evaluates the noiseless baseband field of one qubit at the given sample
+/// times, returning one [`IqPoint`] per time.
+///
+/// `times_s` must be non-decreasing (checked in debug builds only).
+pub fn baseband(params: &QubitParams, path: &StatePath, times_s: &[f64]) -> Vec<IqPoint> {
+    let mut out = Vec::with_capacity(times_s.len());
+    // Piecewise-exponential evolution; state changes at most once per window.
+    let mut s = IqPoint::ZERO;
+    let mut t_prev = 0.0;
+    let transition = match *path {
+        StatePath::Relaxation { time_s } | StatePath::Excitation { time_s } => Some(time_s),
+        _ => None,
+    };
+    for &t in times_s {
+        debug_assert!(t >= t_prev, "sample times must be non-decreasing");
+        // If the transition falls inside (t_prev, t], advance to the
+        // transition point first so the exponential restarts from there.
+        if let Some(tt) = transition {
+            if t_prev < tt && tt <= t {
+                s = step(params, path, s, t_prev, tt);
+                t_prev = tt;
+            }
+        }
+        s = step(params, path, s, t_prev, t);
+        t_prev = t;
+        out.push(s);
+    }
+    out
+}
+
+/// Normalized excitation measure of a baseband point: the projection of the
+/// displacement from the ground steady state onto the separation axis,
+/// in units of the full separation (≈0 when ground, ≈1 when excited).
+///
+/// Used by the crosstalk model to scale aggressor contributions.
+pub fn excitation_measure(params: &QubitParams, s: IqPoint) -> f64 {
+    let d = params.separation();
+    if d == 0.0 {
+        return 0.0;
+    }
+    let dir = params.separation_dir();
+    let rel = s - params.ground_ss;
+    (rel.i * dir.i + rel.q * dir.q) / d
+}
+
+fn step(params: &QubitParams, path: &StatePath, s: IqPoint, t0: f64, t1: f64) -> IqPoint {
+    if t1 <= t0 {
+        return s;
+    }
+    // Target during (t0, t1]: determined by the state just after t0 (the
+    // caller splits intervals at the transition time).
+    let excited = path.excited_at(t0 + 0.5 * (t1 - t0));
+    let target = if excited { params.excited_ss } else { params.ground_ss };
+    let decay = (-(t1 - t0) / params.ringup_tau_s).exp();
+    target + (s - target) * decay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+
+    fn q(k: usize) -> QubitParams {
+        ChipConfig::five_qubit_default().qubits[k].clone()
+    }
+
+    fn uniform_times(n: usize, dt: f64) -> Vec<f64> {
+        (1..=n).map(|k| k as f64 * dt).collect()
+    }
+
+    #[test]
+    fn ground_trace_rings_up_to_ground_point() {
+        let params = q(0);
+        let times = uniform_times(500, 2e-9);
+        let tr = baseband(&params, &StatePath::Ground, &times);
+        let last = *tr.last().unwrap();
+        // 1 µs ≫ τ = 140 ns → essentially settled.
+        assert!(last.distance(params.ground_ss) < 1e-3 * params.ground_ss.norm().max(1.0));
+    }
+
+    #[test]
+    fn excited_trace_rings_up_to_excited_point() {
+        let params = q(0);
+        let times = uniform_times(500, 2e-9);
+        let tr = baseband(&params, &StatePath::Excited, &times);
+        assert!(tr.last().unwrap().distance(params.excited_ss) < 1e-3);
+    }
+
+    #[test]
+    fn ringup_is_monotone_toward_target() {
+        let params = q(0);
+        let times = uniform_times(100, 2e-9);
+        let tr = baseband(&params, &StatePath::Ground, &times);
+        let mut prev = IqPoint::ZERO.distance(params.ground_ss);
+        for p in tr {
+            let d = p.distance(params.ground_ss);
+            assert!(d <= prev + 1e-12, "distance to target must shrink");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn relaxation_trace_ends_at_ground() {
+        let params = q(0);
+        let times = uniform_times(500, 2e-9);
+        let path = StatePath::Relaxation { time_s: 0.3e-6 };
+        let tr = baseband(&params, &path, &times);
+        // 0.7 µs of ring-down at τ = 140 ns leaves exp(-5) ≈ 0.7 % of the
+        // separation.
+        assert!(tr.last().unwrap().distance(params.ground_ss) < 0.02);
+        // At 0.29 µs (τ-settled from t=0) the trace must be near the excited
+        // point.
+        let idx = (0.29e-6 / 2e-9) as usize;
+        assert!(tr[idx].distance(params.excited_ss) < 0.2 * params.separation() + 0.05);
+    }
+
+    #[test]
+    fn relaxation_trace_differs_from_both_pure_traces() {
+        let params = q(0);
+        let times = uniform_times(500, 2e-9);
+        let relax = baseband(&params, &StatePath::Relaxation { time_s: 0.5e-6 }, &times);
+        let ground = baseband(&params, &StatePath::Ground, &times);
+        let excited = baseband(&params, &StatePath::Excited, &times);
+        let dist = |a: &[IqPoint], b: &[IqPoint]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| x.distance(*y)).sum::<f64>()
+        };
+        assert!(dist(&relax, &ground) > 1.0);
+        assert!(dist(&relax, &excited) > 1.0);
+    }
+
+    #[test]
+    fn transition_inside_a_coarse_step_is_honoured() {
+        // Even with a single sample after the transition, the trace must land
+        // between the two steady states, not at the excited point.
+        let params = q(0);
+        let path = StatePath::Relaxation { time_s: 0.5e-6 };
+        let tr = baseband(&params, &path, &[1.0e-6]);
+        let d_ground = tr[0].distance(params.ground_ss);
+        let d_excited = tr[0].distance(params.excited_ss);
+        assert!(d_ground < d_excited, "late sample should be closer to ground");
+    }
+
+    #[test]
+    fn excitation_measure_endpoints() {
+        let params = q(2);
+        assert!(excitation_measure(&params, params.ground_ss).abs() < 1e-12);
+        assert!((excitation_measure(&params, params.excited_ss) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excitation_measure_zero_separation_is_zero() {
+        let mut params = q(0);
+        params.excited_ss = params.ground_ss;
+        assert_eq!(excitation_measure(&params, IqPoint::new(3.0, 4.0)), 0.0);
+    }
+}

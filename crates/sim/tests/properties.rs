@@ -1,0 +1,81 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use proptest::prelude::*;
+use readout_sim::config::QubitParams;
+use readout_sim::events::StatePath;
+use readout_sim::trace::{BasisState, IqPoint, IqTrace};
+use readout_sim::trajectory::{baseband, excitation_measure};
+use readout_sim::ChipConfig;
+
+fn arb_point() -> impl Strategy<Value = IqPoint> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(i, q)| IqPoint::new(i, q))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rotation_preserves_norm(p in arb_point(), theta in -10.0..10.0f64) {
+        let r = p.rotate(theta);
+        prop_assert!((r.norm() - p.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_composes(p in arb_point(), a in -3.0..3.0f64, b in -3.0..3.0f64) {
+        let seq = p.rotate(a).rotate(b);
+        let joint = p.rotate(a + b);
+        prop_assert!(seq.distance(joint) < 1e-9);
+    }
+
+    #[test]
+    fn mtv_is_bounded_by_extremes(vals in proptest::collection::vec(-50.0..50.0f64, 1..40)) {
+        let tr = IqTrace::new(vals.clone(), vals.clone());
+        let mtv = tr.mtv();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mtv.i >= lo - 1e-12 && mtv.i <= hi + 1e-12);
+    }
+
+    #[test]
+    fn truncation_never_lengthens(vals in proptest::collection::vec(-1.0..1.0f64, 0..30), n in 0usize..40) {
+        let tr = IqTrace::new(vals.clone(), vals);
+        prop_assert!(tr.truncated(n).len() <= tr.len());
+        prop_assert_eq!(tr.truncated(n).len(), n.min(tr.len()));
+    }
+
+    #[test]
+    fn basis_state_qubit_roundtrip(bits in 0u32..(1 << 12), q in 0usize..12, v in any::<bool>()) {
+        let s = BasisState::new(bits).with_qubit(q, v);
+        prop_assert_eq!(s.qubit(q), v);
+    }
+
+    #[test]
+    fn hamming_distance_is_metric(a in 0u32..1024, b in 0u32..1024, c in 0u32..1024) {
+        let (sa, sb, sc) = (BasisState::new(a), BasisState::new(b), BasisState::new(c));
+        prop_assert_eq!(sa.hamming_distance(sb), sb.hamming_distance(sa));
+        prop_assert_eq!(sa.hamming_distance(sa), 0);
+        prop_assert!(sa.hamming_distance(sc) <= sa.hamming_distance(sb) + sb.hamming_distance(sc));
+    }
+
+    #[test]
+    fn trajectory_stays_within_hull(t_relax in 1e-9..0.9e-6f64) {
+        // Baseband points never exceed the farthest steady-state magnitude
+        // (the dynamics are contractions toward the targets).
+        let params: QubitParams = ChipConfig::five_qubit_default().qubits[0].clone();
+        let times: Vec<f64> = (0..100).map(|k| k as f64 * 1e-8).collect();
+        let path = StatePath::Relaxation { time_s: t_relax };
+        let limit = params.ground_ss.norm().max(params.excited_ss.norm()) + 1e-9;
+        for p in baseband(&params, &path, &times) {
+            prop_assert!(p.norm() <= limit, "point {p} outside hull");
+        }
+    }
+
+    #[test]
+    fn excitation_measure_is_affine_calibrated(alpha in 0.0..1.0f64) {
+        // Points on the ground→excited segment measure exactly their mix.
+        let params = ChipConfig::five_qubit_default().qubits[2].clone();
+        let p = params.ground_ss + (params.excited_ss - params.ground_ss) * alpha;
+        let m = excitation_measure(&params, p);
+        prop_assert!((m - alpha).abs() < 1e-9);
+    }
+}

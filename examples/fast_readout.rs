@@ -1,0 +1,58 @@
+//! Fast readout without retraining (paper §5): train once on the full 1 µs
+//! window, then discriminate progressively shorter traces, including
+//! per-qubit asymmetric durations for mid-circuit-measurement scheduling.
+//!
+//! Run with `cargo run --release --example fast_readout`.
+
+use herqles::core::designs::DesignKind;
+use herqles::core::duration::{
+    evaluate_truncated, evaluate_truncated_per_qubit, shortest_saturating_duration,
+};
+use herqles::core::trainer::ReadoutTrainer;
+use herqles::sim::{ChipConfig, Dataset};
+
+fn main() {
+    let config = ChipConfig::five_qubit_default();
+    println!("generating dataset…");
+    let dataset = Dataset::generate(&config, 200, 9);
+    let split = dataset.split(0.3, 0.0, 3);
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    println!("training mf-rmf-nn once, on the full window…");
+    let disc = trainer.train(DesignKind::MfRmfNn);
+
+    // Uniform duration sweep: no retraining anywhere.
+    let bin_ns = config.demod_bin_s * 1e9;
+    println!("\nduration sweep (train once, evaluate truncated):");
+    for bins in [20usize, 16, 12, 8, 4] {
+        let result = evaluate_truncated(disc.as_ref(), &dataset, &split.test, bins)
+            .expect("filter designs support truncation");
+        println!(
+            "  {:>4.0} ns: F5Q = {:.3}",
+            bins as f64 * bin_ns,
+            result.cumulative_accuracy()
+        );
+    }
+
+    // The paper's §5.2 search: shortest duration whose accuracy saturates.
+    let point = shortest_saturating_duration(disc.as_ref(), &dataset, &split.test, 0.01);
+    println!(
+        "\nshortest saturating duration: {:.0} ns (F5Q {:.3})",
+        point.duration_s * 1e9,
+        point.result.cumulative_accuracy()
+    );
+
+    // Asymmetric budgets: read the ancilla-like fastest qubit (qubit 5) at
+    // half duration, keep the rest at full length.
+    let budgets = vec![20, 20, 20, 20, 10];
+    let result = evaluate_truncated_per_qubit(disc.as_ref(), &dataset, &split.test, &budgets)
+        .expect("filter designs support truncation");
+    println!(
+        "asymmetric (qubit 5 at 500 ns): per-qubit {:?} F5Q {:.3}",
+        result
+            .per_qubit_accuracy()
+            .iter()
+            .map(|a| format!("{a:.3}"))
+            .collect::<Vec<_>>(),
+        result.cumulative_accuracy()
+    );
+}

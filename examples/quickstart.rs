@@ -1,0 +1,43 @@
+//! Quickstart: generate a readout dataset, train the HERQULES discriminator,
+//! and measure its accuracy.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use herqles::core::designs::DesignKind;
+use herqles::core::metrics::evaluate;
+use herqles::core::trainer::ReadoutTrainer;
+use herqles::sim::{ChipConfig, Dataset};
+
+fn main() {
+    // 1. A five-qubit frequency-multiplexed chip (the paper's setup shape:
+    //    500 MS/s ADC, 1 µs readout, one poorly separated qubit).
+    let config = ChipConfig::five_qubit_default();
+
+    // 2. Synthesize labeled calibration shots for all 32 basis states.
+    println!("generating dataset…");
+    let dataset = Dataset::generate(&config, 200, 42);
+    let split = dataset.split(0.3, 0.0, 7);
+
+    // 3. Train the flagship mf-rmf-nn design: matched filters + relaxation
+    //    matched filters + a small neural network.
+    println!("training mf-rmf-nn on {} shots…", split.train.len());
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    let herqules = trainer.train(DesignKind::MfRmfNn);
+
+    // 4. Evaluate single-shot assignment fidelity on held-out shots.
+    let result = evaluate(herqules.as_ref(), &dataset, &split.test);
+    println!("\nper-qubit accuracy:");
+    for (q, acc) in result.per_qubit_accuracy().iter().enumerate() {
+        println!("  qubit {}: {:.3}", q + 1, acc);
+    }
+    println!("cumulative accuracy (F5Q): {:.3}", result.cumulative_accuracy());
+
+    // 5. Discriminate a single fresh shot, as the FPGA would.
+    let shot = &dataset.shots[split.test[0]];
+    let state = herqules.discriminate(&shot.raw);
+    println!(
+        "\nshot prepared as {} read out as {}",
+        shot.prepared.to_bit_string(5),
+        state.to_bit_string(5)
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration tests for readout-duration reduction (paper §5): trained-once
+//! discriminators evaluated at shorter windows.
+
+use herqles::core::designs::DesignKind;
+use herqles::core::duration::{
+    evaluate_truncated, evaluate_truncated_per_qubit, shortest_saturating_duration,
+    sweep_durations,
+};
+use herqles::core::trainer::{ReadoutTrainer, TrainerConfig};
+use herqles::nn::net::TrainConfig;
+use herqles::sim::{ChipConfig, Dataset};
+
+fn setup() -> (Dataset, Vec<usize>, Vec<usize>) {
+    let config = ChipConfig::two_qubit_test();
+    let dataset = Dataset::generate(&config, 80, 4242);
+    let split = dataset.split(0.4, 0.0, 9);
+    (dataset, split.train, split.test)
+}
+
+fn quick_config() -> TrainerConfig {
+    TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 40,
+            ..TrainerConfig::default().nn_train
+        },
+        baseline_train: TrainConfig {
+            epochs: 4,
+            ..TrainerConfig::default().baseline_train
+        },
+        ..TrainerConfig::default()
+    }
+}
+
+#[test]
+fn accuracy_degrades_gracefully_with_duration() {
+    let (dataset, train, test) = setup();
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
+    let disc = trainer.train(DesignKind::MfRmfNn);
+    let sweep = sweep_durations(disc.as_ref(), &dataset, &test, &[2, 6, 12, 20]);
+    let accs: Vec<f64> = sweep.iter().map(|p| p.result.cumulative_accuracy()).collect();
+    // Longest duration must beat the shortest decisively.
+    assert!(
+        accs[3] > accs[0] + 0.02,
+        "no duration benefit: {accs:?}"
+    );
+    // Mid durations must already be useful (above chance).
+    assert!(accs[1] > 0.6, "6-bin accuracy too low: {accs:?}");
+}
+
+#[test]
+fn shortest_saturating_duration_is_below_full_window() {
+    let (dataset, train, test) = setup();
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
+    let disc = trainer.train(DesignKind::Mf);
+    let point = shortest_saturating_duration(disc.as_ref(), &dataset, &test, 0.02);
+    assert!(point.bins < dataset.config.n_bins(), "no saturation found");
+    let full = evaluate_truncated(disc.as_ref(), &dataset, &test, dataset.config.n_bins())
+        .expect("mf supports truncation");
+    assert!(
+        point.result.cumulative_accuracy() >= full.cumulative_accuracy() - 0.02,
+        "saturating point violates tolerance"
+    );
+}
+
+#[test]
+fn per_qubit_budgets_only_affect_their_qubit_substantially() {
+    let (dataset, train, test) = setup();
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
+    let disc = trainer.train(DesignKind::Mf);
+    let full = evaluate_truncated_per_qubit(disc.as_ref(), &dataset, &test, &[20, 20]).unwrap();
+    let cut0 = evaluate_truncated_per_qubit(disc.as_ref(), &dataset, &test, &[3, 20]).unwrap();
+    // Qubit 1 keeps its full-duration accuracy when only qubit 0 is cut
+    // (the mf design has no cross-qubit coupling).
+    assert!(
+        (cut0.qubit_accuracy(1) - full.qubit_accuracy(1)).abs() < 0.01,
+        "cutting qubit 0 changed qubit 1: {} vs {}",
+        cut0.qubit_accuracy(1),
+        full.qubit_accuracy(1)
+    );
+    // Qubit 0 must lose accuracy.
+    assert!(cut0.qubit_accuracy(0) < full.qubit_accuracy(0) + 1e-9);
+}
+
+#[test]
+fn baseline_cannot_run_truncated_but_filters_can() {
+    let (dataset, train, test) = setup();
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
+    let baseline = trainer.train(DesignKind::BaselineFnn);
+    assert!(evaluate_truncated(baseline.as_ref(), &dataset, &test, 10).is_none());
+    for kind in [DesignKind::Mf, DesignKind::MfSvm, DesignKind::MfNn, DesignKind::Centroid] {
+        let disc = trainer.train(kind);
+        assert!(
+            evaluate_truncated(disc.as_ref(), &dataset, &test, 10).is_some(),
+            "{kind} must support truncation"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use herqles::classifiers::ThresholdDiscriminator;
+use herqles::dsp::filters::MatchedFilter;
+use herqles::dsp::boxcar_filter;
+use herqles::nisq::fidelity::total_variation_distance;
+use herqles::nisq::{Circuit, Gate};
+use herqles::nn::matrix::Matrix;
+use herqles::nn::loss::softmax;
+use herqles::qec::decoder::decode_block;
+use herqles::qec::syndrome::{DetectionEvent, SyndromeBlock};
+use herqles::qec::RotatedSurfaceCode;
+use herqles::sim::trace::{BasisState, IqTrace};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matched_filter_output_is_linear(
+        env_i in finite_vec(8),
+        env_q in finite_vec(8),
+        tr_i in finite_vec(8),
+        tr_q in finite_vec(8),
+        k in -5.0..5.0f64,
+    ) {
+        let mf = MatchedFilter::from_envelope(IqTrace::new(env_i, env_q));
+        let tr = IqTrace::new(tr_i.clone(), tr_q.clone());
+        let scaled = IqTrace::new(
+            tr_i.iter().map(|x| k * x).collect(),
+            tr_q.iter().map(|x| k * x).collect(),
+        );
+        let lhs = mf.apply(&scaled);
+        let rhs = k * mf.apply(&tr);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn matched_filter_truncation_is_prefix_sum(
+        env_i in finite_vec(10),
+        tr_i in finite_vec(10),
+        bins in 0usize..12,
+    ) {
+        let mf = MatchedFilter::from_envelope(IqTrace::new(env_i, vec![0.0; 10]));
+        let tr = IqTrace::new(tr_i, vec![0.0; 10]);
+        let direct = mf.apply_truncated(&tr, bins);
+        let via_filter = mf.truncated(bins.min(10)).apply(&tr);
+        prop_assert!((direct - via_filter).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxcar_output_is_within_input_range(xs in finite_vec(16), w in 1usize..20) {
+        let tr = IqTrace::new(xs.clone(), vec![0.0; 16]);
+        let out = boxcar_filter(&tr, w);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in out.i() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn basis_state_flips_are_involutive(bits in 0u32..(1 << 16), q in 0usize..16) {
+        let s = BasisState::new(bits);
+        prop_assert_eq!(s.flipped(q).flipped(q), s);
+        prop_assert_eq!(s.flipped(q).hamming_distance(s), 1);
+    }
+
+    #[test]
+    fn matrix_transpose_respects_product(
+        a in finite_vec(12),
+        b in finite_vec(20),
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ for A 3×4, B 4×5.
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(4, 5, b);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.sub(&rhs).frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(vals in finite_vec(12)) {
+        let logits = Matrix::from_vec(3, 4, vals);
+        let p = softmax(&logits);
+        for r in 0..3 {
+            let sum: f64 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn threshold_training_minimizes_empirical_error(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..20),
+        b in proptest::collection::vec(-10.0..10.0f64, 1..20),
+    ) {
+        let th = ThresholdDiscriminator::train(&a, &b);
+        let acc = th.accuracy(&a, &b);
+        // Brute force over all midpoints and orientations.
+        let mut values: Vec<f64> = a.iter().chain(&b).cloned().collect();
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut best = 0.0f64;
+        let mut cuts = vec![values[0] - 1.0];
+        cuts.extend(values.windows(2).map(|w| 0.5 * (w[0] + w[1])));
+        cuts.push(values[values.len() - 1] + 1.0);
+        for cut in cuts {
+            for above in [true, false] {
+                let correct = a.iter().filter(|&&v| (v > cut) == above).count()
+                    + b.iter().filter(|&&v| (v > cut) != above).count();
+                best = best.max(correct as f64 / (a.len() + b.len()) as f64);
+            }
+        }
+        prop_assert!(acc >= best - 1e-9, "trained {acc} < brute-force {best}");
+    }
+
+    #[test]
+    fn state_vector_norm_is_preserved_by_random_circuits(
+        seed in 0u64..1000,
+        gates in proptest::collection::vec((0usize..6, 0usize..3, -3.0..3.0f64), 1..30),
+    ) {
+        let _ = seed;
+        let mut c = Circuit::new(3);
+        for (kind, q, theta) in gates {
+            let q2 = (q + 1) % 3;
+            match kind {
+                0 => { c.h(q); }
+                1 => { c.x(q); }
+                2 => { c.rz(q, theta); }
+                3 => { c.rx(q, theta); }
+                4 => { c.cx(q, q2); }
+                _ => { c.cp(q, q2, theta); }
+            }
+        }
+        let state = herqles::nisq::sim::run_ideal(&c);
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_space_time_error_is_always_corrected(
+        q in 0usize..25,
+    ) {
+        // Any single data error on the d=5 code with perfect syndromes must
+        // decode without a logical error.
+        let code = RotatedSurfaceCode::new(5);
+        let mut errors = vec![false; code.n_data()];
+        errors[q] = true;
+        let mut events = Vec::new();
+        for (s, stab) in code.stabilizers().iter().enumerate() {
+            let parity = stab.support.iter().filter(|&&qq| errors[qq]).count() % 2 == 1;
+            if parity {
+                events.push(DetectionEvent { stab: s, round: 0 });
+            }
+        }
+        let block = SyndromeBlock { events, final_errors: errors, rounds: 1 };
+        let out = decode_block(&code, &block);
+        prop_assert!(!out.logical_error, "single error on qubit {q} mis-decoded");
+    }
+
+    #[test]
+    fn tvd_is_a_bounded_metric(
+        p in proptest::collection::vec(0.0..1.0f64, 8),
+        q in proptest::collection::vec(0.0..1.0f64, 8),
+    ) {
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum::<f64>().max(1e-12);
+            v.iter().map(|x| x / s).collect()
+        };
+        let p = norm(&p);
+        let q = norm(&q);
+        let d = total_variation_distance(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        let d_rev = total_variation_distance(&q, &p);
+        prop_assert!((d - d_rev).abs() < 1e-12);
+        prop_assert!(total_variation_distance(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn gate_application_is_deterministic(
+        q in 0usize..3,
+        theta in -3.0..3.0f64,
+    ) {
+        let mut c = Circuit::new(3);
+        c.h(q).rz(q, theta).push(Gate::Y(q));
+        let a = herqles::nisq::sim::run_ideal(&c);
+        let b = herqles::nisq::sim::run_ideal(&c);
+        prop_assert_eq!(a.amplitudes().len(), b.amplitudes().len());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert!((*x - *y).norm_sqr() < 1e-20);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the downstream-impact studies: surface-code logical
+//! error rates (Fig. 13), syndrome cycle time (Fig. 14b), and NISQ benchmark
+//! fidelity (Fig. 12).
+
+use herqles::nisq::benchmarks::{alternating_secret, bernstein_vazirani, ghz};
+use herqles::nisq::fidelity::{success_probability, tvd_fidelity};
+use herqles::nisq::sim::{counts_to_distribution, run_ideal, run_noisy};
+use herqles::nisq::NoiseModel;
+use herqles::qec::{
+    estimate_logical_error_rate, CycleTimes, GateSet, LogicalErrorConfig,
+};
+
+#[test]
+fn readout_error_degrades_logical_error_rate() {
+    // The Fig. 13 mechanism at distance 5 (cheaper than 7 for CI).
+    let rate = |er: f64| {
+        estimate_logical_error_rate(&LogicalErrorConfig {
+            distance: 5,
+            rounds: 5,
+            data_error_prob: 0.012,
+            meas_error_prob: er,
+            blocks: 8_000,
+            seed: 31,
+        })
+    };
+    let clean = rate(0.0);
+    let noisy = rate(0.03);
+    assert!(
+        noisy > 1.5 * clean.max(1e-5),
+        "readout error had no effect: {clean} vs {noisy}"
+    );
+}
+
+#[test]
+fn distance_suppresses_logical_errors_below_threshold() {
+    let rate = |d: usize| {
+        estimate_logical_error_rate(&LogicalErrorConfig {
+            distance: d,
+            rounds: d,
+            data_error_prob: 0.008,
+            meas_error_prob: 0.008,
+            blocks: 8_000,
+            seed: 17,
+        })
+    };
+    assert!(rate(7) < rate(3), "no distance suppression");
+}
+
+#[test]
+fn faster_readout_shortens_cycles_more_on_faster_gates() {
+    let g = CycleTimes::SURFACE17.normalized_duration(&GateSet::GOOGLE, 0.75);
+    let i = CycleTimes::SURFACE17.normalized_duration(&GateSet::IBM, 0.75);
+    assert!(g < i && i < 1.0);
+    // The paper's headline numbers to 1 % absolute.
+    assert!((g - 0.795).abs() < 0.01);
+    assert!((i - 0.836).abs() < 0.01);
+}
+
+#[test]
+fn better_readout_improves_bv_fidelity() {
+    // The Fig. 12 comparison on bv-10: HERQULES-level readout error must
+    // produce a higher success probability than baseline-level.
+    let n = 10;
+    let secret = alternating_secret(n);
+    let circuit = bernstein_vazirani(n, secret);
+    let run = |readout: f64, seed: u64| {
+        let counts = run_noisy(&circuit, &NoiseModel::ibm_hanoi_like(readout), 1200, seed);
+        success_probability(&counts, secret)
+    };
+    let base = run(1.0 - 0.9122, 1);
+    let herq = run(1.0 - 0.9266, 2);
+    assert!(
+        herq > base,
+        "herqules readout did not help: {base:.3} vs {herq:.3}"
+    );
+    // bv-10 normalized fidelity in the paper is ≈1.17; ours must at least
+    // land in (1.0, 1.6).
+    let ratio = herq / base;
+    assert!(ratio < 1.6, "improbable normalized fidelity {ratio}");
+}
+
+#[test]
+fn better_readout_improves_ghz_tvd_fidelity() {
+    let circuit = ghz(5);
+    let ideal = run_ideal(&circuit).probabilities();
+    let run = |readout: f64, seed: u64| {
+        let counts = run_noisy(&circuit, &NoiseModel::ibm_hanoi_like(readout), 2500, seed);
+        tvd_fidelity(&ideal, &counts_to_distribution(&counts, 5))
+    };
+    let base = run(1.0 - 0.9122, 3);
+    let herq = run(1.0 - 0.9266, 4);
+    assert!(herq > base, "{base:.3} vs {herq:.3}");
+}
+
+#[test]
+fn noiseless_execution_is_ideal() {
+    let circuit = ghz(4);
+    let counts = run_noisy(&circuit, &NoiseModel::noiseless(), 2000, 7);
+    let dist = counts_to_distribution(&counts, 4);
+    // Only the two cat components may appear.
+    for (idx, p) in dist.iter().enumerate() {
+        if idx == 0 || idx == 15 {
+            assert!((p - 0.5).abs() < 0.05, "outcome {idx}: {p}");
+        } else {
+            assert_eq!(*p, 0.0, "impossible outcome {idx} appeared");
+        }
+    }
+}
