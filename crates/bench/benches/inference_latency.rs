@@ -3,8 +3,8 @@
 //!
 //! The hardware latency gap (8–21 vs 924–4023 cycles) is modelled
 //! analytically in `fpga-model`; this bench demonstrates the same structural
-//! gap in software — the HERQULES path (demodulate + 10 filter dot products
-//! + tiny FNN) vs the baseline's 633 k-parameter forward pass — plus the
+//! gap in software — the HERQULES path (demodulate, 10 filter dot products,
+//! tiny FNN) vs the baseline's 633 k-parameter forward pass — plus the
 //! fixed-point (FPGA datapath) variant.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -60,7 +60,11 @@ fn bench_quantized_head(c: &mut Criterion) {
     // The NN head alone, float vs fixed point (the FPGA datapath mirror).
     let mut net = readout_nn::Mlp::new(&[10, 20, 40, 20, 32], 5);
     let inputs: Vec<Vec<f64>> = (0..64)
-        .map(|k| (0..10).map(|j| ((k * 7 + j * 3) % 13) as f64 / 13.0 - 0.5).collect())
+        .map(|k| {
+            (0..10)
+                .map(|j| ((k * 7 + j * 3) % 13) as f64 / 13.0 - 0.5)
+                .collect()
+        })
         .collect();
     let labels: Vec<usize> = (0..64).map(|k| k % 32).collect();
     net.train(
@@ -75,8 +79,12 @@ fn bench_quantized_head(c: &mut Criterion) {
     let x = &inputs[0];
 
     let mut group = c.benchmark_group("nn_head");
-    group.bench_function("float64", |b| b.iter(|| black_box(net.predict(black_box(x)))));
-    group.bench_function("fixed16", |b| b.iter(|| black_box(qnet.predict(black_box(x)))));
+    group.bench_function("float64", |b| {
+        b.iter(|| black_box(net.predict(black_box(x))))
+    });
+    group.bench_function("fixed16", |b| {
+        b.iter(|| black_box(qnet.predict(black_box(x))))
+    });
     group.finish();
 }
 

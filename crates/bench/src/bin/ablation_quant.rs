@@ -33,24 +33,48 @@ fn main() {
     let train_f = features(&split.train);
     let standardizer = Standardizer::fit(&train_f);
     let train_f = standardizer.transform_all(&train_f);
-    let labels: Vec<usize> = split.train.iter()
-        .map(|&i| dataset.shots[i].prepared.index()).collect();
+    let labels: Vec<usize> = split
+        .train
+        .iter()
+        .map(|&i| dataset.shots[i].prepared.index())
+        .collect();
     let mut net = Mlp::new(&[10, 20, 40, 20, 32], 5);
     eprintln!("[ablation_quant] training float head…");
-    net.train(&train_f, &labels, &TrainConfig { epochs: 150, learning_rate: 3e-3, ..TrainConfig::default() });
+    net.train(
+        &train_f,
+        &labels,
+        &TrainConfig {
+            epochs: 150,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        },
+    );
 
     let test_f = standardizer.transform_all(&features(&split.test));
-    let test_labels: Vec<usize> = split.test.iter()
-        .map(|&i| dataset.shots[i].prepared.index()).collect();
+    let test_labels: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| dataset.shots[i].prepared.index())
+        .collect();
     let accuracy = |preds: &[usize]| -> f64 {
-        preds.iter().zip(&test_labels).filter(|(p, l)| p == l).count() as f64
+        preds
+            .iter()
+            .zip(&test_labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
             / test_labels.len() as f64
     };
 
     let float_acc = accuracy(&net.predict_batch(&test_f));
     let mut rows = vec![vec!["float64".to_string(), f3(float_acc), "-".into()]];
     for (total, frac) in [(16u32, 10u32), (12, 7), (8, 4), (6, 3), (4, 2)] {
-        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig { total_bits: total, frac_bits: frac });
+        let qnet = QuantizedMlp::from_mlp(
+            &net,
+            QuantConfig {
+                total_bits: total,
+                frac_bits: frac,
+            },
+        );
         let acc = accuracy(&qnet.predict_batch(&test_f));
         rows.push(vec![
             format!("fixed<{total},{frac}>"),

@@ -1,0 +1,160 @@
+//! Inference-throughput benchmark: per-shot loop vs the fused batched path.
+//!
+//! Trains every discriminator design once on the five-qubit default chip,
+//! then measures shots/second at batch sizes 1, 64, and 1024 through
+//!
+//! * the **per-shot** loop (`discriminate` per trace — the pre-batching
+//!   hot path, allocating per-qubit basebands and features per shot), and
+//! * the **batched** path (`discriminate_shot_batch` on a packed
+//!   [`ShotBatch`] — fused demod + matched-filter GEMM, zero per-shot
+//!   allocation).
+//!
+//! Results land in `BENCH_inference.json` (cwd) to seed the performance
+//! trajectory; the `speedup` field at batch 1024 is the headline number.
+//!
+//! Environment overrides: `HERQULES_BENCH_SHOTS` (shots per basis state for
+//! the dataset, default 50), `HERQULES_SEED`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
+use herqles_core::Discriminator;
+use readout_nn::net::TrainConfig;
+use readout_sim::{ChipConfig, Dataset, ShotBatch};
+
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+/// Repeats `f` until ~200 ms of samples accumulate; returns seconds/call.
+fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm-up
+    let mut reps = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.2 {
+            return elapsed / f64::from(reps);
+        }
+        reps = reps.saturating_mul(if elapsed > 0.0 {
+            ((0.25 / elapsed).ceil() as u32).clamp(2, 1 << 16)
+        } else {
+            16
+        });
+    }
+}
+
+struct Row {
+    design: &'static str,
+    batch: usize,
+    per_shot: f64,
+    batched: f64,
+}
+
+fn main() {
+    let shots_per_state: usize = std::env::var("HERQULES_BENCH_SHOTS")
+        .ok()
+        .map(|v| v.parse().expect("HERQULES_BENCH_SHOTS must be an integer"))
+        .unwrap_or(50);
+    let seed: u64 = std::env::var("HERQULES_SEED")
+        .ok()
+        .map(|v| v.parse().expect("HERQULES_SEED must be an integer"))
+        .unwrap_or(20_230_612);
+
+    let config = ChipConfig::five_qubit_default();
+    eprintln!("[bench_inference] generating {shots_per_state} shots/state…");
+    let dataset = Dataset::generate(&config, shots_per_state, seed);
+    let split = dataset.split(0.3, 0.0, seed ^ 0x5117);
+    assert!(
+        split.test.len() >= *BATCH_SIZES.last().expect("non-empty"),
+        "need at least {} test shots, have {} (raise HERQULES_BENCH_SHOTS)",
+        BATCH_SIZES.last().expect("non-empty"),
+        split.test.len()
+    );
+
+    let trainer_config = TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 30,
+            ..TrainerConfig::default().nn_train
+        },
+        baseline_train: TrainConfig {
+            epochs: 2,
+            ..TrainerConfig::default().baseline_train
+        },
+        ..TrainerConfig::default()
+    };
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &split.train, trainer_config);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in DesignKind::ALL {
+        eprintln!("[bench_inference] training {kind}…");
+        let disc: Box<dyn Discriminator> = trainer.train(kind);
+        for &batch_size in &BATCH_SIZES {
+            let idx = &split.test[..batch_size];
+            let batch = ShotBatch::from_dataset(&dataset, idx);
+            let raws: Vec<_> = idx.iter().map(|&i| &dataset.shots[i].raw).collect();
+
+            let per_shot_secs = time_per_call(|| {
+                for raw in &raws {
+                    std::hint::black_box(disc.discriminate(raw));
+                }
+            });
+            let batched_secs = time_per_call(|| {
+                std::hint::black_box(disc.discriminate_shot_batch(&batch));
+            });
+
+            let row = Row {
+                design: kind.label(),
+                batch: batch_size,
+                per_shot: batch_size as f64 / per_shot_secs,
+                batched: batch_size as f64 / batched_secs,
+            };
+            eprintln!(
+                "[bench_inference] {:>12} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
+                row.design,
+                row.batch,
+                row.per_shot,
+                row.batched,
+                row.batched / row.per_shot
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"inference_throughput\",\n");
+    let _ = writeln!(json, "  \"unit\": \"shots_per_second\",");
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"shots_per_state\": {shots_per_state},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (k, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}}}{}",
+            row.design,
+            row.batch,
+            row.per_shot,
+            row.batched,
+            row.batched / row.per_shot,
+            if k + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
+    eprintln!("[bench_inference] wrote BENCH_inference.json");
+
+    let mf_1024 = rows
+        .iter()
+        .find(|r| r.design == "mf" && r.batch == 1024)
+        .expect("mf @ 1024 measured");
+    eprintln!(
+        "[bench_inference] headline: batched mf at batch 1024 = {:.2}x per-shot",
+        mf_1024.batched / mf_1024.per_shot
+    );
+}

@@ -33,7 +33,12 @@ fn main() {
         "{}",
         render_table(
             "Fig 10: misclassification counts (test set)",
-            &["Design", "Qubit", "prepared |0> errors", "prepared |1> errors"],
+            &[
+                "Design",
+                "Qubit",
+                "prepared |0> errors",
+                "prepared |1> errors"
+            ],
             &rows,
         )
     );

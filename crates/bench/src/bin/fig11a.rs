@@ -60,7 +60,11 @@ fn main() {
         "{}",
         render_table(
             "Fig 11a: cumulative accuracy vs readout duration",
-            &["Duration (ns)", "mf-rmf-nn (no retraining)", "baseline (retrained)"],
+            &[
+                "Duration (ns)",
+                "mf-rmf-nn (no retraining)",
+                "baseline (retrained)"
+            ],
             &rows,
         )
     );

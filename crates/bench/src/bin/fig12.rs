@@ -33,7 +33,13 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn fidelity(circuit: &Circuit, metric: &Metric, readout_error: f64, shots: usize, seed: u64) -> f64 {
+fn fidelity(
+    circuit: &Circuit,
+    metric: &Metric,
+    readout_error: f64,
+    shots: usize,
+    seed: u64,
+) -> f64 {
     let noise = NoiseModel::ibm_hanoi_like(readout_error);
     let counts = run_noisy(circuit, &noise, shots, seed);
     match metric {
@@ -56,10 +62,30 @@ fn main() {
         ("qft-4", qft_roundtrip(4), Metric::Success(0), 4000),
         ("ghz-5", ghz(5), Metric::Tvd, 4000),
         ("ghz-10", ghz(10), Metric::Tvd, 2000),
-        ("bv-5", bernstein_vazirani(5, alternating_secret(5)), Metric::Success(alternating_secret(5)), 4000),
-        ("bv-10", bernstein_vazirani(10, alternating_secret(10)), Metric::Success(alternating_secret(10)), 2000),
-        ("bv-15", bernstein_vazirani(15, alternating_secret(15)), Metric::Success(alternating_secret(15)), 800),
-        ("bv-20", bernstein_vazirani(20, alternating_secret(20)), Metric::Success(alternating_secret(20)), 400),
+        (
+            "bv-5",
+            bernstein_vazirani(5, alternating_secret(5)),
+            Metric::Success(alternating_secret(5)),
+            4000,
+        ),
+        (
+            "bv-10",
+            bernstein_vazirani(10, alternating_secret(10)),
+            Metric::Success(alternating_secret(10)),
+            2000,
+        ),
+        (
+            "bv-15",
+            bernstein_vazirani(15, alternating_secret(15)),
+            Metric::Success(alternating_secret(15)),
+            800,
+        ),
+        (
+            "bv-20",
+            bernstein_vazirani(20, alternating_secret(20)),
+            Metric::Success(alternating_secret(20)),
+            400,
+        ),
         ("qaoa-8a", qaoa_ring(8, 0.7, 0.35), Metric::Tvd, 3000),
         ("qaoa-8b", qaoa_ring(8, 0.4, 0.62), Metric::Tvd, 3000),
         ("qaoa-10", qaoa_ring(10, 0.7, 0.35), Metric::Tvd, 2000),

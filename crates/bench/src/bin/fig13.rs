@@ -32,7 +32,7 @@ fn main() {
                 data_error_prob: p,
                 meas_error_prob: er,
                 blocks,
-                seed: 0xF16_13,
+                seed: 0xF1613,
             };
             let rate = estimate_logical_error_rate(&cfg);
             row.push(format!("{rate:.2e}"));
@@ -44,7 +44,14 @@ fn main() {
         "{}",
         render_table(
             &format!("Fig 13: distance-7 logical error rate per round ({blocks} blocks/point)"),
-            &["physical p", "eR=0", "eR=0.5%", "eR=1%", "eR=2%", "logical=physical"],
+            &[
+                "physical p",
+                "eR=0",
+                "eR=0.5%",
+                "eR=1%",
+                "eR=2%",
+                "logical=physical"
+            ],
             &rows,
         )
     );

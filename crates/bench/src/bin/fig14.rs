@@ -14,10 +14,26 @@ fn main() {
     let est = estimate_pipeline(&PipelineSpec::herqules(5, true, 4));
     let util = est.utilization(&FpgaDevice::XCZU7EV);
     let rows = vec![
-        vec!["BRAM".to_string(), est.brams.to_string(), format!("{:.2}", util.bram_pct)],
-        vec!["DSP".to_string(), est.dsps.to_string(), format!("{:.2}", util.dsp_pct)],
-        vec!["FF".to_string(), est.ffs.to_string(), format!("{:.2}", util.ff_pct)],
-        vec!["LUT".to_string(), est.luts.to_string(), format!("{:.2}", util.lut_pct)],
+        vec![
+            "BRAM".to_string(),
+            est.brams.to_string(),
+            format!("{:.2}", util.bram_pct),
+        ],
+        vec![
+            "DSP".to_string(),
+            est.dsps.to_string(),
+            format!("{:.2}", util.dsp_pct),
+        ],
+        vec![
+            "FF".to_string(),
+            est.ffs.to_string(),
+            format!("{:.2}", util.ff_pct),
+        ],
+        vec![
+            "LUT".to_string(),
+            est.luts.to_string(),
+            format!("{:.2}", util.lut_pct),
+        ],
     ];
     println!(
         "{}",

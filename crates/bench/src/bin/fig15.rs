@@ -41,7 +41,16 @@ fn main() {
         "{}",
         render_table(
             "Fig 15: mf-rmf-nn accuracy vs training-set size",
-            &["train traces", "Q1", "Q2", "Q3", "Q4", "Q5", "all qubits", "without Q2"],
+            &[
+                "train traces",
+                "Q1",
+                "Q2",
+                "Q3",
+                "Q4",
+                "Q5",
+                "all qubits",
+                "without Q2"
+            ],
             &rows,
         )
     );

@@ -20,7 +20,10 @@ fn main() {
     // (a) MTV scatter for the highest-relaxation qubit (CSV on stdout, first
     // 400 points per class; pipe to a plotting tool of choice).
     let q = 3;
-    println!("# fig4a: MTV scatter for qubit {} (i, q, prepared, relaxed)", q + 1);
+    println!(
+        "# fig4a: MTV scatter for qubit {} (i, q, prepared, relaxed)",
+        q + 1
+    );
     println!("i,q,prepared,relaxed");
     let mut per_class = [0usize; 2];
     for &idx in &split.test {

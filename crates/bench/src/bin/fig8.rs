@@ -25,12 +25,20 @@ fn main() {
     let mut rows = Vec::new();
     let mut q4_relax_profile: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
     for q in 0..dataset.n_qubits() {
-        let ground: Vec<&IqTrace> = split.train.iter().zip(&traces)
+        let ground: Vec<&IqTrace> = split
+            .train
+            .iter()
+            .zip(&traces)
             .filter(|(&i, _)| !dataset.shots[i].prepared.qubit(q))
-            .map(|(_, t)| &t[q]).collect();
-        let excited: Vec<&IqTrace> = split.train.iter().zip(&traces)
+            .map(|(_, t)| &t[q])
+            .collect();
+        let excited: Vec<&IqTrace> = split
+            .train
+            .iter()
+            .zip(&traces)
             .filter(|(&i, _)| dataset.shots[i].prepared.qubit(q))
-            .map(|(_, t)| &t[q]).collect();
+            .map(|(_, t)| &t[q])
+            .collect();
         let labels = identify_relaxation_traces(&ground, &excited);
         rows.push(vec![
             format!("qubit {}", q + 1),
@@ -70,7 +78,13 @@ fn main() {
         "{}",
         render_table(
             "Fig 8a: Algorithm 1 geometry per qubit",
-            &["Qubit", "centroid |0>", "centroid |1>", "radius", "relax fraction"],
+            &[
+                "Qubit",
+                "centroid |0>",
+                "centroid |1>",
+                "radius",
+                "relax fraction"
+            ],
             &rows,
         )
     );

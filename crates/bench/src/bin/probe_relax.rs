@@ -24,18 +24,36 @@ fn main() {
         (f[2 * q], f[2 * q + 1])
     };
 
-    let e: Vec<f64> = split.train.iter().filter(|&&i| dataset.shots[i].prepared.qubit(q))
-        .map(|&i| feat(i).0).collect();
-    let g: Vec<f64> = split.train.iter().filter(|&&i| !dataset.shots[i].prepared.qubit(q))
-        .map(|&i| feat(i).0).collect();
+    let e: Vec<f64> = split
+        .train
+        .iter()
+        .filter(|&&i| dataset.shots[i].prepared.qubit(q))
+        .map(|&i| feat(i).0)
+        .collect();
+    let g: Vec<f64> = split
+        .train
+        .iter()
+        .filter(|&&i| !dataset.shots[i].prepared.qubit(q))
+        .map(|&i| feat(i).0)
+        .collect();
     let th = ThresholdDiscriminator::train(&e, &g);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let sd = |v: &[f64]| {
         let m = mean(v);
         (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64).sqrt()
     };
-    println!("threshold = {:.2} (excited above: {})", th.threshold(), th.a_is_above());
-    println!("train MF: ground {:.2}±{:.2}, excited {:.2}±{:.2}", mean(&g), sd(&g), mean(&e), sd(&e));
+    println!(
+        "threshold = {:.2} (excited above: {})",
+        th.threshold(),
+        th.a_is_above()
+    );
+    println!(
+        "train MF: ground {:.2}±{:.2}, excited {:.2}±{:.2}",
+        mean(&g),
+        sd(&g),
+        mean(&e),
+        sd(&e)
+    );
 
     let mut n_exc = 0usize;
     let mut errors = 0usize;
@@ -68,20 +86,48 @@ fn main() {
         }
     }
     println!("excited shots: {n_exc}, threshold errors: {errors}, of which true relaxers: {errors_relax}");
-    println!("relaxers: {} traces, mean t_r = {:.0} ns", relax_mf.len(), mean(&relax_times));
-    println!("relaxer   MF {:.2}±{:.2}  RMF {:.2}±{:.2}", mean(&relax_mf), sd(&relax_mf), mean(&relax_rmf), sd(&relax_rmf));
-    println!("ground    MF {:.2}±{:.2}  RMF {:.2}±{:.2}", mean(&ground_mf), sd(&ground_mf), mean(&ground_rmf), sd(&ground_rmf));
+    println!(
+        "relaxers: {} traces, mean t_r = {:.0} ns",
+        relax_mf.len(),
+        mean(&relax_times)
+    );
+    println!(
+        "relaxer   MF {:.2}±{:.2}  RMF {:.2}±{:.2}",
+        mean(&relax_mf),
+        sd(&relax_mf),
+        mean(&relax_rmf),
+        sd(&relax_rmf)
+    );
+    println!(
+        "ground    MF {:.2}±{:.2}  RMF {:.2}±{:.2}",
+        mean(&ground_mf),
+        sd(&ground_mf),
+        mean(&ground_rmf),
+        sd(&ground_rmf)
+    );
 
     // Conditional on MF below threshold (the ambiguous region), how well
     // does RMF separate relaxers from ground?
     let thr = th.threshold();
-    let amb_relax: Vec<f64> = relax_mf.iter().zip(&relax_rmf)
-        .filter(|(&m, _)| m < thr).map(|(_, &r)| r).collect();
-    let amb_ground: Vec<f64> = ground_mf.iter().zip(&ground_rmf)
-        .filter(|(&m, _)| m < thr).map(|(_, &r)| r).collect();
+    let amb_relax: Vec<f64> = relax_mf
+        .iter()
+        .zip(&relax_rmf)
+        .filter(|(&m, _)| m < thr)
+        .map(|(_, &r)| r)
+        .collect();
+    let amb_ground: Vec<f64> = ground_mf
+        .iter()
+        .zip(&ground_rmf)
+        .filter(|(&m, _)| m < thr)
+        .map(|(_, &r)| r)
+        .collect();
     println!(
         "ambiguous region: relaxer RMF {:.2}±{:.2} ({} shots) vs ground RMF {:.2}±{:.2} ({} shots)",
-        mean(&amb_relax), sd(&amb_relax), amb_relax.len(),
-        mean(&amb_ground), sd(&amb_ground), amb_ground.len()
+        mean(&amb_relax),
+        sd(&amb_relax),
+        amb_relax.len(),
+        mean(&amb_ground),
+        sd(&amb_ground),
+        amb_ground.len()
     );
 }

@@ -39,14 +39,28 @@ fn main() {
         let (mf_i, rmf_i) = (2 * q, 2 * q + 1);
 
         // (a) optimal threshold on the raw MF output.
-        let e: Vec<f64> = split.train.iter().zip(&train_f)
-            .filter(|(&i, _)| label(i)).map(|(_, f)| f[mf_i]).collect();
-        let g: Vec<f64> = split.train.iter().zip(&train_f)
-            .filter(|(&i, _)| !label(i)).map(|(_, f)| f[mf_i]).collect();
+        let e: Vec<f64> = split
+            .train
+            .iter()
+            .zip(&train_f)
+            .filter(|(&i, _)| label(i))
+            .map(|(_, f)| f[mf_i])
+            .collect();
+        let g: Vec<f64> = split
+            .train
+            .iter()
+            .zip(&train_f)
+            .filter(|(&i, _)| !label(i))
+            .map(|(_, f)| f[mf_i])
+            .collect();
         let th = ThresholdDiscriminator::train(&e, &g);
-        let th_acc = split.test.iter().zip(&test_f)
+        let th_acc = split
+            .test
+            .iter()
+            .zip(&test_f)
             .filter(|(&i, f)| th.classify_a(f[mf_i]) == label(i))
-            .count() as f64 / split.test.len() as f64;
+            .count() as f64
+            / split.test.len() as f64;
 
         // (b) 2-feature per-qubit network.
         let pair = |f: &Vec<f64>| vec![f[mf_i], f[rmf_i]];
@@ -55,14 +69,21 @@ fn main() {
         let train_pairs = st.transform_all(&train_pairs);
         let labels: Vec<usize> = split.train.iter().map(|&i| usize::from(label(i))).collect();
         let mut net = Mlp::new(&[2, 16, 16, 2], 7);
-        let cfg = TrainConfig { epochs: 200, learning_rate: 3e-3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        };
         net.train(&train_pairs, &labels, &cfg);
-        let test_pairs: Vec<Vec<f64>> =
-            test_f.iter().map(|f| st.transform(&pair(f))).collect();
+        let test_pairs: Vec<Vec<f64>> = test_f.iter().map(|f| st.transform(&pair(f))).collect();
         let preds = net.predict_batch(&test_pairs);
-        let nn_acc = split.test.iter().zip(&preds)
+        let nn_acc = split
+            .test
+            .iter()
+            .zip(&preds)
             .filter(|(&i, &p)| (p == 1) == label(i))
-            .count() as f64 / split.test.len() as f64;
+            .count() as f64
+            / split.test.len() as f64;
 
         rows.push(vec![
             format!("qubit {}", q + 1),

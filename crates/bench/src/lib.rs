@@ -86,7 +86,10 @@ impl BenchConfig {
 ///
 /// Panics if `bins` is zero or exceeds the configured window.
 pub fn truncated_dataset(dataset: &Dataset, bins: usize) -> Dataset {
-    assert!(bins > 0 && bins <= dataset.config.n_bins(), "bins out of range");
+    assert!(
+        bins > 0 && bins <= dataset.config.n_bins(),
+        "bins out of range"
+    );
     let mut config = dataset.config.clone();
     config.readout_duration_s = bins as f64 * config.demod_bin_s;
     let samples = config.n_samples();
@@ -120,7 +123,11 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -164,11 +171,7 @@ mod tests {
 
     #[test]
     fn render_table_aligns_columns() {
-        let out = render_table(
-            "T",
-            &["a", "long-header"],
-            &[vec!["xx".into(), "1".into()]],
-        );
+        let out = render_table("T", &["a", "long-header"], &[vec!["xx".into(), "1".into()]]);
         assert!(out.contains("long-header"));
         assert!(out.lines().count() >= 4);
     }

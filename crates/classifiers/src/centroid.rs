@@ -113,11 +113,7 @@ mod tests {
 
     #[test]
     fn supports_many_classes() {
-        let c = CentroidClassifier::train(&[
-            vec![vec![0.0]],
-            vec![vec![10.0]],
-            vec![vec![20.0]],
-        ]);
+        let c = CentroidClassifier::train(&[vec![vec![0.0]], vec![vec![10.0]], vec![vec![20.0]]]);
         assert_eq!(c.n_classes(), 3);
         assert_eq!(c.classify(&[11.0]), 1);
         assert_eq!(c.classify(&[19.0]), 2);

@@ -53,7 +53,10 @@ impl LinearSvm {
             "both classes must be present"
         );
         let dim = samples[0].len();
-        assert!(samples.iter().all(|s| s.len() == dim), "inconsistent dimensions");
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "inconsistent dimensions"
+        );
 
         let mut w = vec![0.0; dim];
         let mut b = 0.0;
@@ -86,7 +89,10 @@ impl LinearSvm {
                 t += 1;
             }
         }
-        LinearSvm { weights: w, bias: b }
+        LinearSvm {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// The weight vector.
@@ -105,7 +111,11 @@ impl LinearSvm {
     ///
     /// Panics if the dimension differs from training.
     pub fn decision(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature dimension mismatch"
+        );
         dot(&self.weights, features) + self.bias
     }
 
@@ -198,7 +208,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "both classes")]
     fn single_class_panics() {
-        let _ = LinearSvm::train(&[vec![0.0], vec![1.0]], &[true, true], &SvmConfig::default());
+        let _ = LinearSvm::train(
+            &[vec![0.0], vec![1.0]],
+            &[true, true],
+            &SvmConfig::default(),
+        );
     }
 
     #[test]

@@ -29,10 +29,16 @@ impl ThresholdDiscriminator {
             "at least one class must be non-empty"
         );
         if class_a.is_empty() {
-            return ThresholdDiscriminator { threshold: f64::INFINITY, a_is_above: true };
+            return ThresholdDiscriminator {
+                threshold: f64::INFINITY,
+                a_is_above: true,
+            };
         }
         if class_b.is_empty() {
-            return ThresholdDiscriminator { threshold: f64::NEG_INFINITY, a_is_above: true };
+            return ThresholdDiscriminator {
+                threshold: f64::NEG_INFINITY,
+                a_is_above: true,
+            };
         }
         // Candidate cuts: midpoints of the merged sorted values.
         let mut merged: Vec<(f64, bool)> = class_a

@@ -92,7 +92,11 @@ impl FilterBank {
     ///
     /// Panics if `traces.len() != self.n_qubits()`.
     pub fn features(&self, traces: &[IqTrace]) -> Vec<f64> {
-        assert_eq!(traces.len(), self.n_qubits(), "one trace per qubit required");
+        assert_eq!(
+            traces.len(),
+            self.n_qubits(),
+            "one trace per qubit required"
+        );
         let mut out = Vec::with_capacity(self.n_features());
         for (q, tr) in traces.iter().enumerate() {
             out.push(self.mfs[q].apply(tr));
@@ -112,8 +116,16 @@ impl FilterBank {
     ///
     /// Panics if lengths disagree.
     pub fn features_truncated(&self, traces: &[IqTrace], bins: &[usize]) -> Vec<f64> {
-        assert_eq!(traces.len(), self.n_qubits(), "one trace per qubit required");
-        assert_eq!(bins.len(), self.n_qubits(), "one bin budget per qubit required");
+        assert_eq!(
+            traces.len(),
+            self.n_qubits(),
+            "one trace per qubit required"
+        );
+        assert_eq!(
+            bins.len(),
+            self.n_qubits(),
+            "one bin budget per qubit required"
+        );
         let mut out = Vec::with_capacity(self.n_features());
         for (q, tr) in traces.iter().enumerate() {
             out.push(self.mfs[q].apply_truncated(tr, bins[q]));
@@ -170,10 +182,7 @@ mod tests {
     #[test]
     fn truncated_features_use_bin_budgets() {
         let bank = FilterBank::new(vec![flat_filter(1.0, 4), flat_filter(1.0, 4)]);
-        let f = bank.features_truncated(
-            &[flat_trace(1.0, 4), flat_trace(1.0, 4)],
-            &[2, 3],
-        );
+        let f = bank.features_truncated(&[flat_trace(1.0, 4), flat_trace(1.0, 4)], &[2, 3]);
         assert_eq!(f, vec![2.0, 3.0]);
     }
 

@@ -23,6 +23,7 @@ pub mod svm_head;
 use std::fmt;
 
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 pub use baseline::BaselineFnnDiscriminator;
 pub use centroid::CentroidDiscriminator;
@@ -101,10 +102,33 @@ pub trait Discriminator: Send + Sync {
     /// Discriminates one raw multiplexed ADC trace.
     fn discriminate(&self, raw: &IqTrace) -> BasisState;
 
-    /// Discriminates a batch (overridden by network designs to amortize the
-    /// forward pass).
+    /// Discriminates a batch of borrowed traces.
+    ///
+    /// When the traces share one length they are packed into a [`ShotBatch`]
+    /// and routed through [`Discriminator::discriminate_shot_batch`] — the
+    /// fused, allocation-free fast path every design overrides. Ragged
+    /// batches fall back to the per-shot loop.
     fn discriminate_batch(&self, raws: &[&IqTrace]) -> Vec<BasisState> {
-        raws.iter().map(|r| self.discriminate(r)).collect()
+        match ShotBatch::try_from_traces(raws) {
+            Some(batch) => self.discriminate_shot_batch(&batch),
+            None => raws.iter().map(|r| self.discriminate(r)).collect(),
+        }
+    }
+
+    /// Discriminates a packed [`ShotBatch`] (the inference hot path).
+    ///
+    /// The default materializes each shot and calls
+    /// [`Discriminator::discriminate`]; designs override it with fused
+    /// batched kernels that allocate nothing per shot. Duration-agnostic
+    /// designs fall back to the per-shot path when the batch length does not
+    /// match their trained readout window (e.g. truncated-duration batches);
+    /// designs welded to one duration (the baseline FNN, whose input layer
+    /// *is* the window) panic on mismatched batches exactly as their
+    /// [`Discriminator::discriminate`] does.
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        (0..batch.n_shots())
+            .map(|s| self.discriminate(&batch.trace(s)))
+            .collect()
     }
 
     /// Discriminates with per-qubit readout-duration budgets, expressed in

@@ -7,8 +7,9 @@
 //! welded to one readout duration: its input layer *is* the duration, so
 //! [`Discriminator::discriminate_truncated`] returns `None`.
 
-use readout_nn::{Mlp, Standardizer};
+use readout_nn::{Matrix, Mlp, Standardizer};
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 use crate::designs::Discriminator;
 
@@ -97,10 +98,22 @@ impl Discriminator for BaselineFnnDiscriminator {
         BasisState::new(self.net.predict(&self.features_of(raw)) as u32)
     }
 
-    fn discriminate_batch(&self, raws: &[&IqTrace]) -> Vec<BasisState> {
-        let features: Vec<Vec<f64>> = raws.iter().map(|r| self.features_of(r)).collect();
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        assert_eq!(
+            batch.n_samples(),
+            self.expected_samples,
+            "baseline FNN requires full-duration traces; retrain for other durations"
+        );
+        // A batch row already is the network's `[I…, Q…]` input vector:
+        // standardize the copied plane in place and run one forward pass.
+        let mut inputs = batch.as_slice().to_vec();
+        self.standardizer.transform_rows_inplace(&mut inputs);
+        let x = Matrix::from_vec(batch.n_shots(), batch.row_width(), inputs);
         self.net
-            .predict_batch(&features)
+            .predict_rows(&x)
             .into_iter()
             .map(|c| BasisState::new(c as u32))
             .collect()

@@ -2,8 +2,9 @@
 //! simple hardware discriminator cloud systems ship by default (paper §3.4).
 
 use readout_classifiers::CentroidClassifier;
-use readout_dsp::Demodulator;
+use readout_dsp::{BasebandBatch, Demodulator};
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 use crate::designs::Discriminator;
 
@@ -49,6 +50,33 @@ impl Discriminator for CentroidDiscriminator {
             state = state.with_qubit(q, class == 1);
         }
         state
+    }
+
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        // One batched demodulation for all shots; MTVs are means over the
+        // baseband bins, accumulated in the same order as `IqTrace::mtv` so
+        // batched and per-shot predictions agree exactly.
+        if batch.n_samples() < self.demod.samples_per_bin() {
+            // No full bin: the per-shot path's empty-trace MTV semantics.
+            return (0..batch.n_shots())
+                .map(|s| self.discriminate(&batch.trace(s)))
+                .collect();
+        }
+        let mut bb = BasebandBatch::new();
+        self.demod.demodulate_batch(batch, &mut bb);
+        let n = bb.n_bins() as f64;
+        (0..batch.n_shots())
+            .map(|s| {
+                let mut state = BasisState::new(0);
+                for (q, classifier) in self.per_qubit.iter().enumerate() {
+                    let si: f64 = bb.i_of(s, q).iter().sum();
+                    let sq: f64 = bb.q_of(s, q).iter().sum();
+                    let class = classifier.classify(&[si / n, sq / n]);
+                    state = state.with_qubit(q, class == 1);
+                }
+                state
+            })
+            .collect()
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {

@@ -3,9 +3,11 @@
 use readout_classifiers::ThresholdDiscriminator;
 use readout_dsp::Demodulator;
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::Discriminator;
+use crate::fused::FusedFilterKernel;
 
 /// Matched-filter discriminator: one MF and one threshold per qubit, no
 /// crosstalk compensation. The hardware-cheapest design and the accuracy
@@ -14,6 +16,7 @@ use crate::designs::Discriminator;
 pub struct MfDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
+    kernel: FusedFilterKernel,
     /// Per-qubit thresholds; class A of each threshold is "excited".
     thresholds: Vec<ThresholdDiscriminator>,
 }
@@ -30,15 +33,20 @@ impl MfDiscriminator {
         bank: FilterBank,
         thresholds: Vec<ThresholdDiscriminator>,
     ) -> Self {
-        assert!(!bank.has_rmfs(), "the mf design uses plain matched filters only");
+        assert!(
+            !bank.has_rmfs(),
+            "the mf design uses plain matched filters only"
+        );
         assert_eq!(
             thresholds.len(),
             bank.n_qubits(),
             "one threshold per qubit required"
         );
+        let kernel = FusedFilterKernel::new(&demod, &bank);
         MfDiscriminator {
             demod,
             bank,
+            kernel,
             thresholds,
         }
     }
@@ -69,6 +77,20 @@ impl Discriminator for MfDiscriminator {
     fn discriminate(&self, raw: &IqTrace) -> BasisState {
         let traces = self.demod.demodulate(raw);
         self.classify_features(&self.bank.features(&traces))
+    }
+
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        if !self.kernel.matches(batch) {
+            return (0..batch.n_shots())
+                .map(|s| self.discriminate(&batch.trace(s)))
+                .collect();
+        }
+        let mut features = Vec::new();
+        self.kernel.features_batch(batch, &mut features);
+        features
+            .chunks(self.kernel.n_features().max(1))
+            .map(|f| self.classify_features(f))
+            .collect()
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
@@ -171,7 +193,8 @@ mod tests {
         let cfg = ChipConfig::two_qubit_test();
         let demod = Demodulator::new(&cfg);
         let flat = MatchedFilter::from_envelope(IqTrace::zeros(20));
-        let bank = FilterBank::with_rmfs(vec![flat.clone(), flat.clone()], vec![flat.clone(), flat]);
+        let bank =
+            FilterBank::with_rmfs(vec![flat.clone(), flat.clone()], vec![flat.clone(), flat]);
         let th = ThresholdDiscriminator::train(&[1.0], &[-1.0]);
         let _ = MfDiscriminator::new(demod, bank, vec![th, th]);
     }

@@ -7,17 +7,20 @@
 //! crosstalk and relaxation corrections.
 
 use readout_dsp::Demodulator;
-use readout_nn::{Mlp, Standardizer};
+use readout_nn::{Matrix, Mlp, Standardizer};
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::Discriminator;
+use crate::fused::FusedFilterKernel;
 
 /// Small-FNN discriminator over filter-bank features.
 #[derive(Debug, Clone)]
 pub struct NnDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
+    kernel: FusedFilterKernel,
     standardizer: Standardizer,
     net: Mlp,
     name: &'static str,
@@ -25,14 +28,15 @@ pub struct NnDiscriminator {
 
 impl NnDiscriminator {
     /// The paper's layer sizes for a feature width `f` and `n`-qubit output.
+    ///
+    /// Hidden widths are floored at 8 units: at paper scale (`f ≥ 4`) this
+    /// is exactly the `F → 2F → 4F → 2F → 2^N` architecture of §4.2.1, while
+    /// degenerate tiny feature widths (e.g. the 2-feature `mf-nn` head on a
+    /// two-qubit test chip) keep enough trunk width that ReLU units cannot
+    /// die wholesale during training.
     pub fn layer_sizes(n_features: usize, n_qubits: usize) -> Vec<usize> {
-        vec![
-            n_features,
-            2 * n_features,
-            4 * n_features,
-            2 * n_features,
-            1 << n_qubits,
-        ]
+        let hidden = |k: usize| (k * n_features).max(8);
+        vec![n_features, hidden(2), hidden(4), hidden(2), 1 << n_qubits]
     }
 
     /// Builds the discriminator; `bank.has_rmfs()` decides whether it is the
@@ -43,12 +47,7 @@ impl NnDiscriminator {
     /// Panics if the network input/output widths do not match the bank and
     /// qubit count, or the standardizer dimension differs from the feature
     /// width.
-    pub fn new(
-        demod: Demodulator,
-        bank: FilterBank,
-        standardizer: Standardizer,
-        net: Mlp,
-    ) -> Self {
+    pub fn new(demod: Demodulator, bank: FilterBank, standardizer: Standardizer, net: Mlp) -> Self {
         assert_eq!(
             net.input_size(),
             bank.n_features(),
@@ -64,10 +63,16 @@ impl NnDiscriminator {
             bank.n_features(),
             "standardizer must match feature width"
         );
-        let name = if bank.has_rmfs() { "mf-rmf-nn" } else { "mf-nn" };
+        let name = if bank.has_rmfs() {
+            "mf-rmf-nn"
+        } else {
+            "mf-nn"
+        };
+        let kernel = FusedFilterKernel::new(&demod, &bank);
         NnDiscriminator {
             demod,
             bank,
+            kernel,
             standardizer,
             net,
             name,
@@ -108,10 +113,21 @@ impl Discriminator for NnDiscriminator {
         BasisState::new(self.net.predict(&f) as u32)
     }
 
-    fn discriminate_batch(&self, raws: &[&IqTrace]) -> Vec<BasisState> {
-        let features: Vec<Vec<f64>> = raws.iter().map(|r| self.features_of(r, None)).collect();
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        if !self.kernel.matches(batch) || batch.is_empty() {
+            return (0..batch.n_shots())
+                .map(|s| self.discriminate(&batch.trace(s)))
+                .collect();
+        }
+        // Fused features → in-place standardization → one batched forward
+        // pass; the only allocations are the feature buffer and the
+        // network's layer activations, shared by the whole batch.
+        let mut features = Vec::new();
+        self.kernel.features_batch(batch, &mut features);
+        self.standardizer.transform_rows_inplace(&mut features);
+        let x = Matrix::from_vec(batch.n_shots(), self.kernel.n_features(), features);
         self.net
-            .predict_batch(&features)
+            .predict_rows(&x)
             .into_iter()
             .map(|c| BasisState::new(c as u32))
             .collect()
@@ -127,8 +143,10 @@ impl Discriminator for NnDiscriminator {
         raws: &[&IqTrace],
         bins: &[usize],
     ) -> Option<Vec<BasisState>> {
-        let features: Vec<Vec<f64>> =
-            raws.iter().map(|r| self.features_of(r, Some(bins))).collect();
+        let features: Vec<Vec<f64>> = raws
+            .iter()
+            .map(|r| self.features_of(r, Some(bins)))
+            .collect();
         Some(
             self.net
                 .predict_batch(&features)

@@ -9,15 +9,18 @@ use readout_classifiers::LinearSvm;
 use readout_dsp::Demodulator;
 use readout_nn::Standardizer;
 use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::Discriminator;
+use crate::fused::FusedFilterKernel;
 
 /// Linear-SVM discriminator over filter-bank features.
 #[derive(Debug, Clone)]
 pub struct SvmDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
+    kernel: FusedFilterKernel,
     standardizer: Standardizer,
     svms: Vec<LinearSvm>,
     name: &'static str,
@@ -43,10 +46,16 @@ impl SvmDiscriminator {
             bank.n_features(),
             "standardizer must match feature width"
         );
-        let name = if bank.has_rmfs() { "mf-rmf-svm" } else { "mf-svm" };
+        let name = if bank.has_rmfs() {
+            "mf-rmf-svm"
+        } else {
+            "mf-svm"
+        };
+        let kernel = FusedFilterKernel::new(&demod, &bank);
         SvmDiscriminator {
             demod,
             bank,
+            kernel,
             standardizer,
             svms,
             name,
@@ -80,6 +89,27 @@ impl Discriminator for SvmDiscriminator {
     fn discriminate(&self, raw: &IqTrace) -> BasisState {
         let traces = self.demod.demodulate(raw);
         self.classify_features(&self.bank.features(&traces))
+    }
+
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        if !self.kernel.matches(batch) {
+            return (0..batch.n_shots())
+                .map(|s| self.discriminate(&batch.trace(s)))
+                .collect();
+        }
+        let mut features = Vec::new();
+        self.kernel.features_batch(batch, &mut features);
+        self.standardizer.transform_rows_inplace(&mut features);
+        features
+            .chunks(self.kernel.n_features().max(1))
+            .map(|f| {
+                let mut state = BasisState::new(0);
+                for (q, svm) in self.svms.iter().enumerate() {
+                    state = state.with_qubit(q, svm.predict(f));
+                }
+                state
+            })
+            .collect()
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
@@ -127,8 +157,7 @@ mod tests {
         let features = standardizer.transform_all(&features);
         let svms = (0..n)
             .map(|q| {
-                let labels: Vec<bool> =
-                    dataset.shots.iter().map(|s| s.prepared.qubit(q)).collect();
+                let labels: Vec<bool> = dataset.shots.iter().map(|s| s.prepared.qubit(q)).collect();
                 LinearSvm::train(&features, &labels, &SvmConfig::default())
             })
             .collect();
@@ -155,7 +184,9 @@ mod tests {
         let cfg = ChipConfig::two_qubit_test();
         let ds = Dataset::generate(&cfg, 20, 20);
         let disc = train_mf_svm(&ds);
-        assert!(disc.discriminate_truncated(&ds.shots[0].raw, &[15, 15]).is_some());
+        assert!(disc
+            .discriminate_truncated(&ds.shots[0].raw, &[15, 15])
+            .is_some());
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn evaluate_truncated_per_qubit(
     bins: &[usize],
 ) -> Option<EvalResult> {
     assert!(!indices.is_empty(), "evaluation set must be non-empty");
-    assert_eq!(bins.len(), disc.n_qubits(), "one bin budget per qubit required");
+    assert_eq!(
+        bins.len(),
+        disc.n_qubits(),
+        "one bin budget per qubit required"
+    );
     let raws: Vec<&IqTrace> = indices.iter().map(|&i| &dataset.shots[i].raw).collect();
     let preds = disc.discriminate_truncated_batch(&raws, bins)?;
     let outcomes = indices
@@ -112,7 +116,11 @@ pub fn shortest_saturating_duration(
             .expect("design must support truncated inference");
         if result.cumulative_accuracy() >= target {
             let duration_s = bins as f64 * dataset.config.demod_bin_s;
-            return SweepPoint { bins, duration_s, result };
+            return SweepPoint {
+                bins,
+                duration_s,
+                result,
+            };
         }
     }
     SweepPoint {
@@ -155,8 +163,7 @@ mod tests {
         assert!((sweep[2].duration_s - 1e-6).abs() < 1e-15);
         // Longer readout must not be dramatically worse than the shortest.
         assert!(
-            sweep[2].result.cumulative_accuracy() + 0.05
-                >= sweep[0].result.cumulative_accuracy()
+            sweep[2].result.cumulative_accuracy() + 0.05 >= sweep[0].result.cumulative_accuracy()
         );
     }
 

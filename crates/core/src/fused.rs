@@ -1,0 +1,206 @@
+//! Fused demodulation + matched-filter inference kernel.
+//!
+//! Both demodulation and matched filtering are linear in the raw ADC
+//! samples, so their composition is one linear map. For qubit `q` with
+//! envelope `env` and demodulation bin width `B`:
+//!
+//! ```text
+//! feature = Σ_b env_I(b)·bb_I(b) + env_Q(b)·bb_Q(b)
+//!         = Σ_t raw_I(t)·w_I(t) + raw_Q(t)·w_Q(t)
+//! w_I(t) = (env_I(b)·cos ω_q t − env_Q(b)·sin ω_q t) / B,   b = ⌊t/B⌋
+//! w_Q(t) = (env_I(b)·sin ω_q t + env_Q(b)·cos ω_q t) / B
+//! ```
+//!
+//! [`FusedFilterKernel`] folds every filter of a [`FilterBank`] into one
+//! time-domain weight matrix (stored transposed, `[F × 2T]`) at
+//! construction, and applies the whole bank to a [`ShotBatch`] as a single
+//! blocked matmul `[shots × 2T] · [2T × F]` via
+//! [`readout_nn::matrix::gemm_rt_into`] — zero per-shot allocation, the
+//! per-shot demodulate → per-qubit dot-product loop replaced by one batched
+//! GEMM whose per-feature weight rows stream contiguously (the software
+//! mirror of the paper's pipelined FPGA MAC banks).
+//!
+//! Batched and per-shot features differ only by floating-point
+//! reassociation (the sum over `t` is grouped per bin on the per-shot path),
+//! bounded by ~1e-12 relative error; the parity tests in
+//! `tests/batch_parity.rs` pin this.
+
+use readout_dsp::Demodulator;
+use readout_nn::matrix::gemm_rt_into;
+use readout_sim::ShotBatch;
+
+use crate::bank::FilterBank;
+
+/// A filter bank compiled to raw-sample weights for batched application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedFilterKernel {
+    /// `[F × 2T]` weights, stored transposed so each feature's weights are
+    /// one contiguous scan: row `f` holds feature `f`'s I-plane weights for
+    /// samples `0..T`, then its Q-plane weights.
+    weights_t: Vec<f64>,
+    n_samples: usize,
+    n_features: usize,
+}
+
+impl FusedFilterKernel {
+    /// Compiles `bank` against the demodulator's carrier table.
+    ///
+    /// Envelope bins beyond the readout window (or windows beyond the
+    /// envelope) contribute zero weight, mirroring the prefix-overlap
+    /// semantics of [`readout_dsp::MatchedFilter::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank and demodulator disagree on the qubit count.
+    pub fn new(demod: &Demodulator, bank: &FilterBank) -> Self {
+        assert_eq!(
+            bank.n_qubits(),
+            demod.n_qubits(),
+            "bank and demodulator must cover the same qubits"
+        );
+        let n_samples = demod.n_samples();
+        let n_features = bank.n_features();
+        let spb = demod.samples_per_bin();
+        let norm = 1.0 / spb as f64;
+        let carriers = demod.carriers();
+        let mut weights_t = vec![0.0; 2 * n_samples * n_features];
+        for q in 0..bank.n_qubits() {
+            let mut filters = vec![(bank.mf_feature_index(q), bank.mf(q))];
+            if let Some(rmf) = bank.rmf(q) {
+                filters.push((bank.mf_feature_index(q) + 1, rmf));
+            }
+            for (col, filter) in filters {
+                let env = filter.envelope();
+                let (ei, eq) = (env.i(), env.q());
+                let bins = env.len().min(n_samples / spb);
+                let row = &mut weights_t[col * 2 * n_samples..(col + 1) * 2 * n_samples];
+                for t in 0..bins * spb {
+                    let b = t / spb;
+                    let (c, s) = carriers.phasor(q, t);
+                    row[t] = (ei[b] * c - eq[b] * s) * norm;
+                    row[n_samples + t] = (ei[b] * s + eq[b] * c) * norm;
+                }
+            }
+        }
+        FusedFilterKernel {
+            weights_t,
+            n_samples,
+            n_features,
+        }
+    }
+
+    /// Feature-vector width (`N` without RMFs, `2N` with).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Raw samples per shot the kernel was compiled for.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Whether `batch` has the sample count this kernel was compiled for.
+    pub fn matches(&self, batch: &ShotBatch) -> bool {
+        batch.n_samples() == self.n_samples
+    }
+
+    /// Computes the feature matrix of a whole batch into the caller-owned
+    /// buffer `out`, resized to `[n_shots × n_features]` (row `s` = shot
+    /// `s`'s features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch sample count does not match the kernel.
+    pub fn features_batch(&self, batch: &ShotBatch, out: &mut Vec<f64>) {
+        assert!(
+            self.matches(batch),
+            "batch sample count does not match the compiled kernel"
+        );
+        out.clear();
+        out.resize(batch.n_shots() * self.n_features, 0.0);
+        gemm_rt_into(
+            batch.as_slice(),
+            &self.weights_t,
+            out,
+            batch.n_shots(),
+            2 * self.n_samples,
+            self.n_features,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readout_sim::{ChipConfig, Dataset};
+
+    fn trained_setup(with_rmf: bool) -> (Dataset, Demodulator, FilterBank) {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 20, 91);
+        let demod = Demodulator::new(&cfg);
+        let split = ds.split(0.5, 0.0, 1);
+        let mut trainer = crate::trainer::ReadoutTrainer::new(&ds, &split.train);
+        let mfs = trainer.matched_filters().to_vec();
+        let bank = if with_rmf {
+            FilterBank::with_rmfs(mfs, trainer.relaxation_filters().to_vec())
+        } else {
+            FilterBank::new(mfs)
+        };
+        (ds, demod, bank)
+    }
+
+    fn max_rel_err(fused: &[f64], reference: &[f64]) -> f64 {
+        fused
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fused_features_match_per_shot_bank() {
+        for with_rmf in [false, true] {
+            let (ds, demod, bank) = trained_setup(with_rmf);
+            let kernel = FusedFilterKernel::new(&demod, &bank);
+            assert_eq!(kernel.n_features(), bank.n_features());
+            let batch = ShotBatch::from_shots(&ds.shots[..16]);
+            let mut fused = Vec::new();
+            kernel.features_batch(&batch, &mut fused);
+            for (s, shot) in ds.shots[..16].iter().enumerate() {
+                let reference = bank.features(&demod.demodulate(&shot.raw));
+                let row = &fused[s * kernel.n_features()..(s + 1) * kernel.n_features()];
+                let err = max_rel_err(row, &reference);
+                assert!(err <= 1e-12, "rmf={with_rmf} shot {s}: rel err {err:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_buffer_is_reusable() {
+        let (ds, demod, bank) = trained_setup(false);
+        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let batch = ShotBatch::from_shots(&ds.shots[..8]);
+        let mut out = Vec::new();
+        kernel.features_batch(&batch, &mut out);
+        let first = out.clone();
+        let small = ShotBatch::from_shots(&ds.shots[..2]);
+        kernel.features_batch(&small, &mut out);
+        assert_eq!(out.len(), 2 * kernel.n_features());
+        assert_eq!(
+            out[..],
+            first[..out.len()],
+            "same leading shots, same features"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the compiled kernel")]
+    fn mismatched_batch_is_rejected() {
+        let (ds, demod, bank) = trained_setup(false);
+        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let cut = ds.shots[0].raw.truncated(10);
+        let batch = ShotBatch::try_from_traces(&[&cut]).unwrap();
+        let mut out = Vec::new();
+        kernel.features_batch(&batch, &mut out);
+    }
+}

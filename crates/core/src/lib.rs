@@ -41,12 +41,14 @@
 pub mod bank;
 pub mod designs;
 pub mod duration;
+pub mod fused;
 pub mod metrics;
 pub mod relabel;
 pub mod trainer;
 
 pub use bank::FilterBank;
 pub use designs::{DesignKind, Discriminator};
+pub use fused::FusedFilterKernel;
 pub use metrics::{evaluate, EvalResult};
 pub use relabel::identify_relaxation_traces;
 pub use trainer::ReadoutTrainer;

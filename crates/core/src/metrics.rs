@@ -7,7 +7,8 @@
 //! (misclassification counts), and the precision/recall numbers of §4.3.2.
 
 use readout_sim::dataset::Dataset;
-use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::trace::BasisState;
+use readout_sim::ShotBatch;
 
 use crate::designs::Discriminator;
 
@@ -156,7 +157,10 @@ impl EvalResult {
     /// Panics if `i == j` or either index is out of range.
     pub fn cross_fidelity(&self, i: usize, j: usize) -> f64 {
         assert!(i != j, "cross-fidelity is defined for distinct qubits");
-        assert!(i < self.n_qubits && j < self.n_qubits, "qubit index out of range");
+        assert!(
+            i < self.n_qubits && j < self.n_qubits,
+            "qubit index out of range"
+        );
         let (mut e_i_given_0j, mut n_0j) = (0usize, 0usize);
         let (mut g_i_given_1j, mut n_1j) = (0usize, 0usize);
         for (prep, pred) in &self.outcomes {
@@ -218,8 +222,9 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// Panics if `indices` is empty or out of range.
 pub fn evaluate(disc: &dyn Discriminator, dataset: &Dataset, indices: &[usize]) -> EvalResult {
     assert!(!indices.is_empty(), "evaluation set must be non-empty");
-    let raws: Vec<&IqTrace> = indices.iter().map(|&i| &dataset.shots[i].raw).collect();
-    let preds = disc.discriminate_batch(&raws);
+    // Pack once, discriminate through the fused batched path.
+    let batch = ShotBatch::from_dataset(dataset, indices);
+    let preds = disc.discriminate_shot_batch(&batch);
     let outcomes = indices
         .iter()
         .zip(preds)

@@ -98,9 +98,7 @@ mod tests {
     /// A trace that sits at `a` for the first `k` bins and `b` afterwards —
     /// the MTV interpolates between the two.
     fn switching_trace(a: IqPoint, b: IqPoint, k: usize, len: usize) -> IqTrace {
-        (0..len)
-            .map(|t| if t < k { a } else { b })
-            .collect()
+        (0..len).map(|t| if t < k { a } else { b }).collect()
     }
 
     const G: IqPoint = IqPoint { i: -2.0, q: 0.0 };
@@ -109,8 +107,12 @@ mod tests {
     #[test]
     fn clean_classes_produce_no_relabels() {
         let mut rng = StdRng::seed_from_u64(1);
-        let ground: Vec<IqTrace> = (0..50).map(|_| trace_around(G, 0.05, 20, &mut rng)).collect();
-        let excited: Vec<IqTrace> = (0..50).map(|_| trace_around(E, 0.05, 20, &mut rng)).collect();
+        let ground: Vec<IqTrace> = (0..50)
+            .map(|_| trace_around(G, 0.05, 20, &mut rng))
+            .collect();
+        let excited: Vec<IqTrace> = (0..50)
+            .map(|_| trace_around(E, 0.05, 20, &mut rng))
+            .collect();
         let g: Vec<&IqTrace> = ground.iter().collect();
         let e: Vec<&IqTrace> = excited.iter().collect();
         let labels = identify_relaxation_traces(&g, &e);
@@ -121,9 +123,12 @@ mod tests {
     #[test]
     fn early_relaxers_are_identified() {
         let mut rng = StdRng::seed_from_u64(2);
-        let ground: Vec<IqTrace> = (0..50).map(|_| trace_around(G, 0.05, 20, &mut rng)).collect();
-        let mut excited: Vec<IqTrace> =
-            (0..45).map(|_| trace_around(E, 0.05, 20, &mut rng)).collect();
+        let ground: Vec<IqTrace> = (0..50)
+            .map(|_| trace_around(G, 0.05, 20, &mut rng))
+            .collect();
+        let mut excited: Vec<IqTrace> = (0..45)
+            .map(|_| trace_around(E, 0.05, 20, &mut rng))
+            .collect();
         // Five traces that relax after 2 of 20 bins → MTV ≈ 0.9·G + 0.1·E,
         // well inside the ground circle.
         for _ in 0..5 {
@@ -141,9 +146,12 @@ mod tests {
         // Relaxing in the last bin leaves the MTV near the excited centroid;
         // Algorithm 1 is conservative by construction.
         let mut rng = StdRng::seed_from_u64(3);
-        let ground: Vec<IqTrace> = (0..50).map(|_| trace_around(G, 0.05, 20, &mut rng)).collect();
-        let mut excited: Vec<IqTrace> =
-            (0..49).map(|_| trace_around(E, 0.05, 20, &mut rng)).collect();
+        let ground: Vec<IqTrace> = (0..50)
+            .map(|_| trace_around(G, 0.05, 20, &mut rng))
+            .collect();
+        let mut excited: Vec<IqTrace> = (0..49)
+            .map(|_| trace_around(E, 0.05, 20, &mut rng))
+            .collect();
         excited.push(switching_trace(E, G, 19, 20));
         let g: Vec<&IqTrace> = ground.iter().collect();
         let e: Vec<&IqTrace> = excited.iter().collect();
@@ -157,9 +165,12 @@ mod tests {
         // initialization error) must be captured — the paper treats (a), (b),
         // (c) identically.
         let mut rng = StdRng::seed_from_u64(4);
-        let ground: Vec<IqTrace> = (0..20).map(|_| trace_around(G, 0.05, 20, &mut rng)).collect();
-        let mut excited: Vec<IqTrace> =
-            (0..19).map(|_| trace_around(E, 0.05, 20, &mut rng)).collect();
+        let ground: Vec<IqTrace> = (0..20)
+            .map(|_| trace_around(G, 0.05, 20, &mut rng))
+            .collect();
+        let mut excited: Vec<IqTrace> = (0..19)
+            .map(|_| trace_around(E, 0.05, 20, &mut rng))
+            .collect();
         excited.push(trace_around(G, 0.05, 20, &mut rng));
         let g: Vec<&IqTrace> = ground.iter().collect();
         let e: Vec<&IqTrace> = excited.iter().collect();
@@ -175,10 +186,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let near_g = IqPoint::new(-0.1, 0.0);
         let near_e = IqPoint::new(0.1, 0.0);
-        let ground: Vec<IqTrace> =
-            (0..100).map(|_| trace_around(near_g, 1.0, 20, &mut rng)).collect();
-        let excited: Vec<IqTrace> =
-            (0..100).map(|_| trace_around(near_e, 1.0, 20, &mut rng)).collect();
+        let ground: Vec<IqTrace> = (0..100)
+            .map(|_| trace_around(near_g, 1.0, 20, &mut rng))
+            .collect();
+        let excited: Vec<IqTrace> = (0..100)
+            .map(|_| trace_around(near_e, 1.0, 20, &mut rng))
+            .collect();
         let g: Vec<&IqTrace> = ground.iter().collect();
         let e: Vec<&IqTrace> = excited.iter().collect();
         let labels = identify_relaxation_traces(&g, &e);

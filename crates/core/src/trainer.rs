@@ -10,11 +10,12 @@
 use readout_classifiers::svm::SvmConfig;
 use readout_classifiers::{CentroidClassifier, LinearSvm, ThresholdDiscriminator};
 use readout_dsp::filters::MatchedFilter;
-use readout_dsp::Demodulator;
+use readout_dsp::{BasebandBatch, Demodulator};
 use readout_nn::net::TrainConfig;
 use readout_nn::{Mlp, Standardizer};
 use readout_sim::dataset::Dataset;
 use readout_sim::trace::IqTrace;
+use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::{
@@ -107,9 +108,13 @@ impl<'a> ReadoutTrainer<'a> {
     pub fn with_config(dataset: &'a Dataset, train_idx: &[usize], config: TrainerConfig) -> Self {
         assert!(!train_idx.is_empty(), "training set must be non-empty");
         let demod = Demodulator::new(&dataset.config);
-        let demod_traces = train_idx
-            .iter()
-            .map(|&i| demod.demodulate(&dataset.shots[i].raw))
+        // One batched demodulation pass over the training set (bit-identical
+        // to per-shot demodulation, a fraction of the allocations).
+        let batch = ShotBatch::from_dataset(dataset, train_idx);
+        let mut bb = BasebandBatch::new();
+        demod.demodulate_batch(&batch, &mut bb);
+        let demod_traces = (0..train_idx.len())
+            .map(|s| (0..dataset.n_qubits()).map(|q| bb.trace(s, q)).collect())
             .collect();
         ReadoutTrainer {
             dataset,
@@ -149,7 +154,9 @@ impl<'a> ReadoutTrainer<'a> {
     /// relaxations, per qubit (paper §4.3.1 reports 4.3–11.6 %).
     pub fn relaxation_fractions(&mut self) -> Vec<f64> {
         self.ensure_rmfs();
-        self.relax_fractions.clone().expect("populated by ensure_rmfs")
+        self.relax_fractions
+            .clone()
+            .expect("populated by ensure_rmfs")
     }
 
     /// The trained per-qubit matched filters (training them on first call).
@@ -258,7 +265,10 @@ impl<'a> ReadoutTrainer<'a> {
     }
 
     fn feature_matrix(&self, bank: &FilterBank) -> Vec<Vec<f64>> {
-        self.demod_traces.iter().map(|tr| bank.features(tr)).collect()
+        self.demod_traces
+            .iter()
+            .map(|tr| bank.features(tr))
+            .collect()
     }
 
     fn state_labels(&self) -> Vec<usize> {
@@ -325,15 +335,50 @@ impl<'a> ReadoutTrainer<'a> {
         SvmDiscriminator::new(self.demod.clone(), bank, standardizer, svms)
     }
 
+    /// Trains a head network with restart-on-plateau: narrow ReLU stacks
+    /// (e.g. the 2-feature `mf-nn` head) can die wholesale under an unlucky
+    /// initialization, leaving the loss pinned at the uniform-prediction
+    /// plateau `ln(n_classes)` with zero gradient. When that happens the
+    /// network is reinitialized from a deterministically derived seed and
+    /// retrained; the best attempt wins.
+    fn train_with_restarts(
+        sizes: &[usize],
+        seed: u64,
+        inputs: &[Vec<f64>],
+        labels: &[usize],
+        config: &TrainConfig,
+    ) -> Mlp {
+        const MAX_RESTARTS: u64 = 4;
+        let uniform_loss = (*sizes.last().expect("non-empty sizes") as f64).ln();
+        let mut best: Option<(f64, Mlp)> = None;
+        for attempt in 0..MAX_RESTARTS {
+            let mut net = Mlp::new(sizes, seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15));
+            let report = net.train(inputs, labels, config);
+            let loss = report.final_loss();
+            if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                best = Some((loss, net));
+            }
+            if loss < 0.995 * uniform_loss {
+                break;
+            }
+        }
+        best.expect("at least one attempt ran").1
+    }
+
     fn train_nn(&mut self, with_rmf: bool) -> NnDiscriminator {
         let bank = self.bank(with_rmf);
         let features = self.feature_matrix(&bank);
         let standardizer = Standardizer::fit(&features);
         let features = standardizer.transform_all(&features);
         let sizes = NnDiscriminator::layer_sizes(bank.n_features(), self.n_qubits());
-        let mut net = Mlp::new(&sizes, self.config.seed ^ u64::from(with_rmf));
         let labels = self.state_labels();
-        net.train(&features, &labels, &self.config.nn_train);
+        let mut net = Self::train_with_restarts(
+            &sizes,
+            self.config.seed ^ u64::from(with_rmf),
+            &features,
+            &labels,
+            &self.config.nn_train,
+        );
         // Fine-tune at a lower learning rate: the 32-way softmax head gains
         // a consistent fraction of a percent from annealing, which matters
         // at Table 1 resolution.
@@ -357,9 +402,14 @@ impl<'a> ReadoutTrainer<'a> {
         let standardizer = Standardizer::fit(&inputs);
         let inputs = standardizer.transform_all(&inputs);
         let sizes = BaselineFnnDiscriminator::layer_sizes(n_samples, self.n_qubits());
-        let mut net = Mlp::new(&sizes, self.config.seed ^ 0xbead);
         let labels = self.state_labels();
-        net.train(&inputs, &labels, &self.config.baseline_train);
+        let mut net = Self::train_with_restarts(
+            &sizes,
+            self.config.seed ^ 0xbead,
+            &inputs,
+            &labels,
+            &self.config.baseline_train,
+        );
         let fine = TrainConfig {
             epochs: self.config.baseline_train.epochs / 3,
             learning_rate: self.config.baseline_train.learning_rate / 6.0,
@@ -431,7 +481,10 @@ mod tests {
         assert_eq!(first, second);
         trainer.reset_caches();
         let third = trainer.matched_filters().to_vec();
-        assert_eq!(first, third, "retraining on same data must reproduce filters");
+        assert_eq!(
+            first, third,
+            "retraining on same data must reproduce filters"
+        );
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Parity: the batched (fused-kernel) inference path must agree with the
+//! per-shot path for every design.
+//!
+//! * `centroid` and `mf`-threshold decisions are compared shot by shot — the
+//!   batched demodulation and MTV accumulation reproduce the per-shot
+//!   floating-point operations exactly, so predictions must be identical.
+//! * Designs whose features go through the fused `[shots × 2T] · [2T × F]`
+//!   matmul (`mf`, `mf-svm`, `mf-nn`, `mf-rmf-*`) may reassociate the sum
+//!   over raw samples; feature values are pinned to ≤ 1e-12 relative error
+//!   (`fused` module tests) and the discrete predictions must still match.
+
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
+use herqles_core::{evaluate, Discriminator, FilterBank, FusedFilterKernel};
+use readout_dsp::Demodulator;
+use readout_nn::net::TrainConfig;
+use readout_sim::trace::IqTrace;
+use readout_sim::{ChipConfig, Dataset, ShotBatch};
+
+fn quick_config() -> TrainerConfig {
+    TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 25,
+            ..TrainerConfig::default().nn_train
+        },
+        baseline_train: TrainConfig {
+            epochs: 4,
+            ..TrainerConfig::default().baseline_train
+        },
+        ..TrainerConfig::default()
+    }
+}
+
+fn trained_designs() -> (Dataset, Vec<usize>, Vec<Box<dyn Discriminator>>) {
+    let config = ChipConfig::two_qubit_test();
+    let dataset = Dataset::generate(&config, 40, 4321);
+    let split = dataset.split(0.5, 0.0, 11);
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &split.train, quick_config());
+    let designs = DesignKind::ALL.iter().map(|&k| trainer.train(k)).collect();
+    (dataset, split.test, designs)
+}
+
+#[test]
+fn batched_predictions_match_per_shot_for_every_design() {
+    let (dataset, test_idx, designs) = trained_designs();
+    let batch = ShotBatch::from_dataset(&dataset, &test_idx);
+    for disc in &designs {
+        let batched = disc.discriminate_shot_batch(&batch);
+        assert_eq!(batched.len(), test_idx.len(), "{}", disc.name());
+        for (pos, &i) in test_idx.iter().enumerate() {
+            let per_shot = disc.discriminate(&dataset.shots[i].raw);
+            assert_eq!(
+                batched[pos],
+                per_shot,
+                "{} diverges on shot {i}",
+                disc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_slice_batches_route_through_the_same_path() {
+    let (dataset, test_idx, designs) = trained_designs();
+    let raws: Vec<&IqTrace> = test_idx.iter().map(|&i| &dataset.shots[i].raw).collect();
+    let batch = ShotBatch::from_dataset(&dataset, &test_idx);
+    for disc in &designs {
+        assert_eq!(
+            disc.discriminate_batch(&raws),
+            disc.discriminate_shot_batch(&batch),
+            "{}",
+            disc.name()
+        );
+    }
+}
+
+#[test]
+fn ragged_batches_fall_back_to_per_shot() {
+    let (dataset, test_idx, designs) = trained_designs();
+    // One truncated trace makes the batch ragged; duration-agnostic designs
+    // must still discriminate it per shot.
+    let short = dataset.shots[test_idx[0]].raw.truncated(400);
+    let raws = vec![&short, &dataset.shots[test_idx[1]].raw];
+    for disc in &designs {
+        if disc.name() == "baseline" {
+            continue; // welded to the full window by construction
+        }
+        let out = disc.discriminate_batch(&raws);
+        assert_eq!(out[0], disc.discriminate(&short), "{}", disc.name());
+        assert_eq!(
+            out[1],
+            disc.discriminate(&dataset.shots[test_idx[1]].raw),
+            "{}",
+            disc.name()
+        );
+    }
+}
+
+#[test]
+fn uniformly_truncated_batches_match_per_shot() {
+    // A uniform shorter-than-window batch exercises every design's
+    // "kernel does not match, fall back" branch in one call.
+    let (dataset, test_idx, designs) = trained_designs();
+    let cut = 300;
+    let shorts: Vec<IqTrace> = test_idx
+        .iter()
+        .take(6)
+        .map(|&i| dataset.shots[i].raw.truncated(cut))
+        .collect();
+    let refs: Vec<&IqTrace> = shorts.iter().collect();
+    let batch = ShotBatch::try_from_traces(&refs).unwrap();
+    for disc in &designs {
+        if disc.name() == "baseline" {
+            continue;
+        }
+        let batched = disc.discriminate_shot_batch(&batch);
+        for (pos, short) in shorts.iter().enumerate() {
+            assert_eq!(batched[pos], disc.discriminate(short), "{}", disc.name());
+        }
+    }
+}
+
+#[test]
+fn evaluate_agrees_with_manual_per_shot_accuracy() {
+    let (dataset, test_idx, designs) = trained_designs();
+    for disc in &designs {
+        let result = evaluate(disc.as_ref(), &dataset, &test_idx);
+        let manual = test_idx
+            .iter()
+            .filter(|&&i| disc.discriminate(&dataset.shots[i].raw) == dataset.shots[i].prepared)
+            .count() as f64
+            / test_idx.len() as f64;
+        assert!(
+            (result.state_accuracy() - manual).abs() < 1e-12,
+            "{}: batched {} vs per-shot {}",
+            disc.name(),
+            result.state_accuracy(),
+            manual
+        );
+    }
+}
+
+#[test]
+fn fused_kernel_feature_parity_with_rmf_bank() {
+    // Feature-level parity at the kernel boundary, including interleaved
+    // MF/RMF columns: ≤ 1e-12 relative error from matmul reassociation.
+    let config = ChipConfig::two_qubit_test();
+    let dataset = Dataset::generate(&config, 30, 99);
+    let split = dataset.split(0.5, 0.0, 3);
+    let mut trainer = ReadoutTrainer::with_config(&dataset, &split.train, quick_config());
+    let bank = FilterBank::with_rmfs(
+        trainer.matched_filters().to_vec(),
+        trainer.relaxation_filters().to_vec(),
+    );
+    let demod = Demodulator::new(&config);
+    let kernel = FusedFilterKernel::new(&demod, &bank);
+    let batch = ShotBatch::from_dataset(&dataset, &split.test);
+    let mut fused = Vec::new();
+    kernel.features_batch(&batch, &mut fused);
+    for (pos, &i) in split.test.iter().enumerate() {
+        let reference = bank.features(&demod.demodulate(&dataset.shots[i].raw));
+        let row = &fused[pos * kernel.n_features()..(pos + 1) * kernel.n_features()];
+        for (f, r) in row.iter().zip(&reference) {
+            let rel = (f - r).abs() / r.abs().max(1.0);
+            assert!(rel <= 1e-12, "shot {i}: fused {f} vs per-shot {r}");
+        }
+    }
+}

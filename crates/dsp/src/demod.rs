@@ -12,9 +12,96 @@
 //! demodulated traces is the *dispersive* crosstalk injected at the baseband
 //! level, not spectral leakage.
 
+use readout_sim::batch::ShotBatch;
 use readout_sim::config::ChipConfig;
 use readout_sim::multiplex::CarrierTable;
 use readout_sim::trace::IqTrace;
+
+/// Caller-owned output buffer for [`Demodulator::demodulate_batch`]:
+/// baseband bins of every `(shot, qubit)` pair in one contiguous plane.
+///
+/// Row `s` holds shot `s` as `n_qubits` consecutive `[I_0 … I_{B−1},
+/// Q_0 … Q_{B−1}]` segments (qubit-major). The buffer is reused across
+/// batches — repeated demodulation of same-shape batches performs zero
+/// allocations after the first call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasebandBatch {
+    n_shots: usize,
+    n_qubits: usize,
+    n_bins: usize,
+    data: Vec<f64>,
+}
+
+impl BasebandBatch {
+    /// An empty buffer; sized lazily by the first `demodulate_batch` call.
+    pub fn new() -> Self {
+        BasebandBatch::default()
+    }
+
+    /// Resizes for a `[n_shots × n_qubits × 2·n_bins]` result, reusing the
+    /// existing allocation when possible.
+    pub fn reset(&mut self, n_shots: usize, n_qubits: usize, n_bins: usize) {
+        self.n_shots = n_shots;
+        self.n_qubits = n_qubits;
+        self.n_bins = n_bins;
+        self.data.clear();
+        self.data.resize(n_shots * n_qubits * 2 * n_bins, 0.0);
+    }
+
+    /// Number of shots held.
+    pub fn n_shots(&self) -> usize {
+        self.n_shots
+    }
+
+    /// Number of qubits per shot.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Demodulation bins per trace.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    fn segment(&self, shot: usize, qubit: usize) -> &[f64] {
+        assert!(shot < self.n_shots, "shot index out of bounds");
+        assert!(qubit < self.n_qubits, "qubit index out of bounds");
+        let w = 2 * self.n_bins;
+        let start = (shot * self.n_qubits + qubit) * w;
+        &self.data[start..start + w]
+    }
+
+    /// The I bins of `(shot, qubit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn i_of(&self, shot: usize, qubit: usize) -> &[f64] {
+        &self.segment(shot, qubit)[..self.n_bins]
+    }
+
+    /// The Q bins of `(shot, qubit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn q_of(&self, shot: usize, qubit: usize) -> &[f64] {
+        &self.segment(shot, qubit)[self.n_bins..]
+    }
+
+    /// Materializes `(shot, qubit)` as an owned [`IqTrace`] (allocates; used
+    /// by training paths, not the inference hot loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn trace(&self, shot: usize, qubit: usize) -> IqTrace {
+        IqTrace::new(
+            self.i_of(shot, qubit).to_vec(),
+            self.q_of(shot, qubit).to_vec(),
+        )
+    }
+}
 
 /// Demodulates raw feedline waveforms into per-qubit baseband traces.
 #[derive(Debug, Clone)]
@@ -44,6 +131,27 @@ impl Demodulator {
     /// Number of bins produced for a full-length raw trace.
     pub fn n_bins(&self) -> usize {
         self.n_samples / self.samples_per_bin
+    }
+
+    /// Number of qubits demodulated per shot.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Raw samples in the configured readout window.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Raw samples averaged into one demodulation bin.
+    pub fn samples_per_bin(&self) -> usize {
+        self.samples_per_bin
+    }
+
+    /// The precomputed carrier phasors (shared with waveform synthesis and
+    /// the fused inference kernels).
+    pub fn carriers(&self) -> &CarrierTable {
+        &self.carriers
     }
 
     /// Demodulates the trace of a single qubit.
@@ -89,6 +197,49 @@ impl Demodulator {
             .map(|q| self.demodulate_qubit(raw, q))
             .collect()
     }
+
+    /// Demodulates a whole batch into a caller-owned [`BasebandBatch`] with
+    /// zero per-shot allocation.
+    ///
+    /// Bins are computed with exactly the same accumulation order as
+    /// [`Demodulator::demodulate_qubit`], so batched and per-shot basebands
+    /// are bit-identical. Truncated batches (fewer samples than the readout
+    /// window) yield proportionally fewer bins, like the per-shot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch traces are longer than the configured readout
+    /// window.
+    pub fn demodulate_batch(&self, batch: &ShotBatch, out: &mut BasebandBatch) {
+        assert!(
+            batch.n_samples() <= self.n_samples,
+            "batch traces longer than the configured readout window"
+        );
+        let n_bins = batch.n_samples() / self.samples_per_bin;
+        out.reset(batch.n_shots(), self.n_qubits, n_bins);
+        let spb = self.samples_per_bin;
+        let norm = 1.0 / spb as f64;
+        let row_width = self.n_qubits * 2 * n_bins;
+        for (shot, row) in out.data.chunks_mut(row_width.max(1)).enumerate() {
+            let ri = batch.i_of(shot);
+            let rq = batch.q_of(shot);
+            for (q, seg) in row.chunks_mut(2 * n_bins).enumerate() {
+                let (i_out, q_out) = seg.split_at_mut(n_bins);
+                for bin in 0..n_bins {
+                    let start = bin * spb;
+                    let mut acc_i = 0.0;
+                    let mut acc_q = 0.0;
+                    for t in start..start + spb {
+                        let (c, s) = self.carriers.phasor(q, t);
+                        acc_i += ri[t] * c + rq[t] * s;
+                        acc_q += rq[t] * c - ri[t] * s;
+                    }
+                    i_out[bin] = acc_i * norm;
+                    q_out[bin] = acc_q * norm;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,17 +253,19 @@ mod tests {
     use readout_sim::{ChipConfig, Dataset};
 
     fn constant_basebands(cfg: &ChipConfig, points: &[IqPoint]) -> Vec<Vec<IqPoint>> {
-        points
-            .iter()
-            .map(|&p| vec![p; cfg.n_samples()])
-            .collect()
+        points.iter().map(|&p| vec![p; cfg.n_samples()]).collect()
     }
 
     fn noiseless_raw(cfg: &ChipConfig, points: &[IqPoint]) -> IqTrace {
         let carriers = CarrierTable::new(cfg);
         let mut noise = GaussianNoise::new(0.0);
         let mut rng = StdRng::seed_from_u64(0);
-        synthesize(&carriers, &constant_basebands(cfg, points), &mut noise, &mut rng)
+        synthesize(
+            &carriers,
+            &constant_basebands(cfg, points),
+            &mut noise,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -212,6 +365,56 @@ mod tests {
                 "qubit {q} centroids too close: {c0} vs {c1}"
             );
         }
+    }
+
+    #[test]
+    fn batch_demodulation_is_bit_identical_to_per_shot() {
+        let cfg = ChipConfig::five_qubit_default();
+        let ds = Dataset::generate(&cfg, 2, 31);
+        let demod = Demodulator::new(&cfg);
+        let batch = readout_sim::ShotBatch::from_shots(&ds.shots);
+        let mut bb = BasebandBatch::new();
+        demod.demodulate_batch(&batch, &mut bb);
+        assert_eq!(bb.n_shots(), ds.shots.len());
+        assert_eq!(bb.n_qubits(), 5);
+        assert_eq!(bb.n_bins(), cfg.n_bins());
+        for (s, shot) in ds.shots.iter().enumerate() {
+            for q in 0..5 {
+                let per_shot = demod.demodulate_qubit(&shot.raw, q);
+                assert_eq!(bb.i_of(s, q), per_shot.i(), "shot {s} qubit {q} I");
+                assert_eq!(bb.q_of(s, q), per_shot.q(), "shot {s} qubit {q} Q");
+                assert_eq!(bb.trace(s, q), per_shot);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_demodulation_reuses_the_buffer() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 3, 5);
+        let demod = Demodulator::new(&cfg);
+        let batch = readout_sim::ShotBatch::from_shots(&ds.shots);
+        let mut bb = BasebandBatch::new();
+        demod.demodulate_batch(&batch, &mut bb);
+        let first = bb.clone();
+        demod.demodulate_batch(&batch, &mut bb);
+        assert_eq!(bb, first, "repeated demodulation must be stable");
+    }
+
+    #[test]
+    fn truncated_batch_yields_fewer_bins() {
+        let cfg = ChipConfig::two_qubit_test();
+        let ds = Dataset::generate(&cfg, 1, 8);
+        let demod = Demodulator::new(&cfg);
+        let cut = 7 * cfg.samples_per_bin() + 3;
+        let truncated: Vec<IqTrace> = ds.shots.iter().map(|s| s.raw.truncated(cut)).collect();
+        let refs: Vec<&IqTrace> = truncated.iter().collect();
+        let batch = readout_sim::ShotBatch::try_from_traces(&refs).unwrap();
+        let mut bb = BasebandBatch::new();
+        demod.demodulate_batch(&batch, &mut bb);
+        assert_eq!(bb.n_bins(), 7);
+        let per_shot = demod.demodulate_qubit(&truncated[0], 1);
+        assert_eq!(bb.trace(0, 1), per_shot);
     }
 
     #[test]

@@ -197,8 +197,12 @@ mod tests {
         count: usize,
     ) -> (Vec<IqTrace>, Vec<IqTrace>) {
         let mut rng = StdRng::seed_from_u64(31);
-        let a: Vec<IqTrace> = (0..count).map(|_| noisy_trace(mean_a, sigma, &mut rng)).collect();
-        let b: Vec<IqTrace> = (0..count).map(|_| noisy_trace(mean_b, sigma, &mut rng)).collect();
+        let a: Vec<IqTrace> = (0..count)
+            .map(|_| noisy_trace(mean_a, sigma, &mut rng))
+            .collect();
+        let b: Vec<IqTrace> = (0..count)
+            .map(|_| noisy_trace(mean_b, sigma, &mut rng))
+            .collect();
         (a, b)
     }
 

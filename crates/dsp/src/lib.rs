@@ -32,5 +32,5 @@ pub mod demod;
 pub mod filters;
 
 pub use boxcar::boxcar_filter;
-pub use demod::Demodulator;
+pub use demod::{BasebandBatch, Demodulator};
 pub use filters::{FilterError, MatchedFilter};

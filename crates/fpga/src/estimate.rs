@@ -137,7 +137,11 @@ impl ResourceEstimate {
 
 /// Estimates the network engine alone (no frontend, no buffering) — used for
 /// layer-by-layer studies.
-pub fn estimate_nn_engine(spec: &PipelineSpec, model: &CostModel, device: &FpgaDevice) -> ResourceEstimate {
+pub fn estimate_nn_engine(
+    spec: &PipelineSpec,
+    model: &CostModel,
+    device: &FpgaDevice,
+) -> ResourceEstimate {
     let mut luts: u64 = 0;
     let mut dsps: u64 = 0;
     let mut latency: u64 = 0;
@@ -225,7 +229,11 @@ mod tests {
     fn herqules_fits_comfortably() {
         // Paper: 7.79 % LUT at the Table 4 operating point.
         let u = herqules_rf(4);
-        assert!(u.lut_pct > 3.0 && u.lut_pct < 14.0, "LUT {:.2} %", u.lut_pct);
+        assert!(
+            u.lut_pct > 3.0 && u.lut_pct < 14.0,
+            "LUT {:.2} %",
+            u.lut_pct
+        );
         assert!(u.fits());
         assert!(u.bram_pct < 10.0, "BRAM {:.2} %", u.bram_pct);
         assert!(u.dsp_pct < 50.0, "DSP {:.2} %", u.dsp_pct);
@@ -252,7 +260,11 @@ mod tests {
         for rf in [200, 500, 1000] {
             let spec = PipelineSpec::baseline(NetworkShape::baseline_fnn(), rf);
             let u = estimate_pipeline(&spec).utilization(&FpgaDevice::XCZU7EV);
-            assert!(!u.fits(), "baseline at RF {rf} must not fit ({:.1} % LUT)", u.lut_pct);
+            assert!(
+                !u.fits(),
+                "baseline at RF {rf} must not fit ({:.1} % LUT)",
+                u.lut_pct
+            );
         }
     }
 
@@ -312,7 +324,10 @@ mod tests {
             "ten groups need {lut_ten} LUTs"
         );
         let dsp_ten = 10 * one_group.dsps;
-        assert!(dsp_ten < FpgaDevice::XCZU7EV.dsps, "ten groups need {dsp_ten} DSPs");
+        assert!(
+            dsp_ten < FpgaDevice::XCZU7EV.dsps,
+            "ten groups need {dsp_ten} DSPs"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ impl NetworkShape {
     /// Panics if fewer than two widths are given or any width is zero.
     pub fn from_sizes(sizes: &[usize]) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output widths");
-        assert!(sizes.iter().all(|&s| s > 0), "layer widths must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "layer widths must be positive"
+        );
         NetworkShape {
             sizes: sizes.to_vec(),
         }
@@ -35,7 +38,10 @@ impl NetworkShape {
     /// is `n` (without RMF) or `2n` (with RMF).
     pub fn herqules_head(n_qubits: usize, with_rmf: bool) -> Self {
         let f = if with_rmf { 2 * n_qubits } else { n_qubits };
-        Self::from_sizes(&[f, 2 * f, 4 * f, 2 * f, 1 << n_qubits])
+        // Hidden widths floored at 8 units, mirroring the trained head in
+        // `herqles-core` (identical at paper scale, f >= 4).
+        let hidden = |k: usize| (k * f).max(8);
+        Self::from_sizes(&[f, hidden(2), hidden(4), hidden(2), 1 << n_qubits])
     }
 
     /// Layer widths, input first.

@@ -21,7 +21,11 @@ use crate::pipeline::PipelineSpec;
 pub fn independent_groups(k: usize, reuse_factor: usize, device: &FpgaDevice) -> ResourceEstimate {
     assert!(k > 0, "need at least one group");
     let model = CostModel::default();
-    let one = estimate_pipeline_with(&PipelineSpec::herqules(5, true, reuse_factor), &model, device);
+    let one = estimate_pipeline_with(
+        &PipelineSpec::herqules(5, true, reuse_factor),
+        &model,
+        device,
+    );
     let per_group_luts = one.luts - model.lut_fixed_pipeline;
     ResourceEstimate {
         luts: k as u64 * per_group_luts + model.lut_fixed_pipeline,
@@ -51,7 +55,10 @@ pub fn shared_fnn_output_width(n_qubits: usize) -> Option<u64> {
 ///
 /// Panics if `n_qubits` is 0 or ≥ 26 (the shape itself becomes absurd).
 pub fn shared_fnn_shape(n_qubits: usize) -> NetworkShape {
-    assert!(n_qubits > 0 && n_qubits < 26, "shared FNN shape out of sane range");
+    assert!(
+        n_qubits > 0 && n_qubits < 26,
+        "shared FNN shape out of sane range"
+    );
     let f = 2 * n_qubits;
     NetworkShape::from_sizes(&[f, 2 * f, 4 * f, 2 * f, 1 << n_qubits])
 }

@@ -82,9 +82,7 @@ mod tests {
     #[test]
     fn iteration_includes_all_components() {
         let t = QpeTimings::with_readout_ns(100.0);
-        assert!(
-            (t.iteration_ns() - (90.0 + 300.0 + 100.0 + 200.0)).abs() < 1e-12
-        );
+        assert!((t.iteration_ns() - (90.0 + 300.0 + 100.0 + 200.0)).abs() < 1e-12);
     }
 
     #[test]

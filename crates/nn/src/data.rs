@@ -25,7 +25,10 @@ impl Standardizer {
     ///
     /// Panics if `samples` is empty or rows have unequal lengths.
     pub fn fit(samples: &[Vec<f64>]) -> Self {
-        assert!(!samples.is_empty(), "cannot fit a standardizer on no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit a standardizer on no samples"
+        );
         let dim = samples[0].len();
         assert!(
             samples.iter().all(|s| s.len() == dim),
@@ -78,6 +81,22 @@ impl Standardizer {
     /// Transforms a whole set of samples.
     pub fn transform_all(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
         samples.iter().map(|s| self.transform(s)).collect()
+    }
+
+    /// Transforms a flat row-major `[n × dim]` buffer in place — the
+    /// allocation-free path used by batched inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of the fitted dimension.
+    pub fn transform_rows_inplace(&self, rows: &mut [f64]) {
+        let dim = self.dim();
+        assert_eq!(rows.len() % dim.max(1), 0, "buffer is not whole rows");
+        for row in rows.chunks_mut(dim) {
+            for (x, (&m, &s)) in row.iter_mut().zip(self.mean.iter().zip(&self.std)) {
+                *x = (*x - m) / s;
+            }
+        }
     }
 }
 

@@ -56,7 +56,11 @@ impl Dense {
     ///
     /// Panics if `bias.len() != weights.cols()`.
     pub fn from_parameters(weights: Matrix, bias: Vec<f64>) -> Self {
-        assert_eq!(bias.len(), weights.cols(), "bias length must equal output width");
+        assert_eq!(
+            bias.len(),
+            weights.cols(),
+            "bias length must equal output width"
+        );
         Dense { weights, bias }
     }
 
@@ -152,8 +156,7 @@ mod tests {
     fn he_init_has_expected_scale() {
         let layer = Dense::new(1000, 10, &mut rng());
         let w = layer.weights();
-        let var: f64 =
-            w.as_slice().iter().map(|v| v * v).sum::<f64>() / w.as_slice().len() as f64;
+        let var: f64 = w.as_slice().iter().map(|v| v * v).sum::<f64>() / w.as_slice().len() as f64;
         // He variance for fan_in 1000 is 0.002.
         assert!((var - 0.002).abs() < 0.0005, "weight variance {var}");
         assert!(layer.bias().iter().all(|&b| b == 0.0));

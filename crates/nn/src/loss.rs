@@ -12,13 +12,20 @@ use crate::matrix::Matrix;
 ///
 /// Panics if `labels.len() != logits.rows()` or any label is out of range.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
-    assert_eq!(labels.len(), logits.rows(), "one label per batch row required");
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per batch row required"
+    );
     let classes = logits.cols();
     let batch = logits.rows();
     let mut grad = Matrix::zeros(batch, classes);
     let mut loss = 0.0;
     for (r, &label) in labels.iter().enumerate().take(batch) {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let row = logits.row(r);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut denom = 0.0;

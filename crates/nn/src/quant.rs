@@ -178,12 +178,12 @@ impl QuantizedMlp {
         let mut out = String::new();
         for row in weights {
             for &w in row {
-                let word = (w as i64 as u64) & mask;
+                let word = (w as u64) & mask;
                 out.push_str(&format!("{word:0width_nibbles$x}\n"));
             }
         }
         for &b in bias {
-            let word = (b as i64 as u64) & mask;
+            let word = (b as u64) & mask;
             out.push_str(&format!("{word:0width_nibbles$x}\n"));
         }
         out
@@ -210,16 +210,34 @@ mod tests {
 
     #[test]
     fn quantize_saturates() {
-        let q = QuantConfig { total_bits: 8, frac_bits: 4 };
+        let q = QuantConfig {
+            total_bits: 8,
+            frac_bits: 4,
+        };
         assert_eq!(q.quantize(1e9), q.max_value());
         assert_eq!(q.quantize(-1e9), -q.max_value());
     }
 
     #[test]
     fn invalid_formats_are_rejected() {
-        assert!(QuantConfig { total_bits: 8, frac_bits: 8 }.validate().is_err());
-        assert!(QuantConfig { total_bits: 0, frac_bits: 0 }.validate().is_err());
-        assert!(QuantConfig { total_bits: 40, frac_bits: 8 }.validate().is_err());
+        assert!(QuantConfig {
+            total_bits: 8,
+            frac_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(QuantConfig {
+            total_bits: 0,
+            frac_bits: 0
+        }
+        .validate()
+        .is_err());
+        assert!(QuantConfig {
+            total_bits: 40,
+            frac_bits: 8
+        }
+        .validate()
+        .is_err());
         assert!(QuantConfig::DEFAULT_16BIT.validate().is_ok());
     }
 
@@ -235,7 +253,14 @@ mod tests {
             labels.push(1);
         }
         let mut net = Mlp::new(&[2, 8, 2], 3);
-        net.train(&inputs, &labels, &TrainConfig { epochs: 60, ..TrainConfig::default() });
+        net.train(
+            &inputs,
+            &labels,
+            &TrainConfig {
+                epochs: 60,
+                ..TrainConfig::default()
+            },
+        );
         (net, inputs, labels)
     }
 
@@ -260,14 +285,23 @@ mod tests {
     #[test]
     fn very_low_bit_width_degrades() {
         let (net, inputs, labels) = trained_net();
-        let q4 = QuantizedMlp::from_mlp(&net, QuantConfig { total_bits: 4, frac_bits: 2 });
+        let q4 = QuantizedMlp::from_mlp(
+            &net,
+            QuantConfig {
+                total_bits: 4,
+                frac_bits: 2,
+            },
+        );
         let q16 = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
         let acc = |preds: &[usize]| {
             preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
         };
         let acc4 = acc(&q4.predict_batch(&inputs));
         let acc16 = acc(&q16.predict_batch(&inputs));
-        assert!(acc16 >= acc4, "16-bit {acc16} must not be worse than 4-bit {acc4}");
+        assert!(
+            acc16 >= acc4,
+            "16-bit {acc16} must not be worse than 4-bit {acc4}"
+        );
     }
 
     #[test]
@@ -288,7 +322,9 @@ mod tests {
         let lines: Vec<&str> = image.lines().collect();
         assert_eq!(lines.len(), 24);
         assert!(lines.iter().all(|l| l.len() == 4));
-        assert!(lines.iter().all(|l| l.chars().all(|c| c.is_ascii_hexdigit())));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().all(|c| c.is_ascii_hexdigit())));
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn decode_block(code: &RotatedSurfaceCode, block: &SyndromeBlock) -> DecodeO
     let mut candidates: Vec<(usize, Candidate)> = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            candidates.push((event_distance(code, &events[i], &events[j]), Candidate::Pair(i, j)));
+            candidates.push((
+                event_distance(code, &events[i], &events[j]),
+                Candidate::Pair(i, j),
+            ));
         }
         candidates.push((code.dist_west(events[i].stab), Candidate::West(i)));
         candidates.push((code.dist_east(events[i].stab), Candidate::East(i)));
@@ -284,7 +287,10 @@ mod tests {
             if col + 1 < 5 {
                 let block = block_with_errors(&c, &[q, row * 5 + col + 1]);
                 let out = decode_block(&c, &block);
-                assert!(!out.logical_error, "pair error at ({row},{col}) mis-decoded");
+                assert!(
+                    !out.logical_error,
+                    "pair error at ({row},{col}) mis-decoded"
+                );
             }
         }
     }
@@ -307,7 +313,10 @@ mod tests {
         // At p well below threshold the decoded logical rate must be far
         // below the probability of any error occurring.
         let c = code();
-        let noise = NoiseParams { data_error_prob: 0.01, meas_error_prob: 0.005 };
+        let noise = NoiseParams {
+            data_error_prob: 0.01,
+            meas_error_prob: 0.005,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let blocks = 2_000;
         let mut failures = 0;
@@ -327,7 +336,10 @@ mod tests {
         // Pure measurement noise creates time-like strings that the decoder
         // should almost always match vertically (no data correction).
         let c = code();
-        let noise = NoiseParams { data_error_prob: 0.0, meas_error_prob: 0.02 };
+        let noise = NoiseParams {
+            data_error_prob: 0.0,
+            meas_error_prob: 0.02,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         let mut failures = 0;
         for _ in 0..1_000 {
@@ -336,6 +348,9 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures < 20, "{failures} failures from measurement noise alone");
+        assert!(
+            failures < 20,
+            "{failures} failures from measurement noise alone"
+        );
     }
 }

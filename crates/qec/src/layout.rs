@@ -37,7 +37,10 @@ impl RotatedSurfaceCode {
     ///
     /// Panics if `d` is even or smaller than 3.
     pub fn new(distance: usize) -> Self {
-        assert!(distance >= 3 && distance % 2 == 1, "distance must be odd and ≥ 3");
+        assert!(
+            distance >= 3 && distance % 2 == 1,
+            "distance must be odd and ≥ 3"
+        );
         let d = distance as i32;
         let mut stabilizers = Vec::new();
 

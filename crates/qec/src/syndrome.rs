@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn noiseless_block_has_no_events() {
-        let noise = NoiseParams { data_error_prob: 0.0, meas_error_prob: 0.0 };
+        let noise = NoiseParams {
+            data_error_prob: 0.0,
+            meas_error_prob: 0.0,
+        };
         let block = SyndromeBlock::simulate_seeded(&code(), &noise, 5, 1);
         assert!(block.events.is_empty());
         assert!(block.final_errors.iter().all(|&e| !e));
@@ -158,7 +161,10 @@ mod tests {
         // Every error chain has two endpoints (possibly on boundaries), so
         // event counts can be odd; what must hold is that events fall within
         // the simulated rounds.
-        let noise = NoiseParams { data_error_prob: 0.05, meas_error_prob: 0.02 };
+        let noise = NoiseParams {
+            data_error_prob: 0.05,
+            meas_error_prob: 0.02,
+        };
         let block = SyndromeBlock::simulate_seeded(&code(), &noise, 4, 2);
         for ev in &block.events {
             assert!(ev.round <= 4);
@@ -168,7 +174,10 @@ mod tests {
 
     #[test]
     fn pure_measurement_noise_leaves_no_data_errors() {
-        let noise = NoiseParams { data_error_prob: 0.0, meas_error_prob: 0.3 };
+        let noise = NoiseParams {
+            data_error_prob: 0.0,
+            meas_error_prob: 0.3,
+        };
         let block = SyndromeBlock::simulate_seeded(&code(), &noise, 6, 3);
         assert!(block.final_errors.iter().all(|&e| !e));
         // Measurement flips show up and are later cancelled by the next
@@ -199,8 +208,14 @@ mod tests {
     #[test]
     fn event_count_grows_with_noise() {
         let c = code();
-        let lo = NoiseParams { data_error_prob: 0.01, meas_error_prob: 0.005 };
-        let hi = NoiseParams { data_error_prob: 0.08, meas_error_prob: 0.04 };
+        let lo = NoiseParams {
+            data_error_prob: 0.01,
+            meas_error_prob: 0.005,
+        };
+        let hi = NoiseParams {
+            data_error_prob: 0.08,
+            meas_error_prob: 0.04,
+        };
         let count = |noise: &NoiseParams| -> usize {
             (0..200)
                 .map(|s| SyndromeBlock::simulate_seeded(&c, noise, 5, s).events.len())
@@ -214,7 +229,10 @@ mod tests {
         let c = code();
         let mut block = SyndromeBlock::simulate_seeded(
             &c,
-            &NoiseParams { data_error_prob: 0.0, meas_error_prob: 0.0 },
+            &NoiseParams {
+                data_error_prob: 0.0,
+                meas_error_prob: 0.0,
+            },
             1,
             0,
         );
@@ -228,14 +246,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_panics() {
-        let noise = NoiseParams { data_error_prob: 0.0, meas_error_prob: 0.0 };
+        let noise = NoiseParams {
+            data_error_prob: 0.0,
+            meas_error_prob: 0.0,
+        };
         let _ = SyndromeBlock::simulate_seeded(&code(), &noise, 0, 0);
     }
 
     #[test]
     #[should_panic(expected = "[0, 1]")]
     fn invalid_probability_panics() {
-        let noise = NoiseParams { data_error_prob: 1.5, meas_error_prob: 0.0 };
+        let noise = NoiseParams {
+            data_error_prob: 1.5,
+            meas_error_prob: 0.0,
+        };
         let _ = SyndromeBlock::simulate_seeded(&code(), &noise, 1, 0);
     }
 }

@@ -121,8 +121,7 @@ impl ChipConfig {
         if self.qubits.is_empty() {
             return Err("chip must have at least one qubit".into());
         }
-        if self.sample_rate_hz <= 0.0 || self.readout_duration_s <= 0.0 || self.demod_bin_s <= 0.0
-        {
+        if self.sample_rate_hz <= 0.0 || self.readout_duration_s <= 0.0 || self.demod_bin_s <= 0.0 {
             return Err("rates and durations must be positive".into());
         }
         let spb = self.sample_rate_hz * self.demod_bin_s;

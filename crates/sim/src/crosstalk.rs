@@ -58,8 +58,15 @@ impl CrosstalkModel {
     /// Panics if the matrix is not `n × n` with `n == pairwise.len()`.
     pub fn from_coefficients(linear: Vec<Vec<IqPoint>>, pairwise: Vec<IqPoint>) -> Self {
         let n = linear.len();
-        assert!(linear.iter().all(|row| row.len() == n), "matrix must be square");
-        assert_eq!(pairwise.len(), n, "pairwise vector must have one entry per qubit");
+        assert!(
+            linear.iter().all(|row| row.len() == n),
+            "matrix must be square"
+        );
+        assert_eq!(
+            pairwise.len(),
+            n,
+            "pairwise vector must have one entry per qubit"
+        );
         CrosstalkModel {
             n,
             linear,
@@ -178,7 +185,10 @@ impl CrosstalkModel {
     /// Returns an error naming the dimension mismatch, if any.
     pub fn validate(&self, n: usize) -> Result<(), String> {
         if self.n != n {
-            return Err(format!("crosstalk model sized for {} qubits, chip has {n}", self.n));
+            return Err(format!(
+                "crosstalk model sized for {} qubits, chip has {n}",
+                self.n
+            ));
         }
         for (v, row) in self.linear.iter().enumerate() {
             if row[v] != IqPoint::ZERO {

@@ -112,8 +112,14 @@ impl Dataset {
     ///
     /// Panics if `train_frac + val_frac > 1.0` or either fraction is negative.
     pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> DatasetSplit {
-        assert!(train_frac >= 0.0 && val_frac >= 0.0, "fractions must be non-negative");
-        assert!(train_frac + val_frac <= 1.0, "train + val fractions must not exceed 1");
+        assert!(
+            train_frac >= 0.0 && val_frac >= 0.0,
+            "fractions must be non-negative"
+        );
+        assert!(
+            train_frac + val_frac <= 1.0,
+            "train + val fractions must not exceed 1"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut by_state: Vec<Vec<usize>> = Vec::new();
         for (idx, shot) in self.shots.iter().enumerate() {
@@ -167,7 +173,8 @@ fn generate_shot<R: Rng + ?Sized>(
     for (k, params) in config.qubits.iter().enumerate() {
         let sampled = sample_path(params, prepared.qubit(k), config.readout_duration_s, rng);
         initial = initial.with_qubit(k, sampled.path.initial_excited());
-        final_state = final_state.with_qubit(k, sampled.path.final_excited(config.readout_duration_s));
+        final_state =
+            final_state.with_qubit(k, sampled.path.final_excited(config.readout_duration_s));
         relaxation_time_s.push(sampled.path.relaxation_time());
         excitation_time_s.push(match sampled.path {
             StatePath::Excitation { time_s } => Some(time_s),

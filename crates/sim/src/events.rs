@@ -173,11 +173,18 @@ mod tests {
         let params = q0();
         let mut rng = StdRng::seed_from_u64(6);
         let times: Vec<f64> = (0..200_000)
-            .filter_map(|_| sample_path(&params, true, 1e-6, &mut rng).path.relaxation_time())
+            .filter_map(|_| {
+                sample_path(&params, true, 1e-6, &mut rng)
+                    .path
+                    .relaxation_time()
+            })
             .collect();
         assert!(!times.is_empty());
         let mean = times.iter().sum::<f64>() / times.len() as f64;
-        assert!(mean > 0.3e-6 && mean < 0.6e-6, "mean relaxation time {mean}");
+        assert!(
+            mean > 0.3e-6 && mean < 0.6e-6,
+            "mean relaxation time {mean}"
+        );
         assert!(times.iter().all(|&t| (0.0..1e-6).contains(&t)));
     }
 
@@ -195,7 +202,10 @@ mod tests {
             })
             .count();
         let frac = excited as f64 / n as f64;
-        assert!((frac - params.excitation_prob).abs() < 0.002, "excitation fraction {frac}");
+        assert!(
+            (frac - params.excitation_prob).abs() < 0.002,
+            "excitation fraction {frac}"
+        );
     }
 
     #[test]
@@ -215,7 +225,10 @@ mod tests {
         params.excitation_prob = 0.0;
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..100 {
-            assert_eq!(sample_path(&params, false, 1e-6, &mut rng).path, StatePath::Ground);
+            assert_eq!(
+                sample_path(&params, false, 1e-6, &mut rng).path,
+                StatePath::Ground
+            );
         }
     }
 }

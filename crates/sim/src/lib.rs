@@ -35,6 +35,7 @@
 //! assert_eq!(dataset.shots.len(), 4 * 32); // 2^5 basis states
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod crosstalk;
 pub mod dataset;
@@ -44,6 +45,7 @@ pub mod noise;
 pub mod trace;
 pub mod trajectory;
 
+pub use batch::ShotBatch;
 pub use config::{ChipConfig, QubitParams};
 pub use crosstalk::CrosstalkModel;
 pub use dataset::{Dataset, DatasetSplit, Shot, ShotTruth};

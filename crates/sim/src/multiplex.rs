@@ -35,8 +35,8 @@ impl CarrierTable {
             .map(|q| {
                 (0..n_samples)
                     .map(|t| {
-                        let phase = 2.0 * std::f64::consts::PI * q.if_freq_hz
-                            * config.sample_time(t);
+                        let phase =
+                            2.0 * std::f64::consts::PI * q.if_freq_hz * config.sample_time(t);
                         let (s, c) = phase.sin_cos();
                         (c, s)
                     })
@@ -77,7 +77,11 @@ pub fn synthesize<R: Rng + ?Sized>(
     noise: &mut GaussianNoise,
     rng: &mut R,
 ) -> IqTrace {
-    assert_eq!(basebands.len(), carriers.n_qubits(), "one baseband per qubit required");
+    assert_eq!(
+        basebands.len(),
+        carriers.n_qubits(),
+        "one baseband per qubit required"
+    );
     let n = carriers.n_samples();
     let mut i_ch = vec![0.0; n];
     let mut q_ch = vec![0.0; n];

@@ -31,7 +31,10 @@ impl GaussianNoise {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative"
+        );
         GaussianNoise { sigma, spare: None }
     }
 

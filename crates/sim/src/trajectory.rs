@@ -70,7 +70,11 @@ fn step(params: &QubitParams, path: &StatePath, s: IqPoint, t0: f64, t1: f64) ->
     // Target during (t0, t1]: determined by the state just after t0 (the
     // caller splits intervals at the transition time).
     let excited = path.excited_at(t0 + 0.5 * (t1 - t0));
-    let target = if excited { params.excited_ss } else { params.ground_ss };
+    let target = if excited {
+        params.excited_ss
+    } else {
+        params.ground_ss
+    };
     let decay = (-(t1 - t0) / params.ringup_tau_s).exp();
     target + (s - target) * decay
 }
@@ -157,7 +161,10 @@ mod tests {
         let tr = baseband(&params, &path, &[1.0e-6]);
         let d_ground = tr[0].distance(params.ground_ss);
         let d_excited = tr[0].distance(params.excited_ss);
-        assert!(d_ground < d_excited, "late sample should be closer to ground");
+        assert!(
+            d_ground < d_excited,
+            "late sample should be closer to ground"
+        );
     }
 
     #[test]

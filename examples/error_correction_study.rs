@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --release --example error_correction_study`.
 
-use herqles::qec::{
-    estimate_logical_error_rate, CycleTimes, GateSet, LogicalErrorConfig,
-};
+use herqles::qec::{estimate_logical_error_rate, CycleTimes, GateSet, LogicalErrorConfig};
 
 fn main() {
     println!("distance-7 surface code, 7 rounds, logical error rate per round:");
@@ -34,7 +32,10 @@ fn main() {
             blocks: 20_000,
             seed: 2,
         };
-        println!("  d = {distance}: {:.2e}", estimate_logical_error_rate(&cfg));
+        println!(
+            "  d = {distance}: {:.2e}",
+            estimate_logical_error_rate(&cfg)
+        );
     }
 
     println!("\nsyndrome cycle with 25 % shorter readout:");

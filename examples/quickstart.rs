@@ -30,7 +30,10 @@ fn main() {
     for (q, acc) in result.per_qubit_accuracy().iter().enumerate() {
         println!("  qubit {}: {:.3}", q + 1, acc);
     }
-    println!("cumulative accuracy (F5Q): {:.3}", result.cumulative_accuracy());
+    println!(
+        "cumulative accuracy (F5Q): {:.3}",
+        result.cumulative_accuracy()
+    );
 
     // 5. Discriminate a single fresh shot, as the FPGA would.
     let shot = &dataset.shots[split.test[0]];

@@ -3,8 +3,7 @@
 
 use herqles::core::designs::DesignKind;
 use herqles::core::duration::{
-    evaluate_truncated, evaluate_truncated_per_qubit, shortest_saturating_duration,
-    sweep_durations,
+    evaluate_truncated, evaluate_truncated_per_qubit, shortest_saturating_duration, sweep_durations,
 };
 use herqles::core::trainer::{ReadoutTrainer, TrainerConfig};
 use herqles::nn::net::TrainConfig;
@@ -37,12 +36,12 @@ fn accuracy_degrades_gracefully_with_duration() {
     let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
     let disc = trainer.train(DesignKind::MfRmfNn);
     let sweep = sweep_durations(disc.as_ref(), &dataset, &test, &[2, 6, 12, 20]);
-    let accs: Vec<f64> = sweep.iter().map(|p| p.result.cumulative_accuracy()).collect();
+    let accs: Vec<f64> = sweep
+        .iter()
+        .map(|p| p.result.cumulative_accuracy())
+        .collect();
     // Longest duration must beat the shortest decisively.
-    assert!(
-        accs[3] > accs[0] + 0.02,
-        "no duration benefit: {accs:?}"
-    );
+    assert!(accs[3] > accs[0] + 0.02, "no duration benefit: {accs:?}");
     // Mid durations must already be useful (above chance).
     assert!(accs[1] > 0.6, "6-bin accuracy too low: {accs:?}");
 }
@@ -87,7 +86,12 @@ fn baseline_cannot_run_truncated_but_filters_can() {
     let mut trainer = ReadoutTrainer::with_config(&dataset, &train, quick_config());
     let baseline = trainer.train(DesignKind::BaselineFnn);
     assert!(evaluate_truncated(baseline.as_ref(), &dataset, &test, 10).is_none());
-    for kind in [DesignKind::Mf, DesignKind::MfSvm, DesignKind::MfNn, DesignKind::Centroid] {
+    for kind in [
+        DesignKind::Mf,
+        DesignKind::MfSvm,
+        DesignKind::MfNn,
+        DesignKind::Centroid,
+    ] {
         let disc = trainer.train(kind);
         assert!(
             evaluate_truncated(disc.as_ref(), &dataset, &test, 10).is_some(),

@@ -1,12 +1,12 @@
 //! Cross-crate property-based tests (proptest) on the core invariants.
 
 use herqles::classifiers::ThresholdDiscriminator;
-use herqles::dsp::filters::MatchedFilter;
 use herqles::dsp::boxcar_filter;
+use herqles::dsp::filters::MatchedFilter;
 use herqles::nisq::fidelity::total_variation_distance;
 use herqles::nisq::{Circuit, Gate};
-use herqles::nn::matrix::Matrix;
 use herqles::nn::loss::softmax;
+use herqles::nn::matrix::Matrix;
 use herqles::qec::decoder::decode_block;
 use herqles::qec::syndrome::{DetectionEvent, SyndromeBlock};
 use herqles::qec::RotatedSurfaceCode;

@@ -6,9 +6,7 @@ use herqles::nisq::benchmarks::{alternating_secret, bernstein_vazirani, ghz};
 use herqles::nisq::fidelity::{success_probability, tvd_fidelity};
 use herqles::nisq::sim::{counts_to_distribution, run_ideal, run_noisy};
 use herqles::nisq::NoiseModel;
-use herqles::qec::{
-    estimate_logical_error_rate, CycleTimes, GateSet, LogicalErrorConfig,
-};
+use herqles::qec::{estimate_logical_error_rate, CycleTimes, GateSet, LogicalErrorConfig};
 
 #[test]
 fn readout_error_degrades_logical_error_rate() {

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock runner: a short
+//! warm-up, then timed batches until a time budget is spent, reporting the
+//! per-iteration mean and throughput to stdout. No statistics, plots, or
+//! baselines; for rigorous numbers swap in real criterion on a networked
+//! machine.
+
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (shots, samples, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how expensive `iter_batched` setup values are; the runner only
+/// uses it to size timing batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap inputs: large timing batches.
+    SmallInput,
+    /// Expensive inputs: one setup per measured call.
+    LargeInput,
+    /// Re-create the input every iteration.
+    PerIteration,
+}
+
+/// Per-invocation timing driver handed to bench closures.
+pub struct Bencher<'a> {
+    measured: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: aim for samples of >= ~1 ms.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+        let per_sample = per_sample.min(self.iters_per_sample);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.measured.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+}
+
+fn mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.iter().sum::<Duration>() / durations.len() as u32
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let m = mean(samples);
+    let per_iter = m.as_secs_f64();
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "bench: {name:<40} {m:>12.3?}/iter   {:>12.0} elem/s",
+                n as f64 / per_iter
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "bench: {name:<40} {m:>12.3?}/iter   {:>12.0} B/s",
+                n as f64 / per_iter
+            );
+        }
+        _ => println!("bench: {name:<40} {m:>12.3?}/iter"),
+    }
+}
+
+/// Top-level bench context (a drastically simplified `criterion::Criterion`).
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut measured = Vec::new();
+        let mut b = Bencher {
+            measured: &mut measured,
+            iters_per_sample: 1_000_000,
+            samples: self.samples,
+        };
+        f(&mut b);
+        report(name, &measured, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+            samples: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput spec.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut measured = Vec::new();
+        let mut b = Bencher {
+            measured: &mut measured,
+            iters_per_sample: 1_000_000,
+            samples: self.samples.unwrap_or(self.parent.samples),
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            &measured,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("count", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_report_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}
