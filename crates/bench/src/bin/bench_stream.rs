@@ -1,0 +1,148 @@
+//! Streaming QEC-cycle throughput benchmark.
+//!
+//! Trains the `mf` discriminator once on the five-qubit default chip, then
+//! runs the streaming [`CycleEngine`] at distances 3, 5 and 7 (rounds = d),
+//! measuring cycles/second and the per-stage nanosecond breakdown (synth /
+//! discriminate / syndrome / decode) of the warm engine. The offline
+//! materializing path is timed on the same workload for the speedup column.
+//!
+//! Results land in `BENCH_stream.json` (cwd), continuing the performance
+//! trajectory seeded by `BENCH_inference.json`.
+//!
+//! Environment overrides: `HERQULES_STREAM_CYCLES` (measured cycles per
+//! distance, default 40), `HERQULES_STREAM_SHOTS` (calibration shots per
+//! basis state, default 12), `HERQULES_SEED`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use herqles_stream::{run_cycles_offline, train_mf_discriminator, CycleConfig, CycleEngine};
+use readout_sim::ChipConfig;
+use surface_code::RotatedSurfaceCode;
+
+const DISTANCES: [usize; 3] = [3, 5, 7];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} must be an integer"))
+        })
+        .unwrap_or(default)
+}
+
+struct Row {
+    distance: usize,
+    groups: usize,
+    cycles: usize,
+    cycles_per_sec: f64,
+    offline_cycles_per_sec: f64,
+    logical_errors: u64,
+    synth_ns: u64,
+    discriminate_ns: u64,
+    syndrome_ns: u64,
+    decode_ns: u64,
+}
+
+fn main() {
+    let cycles = env_usize("HERQULES_STREAM_CYCLES", 40);
+    assert!(cycles > 0, "HERQULES_STREAM_CYCLES must be at least 1");
+    let shots = env_usize("HERQULES_STREAM_SHOTS", 12);
+    let seed = env_usize("HERQULES_SEED", 20_230_612) as u64;
+
+    let chip = ChipConfig::five_qubit_default();
+    eprintln!("[bench_stream] training mf discriminator ({shots} shots/state)…");
+    let disc = train_mf_discriminator(&chip, shots, seed);
+
+    let mut rows = Vec::new();
+    for d in DISTANCES {
+        let code = RotatedSurfaceCode::new(d);
+        let cfg = CycleConfig {
+            rounds: d,
+            data_error_prob: 4e-3,
+            seed,
+        };
+
+        // Streaming engine: one warm-up cycle, then the measured run.
+        let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+        let _ = engine.run_cycle();
+        let warm = *engine.stats();
+        let start = Instant::now();
+        let results = engine.run_cycles(cycles);
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut stage = herqles_stream::StageNanos::default();
+        for r in &results {
+            stage.add(&r.stats.stage);
+        }
+        let logical_errors = engine.stats().logical_errors - warm.logical_errors;
+
+        // Offline materializing path on the same cycle count.
+        let off_start = Instant::now();
+        let _ = run_cycles_offline(&cfg, &chip, &code, disc.as_ref(), cycles);
+        let off_elapsed = off_start.elapsed().as_secs_f64();
+
+        let n = cycles as u64;
+        let row = Row {
+            distance: d,
+            groups: engine.ancilla_map().n_groups(),
+            cycles,
+            cycles_per_sec: cycles as f64 / elapsed,
+            offline_cycles_per_sec: cycles as f64 / off_elapsed,
+            logical_errors,
+            synth_ns: stage.synth / n,
+            discriminate_ns: stage.discriminate / n,
+            syndrome_ns: stage.syndrome / n,
+            decode_ns: stage.decode / n,
+        };
+        eprintln!(
+            "[bench_stream] d={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
+             synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
+            row.distance,
+            row.cycles_per_sec,
+            row.offline_cycles_per_sec,
+            row.cycles_per_sec / row.offline_cycles_per_sec,
+            row.synth_ns,
+            row.discriminate_ns,
+            row.syndrome_ns,
+            row.decode_ns,
+            row.logical_errors,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"stream_cycle_throughput\",\n");
+    let _ = writeln!(json, "  \"unit\": \"cycles_per_second\",");
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"shots_per_state\": {shots},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (k, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"distance\": {}, \"rounds\": {}, \"groups\": {}, \"cycles\": {}, \
+             \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
+             \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
+             \"decode\": {}}}, \"logical_errors\": {}}}{}",
+            r.distance,
+            r.distance,
+            r.groups,
+            r.cycles,
+            r.cycles_per_sec,
+            r.offline_cycles_per_sec,
+            r.cycles_per_sec / r.offline_cycles_per_sec,
+            r.synth_ns,
+            r.discriminate_ns,
+            r.syndrome_ns,
+            r.decode_ns,
+            r.logical_errors,
+            if k + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    eprintln!("[bench_stream] wrote BENCH_stream.json");
+}

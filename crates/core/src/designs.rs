@@ -131,6 +131,27 @@ pub trait Discriminator: Send + Sync {
             .collect()
     }
 
+    /// Discriminates a packed [`ShotBatch`] into caller-owned buffers — the
+    /// streaming hot path: `out` receives one state per shot and `scratch` is
+    /// a feature workspace, both reused across calls so warm steady-state
+    /// rounds allocate nothing.
+    ///
+    /// The default clears `out` and delegates to
+    /// [`Discriminator::discriminate_shot_batch`] (which allocates its own
+    /// result vector); designs with fused kernels override it to write
+    /// through `scratch` with zero per-call allocation. Decisions are always
+    /// identical to [`Discriminator::discriminate_shot_batch`].
+    fn discriminate_shot_batch_into(
+        &self,
+        batch: &ShotBatch,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<BasisState>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.discriminate_shot_batch(batch));
+    }
+
     /// Discriminates with per-qubit readout-duration budgets, expressed in
     /// demodulation bins.
     ///

@@ -80,17 +80,31 @@ impl Discriminator for MfDiscriminator {
     }
 
     fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.discriminate_shot_batch_into(batch, &mut scratch, &mut out);
+        out
+    }
+
+    fn discriminate_shot_batch_into(
+        &self,
+        batch: &ShotBatch,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
         if !self.kernel.matches(batch) {
-            return (0..batch.n_shots())
-                .map(|s| self.discriminate(&batch.trace(s)))
-                .collect();
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
         }
-        let mut features = Vec::new();
-        self.kernel.features_batch(batch, &mut features);
-        features
-            .chunks(self.kernel.n_features().max(1))
-            .map(|f| self.classify_features(f))
-            .collect()
+        // Fused demod + MF GEMM into the caller's scratch: within warm
+        // capacity this whole path performs zero heap allocation.
+        self.kernel.features_batch(batch, scratch);
+        out.extend(
+            scratch
+                .chunks(self.kernel.n_features().max(1))
+                .map(|f| self.classify_features(f)),
+        );
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {

@@ -60,6 +60,23 @@ fn batched_predictions_match_per_shot_for_every_design() {
 }
 
 #[test]
+fn buffered_batch_discrimination_matches_allocating_path_for_every_design() {
+    let (dataset, test_idx, designs) = trained_designs();
+    let batch = ShotBatch::from_dataset(&dataset, &test_idx);
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    for disc in &designs {
+        let reference = disc.discriminate_shot_batch(&batch);
+        // Run twice through the same warm buffers: results must be stable
+        // and identical to the allocating entry point.
+        for _ in 0..2 {
+            disc.discriminate_shot_batch_into(&batch, &mut scratch, &mut out);
+            assert_eq!(out, reference, "{} diverges through buffers", disc.name());
+        }
+    }
+}
+
+#[test]
 fn trace_slice_batches_route_through_the_same_path() {
     let (dataset, test_idx, designs) = trained_designs();
     let raws: Vec<&IqTrace> = test_idx.iter().map(|&i| &dataset.shots[i].raw).collect();

@@ -48,6 +48,7 @@ pub mod syndrome;
 
 pub use cycle::{CycleTimes, GateSet};
 pub use decoder::decode_block;
+pub use decoder::DecodeOutcome;
 pub use layout::RotatedSurfaceCode;
 pub use logical::{estimate_logical_error_rate, LogicalErrorConfig};
-pub use syndrome::{NoiseParams, SyndromeBlock};
+pub use syndrome::{stabilizer_parities, NoiseParams, SyndromeBlock, SyndromeSim};

@@ -77,6 +77,29 @@ impl ShotBatch {
         batch
     }
 
+    /// Removes all shots, keeping the allocation and the configured sample
+    /// count — the reuse primitive of the streaming round pipeline: a warm
+    /// batch cycles through `clear` → `push_empty_row`×k with zero heap
+    /// traffic.
+    pub fn clear(&mut self) {
+        self.n_shots = 0;
+        self.data.clear();
+    }
+
+    /// Appends one zeroed row and returns its `(I, Q)` halves for in-place
+    /// synthesis (e.g. [`crate::multiplex::synthesize_into`]).
+    ///
+    /// Uses the batch's configured sample count (set by
+    /// [`ShotBatch::with_capacity`] or the first pushed trace); within the
+    /// reserved capacity this performs no allocation.
+    pub fn push_empty_row(&mut self) -> (&mut [f64], &mut [f64]) {
+        let w = self.row_width();
+        let start = self.data.len();
+        self.data.resize(start + w, 0.0);
+        self.n_shots += 1;
+        self.data[start..].split_at_mut(self.n_samples)
+    }
+
     /// Appends one trace to the batch.
     ///
     /// # Panics
@@ -221,6 +244,39 @@ mod tests {
         let batch = ShotBatch::from_shots(&ds.shots);
         assert_eq!(batch.n_shots(), ds.shots.len());
         assert_eq!(batch.n_samples(), cfg.n_samples());
+    }
+
+    #[test]
+    fn clear_and_push_empty_row_reuse_the_allocation() {
+        let a = ramp_trace(0.0, 4);
+        let b = ramp_trace(3.0, 4);
+        let mut batch = ShotBatch::with_capacity(2, 4);
+        batch.push_trace(&a);
+        batch.push_trace(&b);
+        let cap = batch.as_slice().len();
+        let ptr = batch.as_slice().as_ptr();
+        batch.clear();
+        assert!(batch.is_empty());
+        for src in [&a, &b] {
+            let (i, q) = batch.push_empty_row();
+            i.copy_from_slice(src.i());
+            q.copy_from_slice(src.q());
+        }
+        assert_eq!(batch.n_shots(), 2);
+        assert_eq!(batch.as_slice().len(), cap);
+        assert_eq!(batch.as_slice().as_ptr(), ptr, "buffer must be reused");
+        assert_eq!(batch.trace(0), a);
+        assert_eq!(batch.trace(1), b);
+    }
+
+    #[test]
+    fn push_empty_row_yields_zeroed_halves() {
+        let mut batch = ShotBatch::with_capacity(1, 3);
+        let (i, q) = batch.push_empty_row();
+        assert_eq!(i, &[0.0; 3]);
+        assert_eq!(q, &[0.0; 3]);
+        assert_eq!(batch.n_samples(), 3);
+        assert_eq!(batch.row_width(), 6);
     }
 
     #[test]

@@ -73,23 +73,73 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Generates `shots_per_state` shots for each of the `2^n` basis states.
+    /// Generates `shots_per_state` shots for each of the `2^n` basis states,
+    /// sharding basis states across scoped threads.
     ///
-    /// Generation is deterministic in `seed`.
+    /// Generation is deterministic in `seed` and — because every basis state
+    /// draws from its own `seed`-derived RNG stream — independent of the
+    /// thread count: `generate` and [`Dataset::generate_with_threads`] at any
+    /// parallelism produce identical shots.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`ChipConfig::validate`].
     pub fn generate(config: &ChipConfig, shots_per_state: usize, seed: u64) -> Dataset {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::generate_with_threads(config, shots_per_state, seed, threads)
+    }
+
+    /// [`Dataset::generate`] with an explicit worker-thread count (1 runs
+    /// inline on the caller's thread). Output is identical for every
+    /// `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ChipConfig::validate`].
+    pub fn generate_with_threads(
+        config: &ChipConfig,
+        shots_per_state: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Dataset {
         config.validate().expect("invalid chip configuration");
         let carriers = CarrierTable::new(config);
-        let mut rng = StdRng::seed_from_u64(seed);
         let n = config.n_qubits();
-        let mut shots = Vec::with_capacity(shots_per_state << n);
-        for prepared in BasisState::all(n) {
+        let n_states = 1usize << n;
+
+        let fill_state = |state: usize, bucket: &mut Vec<Shot>| {
+            let prepared = BasisState::new(state as u32);
+            let mut rng = StdRng::seed_from_u64(state_stream_seed(seed, state));
+            bucket.reserve(shots_per_state);
             for _ in 0..shots_per_state {
-                shots.push(generate_shot(config, &carriers, prepared, &mut rng));
+                bucket.push(generate_shot(config, &carriers, prepared, &mut rng));
             }
+        };
+
+        let mut per_state: Vec<Vec<Shot>> = Vec::with_capacity(n_states);
+        per_state.resize_with(n_states, Vec::new);
+        let threads = threads.clamp(1, n_states);
+        if threads == 1 {
+            for (state, bucket) in per_state.iter_mut().enumerate() {
+                fill_state(state, bucket);
+            }
+        } else {
+            let chunk = n_states.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (c, states) in per_state.chunks_mut(chunk).enumerate() {
+                    let fill_state = &fill_state;
+                    scope.spawn(move || {
+                        for (off, bucket) in states.iter_mut().enumerate() {
+                            fill_state(c * chunk + off, bucket);
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut shots = Vec::with_capacity(shots_per_state << n);
+        for bucket in per_state {
+            shots.extend(bucket);
         }
         Dataset {
             config: config.clone(),
@@ -150,6 +200,18 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Vec<&Shot> {
         indices.iter().map(|&i| &self.shots[i]).collect()
     }
+}
+
+/// Derives the RNG seed of one basis state's generation stream from the
+/// dataset seed (SplitMix64 finalizer over a golden-ratio-spaced sequence):
+/// decorrelated streams per state, stable across sharding layouts.
+fn state_stream_seed(seed: u64, state: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add((state as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn generate_shot<R: Rng + ?Sized>(
@@ -252,6 +314,23 @@ mod tests {
         assert_eq!(a.shots, b.shots);
         let c = Dataset::generate(&cfg, 3, 6);
         assert_ne!(a.shots, c.shots);
+    }
+
+    #[test]
+    fn generation_is_independent_of_thread_count() {
+        // The determinism pin of the parallel generator: per-state RNG
+        // streams make the traces a function of (config, shots, seed) only,
+        // regardless of how basis states are sharded across threads.
+        let cfg = ChipConfig::two_qubit_test();
+        let single = Dataset::generate_with_threads(&cfg, 4, 31, 1);
+        for threads in [2, 3, 4, 16] {
+            let multi = Dataset::generate_with_threads(&cfg, 4, 31, threads);
+            assert_eq!(
+                single.shots, multi.shots,
+                "threads={threads} changed the generated traces"
+            );
+        }
+        assert_eq!(single.shots, Dataset::generate(&cfg, 4, 31).shots);
     }
 
     #[test]

@@ -77,28 +77,56 @@ pub fn synthesize<R: Rng + ?Sized>(
     noise: &mut GaussianNoise,
     rng: &mut R,
 ) -> IqTrace {
+    let n = carriers.n_samples();
+    let mut i_ch = vec![0.0; n];
+    let mut q_ch = vec![0.0; n];
+    synthesize_into(carriers, basebands, noise, rng, &mut i_ch, &mut q_ch);
+    IqTrace::new(i_ch, q_ch)
+}
+
+/// Allocation-free variant of [`synthesize`]: writes the summed waveform into
+/// caller-owned channel slices (e.g. a [`crate::ShotBatch`] row obtained from
+/// [`crate::ShotBatch::push_empty_row`]).
+///
+/// Accumulation and RNG draw order are identical to [`synthesize`] (which is
+/// implemented on top of this function), so materializing and streaming
+/// synthesis are bit-identical for the same RNG state.
+///
+/// # Panics
+///
+/// Panics if the baseband dimensions or output slice lengths do not match the
+/// carrier table.
+pub fn synthesize_into<R: Rng + ?Sized>(
+    carriers: &CarrierTable,
+    basebands: &[Vec<IqPoint>],
+    noise: &mut GaussianNoise,
+    rng: &mut R,
+    i_out: &mut [f64],
+    q_out: &mut [f64],
+) {
     assert_eq!(
         basebands.len(),
         carriers.n_qubits(),
         "one baseband per qubit required"
     );
     let n = carriers.n_samples();
-    let mut i_ch = vec![0.0; n];
-    let mut q_ch = vec![0.0; n];
+    assert_eq!(i_out.len(), n, "I output length must match carrier table");
+    assert_eq!(q_out.len(), n, "Q output length must match carrier table");
+    i_out.fill(0.0);
+    q_out.fill(0.0);
     for (q, bb) in basebands.iter().enumerate() {
         assert_eq!(bb.len(), n, "baseband length must match carrier table");
         for (t, s) in bb.iter().enumerate() {
             let (c, sn) = carriers.phasor(q, t);
             // (s.i + i s.q) · (c + i sn)
-            i_ch[t] += s.i * c - s.q * sn;
-            q_ch[t] += s.i * sn + s.q * c;
+            i_out[t] += s.i * c - s.q * sn;
+            q_out[t] += s.i * sn + s.q * c;
         }
     }
     for t in 0..n {
-        i_ch[t] += noise.sample(rng);
-        q_ch[t] += noise.sample(rng);
+        i_out[t] += noise.sample(rng);
+        q_out[t] += noise.sample(rng);
     }
-    IqTrace::new(i_ch, q_ch)
 }
 
 #[cfg(test)]
@@ -176,6 +204,36 @@ mod tests {
             assert!((rb.i()[t] - r0.i()[t] - r1.i()[t]).abs() < 1e-12);
             assert!((rb.q()[t] - r0.q()[t] - r1.q()[t]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn synthesize_into_batch_row_matches_materializing_path() {
+        let cfg = ChipConfig::two_qubit_test();
+        let table = CarrierTable::new(&cfg);
+        let n = cfg.n_samples();
+        let bb = vec![
+            vec![IqPoint::new(0.6, -0.4); n],
+            vec![IqPoint::new(-0.2, 0.8); n],
+        ];
+        let mut noise = GaussianNoise::new(cfg.adc_noise_sigma);
+        let mut rng = StdRng::seed_from_u64(77);
+        let owned = synthesize(&table, &bb, &mut noise, &mut rng);
+
+        let mut noise2 = GaussianNoise::new(cfg.adc_noise_sigma);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let mut batch = crate::ShotBatch::with_capacity(1, n);
+        let (i_row, q_row) = batch.push_empty_row();
+        synthesize_into(&table, &bb, &mut noise2, &mut rng2, i_row, q_row);
+        assert_eq!(
+            batch.i_of(0),
+            owned.i(),
+            "streaming I must be bit-identical"
+        );
+        assert_eq!(
+            batch.q_of(0),
+            owned.q(),
+            "streaming Q must be bit-identical"
+        );
     }
 
     #[test]

@@ -23,7 +23,22 @@ use crate::trace::IqPoint;
 ///
 /// `times_s` must be non-decreasing (checked in debug builds only).
 pub fn baseband(params: &QubitParams, path: &StatePath, times_s: &[f64]) -> Vec<IqPoint> {
-    let mut out = Vec::with_capacity(times_s.len());
+    let mut out = Vec::new();
+    baseband_into(params, path, times_s, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`baseband`]: clears `out` and refills it with
+/// one point per sample time, reusing the existing capacity. [`baseband`] is
+/// implemented on top of this function, so both produce identical values.
+pub fn baseband_into(
+    params: &QubitParams,
+    path: &StatePath,
+    times_s: &[f64],
+    out: &mut Vec<IqPoint>,
+) {
+    out.clear();
+    out.reserve(times_s.len());
     // Piecewise-exponential evolution; state changes at most once per window.
     let mut s = IqPoint::ZERO;
     let mut t_prev = 0.0;
@@ -45,7 +60,6 @@ pub fn baseband(params: &QubitParams, path: &StatePath, times_s: &[f64]) -> Vec<
         t_prev = t;
         out.push(s);
     }
-    out
 }
 
 /// Normalized excitation measure of a baseband point: the projection of the

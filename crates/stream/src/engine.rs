@@ -1,0 +1,447 @@
+//! The streaming QEC-cycle engine.
+//!
+//! [`CycleEngine`] runs full distance-`d` surface-code cycles as one batch
+//! pipeline: each noisy round it applies data errors, reads the true
+//! stabilizer parities, synthesizes every ancilla group's multiplexed
+//! readout waveform directly into a reusable [`ShotBatch`], discriminates
+//! the batch through the fused demod + matched-filter kernel, and commits
+//! the *measured* syndrome to a [`SyndromeSim`] — the measurement error εR
+//! emerges from physical misdiscrimination instead of a phenomenological
+//! coin flip. Blocks terminate with a perfect round, are copied into one of
+//! two double-buffered [`SyndromeBlock`] homes, and decoded.
+//!
+//! After a warm-up cycle the per-round path performs **zero heap
+//! allocation**: every buffer ([`RoundBuffers`], the synth scratch, the
+//! syndrome stepper's event store) is pre-sized and reused. The engine
+//! exposes a blocking [`CycleEngine::run_cycles`] API and a pull-based
+//! [`CycleEngine::cycles`] iterator of [`CycleResult`]s carrying per-stage
+//! nanosecond timings.
+
+use std::time::Instant;
+
+use herqles_core::Discriminator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use readout_sim::{BasisState, ChipConfig, ShotBatch};
+use surface_code::decoder::DecodeOutcome;
+use surface_code::{decode_block, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim};
+
+use crate::map::AncillaMap;
+use crate::synth::RoundSynth;
+
+/// Configuration of a streaming cycle run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleConfig {
+    /// Noisy stabilizer-measurement rounds per block (commonly `d`).
+    pub rounds: usize,
+    /// Per-round, per-data-qubit `X` error probability.
+    pub data_error_prob: f64,
+    /// RNG seed of the whole stream (data errors + readout physics).
+    pub seed: u64,
+}
+
+impl CycleConfig {
+    /// Defaults for a distance-`d` run: `d` rounds, `p = 4·10⁻³` (the
+    /// operating point of the paper's Fig. 13 study), seed 0.
+    pub fn for_distance(distance: usize) -> Self {
+        CycleConfig {
+            rounds: distance,
+            data_error_prob: 4e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// Cumulative per-stage wall time, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Waveform synthesis (state paths, basebands, crosstalk, multiplexing).
+    pub synth: u64,
+    /// Batched discrimination (fused demod + matched filter + thresholds).
+    pub discriminate: u64,
+    /// Syndrome bookkeeping (data errors, parities, detection events).
+    pub syndrome: u64,
+    /// Block decode (matching + logical-class decision).
+    pub decode: u64,
+}
+
+impl StageNanos {
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.synth + self.discriminate + self.syndrome + self.decode
+    }
+
+    /// Accumulates another stage breakdown into this one.
+    pub fn add(&mut self, other: &StageNanos) {
+        self.synth += other.synth;
+        self.discriminate += other.discriminate;
+        self.syndrome += other.syndrome;
+        self.decode += other.decode;
+    }
+}
+
+/// Timing and size statistics of one completed cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Noisy rounds in the block.
+    pub rounds: usize,
+    /// Detection events decoded.
+    pub n_events: usize,
+    /// Per-stage wall time of this cycle.
+    pub stage: StageNanos,
+}
+
+/// One completed streaming cycle: the decode verdict plus its timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleResult {
+    /// Decoder outcome of the block.
+    pub outcome: DecodeOutcome,
+    /// Stage timings and block size.
+    pub stats: CycleStats,
+}
+
+/// Aggregate statistics over an engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Completed cycles.
+    pub cycles: u64,
+    /// Noisy rounds processed.
+    pub rounds: u64,
+    /// Logical errors observed.
+    pub logical_errors: u64,
+    /// Cumulative per-stage wall time.
+    pub stage: StageNanos,
+}
+
+/// The reusable per-round working set: one shot batch, the parity planes and
+/// the discriminator's scratch + output buffers. Everything is pre-sized at
+/// engine construction and recycled every round.
+#[derive(Debug, Clone)]
+pub struct RoundBuffers {
+    batch: ShotBatch,
+    true_parities: Vec<bool>,
+    measured: Vec<bool>,
+    states: Vec<BasisState>,
+    features: Vec<f64>,
+}
+
+impl RoundBuffers {
+    fn new(map: &AncillaMap, n_samples: usize) -> Self {
+        RoundBuffers {
+            batch: ShotBatch::with_capacity(map.n_groups(), n_samples),
+            true_parities: vec![false; map.n_ancillas()],
+            measured: vec![false; map.n_ancillas()],
+            states: Vec::with_capacity(map.n_groups()),
+            features: Vec::new(),
+        }
+    }
+}
+
+/// Streaming readout → syndrome → decode engine for one surface code, one
+/// feedline chip, and one trained discriminator.
+pub struct CycleEngine<'a> {
+    cfg: CycleConfig,
+    code: &'a RotatedSurfaceCode,
+    disc: &'a dyn Discriminator,
+    map: AncillaMap,
+    rng: StdRng,
+    synth: RoundSynth,
+    sim: SyndromeSim<'a>,
+    round: RoundBuffers,
+    /// Double-buffered block homes: the block finished last cycle stays
+    /// readable (via [`CycleEngine::last_block`]) while the next cycle's
+    /// rounds accumulate, and block storage is never reallocated.
+    blocks: [SyndromeBlock; 2],
+    active: usize,
+    in_flight: StageNanos,
+    totals: EngineStats,
+}
+
+impl<'a> CycleEngine<'a> {
+    /// Builds an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.rounds == 0`, the error probability is outside
+    /// `[0, 1]`, the chip is invalid, or the discriminator was trained for a
+    /// different channel count than the chip.
+    pub fn new(
+        cfg: CycleConfig,
+        chip: &ChipConfig,
+        code: &'a RotatedSurfaceCode,
+        disc: &'a dyn Discriminator,
+    ) -> Self {
+        assert!(cfg.rounds > 0, "need at least one round per cycle");
+        assert_eq!(
+            disc.n_qubits(),
+            chip.n_qubits(),
+            "discriminator and chip must cover the same channels"
+        );
+        let synth = RoundSynth::new(chip);
+        let map = AncillaMap::new(code.n_stabilizers(), chip.n_qubits());
+        // meas_error_prob = 0: measurement noise comes from the physical
+        // readout + discrimination loop, not the phenomenological coin.
+        let noise = NoiseParams {
+            data_error_prob: cfg.data_error_prob,
+            meas_error_prob: 0.0,
+        };
+        let mut sim = SyndromeSim::new(code, &noise);
+        sim.reserve_rounds(cfg.rounds);
+        let empty = SyndromeBlock {
+            events: Vec::new(),
+            final_errors: vec![false; code.n_data()],
+            rounds: 0,
+        };
+        let round = RoundBuffers::new(&map, synth.n_samples());
+        CycleEngine {
+            cfg,
+            code,
+            disc,
+            map,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            synth,
+            sim,
+            round,
+            blocks: [empty.clone(), empty],
+            active: 0,
+            in_flight: StageNanos::default(),
+            totals: EngineStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CycleConfig {
+        &self.cfg
+    }
+
+    /// The ancilla → feedline-group mapping in use.
+    pub fn ancilla_map(&self) -> &AncillaMap {
+        &self.map
+    }
+
+    /// Aggregate statistics since construction.
+    pub fn stats(&self) -> &EngineStats {
+        &self.totals
+    }
+
+    /// The most recently completed block (empty before the first cycle).
+    pub fn last_block(&self) -> &SyndromeBlock {
+        &self.blocks[self.active]
+    }
+
+    /// Starts a new block: clears per-block state, keeping all capacity.
+    pub fn begin_cycle(&mut self) {
+        self.sim.reset();
+        self.sim.reserve_rounds(self.cfg.rounds);
+        self.in_flight = StageNanos::default();
+    }
+
+    /// Processes one noisy round: data errors → true parities → multiplexed
+    /// readout synthesis → batched discrimination → measured-syndrome
+    /// commit. Allocation-free once the engine is warm.
+    pub fn step_round(&mut self) {
+        let t0 = Instant::now();
+        self.sim.apply_data_errors(&mut self.rng);
+        self.sim.true_parities_into(&mut self.round.true_parities);
+        let t1 = Instant::now();
+
+        self.round.batch.clear();
+        for g in 0..self.map.n_groups() {
+            let prepared = self.map.prepared_state(g, &self.round.true_parities);
+            self.synth
+                .synth_into_row(prepared, &mut self.round.batch, &mut self.rng);
+        }
+        let t2 = Instant::now();
+
+        self.disc.discriminate_shot_batch_into(
+            &self.round.batch,
+            &mut self.round.features,
+            &mut self.round.states,
+        );
+        let t3 = Instant::now();
+
+        for (a, m) in self.round.measured.iter_mut().enumerate() {
+            let (g, c) = self.map.slot(a);
+            *m = self.round.states[g].qubit(c);
+        }
+        self.sim.record_measured_syndrome(&self.round.measured);
+        let t4 = Instant::now();
+
+        self.in_flight.syndrome += duration_ns(t0, t1) + duration_ns(t3, t4);
+        self.in_flight.synth += duration_ns(t1, t2);
+        self.in_flight.discriminate += duration_ns(t2, t3);
+        self.totals.rounds += 1;
+    }
+
+    /// Terminates the block with a perfect round, swaps it into the inactive
+    /// block home, and decodes it.
+    pub fn finish_cycle(&mut self) -> CycleResult {
+        let t0 = Instant::now();
+        self.sim.finish_perfect_round();
+        self.active ^= 1;
+        // write_block reuses the target's buffers — no block reallocation.
+        self.sim.write_block(&mut self.blocks[self.active]);
+        let t1 = Instant::now();
+        let outcome = decode_block(self.code, &self.blocks[self.active]);
+        let t2 = Instant::now();
+
+        self.in_flight.syndrome += duration_ns(t0, t1);
+        self.in_flight.decode += duration_ns(t1, t2);
+        let stats = CycleStats {
+            rounds: self.sim.round(),
+            n_events: outcome.n_events,
+            stage: self.in_flight,
+        };
+        self.totals.cycles += 1;
+        self.totals.logical_errors += u64::from(outcome.logical_error);
+        self.totals.stage.add(&self.in_flight);
+        CycleResult { outcome, stats }
+    }
+
+    /// Runs one full cycle (block) and returns its outcome.
+    pub fn run_cycle(&mut self) -> CycleResult {
+        self.begin_cycle();
+        for _ in 0..self.cfg.rounds {
+            self.step_round();
+        }
+        self.finish_cycle()
+    }
+
+    /// Blocking API: runs `n` cycles back to back.
+    pub fn run_cycles(&mut self, n: usize) -> Vec<CycleResult> {
+        (0..n).map(|_| self.run_cycle()).collect()
+    }
+
+    /// Pull-based streaming API: an endless iterator of cycle results —
+    /// bound it with `.take(n)`.
+    pub fn cycles(&mut self) -> Cycles<'_, 'a> {
+        Cycles { engine: self }
+    }
+}
+
+impl std::fmt::Debug for CycleEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleEngine")
+            .field("cfg", &self.cfg)
+            .field("distance", &self.code.distance())
+            .field("groups", &self.map.n_groups())
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Endless pull-based iterator over an engine's cycles.
+#[derive(Debug)]
+pub struct Cycles<'e, 'a> {
+    engine: &'e mut CycleEngine<'a>,
+}
+
+impl Iterator for Cycles<'_, '_> {
+    type Item = CycleResult;
+
+    fn next(&mut self) -> Option<CycleResult> {
+        Some(self.engine.run_cycle())
+    }
+}
+
+fn duration_ns(from: Instant, to: Instant) -> u64 {
+    u64::try_from((to - from).as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_mf_discriminator;
+
+    fn setup() -> (ChipConfig, RotatedSurfaceCode, Box<dyn Discriminator>) {
+        let chip = ChipConfig::two_qubit_test();
+        let code = RotatedSurfaceCode::new(3);
+        let disc = train_mf_discriminator(&chip, 12, 77);
+        (chip, code, disc)
+    }
+
+    #[test]
+    fn engine_streams_deterministic_cycles() {
+        let (chip, code, disc) = setup();
+        let cfg = CycleConfig {
+            rounds: 3,
+            data_error_prob: 0.01,
+            seed: 5,
+        };
+        let run = || {
+            let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+            let results = engine.run_cycles(4);
+            let block = engine.last_block().clone();
+            (results, block)
+        };
+        let (ra, ba) = run();
+        let (rb, bb) = run();
+        assert_eq!(ra.len(), 4);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.outcome, y.outcome, "same seed, same outcomes");
+            assert_eq!(x.stats.rounds, 3);
+        }
+        assert_eq!(ba, bb, "same seed, same final block");
+    }
+
+    #[test]
+    fn iterator_and_blocking_api_agree() {
+        let (chip, code, disc) = setup();
+        let cfg = CycleConfig {
+            rounds: 2,
+            data_error_prob: 0.02,
+            seed: 9,
+        };
+        let mut a = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+        let mut b = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+        let blocking: Vec<DecodeOutcome> = a.run_cycles(5).iter().map(|r| r.outcome).collect();
+        let pulled: Vec<DecodeOutcome> = b.cycles().take(5).map(|r| r.outcome).collect();
+        assert_eq!(blocking, pulled);
+        assert_eq!(a.stats().cycles, 5);
+        assert_eq!(a.stats().rounds, 10);
+    }
+
+    #[test]
+    fn perfect_readout_yields_low_logical_rate() {
+        // With a tiny data error rate and a working discriminator, most
+        // cycles must decode without a logical error.
+        let (chip, code, disc) = setup();
+        let cfg = CycleConfig {
+            rounds: 3,
+            data_error_prob: 0.002,
+            seed: 21,
+        };
+        let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+        let failures = engine
+            .run_cycles(30)
+            .iter()
+            .filter(|r| r.outcome.logical_error)
+            .count();
+        assert!(failures <= 6, "{failures}/30 logical errors");
+    }
+
+    #[test]
+    fn stage_timings_are_populated() {
+        let (chip, code, disc) = setup();
+        let cfg = CycleConfig {
+            rounds: 2,
+            data_error_prob: 0.01,
+            seed: 1,
+        };
+        let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+        let r = engine.run_cycle();
+        assert!(r.stats.stage.synth > 0);
+        assert!(r.stats.stage.discriminate > 0);
+        assert!(r.stats.stage.total() >= r.stats.stage.synth);
+        assert_eq!(engine.stats().stage, r.stats.stage);
+    }
+
+    #[test]
+    #[should_panic(expected = "same channels")]
+    fn rejects_chip_discriminator_mismatch() {
+        let (_, code, disc) = setup();
+        let five = ChipConfig::five_qubit_default();
+        let cfg = CycleConfig::for_distance(3);
+        let _ = CycleEngine::new(cfg, &five, &code, disc.as_ref());
+    }
+}

@@ -1,0 +1,84 @@
+//! # herqles-stream — streaming QEC-cycle engine
+//!
+//! The paper's end goal is not offline figure reproduction but low-latency
+//! qubit-state discrimination feeding *real-time error correction*. This
+//! crate closes that loop: it runs full distance-`d` surface-code cycles as
+//! one batch pipeline,
+//!
+//! ```text
+//! data errors ─▶ true parities ─▶ ancilla readout synthesis (sim)
+//!        ─▶ fused demod + matched-filter discrimination (dsp/core)
+//!        ─▶ measured syndrome → detection events (qec)
+//!        ─▶ decode → logical verdict
+//! ```
+//!
+//! with **no intermediate `Vec<BasisState>` and no per-round allocation
+//! after warm-up**. The measurement error εR of the phenomenological model
+//! is replaced by the physical thing it abstracts: misdiscrimination of
+//! synthesized multiplexed readout waveforms.
+//!
+//! * [`CycleEngine`] — the engine: double-buffered blocks, reusable
+//!   [`engine::RoundBuffers`], a blocking [`CycleEngine::run_cycles`] API and a
+//!   pull-based [`CycleEngine::cycles`] iterator with per-stage timings;
+//! * [`RoundSynth`] — allocation-free per-round multiplexed readout
+//!   synthesis straight into [`readout_sim::ShotBatch`] rows;
+//! * [`AncillaMap`] — tiling of the code's ancillas onto
+//!   frequency-multiplexed feedline groups (batch rows);
+//! * [`run_cycles_offline`] — the materializing reference path, bit-identical
+//!   to the engine for the same [`CycleConfig`] (pinned by
+//!   `tests/parity.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use herqles_stream::{train_mf_discriminator, CycleConfig, CycleEngine};
+//! use readout_sim::ChipConfig;
+//! use surface_code::RotatedSurfaceCode;
+//!
+//! let chip = ChipConfig::two_qubit_test();
+//! let code = RotatedSurfaceCode::new(3);
+//! let disc = train_mf_discriminator(&chip, 8, 42);
+//! let cfg = CycleConfig {
+//!     rounds: 3,
+//!     data_error_prob: 0.01,
+//!     seed: 7,
+//! };
+//! let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+//! for result in engine.cycles().take(3) {
+//!     assert_eq!(result.stats.rounds, 3);
+//! }
+//! ```
+
+pub mod engine;
+pub mod map;
+pub mod offline;
+pub mod synth;
+
+pub use engine::{
+    CycleConfig, CycleEngine, CycleResult, CycleStats, Cycles, EngineStats, StageNanos,
+};
+pub use map::AncillaMap;
+pub use offline::{run_cycles_offline, OfflineCycle};
+pub use synth::RoundSynth;
+
+use herqles_core::designs::DesignKind;
+use herqles_core::{Discriminator, ReadoutTrainer};
+use readout_sim::{ChipConfig, Dataset};
+
+/// Trains the `mf` discriminator (the engine's default workhorse: fused
+/// demod + matched-filter GEMM, zero-allocation batch override) on a
+/// synthetic calibration dataset of `shots_per_state` shots per basis state.
+///
+/// Convenience for examples, benches and tests; production callers train via
+/// [`herqles_core::ReadoutTrainer`] directly and can pass any design to
+/// [`CycleEngine::new`].
+pub fn train_mf_discriminator(
+    chip: &ChipConfig,
+    shots_per_state: usize,
+    seed: u64,
+) -> Box<dyn Discriminator> {
+    let dataset = Dataset::generate(chip, shots_per_state, seed);
+    let split = dataset.split(0.5, 0.0, seed ^ 0xA5A5);
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    trainer.train(DesignKind::Mf)
+}

@@ -1,0 +1,144 @@
+//! Mapping between surface-code ancillas and frequency-multiplexed readout
+//! channels.
+//!
+//! A distance-`d` code has `(d²−1)/2` Z-stabilizer ancillas, but one feedline
+//! carries only `n_channels` frequency-multiplexed tones (five on the default
+//! chip). The ancillas are therefore tiled over `⌈n_ancillas / n_channels⌉`
+//! feedline *groups*; each group is synthesized, digitized, and discriminated
+//! as one multiplexed shot — one row of the round's
+//! [`readout_sim::ShotBatch`]. Trailing slots of the last group are idle and
+//! read out in the ground state.
+
+use readout_sim::BasisState;
+
+/// Static ancilla → (feedline group, channel) assignment for one code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AncillaMap {
+    n_ancillas: usize,
+    n_channels: usize,
+}
+
+impl AncillaMap {
+    /// Builds the tiling of `n_ancillas` onto groups of `n_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_ancillas: usize, n_channels: usize) -> Self {
+        assert!(n_ancillas > 0, "need at least one ancilla");
+        assert!(n_channels > 0, "need at least one channel per feedline");
+        AncillaMap {
+            n_ancillas,
+            n_channels,
+        }
+    }
+
+    /// Total number of ancillas mapped.
+    pub fn n_ancillas(&self) -> usize {
+        self.n_ancillas
+    }
+
+    /// Multiplexed channels per feedline group.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Number of feedline groups (= rows of the per-round shot batch).
+    pub fn n_groups(&self) -> usize {
+        self.n_ancillas.div_ceil(self.n_channels)
+    }
+
+    /// The `(group, channel)` slot of ancilla `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn slot(&self, a: usize) -> (usize, usize) {
+        assert!(a < self.n_ancillas, "ancilla index out of range");
+        (a / self.n_channels, a % self.n_channels)
+    }
+
+    /// The ancilla assigned to `(group, channel)`, or `None` for idle padding
+    /// slots of the last group.
+    pub fn ancilla(&self, group: usize, channel: usize) -> Option<usize> {
+        assert!(group < self.n_groups(), "group index out of range");
+        assert!(channel < self.n_channels, "channel index out of range");
+        let a = group * self.n_channels + channel;
+        (a < self.n_ancillas).then_some(a)
+    }
+
+    /// Packs the parities of one group's ancillas into the multi-qubit
+    /// prepared state of its feedline shot (idle slots read ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parities` is shorter than the ancilla count or `group` is
+    /// out of range.
+    pub fn prepared_state(&self, group: usize, parities: &[bool]) -> BasisState {
+        assert!(
+            parities.len() >= self.n_ancillas,
+            "one parity per ancilla required"
+        );
+        let mut state = BasisState::new(0);
+        for c in 0..self.n_channels {
+            if let Some(a) = self.ancilla(group, c) {
+                state = state.with_qubit(c, parities[a]);
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_covers_every_ancilla_exactly_once() {
+        // d = 7 → 24 ancillas on a 5-channel feedline → 5 groups.
+        let map = AncillaMap::new(24, 5);
+        assert_eq!(map.n_groups(), 5);
+        let mut seen = [false; 24];
+        for g in 0..map.n_groups() {
+            for c in 0..map.n_channels() {
+                if let Some(a) = map.ancilla(g, c) {
+                    assert!(!seen[a], "ancilla {a} mapped twice");
+                    seen[a] = true;
+                    assert_eq!(map.slot(a), (g, c));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unmapped ancilla");
+    }
+
+    #[test]
+    fn last_group_pads_with_idle_slots() {
+        let map = AncillaMap::new(4, 5);
+        assert_eq!(map.n_groups(), 1);
+        assert_eq!(map.ancilla(0, 3), Some(3));
+        assert_eq!(map.ancilla(0, 4), None);
+    }
+
+    #[test]
+    fn prepared_state_packs_group_parities() {
+        let map = AncillaMap::new(5, 2);
+        let parities = [true, false, false, true, true];
+        assert_eq!(map.prepared_state(0, &parities).bits(), 0b01);
+        assert_eq!(map.prepared_state(1, &parities).bits(), 0b10);
+        // Last group: ancilla 4 on channel 0, channel 1 idle (ground).
+        assert_eq!(map.prepared_state(2, &parities).bits(), 0b01);
+    }
+
+    #[test]
+    fn exact_tiling_has_no_padding() {
+        let map = AncillaMap::new(10, 5);
+        assert_eq!(map.n_groups(), 2);
+        assert_eq!(map.ancilla(1, 4), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_rejects_out_of_range_ancilla() {
+        let _ = AncillaMap::new(4, 2).slot(4);
+    }
+}

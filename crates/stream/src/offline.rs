@@ -1,0 +1,138 @@
+//! The offline (materializing) reference path.
+//!
+//! Runs exactly the same physics and discrimination as [`crate::CycleEngine`]
+//! but the way the pre-streaming pipeline did it: every round materializes
+//! one owned [`IqTrace`] per ancilla group and a fresh `Vec<BasisState>` of
+//! decisions — the per-round allocation and re-layout cost the streaming
+//! engine exists to eliminate. RNG draw order is identical to the engine's,
+//! so for the same [`crate::CycleConfig`] the two paths produce bit-identical
+//! [`SyndromeBlock`]s and [`DecodeOutcome`]s; the parity test in
+//! `tests/parity.rs` pins that equivalence.
+
+use herqles_core::Discriminator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use readout_sim::events::sample_path;
+use readout_sim::multiplex::{synthesize, CarrierTable};
+use readout_sim::trace::{IqPoint, IqTrace};
+use readout_sim::trajectory::{baseband, excitation_measure};
+use readout_sim::{BasisState, ChipConfig, GaussianNoise};
+use surface_code::decoder::DecodeOutcome;
+use surface_code::{decode_block, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim};
+
+use crate::engine::CycleConfig;
+use crate::map::AncillaMap;
+
+/// One offline cycle: the materialized block plus its decode verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineCycle {
+    /// The assembled syndrome block.
+    pub block: SyndromeBlock,
+    /// The decoder's verdict on it.
+    pub outcome: DecodeOutcome,
+}
+
+/// Materializes one feedline shot with the allocating primitives
+/// ([`baseband`], [`synthesize`]); RNG draws match
+/// [`crate::RoundSynth::synth_into_row`] exactly.
+fn synth_trace<R: Rng + ?Sized>(
+    chip: &ChipConfig,
+    carriers: &CarrierTable,
+    times: &[f64],
+    prepared: BasisState,
+    rng: &mut R,
+) -> IqTrace {
+    let n = chip.n_qubits();
+    let mut paths = Vec::with_capacity(n);
+    for (k, params) in chip.qubits.iter().enumerate() {
+        paths.push(sample_path(params, prepared.qubit(k), chip.readout_duration_s, rng).path);
+    }
+    let mut basebands: Vec<Vec<IqPoint>> = chip
+        .qubits
+        .iter()
+        .zip(&paths)
+        .map(|(params, path)| baseband(params, path, times))
+        .collect();
+    let measures: Vec<Vec<f64>> = chip
+        .qubits
+        .iter()
+        .zip(&basebands)
+        .map(|(params, bb)| bb.iter().map(|&s| excitation_measure(params, s)).collect())
+        .collect();
+    let mut m = vec![0.0; n];
+    for t in 0..times.len() {
+        for (k, meas) in measures.iter().enumerate() {
+            m[k] = meas[t];
+        }
+        for (victim, bb) in basebands.iter_mut().enumerate() {
+            let shift = chip.crosstalk.shift_at(victim, &m, times[t]);
+            bb[t] += shift;
+        }
+    }
+    let mut noise = GaussianNoise::new(chip.adc_noise_sigma);
+    synthesize(carriers, &basebands, &mut noise, rng)
+}
+
+/// Runs `n_cycles` full readout → syndrome → decode cycles on the
+/// materializing path.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::CycleEngine::new`].
+pub fn run_cycles_offline(
+    cfg: &CycleConfig,
+    chip: &ChipConfig,
+    code: &RotatedSurfaceCode,
+    disc: &dyn Discriminator,
+    n_cycles: usize,
+) -> Vec<OfflineCycle> {
+    assert!(cfg.rounds > 0, "need at least one round per cycle");
+    assert_eq!(
+        disc.n_qubits(),
+        chip.n_qubits(),
+        "discriminator and chip must cover the same channels"
+    );
+    chip.validate().expect("invalid chip configuration");
+    let carriers = CarrierTable::new(chip);
+    let times: Vec<f64> = (0..chip.n_samples())
+        .map(|t| chip.sample_time(t) + 0.5 / chip.sample_rate_hz)
+        .collect();
+    let map = AncillaMap::new(code.n_stabilizers(), chip.n_qubits());
+    let noise = NoiseParams {
+        data_error_prob: cfg.data_error_prob,
+        meas_error_prob: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut out = Vec::with_capacity(n_cycles);
+    for _ in 0..n_cycles {
+        let mut sim = SyndromeSim::new(code, &noise);
+        let mut parities = vec![false; code.n_stabilizers()];
+        for _ in 0..cfg.rounds {
+            sim.apply_data_errors(&mut rng);
+            sim.true_parities_into(&mut parities);
+            // Materialize every group's trace — the per-round allocations
+            // the streaming engine removes.
+            let traces: Vec<IqTrace> = (0..map.n_groups())
+                .map(|g| {
+                    let prepared = map.prepared_state(g, &parities);
+                    synth_trace(chip, &carriers, &times, prepared, &mut rng)
+                })
+                .collect();
+            let refs: Vec<&IqTrace> = traces.iter().collect();
+            let states: Vec<BasisState> = disc.discriminate_batch(&refs);
+            let measured: Vec<bool> = (0..map.n_ancillas())
+                .map(|a| {
+                    let (g, c) = map.slot(a);
+                    states[g].qubit(c)
+                })
+                .collect();
+            sim.record_measured_syndrome(&measured);
+        }
+        sim.finish_perfect_round();
+        let block = sim.into_block();
+        let outcome = decode_block(code, &block);
+        out.push(OfflineCycle { block, outcome });
+    }
+    out
+}

@@ -1,0 +1,195 @@
+//! Allocation-free per-round ancilla readout synthesis.
+//!
+//! [`RoundSynth`] produces one feedline group's multiplexed ADC waveform per
+//! call, written directly into a [`ShotBatch`] row. It performs exactly the
+//! physics of `readout_sim`'s dataset generator — state-path sampling,
+//! ring-up basebands, dispersive crosstalk, multiplexed synthesis with
+//! amplifier noise — but through the `*_into` primitives
+//! ([`readout_sim::trajectory::baseband_into`],
+//! [`readout_sim::multiplex::synthesize_into`]) over buffers reused across
+//! rounds, so the warm steady-state path touches the heap not at all.
+//!
+//! RNG draw order matches the materializing path (per-channel state paths in
+//! channel order, then per-sample noise), so a streaming row and an offline
+//! [`readout_sim::trace::IqTrace`] synthesized from the same RNG state are
+//! bit-identical.
+
+use rand::Rng;
+use readout_sim::events::{sample_path, StatePath};
+use readout_sim::multiplex::{synthesize_into, CarrierTable};
+use readout_sim::trace::IqPoint;
+use readout_sim::trajectory::{baseband_into, excitation_measure};
+use readout_sim::{BasisState, ChipConfig, GaussianNoise, ShotBatch};
+
+/// Reusable synthesizer of one feedline group's readout shot.
+#[derive(Debug, Clone)]
+pub struct RoundSynth {
+    chip: ChipConfig,
+    carriers: CarrierTable,
+    times: Vec<f64>,
+    paths: Vec<StatePath>,
+    basebands: Vec<Vec<IqPoint>>,
+    measures: Vec<Vec<f64>>,
+    m: Vec<f64>,
+}
+
+impl RoundSynth {
+    /// Builds a synthesizer for one feedline configuration, pre-sizing every
+    /// scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ChipConfig::validate`].
+    pub fn new(chip: &ChipConfig) -> Self {
+        chip.validate().expect("invalid chip configuration");
+        let n = chip.n_qubits();
+        let n_samples = chip.n_samples();
+        // Half-sample offset: identical to the dataset generator's clock.
+        let times: Vec<f64> = (0..n_samples)
+            .map(|t| chip.sample_time(t) + 0.5 / chip.sample_rate_hz)
+            .collect();
+        RoundSynth {
+            chip: chip.clone(),
+            carriers: CarrierTable::new(chip),
+            times,
+            paths: Vec::with_capacity(n),
+            basebands: vec![Vec::with_capacity(n_samples); n],
+            measures: vec![Vec::with_capacity(n_samples); n],
+            m: vec![0.0; n],
+        }
+    }
+
+    /// Multiplexed channels per synthesized shot.
+    pub fn n_channels(&self) -> usize {
+        self.chip.n_qubits()
+    }
+
+    /// Raw ADC samples per synthesized shot.
+    pub fn n_samples(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The chip configuration this synthesizer was built for.
+    pub fn chip(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// Synthesizes one feedline shot for `prepared` (bit `k` = channel `k`'s
+    /// ancilla parity) and appends it to `batch` as a new row.
+    ///
+    /// Allocation-free once warm; RNG draws match the materializing
+    /// generator: one state path per channel in channel order, then the
+    /// per-sample amplifier noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` was sized for a different sample count.
+    pub fn synth_into_row<R: Rng + ?Sized>(
+        &mut self,
+        prepared: BasisState,
+        batch: &mut ShotBatch,
+        rng: &mut R,
+    ) {
+        assert_eq!(
+            batch.n_samples(),
+            self.n_samples(),
+            "batch sized for a different readout window"
+        );
+        // 1. Per-channel state paths (relaxation / excitation / init errors).
+        self.paths.clear();
+        for (k, params) in self.chip.qubits.iter().enumerate() {
+            let sampled = sample_path(params, prepared.qubit(k), self.chip.readout_duration_s, rng);
+            self.paths.push(sampled.path);
+        }
+        // 2. Noiseless ring-up basebands.
+        for ((params, path), bb) in self
+            .chip
+            .qubits
+            .iter()
+            .zip(&self.paths)
+            .zip(&mut self.basebands)
+        {
+            baseband_into(params, path, &self.times, bb);
+        }
+        // 3. Excitation measures driving the crosstalk model.
+        for ((params, bb), meas) in self
+            .chip
+            .qubits
+            .iter()
+            .zip(&self.basebands)
+            .zip(&mut self.measures)
+        {
+            meas.clear();
+            meas.extend(bb.iter().map(|&s| excitation_measure(params, s)));
+        }
+        // 4. Dispersive crosstalk shifts, sample by sample.
+        for t in 0..self.times.len() {
+            for (k, meas) in self.measures.iter().enumerate() {
+                self.m[k] = meas[t];
+            }
+            for (victim, bb) in self.basebands.iter_mut().enumerate() {
+                let shift = self.chip.crosstalk.shift_at(victim, &self.m, self.times[t]);
+                bb[t] += shift;
+            }
+        }
+        // 5. Multiplexed synthesis with amplifier noise, straight into the
+        //    batch row (fresh noise state per shot, like the dataset path).
+        let mut noise = GaussianNoise::new(self.chip.adc_noise_sigma);
+        let (i_row, q_row) = batch.push_empty_row();
+        synthesize_into(
+            &self.carriers,
+            &self.basebands,
+            &mut noise,
+            rng,
+            i_row,
+            q_row,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_seed_same_row() {
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let run = |synth: &mut RoundSynth| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut batch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row(BasisState::new(0b10), &mut batch, &mut rng);
+            batch
+        };
+        let a = run(&mut synth);
+        let b = run(&mut synth);
+        assert_eq!(a, b, "warm buffers must not leak state between rows");
+        assert_eq!(a.n_shots(), 1);
+        assert_eq!(a.n_samples(), chip.n_samples());
+    }
+
+    #[test]
+    fn prepared_state_shapes_the_waveform() {
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let mut energy = |state: u32| -> f64 {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut batch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row(BasisState::new(state), &mut batch, &mut rng);
+            batch.i_of(0).iter().map(|x| x * x).sum()
+        };
+        assert!((energy(0b00) - energy(0b11)).abs() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different readout window")]
+    fn rejects_mis_sized_batch() {
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let mut batch = ShotBatch::with_capacity(1, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        synth.synth_into_row(BasisState::new(0), &mut batch, &mut rng);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`core`] — the HERQULES discriminator architectures and metrics
 //! * [`fpga`] — FPGA resource/latency estimation for readout datapaths
 //! * [`qec`] — rotated surface-code simulation and syndrome-cycle timing
+//! * [`stream`] — streaming QEC-cycle engine (readout → syndrome → decode
+//!   on one batch pipeline)
 //! * [`nisq`] — noisy state-vector simulation of NISQ benchmark circuits
 //!
 //! # Quickstart
@@ -28,6 +30,7 @@
 
 pub use fpga_model as fpga;
 pub use herqles_core as core;
+pub use herqles_stream as stream;
 pub use nisq_sim as nisq;
 pub use readout_classifiers as classifiers;
 pub use readout_dsp as dsp;
