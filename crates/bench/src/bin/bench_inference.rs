@@ -11,6 +11,11 @@
 //!
 //! Results land in `BENCH_inference.json` (cwd) to seed the performance
 //! trajectory; the `speedup` field at batch 1024 is the headline number.
+//! Every row carries a `precision` field: the full Table 1 sweep runs at
+//! `f64`, and the fused-kernel designs (`mf`, `mf-rmf-nn`) are additionally
+//! measured at `f32` through the precision-generic batch path — the
+//! `f32_vs_f64` field on those rows is the single-precision multiplier over
+//! the `f64` batched number at the same batch size.
 //!
 //! Environment overrides: `HERQULES_BENCH_SHOTS` (shots per basis state for
 //! the dataset, default 50), `HERQULES_SEED`.
@@ -20,7 +25,7 @@ use std::time::Instant;
 
 use herqles_core::designs::DesignKind;
 use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
-use herqles_core::Discriminator;
+use herqles_core::{Discriminator, PrecisionDiscriminator};
 use readout_nn::net::TrainConfig;
 use readout_sim::{ChipConfig, Dataset, ShotBatch};
 
@@ -49,9 +54,13 @@ fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
 
 struct Row {
     design: &'static str,
+    precision: &'static str,
     batch: usize,
     per_shot: f64,
     batched: f64,
+    /// For f32 rows: multiplier over the f64 batched throughput of the
+    /// *same trained instance* on the same traces.
+    f32_vs_f64: Option<f64>,
 }
 
 fn main() {
@@ -108,13 +117,87 @@ fn main() {
 
             let row = Row {
                 design: kind.label(),
+                precision: "f64",
                 batch: batch_size,
                 per_shot: batch_size as f64 / per_shot_secs,
                 batched: batch_size as f64 / batched_secs,
+                f32_vs_f64: None,
             };
             eprintln!(
-                "[bench_inference] {:>12} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
+                "[bench_inference] {:>12}/{} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
                 row.design,
+                row.precision,
+                row.batch,
+                row.per_shot,
+                row.batched,
+                row.batched / row.per_shot
+            );
+            rows.push(row);
+        }
+    }
+
+    // The f32 instantiation of the precision-generic batch path, on the
+    // fused-kernel designs where narrow precision pays: the cheapest design
+    // (`mf`) and the flagship (`mf-rmf-nn`). These are fresh typed
+    // instances (the sweep above only hands out `Box<dyn Discriminator>`),
+    // so the f32-vs-f64 ratio is computed against an f64 batched
+    // measurement of the *same instance* — same weights on both sides.
+    // Per-shot reference throughput is precision-independent (the per-shot
+    // path is f64 by construction).
+    enum Typed {
+        Mf(herqles_core::designs::MfDiscriminator),
+        Nn(herqles_core::designs::NnDiscriminator),
+    }
+    let typed: Vec<(&'static str, Typed)> = vec![
+        ("mf", Typed::Mf(trainer.train_mf())),
+        ("mf-rmf-nn", Typed::Nn(trainer.train_nn(true))),
+    ];
+    for (label, disc) in &typed {
+        for &batch_size in &BATCH_SIZES {
+            let idx = &split.test[..batch_size];
+            let batch64: ShotBatch = ShotBatch::from_dataset(&dataset, idx);
+            let batch32: ShotBatch<f32> = ShotBatch::from_dataset(&dataset, idx);
+            let raws: Vec<_> = idx.iter().map(|&i| &dataset.shots[i].raw).collect();
+            let per_shot_secs = time_per_call(|| {
+                for raw in &raws {
+                    match disc {
+                        Typed::Mf(d) => std::hint::black_box(d.discriminate(raw)),
+                        Typed::Nn(d) => std::hint::black_box(d.discriminate(raw)),
+                    };
+                }
+            });
+            let batched64_secs = time_per_call(|| match disc {
+                Typed::Mf(d) => {
+                    std::hint::black_box(d.discriminate_shot_batch(&batch64));
+                }
+                Typed::Nn(d) => {
+                    std::hint::black_box(d.discriminate_shot_batch(&batch64));
+                }
+            });
+            let mut scratch: Vec<f32> = Vec::new();
+            let mut out = Vec::new();
+            let batched_secs = time_per_call(|| match disc {
+                Typed::Mf(d) => {
+                    d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
+                    std::hint::black_box(out.len());
+                }
+                Typed::Nn(d) => {
+                    d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
+                    std::hint::black_box(out.len());
+                }
+            });
+            let row = Row {
+                design: label,
+                precision: "f32",
+                batch: batch_size,
+                per_shot: batch_size as f64 / per_shot_secs,
+                batched: batch_size as f64 / batched_secs,
+                f32_vs_f64: Some(batched64_secs / batched_secs),
+            };
+            eprintln!(
+                "[bench_inference] {:>12}/{} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
+                row.design,
+                row.precision,
                 row.batch,
                 row.per_shot,
                 row.batched,
@@ -134,14 +217,20 @@ fn main() {
     let _ = writeln!(json, "  \"shots_per_state\": {shots_per_state},");
     let _ = writeln!(json, "  \"results\": [");
     for (k, row) in rows.iter().enumerate() {
+        let f32_vs_f64 = row
+            .f32_vs_f64
+            .map(|r| format!(", \"f32_vs_f64\": {r:.3}"))
+            .unwrap_or_default();
         let _ = writeln!(
             json,
-            "    {{\"design\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}}}{}",
+            "    {{\"design\": \"{}\", \"precision\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}{}}}{}",
             row.design,
+            row.precision,
             row.batch,
             row.per_shot,
             row.batched,
             row.batched / row.per_shot,
+            f32_vs_f64,
             if k + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -151,10 +240,20 @@ fn main() {
 
     let mf_1024 = rows
         .iter()
-        .find(|r| r.design == "mf" && r.batch == 1024)
+        .find(|r| r.design == "mf" && r.precision == "f64" && r.batch == 1024)
         .expect("mf @ 1024 measured");
     eprintln!(
         "[bench_inference] headline: batched mf at batch 1024 = {:.2}x per-shot",
         mf_1024.batched / mf_1024.per_shot
+    );
+    let mf32_1024 = rows
+        .iter()
+        .find(|r| r.design == "mf" && r.precision == "f32" && r.batch == 1024)
+        .expect("f32 mf @ 1024 measured");
+    let ratio = mf32_1024.f32_vs_f64.expect("f32 rows carry the ratio");
+    eprintln!(
+        "[bench_inference] precision headline: f32 fused-MF batched = {:.2}x the f64 batched number at batch 1024{}",
+        ratio,
+        if ratio >= 1.3 { "" } else { " (below the 1.3x target!)" }
     );
 }

@@ -1,10 +1,12 @@
 //! Streaming QEC-cycle throughput benchmark.
 //!
 //! Trains the `mf` discriminator once on the five-qubit default chip, then
-//! runs the streaming [`CycleEngine`] at distances 3, 5 and 7 (rounds = d),
-//! measuring cycles/second and the per-stage nanosecond breakdown (synth /
-//! discriminate / syndrome / decode) of the warm engine. The offline
-//! materializing path is timed on the same workload for the speedup column.
+//! runs the streaming [`CycleEngine`] at distances 3, 5 and 7 (rounds = d)
+//! at **both pipeline precisions** (`CycleEngine<f64>` and
+//! `CycleEngine<f32>`), measuring cycles/second and the per-stage nanosecond
+//! breakdown (synth / discriminate / syndrome / decode) of the warm engine.
+//! The offline materializing path (f64 by construction) is timed on the same
+//! workload for the speedup column of both precision rows.
 //!
 //! Results land in `BENCH_stream.json` (cwd), continuing the performance
 //! trajectory seeded by `BENCH_inference.json`.
@@ -16,7 +18,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use herqles_stream::{run_cycles_offline, train_mf_discriminator, CycleConfig, CycleEngine};
+use herqles_core::Real;
+use herqles_stream::{run_cycles_offline, train_mf_discriminator_typed, CycleConfig, CycleEngine};
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -34,6 +37,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 struct Row {
     distance: usize,
+    precision: &'static str,
     groups: usize,
     cycles: usize,
     cycles_per_sec: f64,
@@ -53,7 +57,47 @@ fn main() {
 
     let chip = ChipConfig::five_qubit_default();
     eprintln!("[bench_stream] training mf discriminator ({shots} shots/state)…");
-    let disc = train_mf_discriminator(&chip, shots, seed);
+    let disc = train_mf_discriminator_typed(&chip, shots, seed);
+
+    /// One warm-up cycle, then the measured run; returns a precision-tagged
+    /// row. Offline throughput is supplied by the caller (the materializing
+    /// reference is `f64` by construction and shared by both rows).
+    fn measure<R: Real>(
+        disc: &herqles_core::designs::MfDiscriminator,
+        chip: &ChipConfig,
+        code: &RotatedSurfaceCode,
+        cfg: CycleConfig,
+        cycles: usize,
+        offline_cycles_per_sec: f64,
+    ) -> Row
+    where
+        herqles_core::designs::MfDiscriminator: herqles_core::PrecisionDiscriminator<R>,
+    {
+        let mut engine = CycleEngine::<R, _>::new(cfg, chip, code, disc);
+        let _ = engine.run_cycle();
+        let warm = *engine.stats();
+        let start = Instant::now();
+        let results = engine.run_cycles(cycles);
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut stage = herqles_stream::StageNanos::default();
+        for r in &results {
+            stage.add(&r.stats.stage);
+        }
+        let n = cycles as u64;
+        Row {
+            distance: code.distance(),
+            precision: R::NAME,
+            groups: engine.ancilla_map().n_groups(),
+            cycles,
+            cycles_per_sec: cycles as f64 / elapsed,
+            offline_cycles_per_sec,
+            logical_errors: engine.stats().logical_errors - warm.logical_errors,
+            synth_ns: stage.synth / n,
+            discriminate_ns: stage.discriminate / n,
+            syndrome_ns: stage.syndrome / n,
+            decode_ns: stage.decode / n,
+        }
+    }
 
     let mut rows = Vec::new();
     for d in DISTANCES {
@@ -64,51 +108,32 @@ fn main() {
             seed,
         };
 
-        // Streaming engine: one warm-up cycle, then the measured run.
-        let mut engine = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
-        let _ = engine.run_cycle();
-        let warm = *engine.stats();
-        let start = Instant::now();
-        let results = engine.run_cycles(cycles);
-        let elapsed = start.elapsed().as_secs_f64();
-        let mut stage = herqles_stream::StageNanos::default();
-        for r in &results {
-            stage.add(&r.stats.stage);
-        }
-        let logical_errors = engine.stats().logical_errors - warm.logical_errors;
-
         // Offline materializing path on the same cycle count.
         let off_start = Instant::now();
-        let _ = run_cycles_offline(&cfg, &chip, &code, disc.as_ref(), cycles);
+        let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
         let off_elapsed = off_start.elapsed().as_secs_f64();
+        let offline_cps = cycles as f64 / off_elapsed;
 
-        let n = cycles as u64;
-        let row = Row {
-            distance: d,
-            groups: engine.ancilla_map().n_groups(),
-            cycles,
-            cycles_per_sec: cycles as f64 / elapsed,
-            offline_cycles_per_sec: cycles as f64 / off_elapsed,
-            logical_errors,
-            synth_ns: stage.synth / n,
-            discriminate_ns: stage.discriminate / n,
-            syndrome_ns: stage.syndrome / n,
-            decode_ns: stage.decode / n,
-        };
-        eprintln!(
-            "[bench_stream] d={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
-             synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
-            row.distance,
-            row.cycles_per_sec,
-            row.offline_cycles_per_sec,
-            row.cycles_per_sec / row.offline_cycles_per_sec,
-            row.synth_ns,
-            row.discriminate_ns,
-            row.syndrome_ns,
-            row.decode_ns,
-            row.logical_errors,
-        );
-        rows.push(row);
+        for row in [
+            measure::<f64>(&disc, &chip, &code, cfg, cycles, offline_cps),
+            measure::<f32>(&disc, &chip, &code, cfg, cycles, offline_cps),
+        ] {
+            eprintln!(
+                "[bench_stream] d={}/{}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
+                 synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
+                row.distance,
+                row.precision,
+                row.cycles_per_sec,
+                row.offline_cycles_per_sec,
+                row.cycles_per_sec / row.offline_cycles_per_sec,
+                row.synth_ns,
+                row.discriminate_ns,
+                row.syndrome_ns,
+                row.decode_ns,
+                row.logical_errors,
+            );
+            rows.push(row);
+        }
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"stream_cycle_throughput\",\n");
@@ -123,12 +148,13 @@ fn main() {
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"distance\": {}, \"rounds\": {}, \"groups\": {}, \"cycles\": {}, \
+            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"groups\": {}, \"cycles\": {}, \
              \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
              \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
              \"decode\": {}}}, \"logical_errors\": {}}}{}",
             r.distance,
             r.distance,
+            r.precision,
             r.groups,
             r.cycles,
             r.cycles_per_sec,

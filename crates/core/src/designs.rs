@@ -22,6 +22,7 @@ pub mod svm_head;
 
 use std::fmt;
 
+use herqles_num::Real;
 use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
@@ -171,6 +172,66 @@ pub trait Discriminator: Send + Sync {
         raws.iter()
             .map(|r| self.discriminate_truncated(r, bins))
             .collect()
+    }
+}
+
+/// Batched discrimination at an explicit pipeline precision `R` ([`Real`]).
+///
+/// [`Discriminator`]'s own batch methods are fixed at `f64` so the trait
+/// stays object-safe and every pre-generic call site (including
+/// `dyn Discriminator` pipelines) keeps its exact behavior. This companion
+/// trait carries the precision-generic entry points:
+///
+/// * **`R = f64`** is blanket-implemented for *every* discriminator by
+///   delegating to the `f64` methods — a `ShotBatch<f64>` takes exactly the
+///   historical path, bit for bit.
+/// * **`R = f32`** is implemented per design; the fused-kernel designs
+///   (`mf`, `mf-svm`, `mf-nn` and their RMF variants) run the demod +
+///   filter GEMM at single precision, the strawman heads (`centroid`,
+///   `baseline`) demodulate at `f32` / widen to their trained `f64` heads.
+///
+/// The streaming [`CycleEngine`](https://docs.rs/herqles-stream)'s round loop
+/// is generic over this trait, which is what makes an end-to-end `f32`
+/// readout → syndrome → decode cycle possible.
+pub trait PrecisionDiscriminator<R: Real>: Discriminator {
+    /// Discriminates a packed `ShotBatch<R>` into caller-owned buffers (the
+    /// precision-generic mirror of
+    /// [`Discriminator::discriminate_shot_batch_into`]): `out` receives one
+    /// state per shot and `scratch` is a feature workspace at pipeline
+    /// precision, both reused across calls.
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<R>,
+        scratch: &mut Vec<R>,
+        out: &mut Vec<BasisState>,
+    );
+
+    /// Discriminates a packed `ShotBatch<R>` (the precision-generic mirror
+    /// of [`Discriminator::discriminate_shot_batch`]).
+    fn discriminate_shot_batch_r(&self, batch: &ShotBatch<R>) -> Vec<BasisState> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.discriminate_shot_batch_r_into(batch, &mut scratch, &mut out);
+        out
+    }
+}
+
+/// Every discriminator handles `f64` batches through its ordinary
+/// [`Discriminator`] methods — including trait objects, so a
+/// `&dyn Discriminator` drives a default-precision streaming engine
+/// unchanged.
+impl<T: Discriminator + ?Sized> PrecisionDiscriminator<f64> for T {
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<BasisState>,
+    ) {
+        self.discriminate_shot_batch_into(batch, scratch, out);
+    }
+
+    fn discriminate_shot_batch_r(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        self.discriminate_shot_batch(batch)
     }
 }
 

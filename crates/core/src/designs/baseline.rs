@@ -11,7 +11,7 @@ use readout_nn::{Matrix, Mlp, Standardizer};
 use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
-use crate::designs::Discriminator;
+use crate::designs::{Discriminator, PrecisionDiscriminator};
 
 /// The baseline large-FNN discriminator.
 #[derive(Debug, Clone)]
@@ -121,6 +121,39 @@ impl Discriminator for BaselineFnnDiscriminator {
 
     // discriminate_truncated deliberately keeps the default `None`: the
     // baseline cannot shorten readout without retraining (paper §5.2).
+}
+
+impl PrecisionDiscriminator<f32> for BaselineFnnDiscriminator {
+    /// The baseline's input layer *is* the raw trace, and its network is
+    /// trained in `f64` — so an `f32` batch is widened wholesale before the
+    /// forward pass. There is no narrow-precision win to be had here; the
+    /// impl exists so every Table 1 design drives the precision-generic
+    /// streaming engine.
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        _scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
+        if batch.is_empty() {
+            return;
+        }
+        assert_eq!(
+            batch.n_samples(),
+            self.expected_samples,
+            "baseline FNN requires full-duration traces; retrain for other durations"
+        );
+        let mut inputs: Vec<f64> = batch.as_slice().iter().map(|&v| f64::from(v)).collect();
+        self.standardizer.transform_rows_inplace(&mut inputs);
+        let x = Matrix::from_vec(batch.n_shots(), batch.row_width(), inputs);
+        out.extend(
+            self.net
+                .predict_rows(&x)
+                .into_iter()
+                .map(|c| BasisState::new(c as u32)),
+        );
+    }
 }
 
 #[cfg(test)]

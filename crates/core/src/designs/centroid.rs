@@ -6,7 +6,7 @@ use readout_dsp::{BasebandBatch, Demodulator};
 use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
-use crate::designs::Discriminator;
+use crate::designs::{Discriminator, PrecisionDiscriminator};
 
 /// Nearest-centroid discriminator: each qubit's demodulated trace is reduced
 /// to its MTV and classified against the two trained class centroids.
@@ -88,6 +88,36 @@ impl Discriminator for CentroidDiscriminator {
             state = state.with_qubit(q, class == 1);
         }
         Some(state)
+    }
+}
+
+impl PrecisionDiscriminator<f32> for CentroidDiscriminator {
+    /// Single-precision batched demodulation; MTV means accumulate in `f32`
+    /// and widen only for the two-point centroid comparison.
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        _scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
+        if batch.n_samples() < self.demod.samples_per_bin() {
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
+        }
+        let mut bb = BasebandBatch::<f32>::new();
+        self.demod.demodulate_batch(batch, &mut bb);
+        let n = bb.n_bins() as f64;
+        out.extend((0..batch.n_shots()).map(|s| {
+            let mut state = BasisState::new(0);
+            for (q, classifier) in self.per_qubit.iter().enumerate() {
+                let si: f32 = bb.i_of(s, q).iter().sum();
+                let sq: f32 = bb.q_of(s, q).iter().sum();
+                let class = classifier.classify(&[f64::from(si) / n, f64::from(sq) / n]);
+                state = state.with_qubit(q, class == 1);
+            }
+            state
+        }));
     }
 }
 

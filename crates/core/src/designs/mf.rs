@@ -1,13 +1,14 @@
 //! The `mf` design: per-qubit matched filter + scalar threshold (paper §4.2).
 
+use herqles_num::Real;
 use readout_classifiers::ThresholdDiscriminator;
 use readout_dsp::Demodulator;
 use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
-use crate::designs::Discriminator;
-use crate::fused::FusedFilterKernel;
+use crate::designs::{Discriminator, PrecisionDiscriminator};
+use crate::fused::PrecisionKernels;
 
 /// Matched-filter discriminator: one MF and one threshold per qubit, no
 /// crosstalk compensation. The hardware-cheapest design and the accuracy
@@ -16,7 +17,7 @@ use crate::fused::FusedFilterKernel;
 pub struct MfDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
-    kernel: FusedFilterKernel,
+    kernels: PrecisionKernels,
     /// Per-qubit thresholds; class A of each threshold is "excited".
     thresholds: Vec<ThresholdDiscriminator>,
 }
@@ -42,11 +43,11 @@ impl MfDiscriminator {
             bank.n_qubits(),
             "one threshold per qubit required"
         );
-        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let kernels = PrecisionKernels::new(&demod, &bank);
         MfDiscriminator {
             demod,
             bank,
-            kernel,
+            kernels,
             thresholds,
         }
     }
@@ -56,12 +57,49 @@ impl MfDiscriminator {
         &self.bank
     }
 
-    fn classify_features(&self, features: &[f64]) -> BasisState {
+    fn classify_features<R: Real>(&self, features: &[R]) -> BasisState {
         let mut state = BasisState::new(0);
         for (q, threshold) in self.thresholds.iter().enumerate() {
-            state = state.with_qubit(q, threshold.classify_a(features[q]));
+            state = state.with_qubit(q, threshold.classify_a(features[q].to_f64()));
         }
         state
+    }
+
+    /// The fused batch path at any pipeline precision: one demod + MF GEMM
+    /// into the caller's scratch, then per-qubit thresholds. `R = f64` is
+    /// the historical hot path bit for bit; `R = f32` runs the same kernel
+    /// at single precision and is just as allocation-free once warm.
+    fn batch_into_r<R: Real>(
+        &self,
+        batch: &ShotBatch<R>,
+        scratch: &mut Vec<R>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
+        let kernel = self.kernels.get::<R>();
+        if !kernel.matches(batch) {
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
+        }
+        // Fused demod + MF GEMM into the caller's scratch: within warm
+        // capacity this whole path performs zero heap allocation.
+        kernel.features_batch(batch, scratch);
+        out.extend(
+            scratch
+                .chunks(kernel.n_features().max(1))
+                .map(|f| self.classify_features(f)),
+        );
+    }
+}
+
+impl PrecisionDiscriminator<f32> for MfDiscriminator {
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        self.batch_into_r(batch, scratch, out);
     }
 }
 
@@ -92,19 +130,7 @@ impl Discriminator for MfDiscriminator {
         scratch: &mut Vec<f64>,
         out: &mut Vec<BasisState>,
     ) {
-        out.clear();
-        if !self.kernel.matches(batch) {
-            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
-            return;
-        }
-        // Fused demod + MF GEMM into the caller's scratch: within warm
-        // capacity this whole path performs zero heap allocation.
-        self.kernel.features_batch(batch, scratch);
-        out.extend(
-            scratch
-                .chunks(self.kernel.n_features().max(1))
-                .map(|f| self.classify_features(f)),
-        );
+        self.batch_into_r(batch, scratch, out);
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {

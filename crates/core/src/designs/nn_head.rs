@@ -12,15 +12,15 @@ use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
-use crate::designs::Discriminator;
-use crate::fused::FusedFilterKernel;
+use crate::designs::{Discriminator, PrecisionDiscriminator};
+use crate::fused::PrecisionKernels;
 
 /// Small-FNN discriminator over filter-bank features.
 #[derive(Debug, Clone)]
 pub struct NnDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
-    kernel: FusedFilterKernel,
+    kernels: PrecisionKernels,
     standardizer: Standardizer,
     net: Mlp,
     name: &'static str,
@@ -68,11 +68,11 @@ impl NnDiscriminator {
         } else {
             "mf-nn"
         };
-        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let kernels = PrecisionKernels::new(&demod, &bank);
         NnDiscriminator {
             demod,
             bank,
-            kernel,
+            kernels,
             standardizer,
             net,
             name,
@@ -114,7 +114,8 @@ impl Discriminator for NnDiscriminator {
     }
 
     fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
-        if !self.kernel.matches(batch) || batch.is_empty() {
+        let kernel = self.kernels.get::<f64>();
+        if !kernel.matches(batch) || batch.is_empty() {
             return (0..batch.n_shots())
                 .map(|s| self.discriminate(&batch.trace(s)))
                 .collect();
@@ -123,9 +124,9 @@ impl Discriminator for NnDiscriminator {
         // pass; the only allocations are the feature buffer and the
         // network's layer activations, shared by the whole batch.
         let mut features = Vec::new();
-        self.kernel.features_batch(batch, &mut features);
+        kernel.features_batch(batch, &mut features);
         self.standardizer.transform_rows_inplace(&mut features);
-        let x = Matrix::from_vec(batch.n_shots(), self.kernel.n_features(), features);
+        let x = Matrix::from_vec(batch.n_shots(), kernel.n_features(), features);
         self.net
             .predict_rows(&x)
             .into_iter()
@@ -154,6 +155,34 @@ impl Discriminator for NnDiscriminator {
                 .map(|c| BasisState::new(c as u32))
                 .collect(),
         )
+    }
+}
+
+impl PrecisionDiscriminator<f32> for NnDiscriminator {
+    /// Fused features at `f32` (the dominant `[shots × 2T]` GEMM), widened
+    /// once to the trained `f64` standardizer + small FNN head.
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
+        let kernel = self.kernels.get::<f32>();
+        if !kernel.matches(batch) || batch.is_empty() {
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
+        }
+        kernel.features_batch(batch, scratch);
+        let mut features: Vec<f64> = scratch.iter().map(|&v| f64::from(v)).collect();
+        self.standardizer.transform_rows_inplace(&mut features);
+        let x = Matrix::from_vec(batch.n_shots(), kernel.n_features(), features);
+        out.extend(
+            self.net
+                .predict_rows(&x)
+                .into_iter()
+                .map(|c| BasisState::new(c as u32)),
+        );
     }
 }
 

@@ -12,15 +12,15 @@ use readout_sim::trace::{BasisState, IqTrace};
 use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
-use crate::designs::Discriminator;
-use crate::fused::FusedFilterKernel;
+use crate::designs::{Discriminator, PrecisionDiscriminator};
+use crate::fused::PrecisionKernels;
 
 /// Linear-SVM discriminator over filter-bank features.
 #[derive(Debug, Clone)]
 pub struct SvmDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
-    kernel: FusedFilterKernel,
+    kernels: PrecisionKernels,
     standardizer: Standardizer,
     svms: Vec<LinearSvm>,
     name: &'static str,
@@ -51,11 +51,11 @@ impl SvmDiscriminator {
         } else {
             "mf-svm"
         };
-        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let kernels = PrecisionKernels::new(&demod, &bank);
         SvmDiscriminator {
             demod,
             bank,
-            kernel,
+            kernels,
             standardizer,
             svms,
             name,
@@ -92,16 +92,17 @@ impl Discriminator for SvmDiscriminator {
     }
 
     fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
-        if !self.kernel.matches(batch) {
+        let kernel = self.kernels.get::<f64>();
+        if !kernel.matches(batch) {
             return (0..batch.n_shots())
                 .map(|s| self.discriminate(&batch.trace(s)))
                 .collect();
         }
         let mut features = Vec::new();
-        self.kernel.features_batch(batch, &mut features);
+        kernel.features_batch(batch, &mut features);
         self.standardizer.transform_rows_inplace(&mut features);
         features
-            .chunks(self.kernel.n_features().max(1))
+            .chunks(kernel.n_features().max(1))
             .map(|f| {
                 let mut state = BasisState::new(0);
                 for (q, svm) in self.svms.iter().enumerate() {
@@ -115,6 +116,36 @@ impl Discriminator for SvmDiscriminator {
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
         let traces = self.demod.demodulate(raw);
         Some(self.classify_features(&self.bank.features_truncated(&traces, bins)))
+    }
+}
+
+impl PrecisionDiscriminator<f32> for SvmDiscriminator {
+    /// Fused features at `f32` (the dominant `[shots × 2T]` GEMM), widened
+    /// once to the trained `f64` standardizer + linear heads — mirroring a
+    /// hardware pipeline where the MAC banks run narrow and the tiny head
+    /// runs at full precision.
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        out.clear();
+        let kernel = self.kernels.get::<f32>();
+        if !kernel.matches(batch) {
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
+        }
+        kernel.features_batch(batch, scratch);
+        let mut features: Vec<f64> = scratch.iter().map(|&v| f64::from(v)).collect();
+        self.standardizer.transform_rows_inplace(&mut features);
+        out.extend(features.chunks(kernel.n_features().max(1)).map(|f| {
+            let mut state = BasisState::new(0);
+            for (q, svm) in self.svms.iter().enumerate() {
+                state = state.with_qubit(q, svm.predict(f));
+            }
+            state
+        }));
     }
 }
 

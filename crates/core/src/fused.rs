@@ -25,24 +25,34 @@
 //! bounded by ~1e-12 relative error; the parity tests in
 //! `tests/batch_parity.rs` pin this.
 
+use std::any::Any;
+
+use herqles_num::Real;
 use readout_dsp::Demodulator;
 use readout_nn::matrix::gemm_rt_into;
 use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 
-/// A filter bank compiled to raw-sample weights for batched application.
+/// A filter bank compiled to raw-sample weights for batched application,
+/// generic over the pipeline precision `R` ([`Real`], default `f64`).
+///
+/// Weights are always *derived* in `f64` (envelope × carrier × bin norm, the
+/// calibration math) and rounded into `R` once at compile time, so an `f32`
+/// kernel carries optimally rounded weights rather than error-compounded
+/// single-precision products — exactly how fixed-point FPGA weights are
+/// produced from a float training pass.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FusedFilterKernel {
+pub struct FusedFilterKernel<R: Real = f64> {
     /// `[F × 2T]` weights, stored transposed so each feature's weights are
     /// one contiguous scan: row `f` holds feature `f`'s I-plane weights for
     /// samples `0..T`, then its Q-plane weights.
-    weights_t: Vec<f64>,
+    weights_t: Vec<R>,
     n_samples: usize,
     n_features: usize,
 }
 
-impl FusedFilterKernel {
+impl<R: Real> FusedFilterKernel<R> {
     /// Compiles `bank` against the demodulator's carrier table.
     ///
     /// Envelope bins beyond the readout window (or windows beyond the
@@ -63,7 +73,7 @@ impl FusedFilterKernel {
         let spb = demod.samples_per_bin();
         let norm = 1.0 / spb as f64;
         let carriers = demod.carriers();
-        let mut weights_t = vec![0.0; 2 * n_samples * n_features];
+        let mut weights_t = vec![R::ZERO; 2 * n_samples * n_features];
         for q in 0..bank.n_qubits() {
             let mut filters = vec![(bank.mf_feature_index(q), bank.mf(q))];
             if let Some(rmf) = bank.rmf(q) {
@@ -77,8 +87,8 @@ impl FusedFilterKernel {
                 for t in 0..bins * spb {
                     let b = t / spb;
                     let (c, s) = carriers.phasor(q, t);
-                    row[t] = (ei[b] * c - eq[b] * s) * norm;
-                    row[n_samples + t] = (ei[b] * s + eq[b] * c) * norm;
+                    row[t] = R::from_f64((ei[b] * c - eq[b] * s) * norm);
+                    row[n_samples + t] = R::from_f64((ei[b] * s + eq[b] * c) * norm);
                 }
             }
         }
@@ -100,8 +110,24 @@ impl FusedFilterKernel {
     }
 
     /// Whether `batch` has the sample count this kernel was compiled for.
-    pub fn matches(&self, batch: &ShotBatch) -> bool {
+    pub fn matches(&self, batch: &ShotBatch<R>) -> bool {
         batch.n_samples() == self.n_samples
+    }
+
+    /// Rounds the compiled weight plane into another precision — exactly the
+    /// values [`FusedFilterKernel::new`] would derive at `R2` (weights are
+    /// computed in `f64` either way and rounded once), at none of the
+    /// recompilation cost.
+    pub fn to_precision<R2: Real>(&self) -> FusedFilterKernel<R2> {
+        FusedFilterKernel {
+            weights_t: self
+                .weights_t
+                .iter()
+                .map(|&w| R2::from_f64(w.to_f64()))
+                .collect(),
+            n_samples: self.n_samples,
+            n_features: self.n_features,
+        }
     }
 
     /// Computes the feature matrix of a whole batch into the caller-owned
@@ -111,13 +137,13 @@ impl FusedFilterKernel {
     /// # Panics
     ///
     /// Panics if the batch sample count does not match the kernel.
-    pub fn features_batch(&self, batch: &ShotBatch, out: &mut Vec<f64>) {
+    pub fn features_batch(&self, batch: &ShotBatch<R>, out: &mut Vec<R>) {
         assert!(
             self.matches(batch),
             "batch sample count does not match the compiled kernel"
         );
         out.clear();
-        out.resize(batch.n_shots() * self.n_features, 0.0);
+        out.resize(batch.n_shots() * self.n_features, R::ZERO);
         gemm_rt_into(
             batch.as_slice(),
             &self.weights_t,
@@ -126,6 +152,56 @@ impl FusedFilterKernel {
             2 * self.n_samples,
             self.n_features,
         );
+    }
+}
+
+/// Both precision instantiations of one compiled filter bank, selected
+/// statically by the pipeline's `R`.
+///
+/// Every fused design owns one of these so a single trained discriminator
+/// can serve `f64` and `f32` batches; [`PrecisionKernels::get`] resolves the
+/// matching kernel at monomorphization time (the `Any` downcast folds to a
+/// constant branch because [`Real`] is sealed to exactly two types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionKernels {
+    k64: FusedFilterKernel<f64>,
+    k32: FusedFilterKernel<f32>,
+}
+
+impl PrecisionKernels {
+    /// Compiles `bank` at both precisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FusedFilterKernel::new`].
+    pub fn new(demod: &Demodulator, bank: &FilterBank) -> Self {
+        let k64 = FusedFilterKernel::new(demod, bank);
+        // The f32 plane is the f64 one rounded element-wise — identical to
+        // compiling at f32 (weight math runs in f64 either way), at half
+        // the compile cost.
+        let k32 = k64.to_precision::<f32>();
+        PrecisionKernels { k64, k32 }
+    }
+
+    /// The kernel matching the pipeline precision `R`.
+    pub fn get<R: Real>(&self) -> &FusedFilterKernel<R> {
+        let k64: &dyn Any = &self.k64;
+        if let Some(k) = k64.downcast_ref::<FusedFilterKernel<R>>() {
+            return k;
+        }
+        let k32: &dyn Any = &self.k32;
+        k32.downcast_ref::<FusedFilterKernel<R>>()
+            .expect("Real is sealed to f32 and f64")
+    }
+
+    /// Feature-vector width (`N` without RMFs, `2N` with).
+    pub fn n_features(&self) -> usize {
+        self.k64.n_features()
+    }
+
+    /// Raw samples per shot the kernels were compiled for.
+    pub fn n_samples(&self) -> usize {
+        self.k64.n_samples()
     }
 }
 
@@ -161,7 +237,7 @@ mod tests {
     fn fused_features_match_per_shot_bank() {
         for with_rmf in [false, true] {
             let (ds, demod, bank) = trained_setup(with_rmf);
-            let kernel = FusedFilterKernel::new(&demod, &bank);
+            let kernel: FusedFilterKernel = FusedFilterKernel::new(&demod, &bank);
             assert_eq!(kernel.n_features(), bank.n_features());
             let batch = ShotBatch::from_shots(&ds.shots[..16]);
             let mut fused = Vec::new();
@@ -178,7 +254,7 @@ mod tests {
     #[test]
     fn output_buffer_is_reusable() {
         let (ds, demod, bank) = trained_setup(false);
-        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let kernel: FusedFilterKernel = FusedFilterKernel::new(&demod, &bank);
         let batch = ShotBatch::from_shots(&ds.shots[..8]);
         let mut out = Vec::new();
         kernel.features_batch(&batch, &mut out);
@@ -194,10 +270,36 @@ mod tests {
     }
 
     #[test]
+    fn rounded_f32_kernel_is_bit_identical_to_a_recompiled_one() {
+        let (_, demod, bank) = trained_setup(true);
+        let recompiled: FusedFilterKernel<f32> = FusedFilterKernel::new(&demod, &bank);
+        let rounded = PrecisionKernels::new(&demod, &bank).get::<f32>().clone();
+        assert_eq!(recompiled, rounded);
+    }
+
+    #[test]
+    fn precision_kernels_select_by_type_and_agree_across_precisions() {
+        let (ds, demod, bank) = trained_setup(true);
+        let kernels = PrecisionKernels::new(&demod, &bank);
+        assert_eq!(kernels.n_features(), bank.n_features());
+        let batch64: ShotBatch = ShotBatch::from_shots(&ds.shots[..8]);
+        let batch32: ShotBatch<f32> = ShotBatch::from_shots(&ds.shots[..8]);
+        let mut f64_out = Vec::new();
+        kernels.get::<f64>().features_batch(&batch64, &mut f64_out);
+        let mut f32_out = Vec::new();
+        kernels.get::<f32>().features_batch(&batch32, &mut f32_out);
+        assert_eq!(f64_out.len(), f32_out.len());
+        for (a, b) in f64_out.iter().zip(&f32_out) {
+            let rel = (a - f64::from(*b)).abs() / a.abs().max(1.0);
+            assert!(rel < 1e-4, "f32 feature diverges: {a} vs {b}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "does not match the compiled kernel")]
     fn mismatched_batch_is_rejected() {
         let (ds, demod, bank) = trained_setup(false);
-        let kernel = FusedFilterKernel::new(&demod, &bank);
+        let kernel: FusedFilterKernel = FusedFilterKernel::new(&demod, &bank);
         let cut = ds.shots[0].raw.truncated(10);
         let batch = ShotBatch::try_from_traces(&[&cut]).unwrap();
         let mut out = Vec::new();

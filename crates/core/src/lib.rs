@@ -47,8 +47,9 @@ pub mod relabel;
 pub mod trainer;
 
 pub use bank::FilterBank;
-pub use designs::{DesignKind, Discriminator};
-pub use fused::FusedFilterKernel;
+pub use designs::{DesignKind, Discriminator, PrecisionDiscriminator};
+pub use fused::{FusedFilterKernel, PrecisionKernels};
+pub use herqles_num::Real;
 pub use metrics::{evaluate, EvalResult};
 pub use relabel::identify_relaxation_traces;
 pub use trainer::ReadoutTrainer;

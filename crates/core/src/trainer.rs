@@ -110,7 +110,7 @@ impl<'a> ReadoutTrainer<'a> {
         let demod = Demodulator::new(&dataset.config);
         // One batched demodulation pass over the training set (bit-identical
         // to per-shot demodulation, a fraction of the allocations).
-        let batch = ShotBatch::from_dataset(dataset, train_idx);
+        let batch: ShotBatch = ShotBatch::from_dataset(dataset, train_idx);
         let mut bb = BasebandBatch::new();
         demod.demodulate_batch(&batch, &mut bb);
         let demod_traces = (0..train_idx.len())
@@ -285,7 +285,10 @@ impl<'a> ReadoutTrainer<'a> {
             .collect()
     }
 
-    fn train_centroid(&mut self) -> CentroidDiscriminator {
+    /// Trains the `centroid` design with its concrete type (the typed
+    /// counterpart of [`ReadoutTrainer::train`], for callers that need the
+    /// precision-generic `f32` batch paths only concrete designs expose).
+    pub fn train_centroid(&mut self) -> CentroidDiscriminator {
         let n = self.n_qubits();
         let mut per_qubit = Vec::with_capacity(n);
         for q in 0..n {
@@ -300,7 +303,8 @@ impl<'a> ReadoutTrainer<'a> {
         CentroidDiscriminator::new(self.demod.clone(), per_qubit)
     }
 
-    fn train_mf(&mut self) -> MfDiscriminator {
+    /// Trains the `mf` design with its concrete type.
+    pub fn train_mf(&mut self) -> MfDiscriminator {
         let bank = self.bank(false);
         let n = self.n_qubits();
         let features = self.feature_matrix(&bank);
@@ -324,7 +328,9 @@ impl<'a> ReadoutTrainer<'a> {
         MfDiscriminator::new(self.demod.clone(), bank, thresholds)
     }
 
-    fn train_svm(&mut self, with_rmf: bool) -> SvmDiscriminator {
+    /// Trains the `mf-svm` (or, `with_rmf`, `mf-rmf-svm`) design with its
+    /// concrete type.
+    pub fn train_svm(&mut self, with_rmf: bool) -> SvmDiscriminator {
         let bank = self.bank(with_rmf);
         let features = self.feature_matrix(&bank);
         let standardizer = Standardizer::fit(&features);
@@ -365,7 +371,9 @@ impl<'a> ReadoutTrainer<'a> {
         best.expect("at least one attempt ran").1
     }
 
-    fn train_nn(&mut self, with_rmf: bool) -> NnDiscriminator {
+    /// Trains the `mf-nn` (or, `with_rmf`, `mf-rmf-nn`) design with its
+    /// concrete type.
+    pub fn train_nn(&mut self, with_rmf: bool) -> NnDiscriminator {
         let bank = self.bank(with_rmf);
         let features = self.feature_matrix(&bank);
         let standardizer = Standardizer::fit(&features);
@@ -392,7 +400,8 @@ impl<'a> ReadoutTrainer<'a> {
         NnDiscriminator::new(self.demod.clone(), bank, standardizer, net)
     }
 
-    fn train_baseline(&mut self) -> BaselineFnnDiscriminator {
+    /// Trains the baseline raw-trace FNN with its concrete type.
+    pub fn train_baseline(&mut self) -> BaselineFnnDiscriminator {
         let n_samples = self.dataset.config.n_samples();
         let inputs: Vec<Vec<f64>> = self
             .train_idx

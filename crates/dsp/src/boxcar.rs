@@ -7,6 +7,7 @@
 //! pipeline and for parity with hardware platforms (QICK ships averaging
 //! filters natively).
 
+use herqles_num::Real;
 use readout_sim::trace::IqTrace;
 
 /// Applies a trailing moving average of `window` bins to both channels.
@@ -28,21 +29,55 @@ pub fn boxcar_filter(trace: &IqTrace, window: usize) -> IqTrace {
 
 fn boxcar_channel(x: &[f64], window: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(x.len());
-    let mut acc = 0.0;
+    boxcar_slice(x, window, &mut out);
+    out
+}
+
+/// Precision-generic trailing moving average over one flat channel, written
+/// into a caller-owned buffer (cleared first; reusable across calls).
+///
+/// This is the streaming-hardware form of [`boxcar_filter`]: it operates on
+/// a raw `[R]` plane (e.g. one channel of a `ShotBatch<R>` row or a
+/// `BasebandBatch<R>` segment) at pipeline precision, with no per-call
+/// allocation once `out` is warm. At `R = f64` the output is bit-identical
+/// to [`boxcar_filter`]'s per-channel result.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn boxcar_slice<R: Real>(x: &[R], window: usize, out: &mut Vec<R>) {
+    assert!(window > 0, "boxcar window must be at least 1");
+    out.clear();
+    out.reserve(x.len());
+    let mut acc = R::ZERO;
     for t in 0..x.len() {
         acc += x[t];
         if t >= window {
             acc -= x[t - window];
         }
-        let n = (t + 1).min(window) as f64;
+        let n = R::from_usize((t + 1).min(window));
         out.push(acc / n);
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_kernel_matches_trace_filter_and_runs_at_f32() {
+        let tr = IqTrace::new(vec![1.0, -2.0, 3.0, 0.5], vec![0.0; 4]);
+        let reference = boxcar_filter(&tr, 3);
+        let mut out = Vec::new();
+        boxcar_slice(tr.i(), 3, &mut out);
+        assert_eq!(out, reference.i(), "f64 slice kernel must be bit-identical");
+        let x32: Vec<f32> = tr.i().iter().map(|&v| v as f32).collect();
+        let mut out32: Vec<f32> = Vec::new();
+        boxcar_slice(&x32, 3, &mut out32);
+        for (a, b) in out32.iter().zip(reference.i()) {
+            assert!((f64::from(*a) - b).abs() < 1e-6);
+        }
+    }
 
     #[test]
     fn window_one_is_identity() {

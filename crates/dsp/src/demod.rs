@@ -12,6 +12,7 @@
 //! demodulated traces is the *dispersive* crosstalk injected at the baseband
 //! level, not spectral leakage.
 
+use herqles_num::Real;
 use readout_sim::batch::ShotBatch;
 use readout_sim::config::ChipConfig;
 use readout_sim::multiplex::CarrierTable;
@@ -23,16 +24,17 @@ use readout_sim::trace::IqTrace;
 /// Row `s` holds shot `s` as `n_qubits` consecutive `[I_0 … I_{B−1},
 /// Q_0 … Q_{B−1}]` segments (qubit-major). The buffer is reused across
 /// batches — repeated demodulation of same-shape batches performs zero
-/// allocations after the first call.
+/// allocations after the first call. Generic over the pipeline precision `R`
+/// ([`Real`], default `f64`), matching the [`ShotBatch`] it is filled from.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct BasebandBatch {
+pub struct BasebandBatch<R: Real = f64> {
     n_shots: usize,
     n_qubits: usize,
     n_bins: usize,
-    data: Vec<f64>,
+    data: Vec<R>,
 }
 
-impl BasebandBatch {
+impl<R: Real> BasebandBatch<R> {
     /// An empty buffer; sized lazily by the first `demodulate_batch` call.
     pub fn new() -> Self {
         BasebandBatch::default()
@@ -45,7 +47,7 @@ impl BasebandBatch {
         self.n_qubits = n_qubits;
         self.n_bins = n_bins;
         self.data.clear();
-        self.data.resize(n_shots * n_qubits * 2 * n_bins, 0.0);
+        self.data.resize(n_shots * n_qubits * 2 * n_bins, R::ZERO);
     }
 
     /// Number of shots held.
@@ -63,7 +65,7 @@ impl BasebandBatch {
         self.n_bins
     }
 
-    fn segment(&self, shot: usize, qubit: usize) -> &[f64] {
+    fn segment(&self, shot: usize, qubit: usize) -> &[R] {
         assert!(shot < self.n_shots, "shot index out of bounds");
         assert!(qubit < self.n_qubits, "qubit index out of bounds");
         let w = 2 * self.n_bins;
@@ -76,7 +78,7 @@ impl BasebandBatch {
     /// # Panics
     ///
     /// Panics if either index is out of bounds.
-    pub fn i_of(&self, shot: usize, qubit: usize) -> &[f64] {
+    pub fn i_of(&self, shot: usize, qubit: usize) -> &[R] {
         &self.segment(shot, qubit)[..self.n_bins]
     }
 
@@ -85,7 +87,7 @@ impl BasebandBatch {
     /// # Panics
     ///
     /// Panics if either index is out of bounds.
-    pub fn q_of(&self, shot: usize, qubit: usize) -> &[f64] {
+    pub fn q_of(&self, shot: usize, qubit: usize) -> &[R] {
         &self.segment(shot, qubit)[self.n_bins..]
     }
 
@@ -97,8 +99,8 @@ impl BasebandBatch {
     /// Panics if either index is out of bounds.
     pub fn trace(&self, shot: usize, qubit: usize) -> IqTrace {
         IqTrace::new(
-            self.i_of(shot, qubit).to_vec(),
-            self.q_of(shot, qubit).to_vec(),
+            self.i_of(shot, qubit).iter().map(|&v| v.to_f64()).collect(),
+            self.q_of(shot, qubit).iter().map(|&v| v.to_f64()).collect(),
         )
     }
 }
@@ -201,16 +203,19 @@ impl Demodulator {
     /// Demodulates a whole batch into a caller-owned [`BasebandBatch`] with
     /// zero per-shot allocation.
     ///
-    /// Bins are computed with exactly the same accumulation order as
-    /// [`Demodulator::demodulate_qubit`], so batched and per-shot basebands
-    /// are bit-identical. Truncated batches (fewer samples than the readout
-    /// window) yield proportionally fewer bins, like the per-shot path.
+    /// Generic over the pipeline precision `R` ([`Real`]): the mixing and
+    /// bin accumulation run in `R`, so an `f32` batch demodulates at single
+    /// precision. At `R = f64` bins are computed with exactly the same
+    /// accumulation order as [`Demodulator::demodulate_qubit`], so batched
+    /// and per-shot basebands are bit-identical. Truncated batches (fewer
+    /// samples than the readout window) yield proportionally fewer bins,
+    /// like the per-shot path.
     ///
     /// # Panics
     ///
     /// Panics if the batch traces are longer than the configured readout
     /// window.
-    pub fn demodulate_batch(&self, batch: &ShotBatch, out: &mut BasebandBatch) {
+    pub fn demodulate_batch<R: Real>(&self, batch: &ShotBatch<R>, out: &mut BasebandBatch<R>) {
         assert!(
             batch.n_samples() <= self.n_samples,
             "batch traces longer than the configured readout window"
@@ -218,7 +223,7 @@ impl Demodulator {
         let n_bins = batch.n_samples() / self.samples_per_bin;
         out.reset(batch.n_shots(), self.n_qubits, n_bins);
         let spb = self.samples_per_bin;
-        let norm = 1.0 / spb as f64;
+        let norm = R::from_f64(1.0 / spb as f64);
         let row_width = self.n_qubits * 2 * n_bins;
         for (shot, row) in out.data.chunks_mut(row_width.max(1)).enumerate() {
             let ri = batch.i_of(shot);
@@ -227,10 +232,11 @@ impl Demodulator {
                 let (i_out, q_out) = seg.split_at_mut(n_bins);
                 for bin in 0..n_bins {
                     let start = bin * spb;
-                    let mut acc_i = 0.0;
-                    let mut acc_q = 0.0;
+                    let mut acc_i = R::ZERO;
+                    let mut acc_q = R::ZERO;
                     for t in start..start + spb {
                         let (c, s) = self.carriers.phasor(q, t);
+                        let (c, s) = (R::from_f64(c), R::from_f64(s));
                         acc_i += ri[t] * c + rq[t] * s;
                         acc_q += rq[t] * c - ri[t] * s;
                     }
@@ -372,7 +378,7 @@ mod tests {
         let cfg = ChipConfig::five_qubit_default();
         let ds = Dataset::generate(&cfg, 2, 31);
         let demod = Demodulator::new(&cfg);
-        let batch = readout_sim::ShotBatch::from_shots(&ds.shots);
+        let batch: readout_sim::ShotBatch = readout_sim::ShotBatch::from_shots(&ds.shots);
         let mut bb = BasebandBatch::new();
         demod.demodulate_batch(&batch, &mut bb);
         assert_eq!(bb.n_shots(), ds.shots.len());
@@ -393,7 +399,7 @@ mod tests {
         let cfg = ChipConfig::two_qubit_test();
         let ds = Dataset::generate(&cfg, 3, 5);
         let demod = Demodulator::new(&cfg);
-        let batch = readout_sim::ShotBatch::from_shots(&ds.shots);
+        let batch: readout_sim::ShotBatch = readout_sim::ShotBatch::from_shots(&ds.shots);
         let mut bb = BasebandBatch::new();
         demod.demodulate_batch(&batch, &mut bb);
         let first = bb.clone();
@@ -409,7 +415,7 @@ mod tests {
         let cut = 7 * cfg.samples_per_bin() + 3;
         let truncated: Vec<IqTrace> = ds.shots.iter().map(|s| s.raw.truncated(cut)).collect();
         let refs: Vec<&IqTrace> = truncated.iter().collect();
-        let batch = readout_sim::ShotBatch::try_from_traces(&refs).unwrap();
+        let batch: readout_sim::ShotBatch = readout_sim::ShotBatch::try_from_traces(&refs).unwrap();
         let mut bb = BasebandBatch::new();
         demod.demodulate_batch(&batch, &mut bb);
         assert_eq!(bb.n_bins(), 7);

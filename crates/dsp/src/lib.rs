@@ -31,6 +31,7 @@ pub mod boxcar;
 pub mod demod;
 pub mod filters;
 
-pub use boxcar::boxcar_filter;
+pub use boxcar::{boxcar_filter, boxcar_slice};
 pub use demod::{BasebandBatch, Demodulator};
 pub use filters::{FilterError, MatchedFilter};
+pub use herqles_num::Real;

@@ -146,27 +146,35 @@ pub fn estimate_nn_engine(
     let mut dsps: u64 = 0;
     let mut latency: u64 = 0;
 
-    // MAC engines per layer, DSP-first mapping with a global running budget.
+    // MAC engines per layer, DSP-first mapping with a global running
+    // budget. The arithmetic format scales both the DSP count per engine
+    // (an fp32 engine tiles ~3 DSP slices, fp64 ~10) and the fabric cost of
+    // engines that spill past the DSP budget.
+    let dsp_per_engine = spec.format.dsps_per_mult();
+    let fabric_mult_luts = model.lut_per_fabric_mult * spec.format.fabric_mult_factor()
+        + spec.format.lut_per_float_engine();
     let dsp_budget = (device.dsps as f64 * model.dsp_budget_frac) as u64;
     let mut dsp_used: u64 = 0;
     for (fan_in, fan_out) in spec.network.layers() {
         let macs = (fan_in * fan_out) as u64;
         let engines = macs.div_ceil(spec.reuse_factor as u64);
-        let dsp_engines = engines.min(dsp_budget.saturating_sub(dsp_used));
+        let dsp_engines = engines.min(dsp_budget.saturating_sub(dsp_used) / dsp_per_engine);
         let fabric_engines = engines - dsp_engines;
-        dsp_used += dsp_engines;
-        luts += fabric_engines * model.lut_per_fabric_mult;
+        dsp_used += dsp_engines * dsp_per_engine;
+        luts += fabric_engines * fabric_mult_luts;
+        luts += dsp_engines * spec.format.lut_per_float_engine();
         luts += engines * model.lut_per_engine_ctrl;
         luts += model.lut_per_layer_fixed + 2 * fan_out as u64;
-        dsps += dsp_engines;
+        dsps += dsp_engines * dsp_per_engine;
 
         let rf_eff = macs.div_ceil(engines);
         let adder_depth = (usize::BITS - (fan_in.max(2) - 1).leading_zeros()) as u64;
         latency += rf_eff + adder_depth + model.pipe_regs_per_layer as u64;
     }
 
-    // Weight storage: BRAM first, LUT-RAM spill after.
-    let weight_bits = (spec.network.n_parameters() as u64) * u64::from(spec.precision_bits);
+    // Weight storage: BRAM first, LUT-RAM spill after; width follows the
+    // arithmetic format (16-bit fixed words, 32-bit f32, 64-bit f64).
+    let weight_bits = (spec.network.n_parameters() as u64) * u64::from(spec.format.bits());
     let bram_bits_avail = (device.bram_bits() as f64 * model.bram_budget_frac) as u64;
     let bram_bits_used = weight_bits.min(bram_bits_avail);
     let brams = bram_bits_used.div_ceil(36 * 1024);
@@ -199,11 +207,19 @@ pub fn estimate_pipeline_with(
     let mut est = estimate_nn_engine(spec, model, device);
 
     est.luts += model.lut_fixed_pipeline;
+    // The frontend runs in the same datapath format as the engine: demod
+    // mixers are multipliers (DSP cost scales with the format) and each
+    // filter MAC pays the format's width factor plus any float
+    // normalization fabric. At Fixed(16) every factor is 1/0, i.e. the
+    // original calibration.
     if spec.has_demodulation {
-        est.luts += spec.n_qubits as u64 * model.lut_per_demod;
-        est.dsps += spec.n_qubits as u64 * model.dsp_per_demod;
+        est.luts += spec.n_qubits as u64
+            * (model.lut_per_demod + model.dsp_per_demod * spec.format.lut_per_float_engine());
+        est.dsps += spec.n_qubits as u64 * model.dsp_per_demod * spec.format.dsps_per_mult();
     }
-    est.luts += spec.filter_macs() as u64 * model.lut_per_filter_mac;
+    est.luts += spec.filter_macs() as u64
+        * (model.lut_per_filter_mac * spec.format.fabric_mult_factor()
+            + spec.format.lut_per_float_engine());
     est.luts += spec.buffered_inputs as u64 * model.lut_per_buffered_input;
 
     // Buffered designs must read the whole buffer through layer 1 after the
@@ -327,6 +343,53 @@ mod tests {
         assert!(
             dsp_ten < FpgaDevice::XCZU7EV.dsps,
             "ten groups need {dsp_ten} DSPs"
+        );
+    }
+
+    #[test]
+    fn precision_scales_multiplier_and_memory_cost() {
+        use crate::pipeline::ArithFormat;
+        // Reuse factor 64 keeps every engine DSP-mapped for all three
+        // formats (the budget never saturates), so the per-engine slice
+        // counts are directly visible.
+        let base = PipelineSpec::herqules(5, true, 64);
+        let fixed = estimate_pipeline(&base.clone().with_format(ArithFormat::Fixed(16)));
+        let f32e = estimate_pipeline(&base.clone().with_format(ArithFormat::Float32));
+        let f64e = estimate_pipeline(&base.clone().with_format(ArithFormat::Float64));
+        // Multipliers: a DSP-mapped fp32 engine tiles ~3 slices, fp64 ~10.
+        assert!(fixed.dsps < f32e.dsps, "{} vs {}", fixed.dsps, f32e.dsps);
+        assert!(f32e.dsps < f64e.dsps, "{} vs {}", f32e.dsps, f64e.dsps);
+        // Weight memory: 16 < 32 < 64 bits per parameter.
+        assert!(fixed.brams <= f32e.brams && f32e.brams <= f64e.brams);
+        assert!(
+            f64e.brams >= 2 * fixed.brams.max(1),
+            "f64 weights must cost at least 2x the 16-bit BRAM: {} vs {}",
+            f64e.brams,
+            fixed.brams
+        );
+        // Float engines pay normalization fabric on top.
+        assert!(fixed.luts < f32e.luts && f32e.luts < f64e.luts);
+        // The paper's point survives precision accounting: the fixed-point
+        // HERQULES pipeline fits with room to spare, and even its fp64
+        // variant is a small design next to the baseline FNN.
+        assert!(fixed.utilization(&FpgaDevice::XCZU7EV).fits());
+        assert!(f32e.utilization(&FpgaDevice::XCZU7EV).fits());
+    }
+
+    #[test]
+    fn fabric_spill_is_pricier_for_float_formats() {
+        use crate::pipeline::ArithFormat;
+        // A reuse factor of 1 on the baseline exhausts the DSP budget and
+        // forces fabric multipliers, where the float formats' width factor
+        // dominates.
+        let spec = PipelineSpec::baseline(NetworkShape::baseline_fnn(), 1);
+        let fixed = estimate_pipeline(&spec.clone().with_format(ArithFormat::Fixed(16)));
+        let f32e = estimate_pipeline(&spec.clone().with_format(ArithFormat::Float32));
+        assert!(
+            f32e.luts > fixed.luts + (fixed.luts / 2),
+            "float fabric multipliers must dominate: {} vs {}",
+            f32e.luts,
+            fixed.luts
         );
     }
 

@@ -2,6 +2,73 @@
 
 use crate::network::NetworkShape;
 
+/// Arithmetic format of a datapath — what the precision-generic software
+/// pipeline (`Real = f32`/`f64`) or the quantized path (`nn::quant`) maps to
+/// in hardware.
+///
+/// The format drives two costs in the estimator: multiplier width (DSP
+/// slices and support fabric per MAC engine) and weight-storage width
+/// (BRAM/LUT-RAM bits per parameter). The per-engine numbers follow typical
+/// UltraScale+ synthesis results: one DSP48E2 carries a 16-bit fixed
+/// multiply outright, a pipelined `fp32` mult/add core maps to ~3 DSPs plus
+/// alignment fabric, and `fp64` to ~10 DSPs plus several hundred LUTs of
+/// normalization logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithFormat {
+    /// Two's-complement fixed point of the given total width (the paper's
+    /// datapath; 16 bits in all its evaluations).
+    Fixed(u32),
+    /// IEEE-754 single precision — the hardware analogue of the software
+    /// pipeline's `f32` instantiation.
+    Float32,
+    /// IEEE-754 double precision — the `f64` reference pipeline; priced out
+    /// to show why nobody builds it.
+    Float64,
+}
+
+impl ArithFormat {
+    /// Storage width of one weight, in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            ArithFormat::Fixed(w) => w,
+            ArithFormat::Float32 => 32,
+            ArithFormat::Float64 => 64,
+        }
+    }
+
+    /// DSP slices per MAC engine.
+    pub fn dsps_per_mult(self) -> u64 {
+        match self {
+            // One DSP covers fixed multiplies up to 18×27; wider fixed
+            // words tile additional slices.
+            ArithFormat::Fixed(w) if w <= 18 => 1,
+            ArithFormat::Fixed(_) => 2,
+            ArithFormat::Float32 => 3,
+            ArithFormat::Float64 => 10,
+        }
+    }
+
+    /// Multiplier-width factor applied to the fabric cost of a non-DSP
+    /// engine (relative to a 16-bit fixed multiplier).
+    pub fn fabric_mult_factor(self) -> u64 {
+        match self {
+            ArithFormat::Fixed(w) => u64::from(w.div_ceil(16).max(1)),
+            ArithFormat::Float32 => 4,
+            ArithFormat::Float64 => 16,
+        }
+    }
+
+    /// Fixed LUT overhead per floating-point engine (exponent alignment,
+    /// normalization, rounding); zero for fixed point.
+    pub fn lut_per_float_engine(self) -> u64 {
+        match self {
+            ArithFormat::Fixed(_) => 0,
+            ArithFormat::Float32 => 150,
+            ArithFormat::Float64 => 500,
+        }
+    }
+}
+
 /// What sits on the FPGA for one frequency-multiplexed readout group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineSpec {
@@ -15,8 +82,8 @@ pub struct PipelineSpec {
     pub filters_per_qubit: usize,
     /// The neural-network head (or the full baseline FNN).
     pub network: NetworkShape,
-    /// Fixed-point word width of the datapath, in bits.
-    pub precision_bits: u32,
+    /// Arithmetic format of the datapath (multiplier + weight-storage cost).
+    pub format: ArithFormat,
     /// hls4ml-style reuse factor: logical multiplications per physical
     /// multiplier.
     pub reuse_factor: usize,
@@ -41,7 +108,7 @@ impl PipelineSpec {
             has_demodulation: true,
             filters_per_qubit: if with_rmf { 2 } else { 1 },
             network: NetworkShape::herqules_head(n_qubits, with_rmf),
-            precision_bits: 16,
+            format: ArithFormat::Fixed(16),
             reuse_factor,
             buffered_inputs: 0,
         }
@@ -61,7 +128,7 @@ impl PipelineSpec {
             has_demodulation: false,
             filters_per_qubit: 0,
             network,
-            precision_bits: 16,
+            format: ArithFormat::Fixed(16),
             reuse_factor,
             buffered_inputs,
         }
@@ -71,6 +138,17 @@ impl PipelineSpec {
     /// per quadrature channel).
     pub fn filter_macs(&self) -> usize {
         2 * self.filters_per_qubit * self.n_qubits
+    }
+
+    /// The same pipeline at another arithmetic format.
+    pub fn with_format(mut self, format: ArithFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Storage width of one weight, in bits.
+    pub fn precision_bits(&self) -> u32 {
+        self.format.bits()
     }
 }
 
@@ -85,6 +163,29 @@ mod tests {
         assert_eq!(spec.filter_macs(), 20);
         assert!(spec.has_demodulation);
         assert_eq!(spec.buffered_inputs, 0);
+        assert_eq!(spec.format, ArithFormat::Fixed(16));
+        assert_eq!(spec.precision_bits(), 16);
+    }
+
+    #[test]
+    fn format_costs_are_ordered() {
+        let formats = [
+            ArithFormat::Fixed(16),
+            ArithFormat::Float32,
+            ArithFormat::Float64,
+        ];
+        for w in formats.windows(2) {
+            assert!(w[0].bits() <= w[1].bits());
+            assert!(w[0].dsps_per_mult() < w[1].dsps_per_mult());
+            assert!(w[0].fabric_mult_factor() <= w[1].fabric_mult_factor());
+        }
+        assert_eq!(ArithFormat::Fixed(24).dsps_per_mult(), 2);
+        assert_eq!(
+            PipelineSpec::herqules(5, true, 4)
+                .with_format(ArithFormat::Float32)
+                .precision_bits(),
+            32
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Row-major `f64` matrix with a cache-blocked, thread-parallel matmul.
+//! Row-major real matrix with a cache-blocked, thread-parallel matmul,
+//! generic over the scalar precision `R` ([`Real`], default `f64`).
 //!
 //! Deliberately minimal: just what dense-layer training and batched readout
 //! inference need. The matmul kernel ([`gemm_into`]) streams each output row
@@ -9,6 +10,8 @@
 //! buffers (e.g. `ShotBatch` planes) can multiply with zero copies.
 
 use std::fmt;
+
+use herqles_num::Real;
 
 /// Minimum number of multiply-accumulates before the matmul bothers spawning
 /// threads.
@@ -26,7 +29,8 @@ const PARALLEL_THRESHOLD: usize = 1 << 18;
 const KC: usize = 64;
 
 /// Right-operand tile width (columns of `rhs` per tile); `KC × NC` doubles
-/// fill a 32 KiB L1 data cache.
+/// fill a 32 KiB L1 data cache (an f32 tile uses half of it — still a win,
+/// as the tile then shares L1 with the streamed left operand).
 const NC: usize = 64;
 
 /// Column count at or below which the kernel switches to the tall-skinny
@@ -38,21 +42,26 @@ const NC: usize = 64;
 /// and keeps its accumulators in registers.
 const SKINNY_N: usize = 16;
 
-/// A dense row-major matrix of `f64`.
+/// A dense row-major matrix of reals.
+///
+/// Generic over the scalar `R` ([`Real`], default `f64`): `Matrix` in type
+/// position keeps meaning the double-precision matrix every training path
+/// uses, while `Matrix<f32>` carries single-precision activation planes at
+/// twice the SIMD width.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<R: Real = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<R>,
 }
 
-impl Matrix {
+impl<R: Real> Matrix<R> {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![R::ZERO; rows * cols],
         }
     }
 
@@ -61,7 +70,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<R>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
         Matrix { rows, cols, data }
     }
@@ -71,7 +80,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the rows have unequal lengths or `rows` is empty.
-    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+    pub fn from_rows(rows: &[Vec<R>]) -> Self {
         assert!(!rows.is_empty(), "at least one row required");
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -104,7 +113,7 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     #[inline]
-    pub fn get(&self, r: usize, c: usize) -> f64 {
+    pub fn get(&self, r: usize, c: usize) -> R {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c]
     }
@@ -115,7 +124,7 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     #[inline]
-    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+    pub fn set(&mut self, r: usize, c: usize, v: R) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c] = v;
     }
@@ -126,7 +135,7 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     #[inline]
-    pub fn row(&self, r: usize) -> &[f64] {
+    pub fn row(&self, r: usize) -> &[R] {
         assert!(r < self.rows, "row out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -137,20 +146,20 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     #[inline]
-    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, r: usize) -> &mut [R] {
         assert!(r < self.rows, "row out of bounds");
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// The flat row-major data.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[R] {
         &self.data
     }
 
     /// Mutable flat row-major data.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
         &mut self.data
     }
 
@@ -159,7 +168,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul(&self, rhs: &Matrix<R>) -> Matrix<R> {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         gemm_into(
@@ -174,7 +183,7 @@ impl Matrix {
     }
 
     /// Transposed copy.
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<R> {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
@@ -189,7 +198,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn add(&self, rhs: &Matrix) -> Matrix {
+    pub fn add(&self, rhs: &Matrix<R>) -> Matrix<R> {
         assert_eq!(
             (self.rows, self.cols),
             (rhs.rows, rhs.cols),
@@ -199,7 +208,7 @@ impl Matrix {
             .data
             .iter()
             .zip(&rhs.data)
-            .map(|(a, b)| a + b)
+            .map(|(&a, &b)| a + b)
             .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
@@ -209,7 +218,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+    pub fn sub(&self, rhs: &Matrix<R>) -> Matrix<R> {
         assert_eq!(
             (self.rows, self.cols),
             (rhs.rows, rhs.cols),
@@ -219,30 +228,49 @@ impl Matrix {
             .data
             .iter()
             .zip(&rhs.data)
-            .map(|(a, b)| a - b)
+            .map(|(&a, &b)| a - b)
             .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Scaled copy.
-    pub fn scale(&self, k: f64) -> Matrix {
+    pub fn scale(&self, k: R) -> Matrix<R> {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.data.iter().map(|a| a * k).collect(),
+            self.data.iter().map(|&a| a * k).collect(),
         )
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+    pub fn map_inplace<F: Fn(R) -> R>(&mut self, f: F) {
         for v in &mut self.data {
             *v = f(*v);
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm, accumulated in `f64` regardless of `R`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| {
+                let v = v.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Widens (or rounds) every element into another precision.
+    pub fn to_precision<R2: Real>(&self) -> Matrix<R2> {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data
+                .iter()
+                .map(|&v| R2::from_f64(v.to_f64()))
+                .collect(),
+        )
     }
 }
 
@@ -259,11 +287,11 @@ impl Matrix {
 /// # Panics
 ///
 /// Panics if any slice length disagrees with the given dimensions.
-pub fn gemm_into(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_into<R: Real>(lhs: &[R], rhs: &[R], out: &mut [R], m: usize, k: usize, n: usize) {
     assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
     assert_eq!(rhs.len(), k * n, "rhs length must equal k*n");
     assert_eq!(out.len(), m * n, "out length must equal m*n");
-    out.fill(0.0);
+    out.fill(R::ZERO);
     let work = m * k * n;
     let threads = if work >= PARALLEL_THRESHOLD {
         std::thread::available_parallelism()
@@ -275,7 +303,7 @@ pub fn gemm_into(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, 
     // Tall-skinny problems take the transposed dot-product kernel; the
     // transpose is O(k·n), amortized over all m rows.
     let rhs_t = if n > 0 && n <= SKINNY_N && k >= 2 * SKINNY_N {
-        let mut rt = vec![0.0; k * n];
+        let mut rt = vec![R::ZERO; k * n];
         for (l, row) in rhs.chunks_exact(n).enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 rt[j * k + l] = v;
@@ -285,7 +313,7 @@ pub fn gemm_into(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, 
     } else {
         None
     };
-    let run = |out_block: &mut [f64], r0: usize, r1: usize| match &rhs_t {
+    let run = |out_block: &mut [R], r0: usize, r1: usize| match &rhs_t {
         Some(rt) => gemm_rows_skinny(lhs, rt, out_block, k, n, r0, r1),
         None => gemm_rows(lhs, rhs, out_block, k, n, r0, r1),
     };
@@ -314,7 +342,7 @@ pub fn gemm_into(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, 
 /// # Panics
 ///
 /// Panics if any slice length disagrees with the given dimensions.
-pub fn gemm_rt_into(lhs: &[f64], rhs_t: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn gemm_rt_into<R: Real>(lhs: &[R], rhs_t: &[R], out: &mut [R], m: usize, k: usize, n: usize) {
     assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
     assert_eq!(rhs_t.len(), k * n, "rhs_t length must equal k*n");
     assert_eq!(out.len(), m * n, "out length must equal m*n");
@@ -343,8 +371,8 @@ pub fn gemm_rt_into(lhs: &[f64], rhs_t: &[f64], out: &mut [f64], m: usize, k: us
 /// Eight-accumulator contiguous dot product; the accumulator fan-out breaks
 /// the add dependency chain so the loop saturates the FMA ports.
 #[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 8];
+fn dot<R: Real>(a: &[R], b: &[R]) -> R {
+    let mut acc = [R::ZERO; 8];
     let ca = a.chunks_exact(8);
     let cb = b.chunks_exact(8);
     let (ta, tb) = (ca.remainder(), cb.remainder());
@@ -353,8 +381,8 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
             acc[i] += x[i] * y[i];
         }
     }
-    let mut tail = 0.0;
-    for (x, y) in ta.iter().zip(tb) {
+    let mut tail = R::ZERO;
+    for (&x, &y) in ta.iter().zip(tb) {
         tail += x * y;
     }
     ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
@@ -362,10 +390,10 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Tall-skinny kernel: `rhs_t` is the `[n × k]` transpose of `rhs`, so every
 /// output element is one linear scan of two contiguous slices.
-fn gemm_rows_skinny(
-    lhs: &[f64],
-    rhs_t: &[f64],
-    out_block: &mut [f64],
+fn gemm_rows_skinny<R: Real>(
+    lhs: &[R],
+    rhs_t: &[R],
+    out_block: &mut [R],
     inner: usize,
     rcols: usize,
     r0: usize,
@@ -382,10 +410,10 @@ fn gemm_rows_skinny(
 
 /// Computes output rows `[r0, r1)` of `lhs · rhs` into `out_block`
 /// (`out_block` holds exactly those rows, already zeroed).
-fn gemm_rows(
-    lhs: &[f64],
-    rhs: &[f64],
-    out_block: &mut [f64],
+fn gemm_rows<R: Real>(
+    lhs: &[R],
+    rhs: &[R],
+    out_block: &mut [R],
     inner: usize,
     rcols: usize,
     r0: usize,
@@ -401,7 +429,7 @@ fn gemm_rows(
                 let out_seg = &mut out_block[(r - r0) * rcols + jc..(r - r0) * rcols + jc + jw];
                 let lhs_seg = &lhs[r * inner + kc..r * inner + kc + kw];
                 for (l, &a) in lhs_seg.iter().enumerate() {
-                    if a == 0.0 {
+                    if a == R::ZERO {
                         // ReLU activations make training matmuls sparse.
                         continue;
                     }
@@ -415,7 +443,7 @@ fn gemm_rows(
     }
 }
 
-impl fmt::Display for Matrix {
+impl<R: Real> fmt::Display for Matrix<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
@@ -574,8 +602,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions")]
     fn mismatched_matmul_panics() {
-        let a = Matrix::zeros(2, 3);
-        let b = Matrix::zeros(2, 3);
+        let a: Matrix = Matrix::zeros(2, 3);
+        let b: Matrix = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
     }
 

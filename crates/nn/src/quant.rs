@@ -7,6 +7,7 @@
 //! choice can be measured in software (the bit-width ablation of the
 //! reproduction's FPGA study).
 
+use crate::matrix::Matrix;
 use crate::net::{argmax, Mlp};
 
 /// Fixed-point format: `total_bits` including sign, of which `frac_bits`
@@ -113,20 +114,31 @@ impl QuantizedMlp {
     /// Panics if the input dimension is wrong.
     pub fn forward_fixed(&self, input: &[f64]) -> Vec<i64> {
         let mut act: Vec<i64> = input.iter().map(|&x| self.config.quantize(x)).collect();
+        let mut scratch = Vec::new();
+        self.forward_quantized(&mut act, &mut scratch);
+        act
+    }
+
+    /// Runs the layer stack over an already-quantized activation vector,
+    /// double-buffering through `scratch` so repeated calls (the batched
+    /// path) allocate nothing once both buffers are warm. `act` holds the
+    /// logits on return.
+    fn forward_quantized(&self, act: &mut Vec<i64>, scratch: &mut Vec<i64>) {
         let shift = self.config.frac_bits;
         for (idx, (weights, bias)) in self.layers.iter().enumerate() {
             assert_eq!(act.len(), weights.len(), "input dimension mismatch");
             let out_dim = bias.len();
-            let mut next = vec![0i64; out_dim];
+            scratch.clear();
+            scratch.resize(out_dim, 0i64);
             for (a, wrow) in act.iter().zip(weights) {
                 if *a == 0 {
                     continue;
                 }
-                for (n, w) in next.iter_mut().zip(wrow) {
+                for (n, w) in scratch.iter_mut().zip(wrow) {
                     *n += a * w;
                 }
             }
-            for (n, b) in next.iter_mut().zip(bias) {
+            for (n, b) in scratch.iter_mut().zip(bias) {
                 // Renormalize the product scale, then add the bias (already
                 // at scale 2^f).
                 *n >>= shift;
@@ -134,15 +146,46 @@ impl QuantizedMlp {
             }
             // ReLU on hidden layers.
             if idx + 1 < self.layers.len() {
-                for n in &mut next {
+                for n in scratch.iter_mut() {
                     if *n < 0 {
                         *n = 0;
                     }
                 }
             }
-            act = next;
+            std::mem::swap(act, scratch);
         }
-        act
+    }
+
+    /// Batched fixed-point inference over single-precision activations — the
+    /// bridge between the precision-generic float pipeline and the FPGA's
+    /// fixed-point datapath: an `f32` feature plane (e.g. fused-filter
+    /// outputs) is quantized row by row to the configured grid and classified
+    /// entirely in integer arithmetic. Returns one predicted class per row.
+    ///
+    /// Decisions are identical to calling [`QuantizedMlp::predict`] on each
+    /// widened row: `f32 → f64 → fixed` rounds the same way as `f32 → fixed`
+    /// because every `f32` is exactly representable in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the network's input dimension.
+    pub fn forward_batch(&self, x: &Matrix<f32>) -> Vec<usize> {
+        let mut act: Vec<i64> = Vec::new();
+        let mut scratch: Vec<i64> = Vec::new();
+        let mut out = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            act.clear();
+            act.extend(x.row(r).iter().map(|&v| self.config.quantize(f64::from(v))));
+            self.forward_quantized(&mut act, &mut scratch);
+            let mut best = 0;
+            for (i, &v) in act.iter().enumerate() {
+                if v > act[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
     }
 
     /// Predicted class of one input.
@@ -301,6 +344,29 @@ mod tests {
         assert!(
             acc16 >= acc4,
             "16-bit {acc16} must not be worse than 4-bit {acc4}"
+        );
+    }
+
+    #[test]
+    fn forward_batch_matches_per_row_predictions_within_one_percent_of_float() {
+        let (net, inputs, labels) = trained_net();
+        let qnet = QuantizedMlp::from_mlp(&net, QuantConfig::DEFAULT_16BIT);
+        let x32: Matrix<f32> = Matrix::from_rows(&inputs).to_precision::<f32>();
+        let batch = qnet.forward_batch(&x32);
+        // Identical to widening each f32 row and running the scalar path.
+        for (r, &pred) in batch.iter().enumerate() {
+            let widened: Vec<f64> = x32.row(r).iter().map(|&v| f64::from(v)).collect();
+            assert_eq!(pred, qnet.predict(&widened), "row {r}");
+        }
+        // Accuracy within 1 % of the float MLP on the same seeded dataset.
+        let acc = |preds: &[usize]| {
+            preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+        };
+        let float_acc = acc(&net.predict_batch(&inputs));
+        let fixed_acc = acc(&batch);
+        assert!(
+            (float_acc - fixed_acc).abs() <= 0.01,
+            "float {float_acc} vs quantized-f32 batch {fixed_acc}"
         );
     }
 

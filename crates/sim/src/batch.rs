@@ -9,6 +9,8 @@
 //! [`IqTrace::to_feature_vec`], so a batch row doubles as the baseline FNN's
 //! input vector and as one row of the fused demod + matched-filter matmul.
 
+use herqles_num::Real;
+
 use crate::dataset::{Dataset, Shot};
 use crate::trace::IqTrace;
 
@@ -18,18 +20,24 @@ use crate::trace::IqTrace;
 /// q_0 … q_{T−1}]`; rows are stored back to back, so the whole batch is a
 /// row-major `[n_shots × 2T]` matrix ready for a blocked matmul with a
 /// `[2T × features]` fused filter matrix — no per-shot allocation anywhere.
+///
+/// Generic over the pipeline precision `R` ([`Real`], default `f64`): the
+/// batch models the ADC output plane, so this is where the digital pipeline's
+/// precision begins. Packing an [`IqTrace`] (always `f64`, like the analog
+/// physics it stands in for) into a `ShotBatch<f32>` rounds each sample once,
+/// exactly as a narrower digitizer word would.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ShotBatch {
+pub struct ShotBatch<R: Real = f64> {
     n_shots: usize,
     n_samples: usize,
-    data: Vec<f64>,
+    data: Vec<R>,
 }
 
-impl ShotBatch {
+impl<R: Real> ShotBatch<R> {
     /// An empty batch with capacity reserved for `n_shots` traces of
     /// `n_samples` samples.
     pub fn with_capacity(n_shots: usize, n_samples: usize) -> Self {
-        ShotBatch {
+        ShotBatch::<R> {
             n_shots: 0,
             n_samples,
             data: Vec::with_capacity(n_shots * 2 * n_samples),
@@ -47,7 +55,7 @@ impl ShotBatch {
         if raws.iter().any(|r| r.len() != n_samples) {
             return None;
         }
-        let mut batch = ShotBatch::with_capacity(raws.len(), n_samples);
+        let mut batch = ShotBatch::<R>::with_capacity(raws.len(), n_samples);
         for raw in raws {
             batch.push_trace(raw);
         }
@@ -60,7 +68,7 @@ impl ShotBatch {
     ///
     /// Panics if any index is out of bounds.
     pub fn from_dataset(dataset: &Dataset, indices: &[usize]) -> Self {
-        let mut batch = ShotBatch::with_capacity(indices.len(), dataset.config.n_samples());
+        let mut batch = ShotBatch::<R>::with_capacity(indices.len(), dataset.config.n_samples());
         for &i in indices {
             batch.push_trace(&dataset.shots[i].raw);
         }
@@ -70,7 +78,7 @@ impl ShotBatch {
     /// Packs a slice of owned shots.
     pub fn from_shots(shots: &[Shot]) -> Self {
         let n_samples = shots.first().map_or(0, |s| s.raw.len());
-        let mut batch = ShotBatch::with_capacity(shots.len(), n_samples);
+        let mut batch = ShotBatch::<R>::with_capacity(shots.len(), n_samples);
         for shot in shots {
             batch.push_trace(&shot.raw);
         }
@@ -92,10 +100,10 @@ impl ShotBatch {
     /// Uses the batch's configured sample count (set by
     /// [`ShotBatch::with_capacity`] or the first pushed trace); within the
     /// reserved capacity this performs no allocation.
-    pub fn push_empty_row(&mut self) -> (&mut [f64], &mut [f64]) {
+    pub fn push_empty_row(&mut self) -> (&mut [R], &mut [R]) {
         let w = self.row_width();
         let start = self.data.len();
-        self.data.resize(start + w, 0.0);
+        self.data.resize(start + w, R::ZERO);
         self.n_shots += 1;
         self.data[start..].split_at_mut(self.n_samples)
     }
@@ -114,8 +122,8 @@ impl ShotBatch {
             self.n_samples,
             "all traces in a batch must share one length"
         );
-        self.data.extend_from_slice(raw.i());
-        self.data.extend_from_slice(raw.q());
+        self.data.extend(raw.i().iter().map(|&v| R::from_f64(v)));
+        self.data.extend(raw.q().iter().map(|&v| R::from_f64(v)));
         self.n_shots += 1;
     }
 
@@ -140,7 +148,7 @@ impl ShotBatch {
     }
 
     /// The whole batch as one flat row-major `[n_shots × row_width]` slice.
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[R] {
         &self.data
     }
 
@@ -149,7 +157,7 @@ impl ShotBatch {
     /// # Panics
     ///
     /// Panics if `shot` is out of bounds.
-    pub fn row(&self, shot: usize) -> &[f64] {
+    pub fn row(&self, shot: usize) -> &[R] {
         assert!(shot < self.n_shots, "shot index out of bounds");
         let w = self.row_width();
         &self.data[shot * w..(shot + 1) * w]
@@ -160,7 +168,7 @@ impl ShotBatch {
     /// # Panics
     ///
     /// Panics if `shot` is out of bounds.
-    pub fn i_of(&self, shot: usize) -> &[f64] {
+    pub fn i_of(&self, shot: usize) -> &[R] {
         &self.row(shot)[..self.n_samples]
     }
 
@@ -169,7 +177,7 @@ impl ShotBatch {
     /// # Panics
     ///
     /// Panics if `shot` is out of bounds.
-    pub fn q_of(&self, shot: usize) -> &[f64] {
+    pub fn q_of(&self, shot: usize) -> &[R] {
         &self.row(shot)[self.n_samples..]
     }
 
@@ -180,7 +188,10 @@ impl ShotBatch {
     ///
     /// Panics if `shot` is out of bounds.
     pub fn trace(&self, shot: usize) -> IqTrace {
-        IqTrace::new(self.i_of(shot).to_vec(), self.q_of(shot).to_vec())
+        IqTrace::new(
+            self.i_of(shot).iter().map(|&v| v.to_f64()).collect(),
+            self.q_of(shot).iter().map(|&v| v.to_f64()).collect(),
+        )
     }
 }
 
@@ -200,7 +211,7 @@ mod tests {
     fn rows_follow_feature_vec_layout() {
         let a = ramp_trace(0.0, 4);
         let b = ramp_trace(10.0, 4);
-        let batch = ShotBatch::try_from_traces(&[&a, &b]).unwrap();
+        let batch: ShotBatch = ShotBatch::try_from_traces(&[&a, &b]).unwrap();
         assert_eq!(batch.n_shots(), 2);
         assert_eq!(batch.n_samples(), 4);
         assert_eq!(batch.row(0), a.to_feature_vec().as_slice());
@@ -211,7 +222,7 @@ mod tests {
     #[test]
     fn channels_are_recoverable() {
         let a = ramp_trace(5.0, 3);
-        let batch = ShotBatch::try_from_traces(&[&a]).unwrap();
+        let batch: ShotBatch = ShotBatch::try_from_traces(&[&a]).unwrap();
         assert_eq!(batch.i_of(0), a.i());
         assert_eq!(batch.q_of(0), a.q());
         assert_eq!(batch.trace(0), a);
@@ -221,8 +232,8 @@ mod tests {
     fn ragged_traces_are_rejected() {
         let a = ramp_trace(0.0, 4);
         let b = ramp_trace(0.0, 5);
-        assert!(ShotBatch::try_from_traces(&[&a, &b]).is_none());
-        assert!(ShotBatch::try_from_traces(&[]).is_none());
+        assert!(ShotBatch::<f64>::try_from_traces(&[&a, &b]).is_none());
+        assert!(ShotBatch::<f64>::try_from_traces(&[]).is_none());
     }
 
     #[test]
@@ -230,7 +241,7 @@ mod tests {
         let cfg = ChipConfig::two_qubit_test();
         let ds = Dataset::generate(&cfg, 2, 7);
         let idx = [3usize, 0, 5];
-        let batch = ShotBatch::from_dataset(&ds, &idx);
+        let batch: ShotBatch = ShotBatch::from_dataset(&ds, &idx);
         assert_eq!(batch.n_shots(), 3);
         for (r, &i) in idx.iter().enumerate() {
             assert_eq!(batch.trace(r), ds.shots[i].raw);
@@ -241,7 +252,7 @@ mod tests {
     fn from_shots_covers_all() {
         let cfg = ChipConfig::two_qubit_test();
         let ds = Dataset::generate(&cfg, 1, 9);
-        let batch = ShotBatch::from_shots(&ds.shots);
+        let batch: ShotBatch = ShotBatch::from_shots(&ds.shots);
         assert_eq!(batch.n_shots(), ds.shots.len());
         assert_eq!(batch.n_samples(), cfg.n_samples());
     }
@@ -250,7 +261,7 @@ mod tests {
     fn clear_and_push_empty_row_reuse_the_allocation() {
         let a = ramp_trace(0.0, 4);
         let b = ramp_trace(3.0, 4);
-        let mut batch = ShotBatch::with_capacity(2, 4);
+        let mut batch: ShotBatch = ShotBatch::with_capacity(2, 4);
         batch.push_trace(&a);
         batch.push_trace(&b);
         let cap = batch.as_slice().len();
@@ -271,7 +282,7 @@ mod tests {
 
     #[test]
     fn push_empty_row_yields_zeroed_halves() {
-        let mut batch = ShotBatch::with_capacity(1, 3);
+        let mut batch: ShotBatch = ShotBatch::with_capacity(1, 3);
         let (i, q) = batch.push_empty_row();
         assert_eq!(i, &[0.0; 3]);
         assert_eq!(q, &[0.0; 3]);
@@ -282,7 +293,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "share one length")]
     fn push_rejects_length_mismatch() {
-        let mut batch = ShotBatch::with_capacity(2, 4);
+        let mut batch: ShotBatch = ShotBatch::with_capacity(2, 4);
         batch.push_trace(&ramp_trace(0.0, 4));
         batch.push_trace(&ramp_trace(0.0, 3));
     }

@@ -49,5 +49,6 @@ pub use batch::ShotBatch;
 pub use config::{ChipConfig, QubitParams};
 pub use crosstalk::CrosstalkModel;
 pub use dataset::{Dataset, DatasetSplit, Shot, ShotTruth};
+pub use herqles_num::Real;
 pub use noise::GaussianNoise;
 pub use trace::{BasisState, IqPoint, IqTrace};

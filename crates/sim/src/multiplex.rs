@@ -12,6 +12,7 @@
 //! [`CarrierTable`]; the same table is reused by the demodulator in
 //! `readout-dsp`, guaranteeing synthesis and demodulation agree on phases.
 
+use herqles_num::Real;
 use rand::Rng;
 
 use crate::config::ChipConfig;
@@ -88,21 +89,25 @@ pub fn synthesize<R: Rng + ?Sized>(
 /// caller-owned channel slices (e.g. a [`crate::ShotBatch`] row obtained from
 /// [`crate::ShotBatch::push_empty_row`]).
 ///
-/// Accumulation and RNG draw order are identical to [`synthesize`] (which is
-/// implemented on top of this function), so materializing and streaming
-/// synthesis are bit-identical for the same RNG state.
+/// Generic over the output precision `R` ([`Real`]): the per-sample carrier
+/// mixing, channel accumulation and amplifier-noise draws all run in `R`, so
+/// an `f32` batch row is synthesized at `f32` arithmetic width end to end.
+/// At `R = f64` every conversion is the identity and the accumulation and
+/// RNG draw order are identical to [`synthesize`] (which is implemented on
+/// top of this function), so materializing and streaming synthesis are
+/// bit-identical for the same RNG state.
 ///
 /// # Panics
 ///
 /// Panics if the baseband dimensions or output slice lengths do not match the
 /// carrier table.
-pub fn synthesize_into<R: Rng + ?Sized>(
+pub fn synthesize_into<R: Real, G: Rng + ?Sized>(
     carriers: &CarrierTable,
     basebands: &[Vec<IqPoint>],
-    noise: &mut GaussianNoise,
-    rng: &mut R,
-    i_out: &mut [f64],
-    q_out: &mut [f64],
+    noise: &mut GaussianNoise<R>,
+    rng: &mut G,
+    i_out: &mut [R],
+    q_out: &mut [R],
 ) {
     assert_eq!(
         basebands.len(),
@@ -112,15 +117,17 @@ pub fn synthesize_into<R: Rng + ?Sized>(
     let n = carriers.n_samples();
     assert_eq!(i_out.len(), n, "I output length must match carrier table");
     assert_eq!(q_out.len(), n, "Q output length must match carrier table");
-    i_out.fill(0.0);
-    q_out.fill(0.0);
+    i_out.fill(R::ZERO);
+    q_out.fill(R::ZERO);
     for (q, bb) in basebands.iter().enumerate() {
         assert_eq!(bb.len(), n, "baseband length must match carrier table");
         for (t, s) in bb.iter().enumerate() {
             let (c, sn) = carriers.phasor(q, t);
+            let (si, sq) = (R::from_f64(s.i), R::from_f64(s.q));
+            let (c, sn) = (R::from_f64(c), R::from_f64(sn));
             // (s.i + i s.q) · (c + i sn)
-            i_out[t] += s.i * c - s.q * sn;
-            q_out[t] += s.i * sn + s.q * c;
+            i_out[t] += si * c - sq * sn;
+            q_out[t] += si * sn + sq * c;
         }
     }
     for t in 0..n {

@@ -2,11 +2,18 @@
 //!
 //! The readout chain (HEMT + room-temperature amplifiers) adds noise that is
 //! well modelled as white and Gaussian on both quadratures. `rand` does not
-//! ship a normal distribution, so we implement the Marsaglia polar method.
+//! ship a normal distribution, so the Marsaglia polar method is provided by
+//! [`Real::sample_gaussian`]; this type wraps it with a configured deviation
+//! and the buffered spare deviate.
 
-use rand::{Rng, RngExt};
+use herqles_num::Real;
+use rand::Rng;
 
-/// A buffered standard-normal sampler (Marsaglia polar method).
+/// A buffered standard-normal sampler (Marsaglia polar method), generic over
+/// the pipeline precision `R` ([`Real`], default `f64`). At `f32` the
+/// rejection loop and output rounding run at single precision, matching the
+/// rest of an `f32` pipeline; at `f64` the sample stream is bit-identical to
+/// the historical hand-written implementation.
 ///
 /// Each call to [`GaussianNoise::sample`] returns `N(0, sigma²)`.
 ///
@@ -15,54 +22,42 @@ use rand::{Rng, RngExt};
 /// use rand::SeedableRng;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 /// let mut noise = GaussianNoise::new(2.0);
-/// let x = noise.sample(&mut rng);
+/// let x: f64 = noise.sample(&mut rng);
 /// assert!(x.is_finite());
 /// ```
 #[derive(Debug, Clone)]
-pub struct GaussianNoise {
-    sigma: f64,
-    spare: Option<f64>,
+pub struct GaussianNoise<R: Real = f64> {
+    sigma: R,
+    spare: Option<R>,
 }
 
-impl GaussianNoise {
+impl<R: Real> GaussianNoise<R> {
     /// Creates a sampler with standard deviation `sigma`.
     ///
     /// # Panics
     ///
     /// Panics if `sigma` is negative or not finite.
-    pub fn new(sigma: f64) -> Self {
+    pub fn new(sigma: R) -> Self {
         assert!(
-            sigma.is_finite() && sigma >= 0.0,
+            sigma.is_finite() && sigma >= R::ZERO,
             "sigma must be finite and non-negative"
         );
         GaussianNoise { sigma, spare: None }
     }
 
     /// The configured standard deviation.
-    pub fn sigma(&self) -> f64 {
+    pub fn sigma(&self) -> R {
         self.sigma
     }
 
     /// Draws one `N(0, sigma²)` sample.
-    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+    pub fn sample<G: Rng + ?Sized>(&mut self, rng: &mut G) -> R {
         self.sigma * self.standard(rng)
     }
 
     /// Draws one standard-normal sample.
-    pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
-            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
-            let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
-            let s = u * u + v * v;
-            if s > 0.0 && s < 1.0 {
-                let factor = (-2.0 * s.ln() / s).sqrt();
-                self.spare = Some(v * factor);
-                return u * factor;
-            }
-        }
+    pub fn standard<G: Rng + ?Sized>(&mut self, rng: &mut G) -> R {
+        R::sample_gaussian(rng, &mut self.spare)
     }
 }
 

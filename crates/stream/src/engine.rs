@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use herqles_core::Discriminator;
+use herqles_core::{Discriminator, PrecisionDiscriminator, Real};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use readout_sim::{BasisState, ChipConfig, ShotBatch};
@@ -114,18 +114,19 @@ pub struct EngineStats {
 }
 
 /// The reusable per-round working set: one shot batch, the parity planes and
-/// the discriminator's scratch + output buffers. Everything is pre-sized at
-/// engine construction and recycled every round.
+/// the discriminator's scratch + output buffers, all at the engine's
+/// pipeline precision `R`. Everything is pre-sized at engine construction
+/// and recycled every round.
 #[derive(Debug, Clone)]
-pub struct RoundBuffers {
-    batch: ShotBatch,
+pub struct RoundBuffers<R: Real = f64> {
+    batch: ShotBatch<R>,
     true_parities: Vec<bool>,
     measured: Vec<bool>,
     states: Vec<BasisState>,
-    features: Vec<f64>,
+    features: Vec<R>,
 }
 
-impl RoundBuffers {
+impl<R: Real> RoundBuffers<R> {
     fn new(map: &AncillaMap, n_samples: usize) -> Self {
         RoundBuffers {
             batch: ShotBatch::with_capacity(map.n_groups(), n_samples),
@@ -139,15 +140,24 @@ impl RoundBuffers {
 
 /// Streaming readout → syndrome → decode engine for one surface code, one
 /// feedline chip, and one trained discriminator.
-pub struct CycleEngine<'a> {
+///
+/// Generic over the pipeline precision `R` ([`Real`], default `f64`) and the
+/// discriminator type `D`. The defaults make `CycleEngine::new(cfg, &chip,
+/// &code, &dyn_disc)` mean exactly what it always did — a double-precision
+/// engine behind a `&dyn Discriminator`, bit-identical to the offline
+/// reference. Instantiating with `R = f32` and a concrete fused design (e.g.
+/// `CycleEngine::<f32, _>::new(cfg, &chip, &code, &mf)`) runs the whole
+/// readout → syndrome → decode round — waveform synthesis included — in
+/// single precision, with the same zero-allocation steady state.
+pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     cfg: CycleConfig,
     code: &'a RotatedSurfaceCode,
-    disc: &'a dyn Discriminator,
+    disc: &'a D,
     map: AncillaMap,
     rng: StdRng,
-    synth: RoundSynth,
+    synth: RoundSynth<R>,
     sim: SyndromeSim<'a>,
-    round: RoundBuffers,
+    round: RoundBuffers<R>,
     /// Double-buffered block homes: the block finished last cycle stays
     /// readable (via [`CycleEngine::last_block`]) while the next cycle's
     /// rounds accumulate, and block storage is never reallocated.
@@ -157,7 +167,7 @@ pub struct CycleEngine<'a> {
     totals: EngineStats,
 }
 
-impl<'a> CycleEngine<'a> {
+impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Builds an engine.
     ///
     /// # Panics
@@ -169,7 +179,7 @@ impl<'a> CycleEngine<'a> {
         cfg: CycleConfig,
         chip: &ChipConfig,
         code: &'a RotatedSurfaceCode,
-        disc: &'a dyn Discriminator,
+        disc: &'a D,
     ) -> Self {
         assert!(cfg.rounds > 0, "need at least one round per cycle");
         assert_eq!(
@@ -253,7 +263,7 @@ impl<'a> CycleEngine<'a> {
         }
         let t2 = Instant::now();
 
-        self.disc.discriminate_shot_batch_into(
+        self.disc.discriminate_shot_batch_r_into(
             &self.round.batch,
             &mut self.round.features,
             &mut self.round.states,
@@ -314,12 +324,12 @@ impl<'a> CycleEngine<'a> {
 
     /// Pull-based streaming API: an endless iterator of cycle results —
     /// bound it with `.take(n)`.
-    pub fn cycles(&mut self) -> Cycles<'_, 'a> {
+    pub fn cycles(&mut self) -> Cycles<'_, 'a, R, D> {
         Cycles { engine: self }
     }
 }
 
-impl std::fmt::Debug for CycleEngine<'_> {
+impl<R: Real, D: ?Sized> std::fmt::Debug for CycleEngine<'_, R, D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CycleEngine")
             .field("cfg", &self.cfg)
@@ -332,11 +342,11 @@ impl std::fmt::Debug for CycleEngine<'_> {
 
 /// Endless pull-based iterator over an engine's cycles.
 #[derive(Debug)]
-pub struct Cycles<'e, 'a> {
-    engine: &'e mut CycleEngine<'a>,
+pub struct Cycles<'e, 'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
+    engine: &'e mut CycleEngine<'a, R, D>,
 }
 
-impl Iterator for Cycles<'_, '_> {
+impl<R: Real, D: ?Sized + PrecisionDiscriminator<R>> Iterator for Cycles<'_, '_, R, D> {
     type Item = CycleResult;
 
     fn next(&mut self) -> Option<CycleResult> {

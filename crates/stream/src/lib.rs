@@ -62,8 +62,11 @@ pub use offline::{run_cycles_offline, OfflineCycle};
 pub use synth::RoundSynth;
 
 use herqles_core::designs::DesignKind;
+use herqles_core::designs::MfDiscriminator;
 use herqles_core::{Discriminator, ReadoutTrainer};
 use readout_sim::{ChipConfig, Dataset};
+
+pub use herqles_core::{PrecisionDiscriminator, Real};
 
 /// Trains the `mf` discriminator (the engine's default workhorse: fused
 /// demod + matched-filter GEMM, zero-allocation batch override) on a
@@ -81,4 +84,22 @@ pub fn train_mf_discriminator(
     let split = dataset.split(0.5, 0.0, seed ^ 0xA5A5);
     let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
     trainer.train(DesignKind::Mf)
+}
+
+/// Like [`train_mf_discriminator`] but with the concrete
+/// [`MfDiscriminator`] type, for callers that want a non-default pipeline
+/// precision: a `&dyn Discriminator` only drives `CycleEngine<f64>`, while a
+/// concrete design implements `PrecisionDiscriminator<f32>` and can power
+/// `CycleEngine::<f32, _>::new(cfg, &chip, &code, &disc)`. Trained on the
+/// same calibration dataset and split as the type-erased variant, so the two
+/// produce identical discriminators.
+pub fn train_mf_discriminator_typed(
+    chip: &ChipConfig,
+    shots_per_state: usize,
+    seed: u64,
+) -> MfDiscriminator {
+    let dataset = Dataset::generate(chip, shots_per_state, seed);
+    let split = dataset.split(0.5, 0.0, seed ^ 0xA5A5);
+    let mut trainer = ReadoutTrainer::new(&dataset, &split.train);
+    trainer.train_mf()
 }

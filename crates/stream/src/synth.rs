@@ -14,6 +14,7 @@
 //! [`readout_sim::trace::IqTrace`] synthesized from the same RNG state are
 //! bit-identical.
 
+use herqles_num::Real;
 use rand::Rng;
 use readout_sim::events::{sample_path, StatePath};
 use readout_sim::multiplex::{synthesize_into, CarrierTable};
@@ -22,8 +23,15 @@ use readout_sim::trajectory::{baseband_into, excitation_measure};
 use readout_sim::{BasisState, ChipConfig, GaussianNoise, ShotBatch};
 
 /// Reusable synthesizer of one feedline group's readout shot.
+///
+/// Generic over the pipeline precision `R` ([`Real`], default `f64`): the
+/// analog physics (state paths, ring-up basebands, crosstalk shifts) always
+/// evolves in `f64` — it stands in for continuous voltages — while the
+/// ADC-facing mixing, accumulation and amplifier-noise draws of
+/// [`readout_sim::multiplex::synthesize_into`] run at `R`, writing directly
+/// into a `ShotBatch<R>` row.
 #[derive(Debug, Clone)]
-pub struct RoundSynth {
+pub struct RoundSynth<R: Real = f64> {
     chip: ChipConfig,
     carriers: CarrierTable,
     times: Vec<f64>,
@@ -31,9 +39,11 @@ pub struct RoundSynth {
     basebands: Vec<Vec<IqPoint>>,
     measures: Vec<Vec<f64>>,
     m: Vec<f64>,
+    /// ADC noise deviation at pipeline precision.
+    sigma: R,
 }
 
-impl RoundSynth {
+impl<R: Real> RoundSynth<R> {
     /// Builds a synthesizer for one feedline configuration, pre-sizing every
     /// scratch buffer.
     ///
@@ -56,6 +66,7 @@ impl RoundSynth {
             basebands: vec![Vec::with_capacity(n_samples); n],
             measures: vec![Vec::with_capacity(n_samples); n],
             m: vec![0.0; n],
+            sigma: R::from_f64(chip.adc_noise_sigma),
         }
     }
 
@@ -84,11 +95,11 @@ impl RoundSynth {
     /// # Panics
     ///
     /// Panics if `batch` was sized for a different sample count.
-    pub fn synth_into_row<R: Rng + ?Sized>(
+    pub fn synth_into_row<G: Rng + ?Sized>(
         &mut self,
         prepared: BasisState,
-        batch: &mut ShotBatch,
-        rng: &mut R,
+        batch: &mut ShotBatch<R>,
+        rng: &mut G,
     ) {
         assert_eq!(
             batch.n_samples(),
@@ -134,7 +145,7 @@ impl RoundSynth {
         }
         // 5. Multiplexed synthesis with amplifier noise, straight into the
         //    batch row (fresh noise state per shot, like the dataset path).
-        let mut noise = GaussianNoise::new(self.chip.adc_noise_sigma);
+        let mut noise = GaussianNoise::new(self.sigma);
         let (i_row, q_row) = batch.push_empty_row();
         synthesize_into(
             &self.carriers,
@@ -159,7 +170,7 @@ mod tests {
         let mut synth = RoundSynth::new(&chip);
         let run = |synth: &mut RoundSynth| {
             let mut rng = StdRng::seed_from_u64(3);
-            let mut batch = ShotBatch::with_capacity(1, chip.n_samples());
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
             synth.synth_into_row(BasisState::new(0b10), &mut batch, &mut rng);
             batch
         };
@@ -176,7 +187,7 @@ mod tests {
         let mut synth = RoundSynth::new(&chip);
         let mut energy = |state: u32| -> f64 {
             let mut rng = StdRng::seed_from_u64(9);
-            let mut batch = ShotBatch::with_capacity(1, chip.n_samples());
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
             synth.synth_into_row(BasisState::new(state), &mut batch, &mut rng);
             batch.i_of(0).iter().map(|x| x * x).sum()
         };
@@ -187,7 +198,7 @@ mod tests {
     #[should_panic(expected = "different readout window")]
     fn rejects_mis_sized_batch() {
         let chip = ChipConfig::two_qubit_test();
-        let mut synth = RoundSynth::new(&chip);
+        let mut synth: RoundSynth = RoundSynth::new(&chip);
         let mut batch = ShotBatch::with_capacity(1, 7);
         let mut rng = StdRng::seed_from_u64(0);
         synth.synth_into_row(BasisState::new(0), &mut batch, &mut rng);

@@ -7,7 +7,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use herqles_stream::{train_mf_discriminator, CycleConfig, CycleEngine};
+use herqles_stream::{
+    train_mf_discriminator, train_mf_discriminator_typed, CycleConfig, CycleEngine,
+};
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -66,5 +68,28 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
 
     // The engine still works after the probe (finish decodes the block).
     let result = engine.finish_cycle();
+    assert_eq!(result.stats.rounds, 6);
+
+    // The single-precision engine carries the same guarantee: a warm
+    // `CycleEngine<f32>` round loop (f32 synthesis → f32 fused GEMM →
+    // thresholds → syndrome commit) must not touch the heap either. Probed
+    // in this same test because the counting allocator is process-global.
+    let disc32 = train_mf_discriminator_typed(&chip, 8, 1234);
+    let mut engine32 = CycleEngine::<f32, _>::new(cfg, &chip, &code, &disc32);
+    let _ = engine32.run_cycle();
+    engine32.begin_cycle();
+    engine32.step_round();
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        engine32.step_round();
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state f32 rounds must not touch the heap"
+    );
+    let result = engine32.finish_cycle();
     assert_eq!(result.stats.rounds, 6);
 }
