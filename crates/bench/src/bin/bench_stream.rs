@@ -3,23 +3,32 @@
 //! Trains the `mf` discriminator once on the five-qubit default chip, then
 //! runs the streaming [`CycleEngine`] at distances 3, 5 and 7 (rounds = d)
 //! at **both pipeline precisions** (`CycleEngine<f64>` and
-//! `CycleEngine<f32>`), measuring cycles/second and the per-stage nanosecond
-//! breakdown (synth / discriminate / syndrome / decode) of the warm engine.
-//! The offline materializing path (f64 by construction) is timed on the same
-//! workload for the speedup column of both precision rows.
+//! `CycleEngine<f32>`) and at **several worker counts**: the serial engine
+//! (`threads = 1`) plus a pooled [`ParallelCycleEngine`] on a
+//! [`ShardPool`] for every count in `--threads` (default `2,4`). All
+//! variants are bit-identical per seed; the rows measure cycles/second and
+//! the per-stage nanosecond breakdown (synth / discriminate / syndrome /
+//! decode) of the warm engine. On pooled rows the synth figure is the
+//! *exposed* synthesis latency — what the two-stage pipeline could not hide
+//! behind discrimination. The offline materializing path (f64, serial by
+//! construction) is timed on the same workload for the speedup column.
 //!
 //! Results land in `BENCH_stream.json` (cwd), continuing the performance
 //! trajectory seeded by `BENCH_inference.json`.
 //!
-//! Environment overrides: `HERQULES_STREAM_CYCLES` (measured cycles per
-//! distance, default 40), `HERQULES_STREAM_SHOTS` (calibration shots per
-//! basis state, default 12), `HERQULES_SEED`.
+//! Flags: `--threads N[,M…]` (pooled worker counts; `--threads 0` disables
+//! pooled rows). Environment overrides: `HERQULES_STREAM_CYCLES` (measured
+//! cycles per distance, default 40), `HERQULES_STREAM_SHOTS` (calibration
+//! shots per basis state, default 12), `HERQULES_STREAM_THREADS` (same as
+//! `--threads`), `HERQULES_SEED`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use herqles_core::Real;
-use herqles_stream::{run_cycles_offline, train_mf_discriminator_typed, CycleConfig, CycleEngine};
+use herqles_stream::{
+    run_cycles_offline, train_mf_discriminator_typed, CycleConfig, CycleEngine, ShardPool,
+};
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -35,9 +44,46 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Pooled worker counts: `--threads 2,4` wins over `HERQULES_STREAM_THREADS`
+/// wins over the default `2,4`. `0` (or an empty list) means serial only.
+fn thread_counts() -> Vec<usize> {
+    let mut spec: Option<String> = std::env::var("HERQULES_STREAM_THREADS").ok();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                spec = Some(
+                    args.next()
+                        .expect("--threads requires a value, e.g. --threads 2,4"),
+                );
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N[,M…])"),
+        }
+    }
+    let spec = spec.unwrap_or_else(|| "2,4".to_string());
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--threads entries must be integers, got {s:?}"))
+        })
+        .filter(|&t| {
+            if t == 1 {
+                eprintln!(
+                    "[bench_stream] ignoring --threads 1: a 1-thread pool is the inline path, \
+                     already covered by the serial (threads=1) rows"
+                );
+            }
+            t > 1
+        })
+        .collect()
+}
+
 struct Row {
     distance: usize,
     precision: &'static str,
+    threads: usize,
     groups: usize,
     cycles: usize,
     cycles_per_sec: f64,
@@ -54,26 +100,32 @@ fn main() {
     assert!(cycles > 0, "HERQULES_STREAM_CYCLES must be at least 1");
     let shots = env_usize("HERQULES_STREAM_SHOTS", 12);
     let seed = env_usize("HERQULES_SEED", 20_230_612) as u64;
+    let threads = thread_counts();
 
     let chip = ChipConfig::five_qubit_default();
     eprintln!("[bench_stream] training mf discriminator ({shots} shots/state)…");
     let disc = train_mf_discriminator_typed(&chip, shots, seed);
 
-    /// One warm-up cycle, then the measured run; returns a precision-tagged
-    /// row. Offline throughput is supplied by the caller (the materializing
-    /// reference is `f64` by construction and shared by both rows).
+    /// One warm-up cycle, then the measured run; returns a precision- and
+    /// thread-tagged row. `pool: None` is the serial engine. Offline
+    /// throughput is supplied by the caller (the materializing reference is
+    /// serial `f64` by construction and shared by every row of a distance).
     fn measure<R: Real>(
         disc: &herqles_core::designs::MfDiscriminator,
         chip: &ChipConfig,
         code: &RotatedSurfaceCode,
         cfg: CycleConfig,
         cycles: usize,
+        pool: Option<&ShardPool>,
         offline_cycles_per_sec: f64,
     ) -> Row
     where
         herqles_core::designs::MfDiscriminator: herqles_core::PrecisionDiscriminator<R>,
     {
-        let mut engine = CycleEngine::<R, _>::new(cfg, chip, code, disc);
+        let mut engine = match pool {
+            Some(pool) => CycleEngine::<R, _>::with_pool(cfg, chip, code, disc, pool),
+            None => CycleEngine::<R, _>::new(cfg, chip, code, disc),
+        };
         let _ = engine.run_cycle();
         let warm = *engine.stats();
         let start = Instant::now();
@@ -87,6 +139,7 @@ fn main() {
         Row {
             distance: code.distance(),
             precision: R::NAME,
+            threads: pool.map_or(1, ShardPool::threads),
             groups: engine.ancilla_map().n_groups(),
             cycles,
             cycles_per_sec: cycles as f64 / elapsed,
@@ -99,6 +152,7 @@ fn main() {
         }
     }
 
+    let pools: Vec<ShardPool> = threads.iter().map(|&t| ShardPool::new(t)).collect();
     let mut rows = Vec::new();
     for d in DISTANCES {
         let code = RotatedSurfaceCode::new(d);
@@ -114,15 +168,53 @@ fn main() {
         let off_elapsed = off_start.elapsed().as_secs_f64();
         let offline_cps = cycles as f64 / off_elapsed;
 
-        for row in [
-            measure::<f64>(&disc, &chip, &code, cfg, cycles, offline_cps),
-            measure::<f32>(&disc, &chip, &code, cfg, cycles, offline_cps),
-        ] {
+        let mut variants: Vec<Row> = Vec::new();
+        variants.push(measure::<f64>(
+            &disc,
+            &chip,
+            &code,
+            cfg,
+            cycles,
+            None,
+            offline_cps,
+        ));
+        variants.push(measure::<f32>(
+            &disc,
+            &chip,
+            &code,
+            cfg,
+            cycles,
+            None,
+            offline_cps,
+        ));
+        for pool in &pools {
+            variants.push(measure::<f64>(
+                &disc,
+                &chip,
+                &code,
+                cfg,
+                cycles,
+                Some(pool),
+                offline_cps,
+            ));
+            variants.push(measure::<f32>(
+                &disc,
+                &chip,
+                &code,
+                cfg,
+                cycles,
+                Some(pool),
+                offline_cps,
+            ));
+        }
+
+        for row in variants {
             eprintln!(
-                "[bench_stream] d={}/{}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
+                "[bench_stream] d={}/{}/t={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
                  synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
                 row.distance,
                 row.precision,
+                row.threads,
                 row.cycles_per_sec,
                 row.offline_cycles_per_sec,
                 row.cycles_per_sec / row.offline_cycles_per_sec,
@@ -148,13 +240,14 @@ fn main() {
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"groups\": {}, \"cycles\": {}, \
-             \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
+            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"threads\": {}, \"groups\": {}, \
+             \"cycles\": {}, \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
              \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
              \"decode\": {}}}, \"logical_errors\": {}}}{}",
             r.distance,
             r.distance,
             r.precision,
+            r.threads,
             r.groups,
             r.cycles,
             r.cycles_per_sec,

@@ -8,7 +8,7 @@ use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::{Discriminator, PrecisionDiscriminator};
-use crate::fused::PrecisionKernels;
+use crate::fused::{PrecisionKernels, TruncatedKernelCache};
 
 /// Matched-filter discriminator: one MF and one threshold per qubit, no
 /// crosstalk compensation. The hardware-cheapest design and the accuracy
@@ -18,6 +18,7 @@ pub struct MfDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
     kernels: PrecisionKernels,
+    truncated: TruncatedKernelCache,
     /// Per-qubit thresholds; class A of each threshold is "excited".
     thresholds: Vec<ThresholdDiscriminator>,
 }
@@ -48,6 +49,7 @@ impl MfDiscriminator {
             demod,
             bank,
             kernels,
+            truncated: TruncatedKernelCache::new(),
             thresholds,
         }
     }
@@ -136,6 +138,34 @@ impl Discriminator for MfDiscriminator {
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
         let traces = self.demod.demodulate(raw);
         Some(self.classify_features(&self.bank.features_truncated(&traces, bins)))
+    }
+
+    fn discriminate_truncated_batch(
+        &self,
+        raws: &[&IqTrace],
+        bins: &[usize],
+    ) -> Option<Vec<BasisState>> {
+        // Full-length batches route through one cached per-duration fused
+        // kernel (prefix weights) — a single GEMM instead of a per-shot
+        // demod walk; ragged or shortened traces fall back per shot.
+        match self.truncated.features_for_batch(
+            &self.demod,
+            &self.bank,
+            raws,
+            bins,
+            self.kernels.n_samples(),
+        ) {
+            Some((features, width)) => Some(
+                features
+                    .chunks(width.max(1))
+                    .map(|f| self.classify_features(f))
+                    .collect(),
+            ),
+            None => raws
+                .iter()
+                .map(|r| self.discriminate_truncated(r, bins))
+                .collect(),
+        }
     }
 }
 

@@ -13,7 +13,7 @@ use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::{Discriminator, PrecisionDiscriminator};
-use crate::fused::PrecisionKernels;
+use crate::fused::{PrecisionKernels, TruncatedKernelCache};
 
 /// Small-FNN discriminator over filter-bank features.
 #[derive(Debug, Clone)]
@@ -21,6 +21,7 @@ pub struct NnDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
     kernels: PrecisionKernels,
+    truncated: TruncatedKernelCache,
     standardizer: Standardizer,
     net: Mlp,
     name: &'static str,
@@ -73,6 +74,7 @@ impl NnDiscriminator {
             demod,
             bank,
             kernels,
+            truncated: TruncatedKernelCache::new(),
             standardizer,
             net,
             name,
@@ -144,17 +146,42 @@ impl Discriminator for NnDiscriminator {
         raws: &[&IqTrace],
         bins: &[usize],
     ) -> Option<Vec<BasisState>> {
-        let features: Vec<Vec<f64>> = raws
-            .iter()
-            .map(|r| self.features_of(r, Some(bins)))
-            .collect();
-        Some(
-            self.net
-                .predict_batch(&features)
-                .into_iter()
-                .map(|c| BasisState::new(c as u32))
-                .collect(),
-        )
+        // Full-length batches: one cached per-duration fused kernel, then
+        // in-place standardization and one batched forward pass — the same
+        // shape as the full-duration hot path. Ragged batches keep the
+        // per-shot feature walk.
+        match self.truncated.features_for_batch(
+            &self.demod,
+            &self.bank,
+            raws,
+            bins,
+            self.kernels.n_samples(),
+        ) {
+            Some((mut features, width)) => {
+                self.standardizer.transform_rows_inplace(&mut features);
+                let x = Matrix::from_vec(raws.len(), width, features);
+                Some(
+                    self.net
+                        .predict_rows(&x)
+                        .into_iter()
+                        .map(|c| BasisState::new(c as u32))
+                        .collect(),
+                )
+            }
+            None => {
+                let features: Vec<Vec<f64>> = raws
+                    .iter()
+                    .map(|r| self.features_of(r, Some(bins)))
+                    .collect();
+                Some(
+                    self.net
+                        .predict_batch(&features)
+                        .into_iter()
+                        .map(|c| BasisState::new(c as u32))
+                        .collect(),
+                )
+            }
+        }
     }
 }
 

@@ -13,7 +13,7 @@ use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
 use crate::designs::{Discriminator, PrecisionDiscriminator};
-use crate::fused::PrecisionKernels;
+use crate::fused::{PrecisionKernels, TruncatedKernelCache};
 
 /// Linear-SVM discriminator over filter-bank features.
 #[derive(Debug, Clone)]
@@ -21,6 +21,7 @@ pub struct SvmDiscriminator {
     demod: Demodulator,
     bank: FilterBank,
     kernels: PrecisionKernels,
+    truncated: TruncatedKernelCache,
     standardizer: Standardizer,
     svms: Vec<LinearSvm>,
     name: &'static str,
@@ -56,6 +57,7 @@ impl SvmDiscriminator {
             demod,
             bank,
             kernels,
+            truncated: TruncatedKernelCache::new(),
             standardizer,
             svms,
             name,
@@ -116,6 +118,33 @@ impl Discriminator for SvmDiscriminator {
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {
         let traces = self.demod.demodulate(raw);
         Some(self.classify_features(&self.bank.features_truncated(&traces, bins)))
+    }
+
+    fn discriminate_truncated_batch(
+        &self,
+        raws: &[&IqTrace],
+        bins: &[usize],
+    ) -> Option<Vec<BasisState>> {
+        // One cached per-duration fused kernel per budget vector; the batch
+        // GEMM replaces the per-shot demod walk of the default method.
+        match self.truncated.features_for_batch(
+            &self.demod,
+            &self.bank,
+            raws,
+            bins,
+            self.kernels.n_samples(),
+        ) {
+            Some((features, width)) => Some(
+                features
+                    .chunks(width.max(1))
+                    .map(|f| self.classify_features(f))
+                    .collect(),
+            ),
+            None => raws
+                .iter()
+                .map(|r| self.discriminate_truncated(r, bins))
+                .collect(),
+        }
     }
 }
 

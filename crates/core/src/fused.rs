@@ -26,10 +26,13 @@
 //! `tests/batch_parity.rs` pin this.
 
 use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use herqles_num::Real;
 use readout_dsp::Demodulator;
 use readout_nn::matrix::gemm_rt_into;
+use readout_sim::trace::IqTrace;
 use readout_sim::ShotBatch;
 
 use crate::bank::FilterBank;
@@ -63,6 +66,31 @@ impl<R: Real> FusedFilterKernel<R> {
     ///
     /// Panics if the bank and demodulator disagree on the qubit count.
     pub fn new(demod: &Demodulator, bank: &FilterBank) -> Self {
+        Self::compile(demod, bank, None)
+    }
+
+    /// Compiles `bank` with per-qubit readout-duration budgets, expressed in
+    /// demodulation bins (the §5 truncated-inference setting): qubit `q`'s
+    /// filters contribute weight only over their first `budgets[q]` bins, so
+    /// applying the kernel to a *full-length* batch computes exactly the
+    /// prefix features of
+    /// [`FilterBank::features_truncated`](crate::bank::FilterBank::features_truncated)
+    /// — no per-shot demod walk, one GEMM for the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts disagree or `budgets` does not hold one
+    /// entry per qubit.
+    pub fn new_truncated(demod: &Demodulator, bank: &FilterBank, budgets: &[usize]) -> Self {
+        assert_eq!(
+            budgets.len(),
+            bank.n_qubits(),
+            "one bin budget per qubit required"
+        );
+        Self::compile(demod, bank, Some(budgets))
+    }
+
+    fn compile(demod: &Demodulator, bank: &FilterBank, budgets: Option<&[usize]>) -> Self {
         assert_eq!(
             bank.n_qubits(),
             demod.n_qubits(),
@@ -82,7 +110,10 @@ impl<R: Real> FusedFilterKernel<R> {
             for (col, filter) in filters {
                 let env = filter.envelope();
                 let (ei, eq) = (env.i(), env.q());
-                let bins = env.len().min(n_samples / spb);
+                let mut bins = env.len().min(n_samples / spb);
+                if let Some(budgets) = budgets {
+                    bins = bins.min(budgets[q]);
+                }
                 let row = &mut weights_t[col * 2 * n_samples..(col + 1) * 2 * n_samples];
                 for t in 0..bins * spb {
                     let b = t / spb;
@@ -202,6 +233,126 @@ impl PrecisionKernels {
     /// Raw samples per shot the kernels were compiled for.
     pub fn n_samples(&self) -> usize {
         self.k64.n_samples()
+    }
+}
+
+/// Lazy cache of per-duration truncated kernels, keyed by the per-qubit bin
+/// budgets.
+///
+/// The §5 duration sweeps evaluate the same discriminator at dozens of
+/// budgets over thousands of shots each; before this cache every truncated
+/// evaluation walked shot by shot through the per-bin demod path. Each
+/// distinct budget vector now compiles one [`FusedFilterKernel`] (weights are
+/// bin prefixes of the full kernel) on first use and reuses it for every
+/// subsequent batch at that duration — a sweep is then one GEMM per point.
+///
+/// Thread-safe (`Mutex`-guarded map), so discriminators stay `Send + Sync`;
+/// compilation happens *outside* the lock (concurrent misses on the same
+/// budgets may compile twice, first insert wins — cache hits never wait on a
+/// compile), and cloning a discriminator clones the already-compiled
+/// kernels. The cache is unbounded by design: sweep workloads use a handful
+/// of budget vectors, and each kernel is the size of the full-duration one
+/// the design already owns — callers feeding *adversarially many* distinct
+/// budget vectors should expect memory to grow linearly with them.
+pub struct TruncatedKernelCache {
+    kernels: Mutex<HashMap<Vec<usize>, Arc<FusedFilterKernel<f64>>>>,
+}
+
+impl TruncatedKernelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TruncatedKernelCache {
+            kernels: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The kernel for `budgets`, compiling and memoizing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`FusedFilterKernel::new_truncated`].
+    pub fn get_or_compile(
+        &self,
+        demod: &Demodulator,
+        bank: &FilterBank,
+        budgets: &[usize],
+    ) -> Arc<FusedFilterKernel<f64>> {
+        if let Some(kernel) = self
+            .kernels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(budgets)
+        {
+            return Arc::clone(kernel);
+        }
+        // Compile outside the lock so concurrent hits on other budgets (and
+        // on this one, once inserted) never serialize behind the weight
+        // build; if two threads race the same miss, the first insert wins.
+        let kernel = Arc::new(FusedFilterKernel::new_truncated(demod, bank, budgets));
+        let mut kernels = self.kernels.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(kernels.entry(budgets.to_vec()).or_insert(kernel))
+    }
+
+    /// The shared front half of every design's `discriminate_truncated_batch`
+    /// override: packs `raws`, routes them through the cached per-duration
+    /// kernel, and returns `(features, width)` — `features` row-major
+    /// `[n_shots × width]`. Returns `None` when the batch is ragged or its
+    /// sample count differs from `expected_samples` (the kernel's compiled
+    /// window); callers then fall back to the per-shot truncated walk.
+    pub fn features_for_batch(
+        &self,
+        demod: &Demodulator,
+        bank: &FilterBank,
+        raws: &[&IqTrace],
+        budgets: &[usize],
+        expected_samples: usize,
+    ) -> Option<(Vec<f64>, usize)> {
+        let batch: ShotBatch = ShotBatch::try_from_traces(raws)?;
+        if batch.n_samples() != expected_samples {
+            return None;
+        }
+        let kernel = self.get_or_compile(demod, bank, budgets);
+        let mut features = Vec::new();
+        kernel.features_batch(&batch, &mut features);
+        Some((features, kernel.n_features()))
+    }
+
+    /// Number of distinct durations compiled so far.
+    pub fn len(&self) -> usize {
+        self.kernels.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no duration has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TruncatedKernelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for TruncatedKernelCache {
+    fn clone(&self) -> Self {
+        TruncatedKernelCache {
+            kernels: Mutex::new(
+                self.kernels
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for TruncatedKernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TruncatedKernelCache")
+            .field("durations", &self.len())
+            .finish()
     }
 }
 

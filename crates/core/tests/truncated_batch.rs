@@ -1,0 +1,120 @@
+//! Batched truncated-duration inference parity: the cached per-duration
+//! fused kernels must agree with the per-shot truncated path (the two differ
+//! only by floating-point reassociation inside the GEMM), and full-budget
+//! truncated batches must equal the untruncated fused hot path **exactly**
+//! (identical prefix weights → identical GEMM).
+
+use herqles_core::designs::DesignKind;
+use herqles_core::{Discriminator, FusedFilterKernel, ReadoutTrainer, TruncatedKernelCache};
+use readout_sim::trace::IqTrace;
+use readout_sim::{ChipConfig, Dataset};
+
+fn trained(kind: DesignKind) -> (Dataset, Vec<usize>, Box<dyn Discriminator>) {
+    let cfg = ChipConfig::two_qubit_test();
+    let ds = Dataset::generate(&cfg, 60, 23);
+    let split = ds.split(0.5, 0.0, 2);
+    let mut trainer = ReadoutTrainer::new(&ds, &split.train);
+    let disc = trainer.train(kind);
+    (ds, split.test, disc)
+}
+
+fn raws<'a>(ds: &'a Dataset, idx: &[usize]) -> Vec<&'a IqTrace> {
+    idx.iter().map(|&i| &ds.shots[i].raw).collect()
+}
+
+#[test]
+fn batched_truncated_agrees_with_per_shot_walk() {
+    // The fused prefix kernel reassociates the per-bin sums; decisions may
+    // flip only for shots sitting exactly on a decision boundary, which a
+    // 1e-12 relative feature error cannot systematically produce.
+    for kind in [DesignKind::Mf, DesignKind::MfRmfSvm, DesignKind::MfNn] {
+        let (ds, test, disc) = trained(kind);
+        let traces = raws(&ds, &test);
+        for bins in [3usize, 10, 20] {
+            let budgets = vec![bins; disc.n_qubits()];
+            let batched = disc
+                .discriminate_truncated_batch(&traces, &budgets)
+                .expect("design supports truncation");
+            let per_shot: Vec<_> = traces
+                .iter()
+                .map(|r| disc.discriminate_truncated(r, &budgets).unwrap())
+                .collect();
+            let agree = batched
+                .iter()
+                .zip(&per_shot)
+                .filter(|(a, b)| a == b)
+                .count();
+            let frac = agree as f64 / batched.len() as f64;
+            assert!(
+                frac >= 0.99,
+                "{kind}: bins={bins}: batched/per-shot agreement {frac}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_budget_truncated_batch_equals_untruncated_batch_exactly() {
+    // With the budget at (or beyond) the full window the prefix kernel's
+    // weight plane is the full kernel's, so the batched decisions must be
+    // bit-identical to the ordinary fused hot path.
+    let (ds, test, disc) = trained(DesignKind::Mf);
+    let traces = raws(&ds, &test);
+    let full = ds.config.n_bins();
+    for budget in [full, full + 7] {
+        let budgets = vec![budget; disc.n_qubits()];
+        let truncated = disc
+            .discriminate_truncated_batch(&traces, &budgets)
+            .unwrap();
+        assert_eq!(truncated, disc.discriminate_batch(&traces));
+    }
+}
+
+#[test]
+fn asymmetric_budgets_are_honoured_by_the_fused_path() {
+    let (ds, test, disc) = trained(DesignKind::MfRmfSvm);
+    let traces = raws(&ds, &test);
+    let budgets = [20usize, 4];
+    let batched = disc
+        .discriminate_truncated_batch(&traces, &budgets)
+        .unwrap();
+    let per_shot: Vec<_> = traces
+        .iter()
+        .map(|r| disc.discriminate_truncated(r, &budgets).unwrap())
+        .collect();
+    let agree = batched
+        .iter()
+        .zip(&per_shot)
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(agree as f64 / batched.len() as f64 >= 0.99);
+}
+
+#[test]
+fn cache_compiles_each_duration_once() {
+    let cfg = ChipConfig::two_qubit_test();
+    let ds = Dataset::generate(&cfg, 30, 5);
+    let split = ds.split(0.5, 0.0, 2);
+    let mut trainer = ReadoutTrainer::new(&ds, &split.train);
+    let demod = readout_dsp::Demodulator::new(&cfg);
+    let bank = herqles_core::FilterBank::new(trainer.matched_filters().to_vec());
+
+    let cache = TruncatedKernelCache::new();
+    assert!(cache.is_empty());
+    let a = cache.get_or_compile(&demod, &bank, &[4, 4]);
+    let b = cache.get_or_compile(&demod, &bank, &[4, 4]);
+    assert_eq!(cache.len(), 1, "same budgets must hit the cache");
+    assert!(std::sync::Arc::ptr_eq(&a, &b), "cache must return the memo");
+    let _ = cache.get_or_compile(&demod, &bank, &[4, 5]);
+    assert_eq!(cache.len(), 2, "distinct budgets compile distinct kernels");
+
+    // A cloned cache carries the compiled kernels (same weights).
+    let cloned = cache.clone();
+    assert_eq!(cloned.len(), 2);
+    let c = cloned.get_or_compile(&demod, &bank, &[4, 4]);
+    assert_eq!(*c, *a);
+
+    // The compiled prefix kernel is exactly new_truncated's output.
+    let direct: FusedFilterKernel = FusedFilterKernel::new_truncated(&demod, &bank, &[4, 4]);
+    assert_eq!(*a, direct);
+}

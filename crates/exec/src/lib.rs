@@ -1,0 +1,55 @@
+//! # herqles-exec — deterministic parallel execution runtime
+//!
+//! The streaming QEC-cycle engine and the calibration-dataset generator both
+//! shard *embarrassingly parallel but order-sensitive* work: every shard's
+//! output must be a pure function of `(shard index, seed)` so that running
+//! on 1, 2 or 16 threads produces bit-identical results. Before this crate
+//! each call site hand-rolled `std::thread::scope` sharding; this crate
+//! centralizes the pattern behind a persistent worker pool:
+//!
+//! * [`ShardPool`] — a fixed set of persistent worker threads with three
+//!   entry points:
+//!   - [`ShardPool::run`]: parallel-for over task indices (the caller
+//!     participates, so a 1-thread pool degenerates to an inline loop);
+//!   - [`ShardPool::run_mut`]: parallel-for over disjoint `&mut` shards;
+//!   - [`ShardPool::overlap`]: the two-stage pipeline primitive — task
+//!     indices fan out to the workers while the caller runs a serial
+//!     `consume` stage, then joins the fan-out. This is what lets the cycle
+//!     engine synthesize round `t+1`'s readout while discriminating and
+//!     decoding round `t`.
+//! * [`Tiles`] — a `Sync` view of disjoint mutable tiles over one buffer,
+//!   for shard closures that each write their own row of a shared batch;
+//! * [`stream_seed`] — the SplitMix64 RNG-stream derivation (shared with
+//!   `readout_sim`'s dataset generator) that makes per-shard randomness a
+//!   function of `(root seed, shard index)` rather than of the sharding
+//!   layout.
+//!
+//! **Determinism is by construction, not by scheduling**: the pool hands out
+//! task indices dynamically (whichever worker is free takes the next shard),
+//! but because every task writes only its own shard and draws only from its
+//! own derived RNG stream, the result is independent of the interleaving.
+//! Dispatch itself performs **zero heap allocation**, so a warm engine round
+//! stays allocation-free even when it fans out across the pool.
+//!
+//! # Example
+//!
+//! ```
+//! use herqles_exec::{stream_seed, ShardPool};
+//!
+//! let pool = ShardPool::new(4);
+//! let mut shards = vec![0u64; 16];
+//! pool.run_mut(&mut shards, |i, out| {
+//!     // Each shard derives its own RNG stream: the result is identical
+//!     // for every pool size.
+//!     *out = stream_seed(42, i as u64);
+//! });
+//! assert_eq!(shards[3], stream_seed(42, 3));
+//! ```
+
+pub mod pool;
+pub mod rng;
+pub mod tiles;
+
+pub use pool::ShardPool;
+pub use rng::stream_seed;
+pub use tiles::Tiles;

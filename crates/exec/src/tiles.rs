@@ -1,0 +1,161 @@
+//! Disjoint mutable tiles over one contiguous buffer.
+//!
+//! Shard closures frequently need to write their own slice of a *shared*
+//! buffer — e.g. one row of a `[groups × samples]` shot batch — from several
+//! workers at once. Safe Rust cannot express "this `&mut [T]` is split into
+//! tiles and each task touches exactly one", so [`Tiles`] carries the raw
+//! pointer and a documented safety contract instead: the
+//! [`ShardPool`](crate::ShardPool) dispatch loop hands every index to exactly
+//! one task, which makes per-index access exclusive by construction.
+
+use std::marker::PhantomData;
+
+/// A `Sync` view of `n_tiles` disjoint mutable tiles of `tile_len` elements
+/// each over one borrowed buffer.
+///
+/// Constructed from an exclusive borrow, so for its lifetime no other code
+/// can observe the buffer; the unsafe accessors re-partition that exclusivity
+/// across tasks.
+#[derive(Debug)]
+pub struct Tiles<'a, T> {
+    ptr: *mut T,
+    n_tiles: usize,
+    tile_len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a Tiles value only ever hands out disjoint &mut tiles (per the
+// accessors' contracts), so sharing the view across threads is sound exactly
+// when sending &mut [T] itself would be.
+unsafe impl<T: Send> Sync for Tiles<'_, T> {}
+unsafe impl<T: Send> Send for Tiles<'_, T> {}
+
+impl<'a, T> Tiles<'a, T> {
+    /// One element per tile: tile `i` is element `i`.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Tiles {
+            ptr: slice.as_mut_ptr(),
+            n_tiles: slice.len(),
+            tile_len: 1,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Fixed-width tiles: tile `i` is `slice[i*tile_len .. (i+1)*tile_len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_len` is zero or does not divide the buffer length.
+    pub fn chunks(slice: &'a mut [T], tile_len: usize) -> Self {
+        assert!(tile_len > 0, "tile length must be positive");
+        assert_eq!(
+            slice.len() % tile_len,
+            0,
+            "tile length must divide the buffer length"
+        );
+        Tiles {
+            ptr: slice.as_mut_ptr(),
+            n_tiles: slice.len() / tile_len,
+            tile_len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Whether the view holds no tiles.
+    pub fn is_empty(&self) -> bool {
+        self.n_tiles == 0
+    }
+
+    /// Elements per tile.
+    pub fn tile_len(&self) -> usize {
+        self.tile_len
+    }
+
+    /// Exclusive access to tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    ///
+    /// # Safety
+    ///
+    /// For any index `i`, at most one live `&mut` obtained from this view may
+    /// exist at a time (across all threads). The [`ShardPool`](crate::pool)
+    /// dispatch loop guarantees this when each task touches only the tile of
+    /// its own task index.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn tile(&self, i: usize) -> &'a mut [T] {
+        assert!(i < self.n_tiles, "tile index out of range");
+        std::slice::from_raw_parts_mut(self.ptr.add(i * self.tile_len), self.tile_len)
+    }
+
+    /// Exclusive access to single-element tile `i` (requires `tile_len == 1`,
+    /// i.e. a view built with [`Tiles::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the view is chunked.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Tiles::tile`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn item(&self, i: usize) -> &'a mut T {
+        assert_eq!(
+            self.tile_len, 1,
+            "item access requires single-element tiles"
+        );
+        assert!(i < self.n_tiles, "tile index out of range");
+        &mut *self.ptr.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_partition_the_buffer() {
+        let mut buf = vec![0u32; 12];
+        let tiles = Tiles::chunks(&mut buf, 3);
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles.tile_len(), 3);
+        for i in 0..4 {
+            // SAFETY: each index accessed exactly once, sequentially.
+            let t = unsafe { tiles.tile(i) };
+            t.fill(i as u32);
+        }
+        assert_eq!(buf, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn item_view_is_per_element() {
+        let mut buf = vec![0u8; 5];
+        let tiles = Tiles::new(&mut buf);
+        for i in 0..tiles.len() {
+            // SAFETY: sequential exclusive access.
+            *unsafe { tiles.item(i) } = i as u8;
+        }
+        assert_eq!(buf, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the buffer length")]
+    fn ragged_tiling_is_rejected() {
+        let mut buf = vec![0u8; 5];
+        let _ = Tiles::chunks(&mut buf, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tile_panics() {
+        let mut buf = vec![0u8; 4];
+        let tiles = Tiles::chunks(&mut buf, 2);
+        let _ = unsafe { tiles.tile(2) };
+    }
+}

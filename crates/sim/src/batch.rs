@@ -152,6 +152,13 @@ impl<R: Real> ShotBatch<R> {
         &self.data
     }
 
+    /// Mutable view of the whole batch, for in-place row synthesis from
+    /// disjoint shards (e.g. one `herqles_exec::Tiles` tile per row); pair
+    /// with [`ShotBatch::push_empty_row`] to pre-size the rows first.
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
     /// Row `shot` as `[i…, q…]`.
     ///
     /// # Panics

@@ -10,6 +10,7 @@
 //! information for validating the semi-supervised relaxation labeling
 //! (Algorithm 1).
 
+use herqles_exec::ShardPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -74,12 +75,13 @@ pub struct Dataset {
 
 impl Dataset {
     /// Generates `shots_per_state` shots for each of the `2^n` basis states,
-    /// sharding basis states across scoped threads.
+    /// sharding basis states across a machine-sized [`ShardPool`].
     ///
     /// Generation is deterministic in `seed` and — because every basis state
     /// draws from its own `seed`-derived RNG stream — independent of the
-    /// thread count: `generate` and [`Dataset::generate_with_threads`] at any
-    /// parallelism produce identical shots.
+    /// thread count: `generate`, [`Dataset::generate_with_threads`] and
+    /// [`Dataset::generate_with_pool`] at any parallelism produce identical
+    /// shots.
     ///
     /// # Panics
     ///
@@ -89,9 +91,8 @@ impl Dataset {
         Self::generate_with_threads(config, shots_per_state, seed, threads)
     }
 
-    /// [`Dataset::generate`] with an explicit worker-thread count (1 runs
-    /// inline on the caller's thread). Output is identical for every
-    /// `threads` value.
+    /// [`Dataset::generate`] with an explicit thread count (1 runs inline on
+    /// the caller's thread). Output is identical for every `threads` value.
     ///
     /// # Panics
     ///
@@ -102,40 +103,40 @@ impl Dataset {
         seed: u64,
         threads: usize,
     ) -> Dataset {
+        let n_states = 1usize << config.n_qubits();
+        let pool = ShardPool::new(threads.clamp(1, n_states));
+        Self::generate_with_pool(config, shots_per_state, seed, &pool)
+    }
+
+    /// [`Dataset::generate`] on a caller-owned [`ShardPool`] — the shared
+    /// execution runtime, so calibration generation and the streaming cycle
+    /// engine can reuse one set of persistent workers. One basis state is one
+    /// shard; output is identical for every pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ChipConfig::validate`].
+    pub fn generate_with_pool(
+        config: &ChipConfig,
+        shots_per_state: usize,
+        seed: u64,
+        pool: &ShardPool,
+    ) -> Dataset {
         config.validate().expect("invalid chip configuration");
         let carriers = CarrierTable::new(config);
         let n = config.n_qubits();
         let n_states = 1usize << n;
 
-        let fill_state = |state: usize, bucket: &mut Vec<Shot>| {
+        let mut per_state: Vec<Vec<Shot>> = Vec::with_capacity(n_states);
+        per_state.resize_with(n_states, Vec::new);
+        pool.run_mut(&mut per_state, |state, bucket| {
             let prepared = BasisState::new(state as u32);
             let mut rng = StdRng::seed_from_u64(state_stream_seed(seed, state));
             bucket.reserve(shots_per_state);
             for _ in 0..shots_per_state {
                 bucket.push(generate_shot(config, &carriers, prepared, &mut rng));
             }
-        };
-
-        let mut per_state: Vec<Vec<Shot>> = Vec::with_capacity(n_states);
-        per_state.resize_with(n_states, Vec::new);
-        let threads = threads.clamp(1, n_states);
-        if threads == 1 {
-            for (state, bucket) in per_state.iter_mut().enumerate() {
-                fill_state(state, bucket);
-            }
-        } else {
-            let chunk = n_states.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (c, states) in per_state.chunks_mut(chunk).enumerate() {
-                    let fill_state = &fill_state;
-                    scope.spawn(move || {
-                        for (off, bucket) in states.iter_mut().enumerate() {
-                            fill_state(c * chunk + off, bucket);
-                        }
-                    });
-                }
-            });
-        }
+        });
 
         let mut shots = Vec::with_capacity(shots_per_state << n);
         for bucket in per_state {
@@ -203,15 +204,12 @@ impl Dataset {
 }
 
 /// Derives the RNG seed of one basis state's generation stream from the
-/// dataset seed (SplitMix64 finalizer over a golden-ratio-spaced sequence):
-/// decorrelated streams per state, stable across sharding layouts.
+/// dataset seed: decorrelated streams per state, stable across sharding
+/// layouts. Delegates to the shared [`herqles_exec::stream_seed`] derivation
+/// (bit-identical to the formula this generator originally shipped with, so
+/// pinned datasets are unchanged).
 fn state_stream_seed(seed: u64, state: usize) -> u64 {
-    let mut z = seed
-        .wrapping_add((state as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    herqles_exec::stream_seed(seed, state as u64)
 }
 
 fn generate_shot<R: Rng + ?Sized>(
@@ -331,6 +329,20 @@ mod tests {
             );
         }
         assert_eq!(single.shots, Dataset::generate(&cfg, 4, 31).shots);
+    }
+
+    #[test]
+    fn generation_on_a_shared_pool_matches_the_inline_path() {
+        // The ShardPool migration pin: a caller-owned pool of any size
+        // produces the same dataset as single-threaded generation, and one
+        // pool can serve several generations back to back.
+        let cfg = ChipConfig::two_qubit_test();
+        let single = Dataset::generate_with_threads(&cfg, 4, 31, 1);
+        let pool = ShardPool::new(3);
+        for _ in 0..2 {
+            let pooled = Dataset::generate_with_pool(&cfg, 4, 31, &pool);
+            assert_eq!(single.shots, pooled.shots);
+        }
     }
 
     #[test]

@@ -16,12 +16,29 @@
 //! exposes a blocking [`CycleEngine::run_cycles`] API and a pull-based
 //! [`CycleEngine::cycles`] iterator of [`CycleResult`]s carrying per-stage
 //! nanosecond timings.
+//!
+//! # Parallel execution
+//!
+//! [`CycleEngine::with_pool`] attaches a [`herqles_exec::ShardPool`] and
+//! turns the engine into a [`ParallelCycleEngine`]: each feedline group
+//! becomes a shard owning its own [`RoundSynth`] (synthesis is `&mut self`,
+//! so one synthesizer per shard), and whole cycles run on a two-stage
+//! pipeline that overlaps round `t+1`'s waveform synthesis with round `t`'s
+//! discriminate → syndrome → decode using a second, ping-ponged
+//! [`RoundBuffers`]. Because every round draws its per-group randomness from
+//! SplitMix64-derived streams ([`herqles_exec::stream_seed`] over a single
+//! per-round entropy word from the master RNG), the pooled engine is
+//! **bit-identical to the serial engine at every pool size** — and the
+//! serial engine in turn stays bit-identical to the offline materializing
+//! reference. Warm pooled rounds keep the zero-allocation invariant: job
+//! dispatch on the pool allocates nothing.
 
 use std::time::Instant;
 
 use herqles_core::{Discriminator, PrecisionDiscriminator, Real};
+use herqles_exec::{stream_seed, ShardPool, Tiles};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use readout_sim::{BasisState, ChipConfig, ShotBatch};
 use surface_code::decoder::DecodeOutcome;
 use surface_code::{decode_block, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim};
@@ -138,6 +155,17 @@ impl<R: Real> RoundBuffers<R> {
     }
 }
 
+/// The execution state a pooled engine carries on top of the serial one:
+/// the pool handle, one [`RoundSynth`] per feedline-group shard, the round's
+/// per-group RNG stream seeds, and the second [`RoundBuffers`] that the
+/// two-stage pipeline ping-pongs against the engine's front buffer.
+struct PoolState<'a, R: Real> {
+    pool: &'a ShardPool,
+    synths: Vec<RoundSynth<R>>,
+    seeds: Vec<u64>,
+    back: RoundBuffers<R>,
+}
+
 /// Streaming readout → syndrome → decode engine for one surface code, one
 /// feedline chip, and one trained discriminator.
 ///
@@ -165,7 +193,15 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     active: usize,
     in_flight: StageNanos,
     totals: EngineStats,
+    /// Present iff the engine was built with [`CycleEngine::with_pool`].
+    exec: Option<PoolState<'a, R>>,
 }
+
+/// A [`CycleEngine`] whose cycles execute on a [`ShardPool`]
+/// (constructed via [`CycleEngine::with_pool`]): sharded round synthesis
+/// plus the two-stage synthesis/consumption pipeline, bit-identical to the
+/// serial engine at every pool size.
+pub type ParallelCycleEngine<'a, R = f64, D = dyn Discriminator + 'a> = CycleEngine<'a, R, D>;
 
 impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Builds an engine.
@@ -216,7 +252,40 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             active: 0,
             in_flight: StageNanos::default(),
             totals: EngineStats::default(),
+            exec: None,
         }
+    }
+
+    /// Builds a [`ParallelCycleEngine`]: identical configuration and
+    /// **bit-identical output** to [`CycleEngine::new`], but whole cycles
+    /// ([`CycleEngine::run_cycle`] and everything built on it) execute on
+    /// `pool` — each feedline group's synthesis is one shard, and round
+    /// `t+1`'s synthesis overlaps round `t`'s discriminate → syndrome
+    /// pipeline stage. Warm rounds stay free of heap allocation.
+    ///
+    /// The manual [`CycleEngine::step_round`] API remains available and
+    /// serial (one caller thread), producing the same results; only the
+    /// cycle-granular entry points fan out.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CycleEngine::new`].
+    pub fn with_pool(
+        cfg: CycleConfig,
+        chip: &ChipConfig,
+        code: &'a RotatedSurfaceCode,
+        disc: &'a D,
+        pool: &'a ShardPool,
+    ) -> Self {
+        let mut engine = Self::new(cfg, chip, code, disc);
+        let n_groups = engine.map.n_groups();
+        engine.exec = Some(PoolState {
+            pool,
+            synths: (0..n_groups).map(|_| RoundSynth::new(chip)).collect(),
+            seeds: vec![0; n_groups],
+            back: RoundBuffers::new(&engine.map, engine.synth.n_samples()),
+        });
+        engine
     }
 
     /// The engine's configuration.
@@ -249,17 +318,24 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Processes one noisy round: data errors → true parities → multiplexed
     /// readout synthesis → batched discrimination → measured-syndrome
     /// commit. Allocation-free once the engine is warm.
+    ///
+    /// Runs serially on the calling thread regardless of how the engine was
+    /// built; per-group synthesis randomness comes from the same
+    /// [`stream_seed`]-derived streams the pooled path shards out, so manual
+    /// stepping and pooled cycles produce identical results.
     pub fn step_round(&mut self) {
         let t0 = Instant::now();
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(&mut self.round.true_parities);
+        let entropy = self.round_entropy();
         let t1 = Instant::now();
 
         self.round.batch.clear();
         for g in 0..self.map.n_groups() {
             let prepared = self.map.prepared_state(g, &self.round.true_parities);
+            let mut rng = StdRng::seed_from_u64(stream_seed(entropy, g as u64));
             self.synth
-                .synth_into_row(prepared, &mut self.round.batch, &mut self.rng);
+                .synth_into_row(prepared, &mut self.round.batch, &mut rng);
         }
         let t2 = Instant::now();
 
@@ -281,6 +357,14 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.in_flight.synth += duration_ns(t1, t2);
         self.in_flight.discriminate += duration_ns(t2, t3);
         self.totals.rounds += 1;
+    }
+
+    /// Draws the round's entropy word from the master RNG. Every group's
+    /// synthesis stream is derived from this one draw via [`stream_seed`],
+    /// which is what makes round synthesis shard-order- and
+    /// thread-count-independent by construction.
+    fn round_entropy(&mut self) -> u64 {
+        self.rng.random()
     }
 
     /// Terminates the block with a perfect round, swaps it into the inactive
@@ -309,12 +393,172 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     }
 
     /// Runs one full cycle (block) and returns its outcome.
+    ///
+    /// On a [`ParallelCycleEngine`] the cycle executes the two-stage
+    /// pipeline: round `t+1`'s sharded synthesis overlaps round `t`'s
+    /// discriminate → syndrome stage, with the block decode at the end. The
+    /// result is bit-identical to the serial engine's.
     pub fn run_cycle(&mut self) -> CycleResult {
+        if self.exec.is_some() {
+            return self.run_cycle_pooled();
+        }
         self.begin_cycle();
         for _ in 0..self.cfg.rounds {
             self.step_round();
         }
         self.finish_cycle()
+    }
+
+    /// The pooled cycle: a software pipeline over the engine's two
+    /// [`RoundBuffers`]. Each iteration prepares round `t+1` serially (data
+    /// errors + parities + entropy, exactly the serial path's master-RNG
+    /// draws), then overlaps its sharded synthesis into the *back* buffer
+    /// with the consumption (discriminate + syndrome commit) of the *front*
+    /// buffer, and ping-pongs the buffers.
+    fn run_cycle_pooled(&mut self) -> CycleResult {
+        self.begin_cycle();
+        // Round 0 has nothing to consume yet: plain sharded synthesis.
+        self.prepare_back_round();
+        self.pipelined_round(false);
+        self.swap_round_buffers();
+        for _ in 1..self.cfg.rounds {
+            self.prepare_back_round();
+            self.pipelined_round(true);
+            self.swap_round_buffers();
+        }
+        self.consume_front_round();
+        self.finish_cycle()
+    }
+
+    /// Stage-one prologue (serial): advances the master RNG exactly as
+    /// [`CycleEngine::step_round`] does — data errors, true parities, one
+    /// entropy word — derives the per-group stream seeds, and pre-sizes the
+    /// back batch's rows for sharded writes.
+    fn prepare_back_round(&mut self) {
+        let t0 = Instant::now();
+        self.sim.apply_data_errors(&mut self.rng);
+        self.sim.true_parities_into(
+            &mut self
+                .exec
+                .as_mut()
+                .expect("pooled engine")
+                .back
+                .true_parities,
+        );
+        let entropy = self.round_entropy();
+        let n_groups = self.map.n_groups();
+        let exec = self.exec.as_mut().expect("pooled engine");
+        for (g, s) in exec.seeds.iter_mut().enumerate() {
+            *s = stream_seed(entropy, g as u64);
+        }
+        exec.back.batch.clear();
+        for _ in 0..n_groups {
+            let _ = exec.back.batch.push_empty_row();
+        }
+        self.in_flight.syndrome += duration_ns(t0, Instant::now());
+    }
+
+    /// One pooled pipeline step: fans the back round's per-group synthesis
+    /// out across the pool while (when `consume_front`) discriminating the
+    /// front round and committing its measured syndrome on the calling
+    /// thread. Allocation-free once warm.
+    fn pipelined_round(&mut self, consume_front: bool) {
+        let t0 = Instant::now();
+        let CycleEngine {
+            disc,
+            map,
+            sim,
+            round: front,
+            exec,
+            ..
+        } = self;
+        let disc: &D = disc;
+        let map: &AncillaMap = map;
+        let exec = exec.as_mut().expect("pooled engine");
+        let pool = exec.pool;
+        let RoundBuffers {
+            batch: back_batch,
+            true_parities: back_parities,
+            ..
+        } = &mut exec.back;
+        let n_samples = back_batch.n_samples();
+        let row_width = back_batch.row_width();
+        let synth_tiles = Tiles::new(&mut exec.synths);
+        let row_tiles = Tiles::chunks(back_batch.as_mut_slice(), row_width);
+        let seeds: &[u64] = &exec.seeds;
+        let parities: &[bool] = back_parities;
+
+        let (disc_ns, syndrome_ns) = pool.overlap(
+            map.n_groups(),
+            |g| {
+                // SAFETY: the pool claims each index exactly once per
+                // fan-out, so shard `g`'s synthesizer and batch row have no
+                // other live borrows.
+                let synth = unsafe { synth_tiles.item(g) };
+                let row = unsafe { row_tiles.tile(g) };
+                let (i_row, q_row) = row.split_at_mut(n_samples);
+                let mut rng = StdRng::seed_from_u64(seeds[g]);
+                synth.synth_into_slot(map.prepared_state(g, parities), i_row, q_row, &mut rng);
+            },
+            || {
+                if !consume_front {
+                    return (0, 0);
+                }
+                let c0 = Instant::now();
+                disc.discriminate_shot_batch_r_into(
+                    &front.batch,
+                    &mut front.features,
+                    &mut front.states,
+                );
+                let c1 = Instant::now();
+                for (a, m) in front.measured.iter_mut().enumerate() {
+                    let (g, c) = map.slot(a);
+                    *m = front.states[g].qubit(c);
+                }
+                sim.record_measured_syndrome(&front.measured);
+                (duration_ns(c0, c1), duration_ns(c1, Instant::now()))
+            },
+        );
+
+        let wall = duration_ns(t0, Instant::now());
+        self.in_flight.discriminate += disc_ns;
+        self.in_flight.syndrome += syndrome_ns;
+        // Pipeline accounting: the synth stage is charged only the wall time
+        // it was *not* hidden behind the consume stage — its exposed latency.
+        self.in_flight.synth += wall.saturating_sub(disc_ns + syndrome_ns);
+        if consume_front {
+            self.totals.rounds += 1;
+        }
+    }
+
+    /// Drains the front buffer (the pipeline's epilogue): batched
+    /// discrimination plus measured-syndrome commit of the last round.
+    fn consume_front_round(&mut self) {
+        let c0 = Instant::now();
+        let RoundBuffers {
+            batch,
+            features,
+            states,
+            measured,
+            ..
+        } = &mut self.round;
+        self.disc
+            .discriminate_shot_batch_r_into(batch, features, states);
+        let c1 = Instant::now();
+        for (a, m) in measured.iter_mut().enumerate() {
+            let (g, c) = self.map.slot(a);
+            *m = states[g].qubit(c);
+        }
+        self.sim.record_measured_syndrome(measured);
+        self.in_flight.discriminate += duration_ns(c0, c1);
+        self.in_flight.syndrome += duration_ns(c1, Instant::now());
+        self.totals.rounds += 1;
+    }
+
+    /// Ping-pongs the freshly synthesized back buffer into the front slot.
+    fn swap_round_buffers(&mut self) {
+        let exec = self.exec.as_mut().expect("pooled engine");
+        std::mem::swap(&mut self.round, &mut exec.back);
     }
 
     /// Blocking API: runs `n` cycles back to back.

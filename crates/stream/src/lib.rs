@@ -20,6 +20,12 @@
 //! * [`CycleEngine`] — the engine: double-buffered blocks, reusable
 //!   [`engine::RoundBuffers`], a blocking [`CycleEngine::run_cycles`] API and a
 //!   pull-based [`CycleEngine::cycles`] iterator with per-stage timings;
+//! * [`ParallelCycleEngine`] — the same engine on a
+//!   [`herqles_exec::ShardPool`] ([`CycleEngine::with_pool`]): feedline
+//!   groups become shards, each owning its [`RoundSynth`], and round `t+1`'s
+//!   synthesis overlaps round `t`'s discriminate → syndrome → decode.
+//!   Bit-identical to the serial engine at every pool size, zero-allocation
+//!   once warm;
 //! * [`RoundSynth`] — allocation-free per-round multiplexed readout
 //!   synthesis straight into [`readout_sim::ShotBatch`] rows;
 //! * [`AncillaMap`] — tiling of the code's ancillas onto
@@ -55,8 +61,10 @@ pub mod offline;
 pub mod synth;
 
 pub use engine::{
-    CycleConfig, CycleEngine, CycleResult, CycleStats, Cycles, EngineStats, StageNanos,
+    CycleConfig, CycleEngine, CycleResult, CycleStats, Cycles, EngineStats, ParallelCycleEngine,
+    StageNanos,
 };
+pub use herqles_exec::{stream_seed, ShardPool};
 pub use map::AncillaMap;
 pub use offline::{run_cycles_offline, OfflineCycle};
 pub use synth::RoundSynth;

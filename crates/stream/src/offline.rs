@@ -10,8 +10,9 @@
 //! `tests/parity.rs` pins that equivalence.
 
 use herqles_core::Discriminator;
+use herqles_exec::stream_seed;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 use readout_sim::events::sample_path;
 use readout_sim::multiplex::{synthesize, CarrierTable};
 use readout_sim::trace::{IqPoint, IqTrace};
@@ -111,12 +112,17 @@ pub fn run_cycles_offline(
         for _ in 0..cfg.rounds {
             sim.apply_data_errors(&mut rng);
             sim.true_parities_into(&mut parities);
+            // One entropy word per round; every group synthesizes from its
+            // own stream_seed-derived RNG — the same scheme as the engine
+            // (serial and pooled), so all three paths stay bit-identical.
+            let entropy: u64 = rng.random();
             // Materialize every group's trace — the per-round allocations
             // the streaming engine removes.
             let traces: Vec<IqTrace> = (0..map.n_groups())
                 .map(|g| {
                     let prepared = map.prepared_state(g, &parities);
-                    synth_trace(chip, &carriers, &times, prepared, &mut rng)
+                    let mut group_rng = StdRng::seed_from_u64(stream_seed(entropy, g as u64));
+                    synth_trace(chip, &carriers, &times, prepared, &mut group_rng)
                 })
                 .collect();
             let refs: Vec<&IqTrace> = traces.iter().collect();

@@ -106,6 +106,38 @@ impl<R: Real> RoundSynth<R> {
             self.n_samples(),
             "batch sized for a different readout window"
         );
+        let (i_row, q_row) = batch.push_empty_row();
+        self.synth_into_slot(prepared, i_row, q_row, rng);
+    }
+
+    /// Synthesizes one feedline shot straight into caller-owned channel
+    /// slices — the shard-parallel entry point: each feedline-group shard of
+    /// a pooled engine owns its own `RoundSynth` and writes its own
+    /// pre-sized [`ShotBatch`] row, so groups synthesize concurrently with
+    /// no shared mutable state.
+    ///
+    /// RNG draws and output are identical to [`RoundSynth::synth_into_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the synthesizer's sample count.
+    pub fn synth_into_slot<G: Rng + ?Sized>(
+        &mut self,
+        prepared: BasisState,
+        i_row: &mut [R],
+        q_row: &mut [R],
+        rng: &mut G,
+    ) {
+        assert_eq!(
+            i_row.len(),
+            self.n_samples(),
+            "row sized for a different readout window"
+        );
+        assert_eq!(
+            q_row.len(),
+            self.n_samples(),
+            "row sized for a different readout window"
+        );
         // 1. Per-channel state paths (relaxation / excitation / init errors).
         self.paths.clear();
         for (k, params) in self.chip.qubits.iter().enumerate() {
@@ -144,9 +176,8 @@ impl<R: Real> RoundSynth<R> {
             }
         }
         // 5. Multiplexed synthesis with amplifier noise, straight into the
-        //    batch row (fresh noise state per shot, like the dataset path).
+        //    row (fresh noise state per shot, like the dataset path).
         let mut noise = GaussianNoise::new(self.sigma);
-        let (i_row, q_row) = batch.push_empty_row();
         synthesize_into(
             &self.carriers,
             &self.basebands,

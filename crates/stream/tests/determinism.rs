@@ -1,0 +1,157 @@
+//! Thread-count independence of the [`ParallelCycleEngine`]: for any pool
+//! size the pooled engine must produce **bit-identical** blocks, decode
+//! outcomes and aggregate statistics to the serial [`CycleEngine`] — the
+//! acceptance pin of the `herqles-exec` integration. Any divergence in the
+//! per-group RNG stream derivation, shard scheduling leaking into results,
+//! or pipeline reordering of the syndrome commits fails these tests.
+
+use herqles_core::PrecisionDiscriminator;
+use herqles_stream::{
+    train_mf_discriminator, train_mf_discriminator_typed, CycleConfig, CycleEngine,
+    ParallelCycleEngine, Real, ShardPool,
+};
+use readout_sim::ChipConfig;
+use surface_code::{RotatedSurfaceCode, SyndromeBlock};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn assert_pooled_matches_serial<R, D>(
+    cfg: CycleConfig,
+    chip: &ChipConfig,
+    code: &RotatedSurfaceCode,
+    disc: &D,
+    cycles: usize,
+) where
+    R: Real,
+    D: ?Sized + PrecisionDiscriminator<R>,
+{
+    let mut serial = CycleEngine::<R, _>::new(cfg, chip, code, disc);
+    let mut reference: Vec<(SyndromeBlock, surface_code::decoder::DecodeOutcome)> = Vec::new();
+    for _ in 0..cycles {
+        let r = serial.run_cycle();
+        reference.push((serial.last_block().clone(), r.outcome));
+    }
+
+    for threads in THREAD_COUNTS {
+        let pool = ShardPool::new(threads);
+        let mut pooled = ParallelCycleEngine::<R, _>::with_pool(cfg, chip, code, disc, &pool);
+        for (i, (ref_block, ref_outcome)) in reference.iter().enumerate() {
+            let r = pooled.run_cycle();
+            assert_eq!(
+                &r.outcome,
+                ref_outcome,
+                "{}/threads={threads}: cycle {i} outcome diverges from serial",
+                R::NAME
+            );
+            assert_eq!(
+                pooled.last_block(),
+                ref_block,
+                "{}/threads={threads}: cycle {i} block diverges from serial",
+                R::NAME
+            );
+        }
+        assert_eq!(pooled.stats().cycles, serial.stats().cycles);
+        assert_eq!(pooled.stats().rounds, serial.stats().rounds);
+        assert_eq!(pooled.stats().logical_errors, serial.stats().logical_errors);
+    }
+}
+
+#[test]
+fn pooled_engine_is_bit_identical_to_serial_f64() {
+    // d = 5 → 12 ancillas on the 2-channel test chip → 6 shards: enough
+    // groups that 2- and 4-thread pools genuinely interleave shard execution.
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(5);
+    let disc = train_mf_discriminator(&chip, 10, 404);
+    let cfg = CycleConfig {
+        rounds: 5,
+        data_error_prob: 0.01,
+        seed: 777,
+    };
+    assert_pooled_matches_serial::<f64, _>(cfg, &chip, &code, disc.as_ref(), 4);
+}
+
+#[test]
+fn pooled_engine_is_bit_identical_to_serial_f32() {
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(5);
+    let disc = train_mf_discriminator_typed(&chip, 10, 404);
+    let cfg = CycleConfig {
+        rounds: 5,
+        data_error_prob: 0.01,
+        seed: 777,
+    };
+    assert_pooled_matches_serial::<f32, _>(cfg, &chip, &code, &disc, 4);
+}
+
+#[test]
+fn pooled_engine_with_idle_padding_slots_matches_serial() {
+    // d = 3 on the five-channel chip → a single ragged group: the pooled
+    // path must behave with one shard and idle channels.
+    let chip = ChipConfig::five_qubit_default();
+    let code = RotatedSurfaceCode::new(3);
+    let disc = train_mf_discriminator(&chip, 8, 2026);
+    let cfg = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.012,
+        seed: 13,
+    };
+    assert_pooled_matches_serial::<f64, _>(cfg, &chip, &code, disc.as_ref(), 3);
+}
+
+#[test]
+fn manual_stepping_matches_pooled_cycles() {
+    // step_round stays a serial API, but its per-group RNG streams are the
+    // same ones the pooled path shards out — so hand-stepped cycles must
+    // equal pooled run_cycle output exactly.
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(3);
+    let disc = train_mf_discriminator(&chip, 10, 7);
+    let cfg = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.02,
+        seed: 5,
+    };
+    let pool = ShardPool::new(4);
+    let mut pooled = CycleEngine::with_pool(cfg, &chip, &code, disc.as_ref(), &pool);
+    let mut stepped = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+    for _ in 0..3 {
+        let pooled_result = pooled.run_cycle();
+        stepped.begin_cycle();
+        for _ in 0..cfg.rounds {
+            stepped.step_round();
+        }
+        let stepped_result = stepped.finish_cycle();
+        assert_eq!(pooled_result.outcome, stepped_result.outcome);
+        assert_eq!(pooled.last_block(), stepped.last_block());
+    }
+}
+
+#[test]
+fn one_pool_serves_several_engines() {
+    // The pool is a shared runtime, not engine-owned: two engines on the
+    // same pool must not perturb each other's streams.
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(3);
+    let disc = train_mf_discriminator(&chip, 10, 7);
+    let cfg_a = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.02,
+        seed: 1,
+    };
+    let cfg_b = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.02,
+        seed: 2,
+    };
+    let reference_a = CycleEngine::new(cfg_a, &chip, &code, disc.as_ref()).run_cycles(3);
+    let reference_b = CycleEngine::new(cfg_b, &chip, &code, disc.as_ref()).run_cycles(3);
+
+    let pool = ShardPool::new(3);
+    let mut a = CycleEngine::with_pool(cfg_a, &chip, &code, disc.as_ref(), &pool);
+    let mut b = CycleEngine::with_pool(cfg_b, &chip, &code, disc.as_ref(), &pool);
+    for i in 0..3 {
+        assert_eq!(a.run_cycle().outcome, reference_a[i].outcome);
+        assert_eq!(b.run_cycle().outcome, reference_b[i].outcome);
+    }
+}

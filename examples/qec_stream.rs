@@ -1,11 +1,13 @@
 //! End-to-end streaming QEC cycles: multiplexed ancilla readout synthesized,
-//! discriminated, and decoded on one batch pipeline with per-stage timing.
+//! discriminated, and decoded on one batch pipeline with per-stage timing —
+//! serially, then on a `ShardPool` with the two-stage synthesis pipeline
+//! (bit-identical results at any worker count).
 //!
 //! Run with `cargo run --release --example qec_stream`.
 
 use herqles::qec::RotatedSurfaceCode;
 use herqles::sim::ChipConfig;
-use herqles::stream::{train_mf_discriminator, CycleConfig, CycleEngine};
+use herqles::stream::{train_mf_discriminator, CycleConfig, CycleEngine, ShardPool};
 
 fn main() {
     let chip = ChipConfig::five_qubit_default();
@@ -51,5 +53,24 @@ fn main() {
             totals.logical_errors,
             per_cycle_ns as f64 / 1e3,
         );
+
+        // The same cycles on a worker pool: each feedline group synthesizes
+        // on its own shard while the previous round discriminates — and the
+        // outcomes are bit-identical to the serial engine's.
+        let pool = ShardPool::new(4);
+        let mut parallel = CycleEngine::with_pool(cfg, &chip, &code, disc.as_ref(), &pool);
+        let serial_errors = totals.logical_errors;
+        let pooled: u64 = parallel
+            .cycles()
+            .take(10)
+            .map(|r| u64::from(r.outcome.logical_error))
+            .sum();
+        println!(
+            "  ⇒ pooled on {} threads: {} logical errors (serial saw {}) — identical per seed",
+            pool.threads(),
+            pooled,
+            serial_errors,
+        );
+        assert_eq!(pooled, serial_errors, "pooled run must match serial");
     }
 }

@@ -5,6 +5,8 @@
 //! re-exports every workspace crate under one roof so applications can depend
 //! on a single crate:
 //!
+//! * [`exec`] — deterministic parallel execution runtime (shard pool,
+//!   pipeline overlap, RNG stream derivation)
 //! * [`sim`] — physics-level readout-trace simulator (dataset substrate)
 //! * [`dsp`] — demodulation, boxcar filtering, matched / relaxation matched filters
 //! * [`nn`] — minimal dense neural-network library (training + quantized inference)
@@ -30,6 +32,7 @@
 
 pub use fpga_model as fpga;
 pub use herqles_core as core;
+pub use herqles_exec as exec;
 pub use herqles_stream as stream;
 pub use nisq_sim as nisq;
 pub use readout_classifiers as classifiers;
