@@ -17,8 +17,16 @@
 //! `f32_vs_f64` field on those rows is the single-precision multiplier over
 //! the `f64` batched number at the same batch size.
 //!
+//! Every row also carries a `kernel` field naming the SIMD microkernel
+//! backend it ran on. The sweep runs on the dispatched backend
+//! (`HERQLES_KERNEL`, default best-available); when that resolves to a SIMD
+//! backend, the fused designs are re-measured at batch 1024 with the scalar
+//! reference forced, so the JSON tracks the SIMD multiplier
+//! (dispatched-vs-scalar, both precisions) alongside the batching and
+//! precision multipliers.
+//!
 //! Environment overrides: `HERQULES_BENCH_SHOTS` (shots per basis state for
-//! the dataset, default 50), `HERQULES_SEED`.
+//! the dataset, default 50), `HERQULES_SEED`, `HERQLES_KERNEL`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,6 +34,7 @@ use std::time::Instant;
 use herqles_core::designs::DesignKind;
 use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
 use herqles_core::{Discriminator, PrecisionDiscriminator};
+use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
 use readout_nn::net::TrainConfig;
 use readout_sim::{ChipConfig, Dataset, ShotBatch};
 
@@ -55,12 +64,86 @@ fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
 struct Row {
     design: &'static str,
     precision: &'static str,
+    /// SIMD microkernel backend the row's GEMMs ran on.
+    kernel: &'static str,
     batch: usize,
     per_shot: f64,
     batched: f64,
     /// For f32 rows: multiplier over the f64 batched throughput of the
     /// *same trained instance* on the same traces.
     f32_vs_f64: Option<f64>,
+}
+
+/// Concretely-typed fused designs measured through the precision-generic
+/// batch path (the Table 1 sweep only hands out `Box<dyn Discriminator>`).
+enum Typed {
+    Mf(herqles_core::designs::MfDiscriminator),
+    Nn(herqles_core::designs::NnDiscriminator),
+}
+
+/// One typed-instance measurement at one batch size, on whatever kernel
+/// backend is currently selected.
+struct TypedTiming {
+    per_shot_secs: f64,
+    batched64_secs: f64,
+    batched32_secs: f64,
+}
+
+/// Times `disc` over the shots `idx`: the per-shot f64 loop, the batched
+/// f64 path, and the batched f32 path, in seconds per call. Shared by the
+/// dispatched-backend sweep and the scalar-reference rows so the
+/// measurement protocol cannot drift between them.
+fn time_typed(disc: &Typed, dataset: &Dataset, idx: &[usize]) -> TypedTiming {
+    let batch64: ShotBatch = ShotBatch::from_dataset(dataset, idx);
+    let batch32: ShotBatch<f32> = ShotBatch::from_dataset(dataset, idx);
+    let raws: Vec<_> = idx.iter().map(|&i| &dataset.shots[i].raw).collect();
+    let per_shot_secs = time_per_call(|| {
+        for raw in &raws {
+            match disc {
+                Typed::Mf(d) => std::hint::black_box(d.discriminate(raw)),
+                Typed::Nn(d) => std::hint::black_box(d.discriminate(raw)),
+            };
+        }
+    });
+    let batched64_secs = time_per_call(|| match disc {
+        Typed::Mf(d) => {
+            std::hint::black_box(d.discriminate_shot_batch(&batch64));
+        }
+        Typed::Nn(d) => {
+            std::hint::black_box(d.discriminate_shot_batch(&batch64));
+        }
+    });
+    let mut scratch: Vec<f32> = Vec::new();
+    let mut out = Vec::new();
+    let batched32_secs = time_per_call(|| match disc {
+        Typed::Mf(d) => {
+            d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
+            std::hint::black_box(out.len());
+        }
+        Typed::Nn(d) => {
+            d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    TypedTiming {
+        per_shot_secs,
+        batched64_secs,
+        batched32_secs,
+    }
+}
+
+/// Progress line for one measured row.
+fn log_row(row: &Row) {
+    eprintln!(
+        "[bench_inference] {:>12}/{}/{} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
+        row.design,
+        row.precision,
+        row.kernel,
+        row.batch,
+        row.per_shot,
+        row.batched,
+        row.batched / row.per_shot
+    );
 }
 
 fn main() {
@@ -97,6 +180,10 @@ fn main() {
     };
     let mut trainer = ReadoutTrainer::with_config(&dataset, &split.train, trainer_config);
 
+    // The backend HERQLES_KERNEL resolved to; the whole sweep runs on it.
+    let dispatched = active_kernel_name();
+    eprintln!("[bench_inference] dispatched kernel backend: {dispatched}");
+
     let mut rows: Vec<Row> = Vec::new();
     for kind in DesignKind::ALL {
         eprintln!("[bench_inference] training {kind}…");
@@ -118,20 +205,13 @@ fn main() {
             let row = Row {
                 design: kind.label(),
                 precision: "f64",
+                kernel: dispatched,
                 batch: batch_size,
                 per_shot: batch_size as f64 / per_shot_secs,
                 batched: batch_size as f64 / batched_secs,
                 f32_vs_f64: None,
             };
-            eprintln!(
-                "[bench_inference] {:>12}/{} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
-                row.design,
-                row.precision,
-                row.batch,
-                row.per_shot,
-                row.batched,
-                row.batched / row.per_shot
-            );
+            log_row(&row);
             rows.push(row);
         }
     }
@@ -144,67 +224,61 @@ fn main() {
     // measurement of the *same instance* — same weights on both sides.
     // Per-shot reference throughput is precision-independent (the per-shot
     // path is f64 by construction).
-    enum Typed {
-        Mf(herqles_core::designs::MfDiscriminator),
-        Nn(herqles_core::designs::NnDiscriminator),
-    }
     let typed: Vec<(&'static str, Typed)> = vec![
         ("mf", Typed::Mf(trainer.train_mf())),
         ("mf-rmf-nn", Typed::Nn(trainer.train_nn(true))),
     ];
     for (label, disc) in &typed {
         for &batch_size in &BATCH_SIZES {
-            let idx = &split.test[..batch_size];
-            let batch64: ShotBatch = ShotBatch::from_dataset(&dataset, idx);
-            let batch32: ShotBatch<f32> = ShotBatch::from_dataset(&dataset, idx);
-            let raws: Vec<_> = idx.iter().map(|&i| &dataset.shots[i].raw).collect();
-            let per_shot_secs = time_per_call(|| {
-                for raw in &raws {
-                    match disc {
-                        Typed::Mf(d) => std::hint::black_box(d.discriminate(raw)),
-                        Typed::Nn(d) => std::hint::black_box(d.discriminate(raw)),
-                    };
-                }
-            });
-            let batched64_secs = time_per_call(|| match disc {
-                Typed::Mf(d) => {
-                    std::hint::black_box(d.discriminate_shot_batch(&batch64));
-                }
-                Typed::Nn(d) => {
-                    std::hint::black_box(d.discriminate_shot_batch(&batch64));
-                }
-            });
-            let mut scratch: Vec<f32> = Vec::new();
-            let mut out = Vec::new();
-            let batched_secs = time_per_call(|| match disc {
-                Typed::Mf(d) => {
-                    d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
-                    std::hint::black_box(out.len());
-                }
-                Typed::Nn(d) => {
-                    d.discriminate_shot_batch_r_into(&batch32, &mut scratch, &mut out);
-                    std::hint::black_box(out.len());
-                }
-            });
+            let t = time_typed(disc, &dataset, &split.test[..batch_size]);
             let row = Row {
                 design: label,
                 precision: "f32",
+                kernel: dispatched,
                 batch: batch_size,
-                per_shot: batch_size as f64 / per_shot_secs,
-                batched: batch_size as f64 / batched_secs,
-                f32_vs_f64: Some(batched64_secs / batched_secs),
+                per_shot: batch_size as f64 / t.per_shot_secs,
+                batched: batch_size as f64 / t.batched32_secs,
+                f32_vs_f64: Some(t.batched64_secs / t.batched32_secs),
             };
-            eprintln!(
-                "[bench_inference] {:>12}/{} batch {:>5}: per-shot {:>12.0} shots/s, batched {:>12.0} shots/s ({:.2}x)",
-                row.design,
-                row.precision,
-                row.batch,
-                row.per_shot,
-                row.batched,
-                row.batched / row.per_shot
-            );
+            log_row(&row);
             rows.push(row);
         }
+    }
+
+    // Scalar-backend reference rows: when the dispatch resolved to a SIMD
+    // backend, re-measure the same typed instances at the headline batch
+    // size with the scalar reference forced, so the JSON carries the SIMD
+    // multiplier (dispatched vs scalar) for both precisions.
+    if dispatched != "scalar" {
+        select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+        let batch_size = *BATCH_SIZES.last().expect("non-empty");
+        for (label, disc) in &typed {
+            let t = time_typed(disc, &dataset, &split.test[..batch_size]);
+            for (precision, batched_secs, f32_vs_f64) in [
+                ("f64", t.batched64_secs, None),
+                (
+                    "f32",
+                    t.batched32_secs,
+                    Some(t.batched64_secs / t.batched32_secs),
+                ),
+            ] {
+                let row = Row {
+                    design: label,
+                    precision,
+                    kernel: "scalar",
+                    batch: batch_size,
+                    per_shot: batch_size as f64 / t.per_shot_secs,
+                    batched: batch_size as f64 / batched_secs,
+                    f32_vs_f64,
+                };
+                log_row(&row);
+                rows.push(row);
+            }
+        }
+        select_kernel(KernelBackend::parse(dispatched).expect("dispatched name parses"))
+            .expect("restoring the dispatched backend");
+    } else {
+        eprintln!("[bench_inference] dispatch resolved to scalar; skipping duplicate scalar rows");
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"inference_throughput\",\n");
@@ -223,9 +297,10 @@ fn main() {
             .unwrap_or_default();
         let _ = writeln!(
             json,
-            "    {{\"design\": \"{}\", \"precision\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}{}}}{}",
+            "    {{\"design\": \"{}\", \"precision\": \"{}\", \"kernel\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}{}}}{}",
             row.design,
             row.precision,
+            row.kernel,
             row.batch,
             row.per_shot,
             row.batched,
@@ -248,7 +323,9 @@ fn main() {
     );
     let mf32_1024 = rows
         .iter()
-        .find(|r| r.design == "mf" && r.precision == "f32" && r.batch == 1024)
+        .find(|r| {
+            r.design == "mf" && r.precision == "f32" && r.batch == 1024 && r.kernel == dispatched
+        })
         .expect("f32 mf @ 1024 measured");
     let ratio = mf32_1024.f32_vs_f64.expect("f32 rows carry the ratio");
     eprintln!(
@@ -256,4 +333,18 @@ fn main() {
         ratio,
         if ratio >= 1.3 { "" } else { " (below the 1.3x target!)" }
     );
+    if let Some(mf32_scalar) = rows
+        .iter()
+        .find(|r| {
+            r.design == "mf" && r.precision == "f32" && r.batch == 1024 && r.kernel == "scalar"
+        })
+        .filter(|_| dispatched != "scalar")
+    {
+        let simd = mf32_1024.batched / mf32_scalar.batched;
+        eprintln!(
+            "[bench_inference] kernel headline: {dispatched} f32 fused-MF batched = {simd:.2}x \
+             the scalar-backend row at batch 1024{}",
+            if simd > 1.0 { "" } else { " (no SIMD win!)" }
+        );
+    }
 }

@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use herqles_core::Real;
+use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
 use herqles_stream::{
     run_cycles_offline, train_mf_discriminator_typed, CycleConfig, CycleEngine, ShardPool,
 };
@@ -83,6 +84,8 @@ fn thread_counts() -> Vec<usize> {
 struct Row {
     distance: usize,
     precision: &'static str,
+    /// SIMD microkernel backend the discriminate GEMM ran on.
+    kernel: &'static str,
     threads: usize,
     groups: usize,
     cycles: usize,
@@ -139,6 +142,7 @@ fn main() {
         Row {
             distance: code.distance(),
             precision: R::NAME,
+            kernel: active_kernel_name(),
             threads: pool.map_or(1, ShardPool::threads),
             groups: engine.ancilla_map().n_groups(),
             cycles,
@@ -208,12 +212,46 @@ fn main() {
             ));
         }
 
+        // Scalar-kernel reference rows (serial, both precisions): when the
+        // dispatch resolved to a SIMD backend, the discriminate-stage
+        // multiplier is dispatched-vs-scalar at the same distance. The
+        // offline baseline is re-measured under the scalar backend so the
+        // rows' offline/speedup fields describe one backend, not a mix.
+        if active_kernel_name() != "scalar" {
+            let dispatched = active_kernel_name();
+            select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+            let off_start = Instant::now();
+            let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
+            let scalar_offline_cps = cycles as f64 / off_start.elapsed().as_secs_f64();
+            variants.push(measure::<f64>(
+                &disc,
+                &chip,
+                &code,
+                cfg,
+                cycles,
+                None,
+                scalar_offline_cps,
+            ));
+            variants.push(measure::<f32>(
+                &disc,
+                &chip,
+                &code,
+                cfg,
+                cycles,
+                None,
+                scalar_offline_cps,
+            ));
+            select_kernel(KernelBackend::parse(dispatched).expect("dispatched name parses"))
+                .expect("restoring the dispatched backend");
+        }
+
         for row in variants {
             eprintln!(
-                "[bench_stream] d={}/{}/t={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
+                "[bench_stream] d={}/{}/{}/t={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
                  synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
                 row.distance,
                 row.precision,
+                row.kernel,
                 row.threads,
                 row.cycles_per_sec,
                 row.offline_cycles_per_sec,
@@ -240,13 +278,15 @@ fn main() {
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"threads\": {}, \"groups\": {}, \
+            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"kernel\": \"{}\", \
+             \"threads\": {}, \"groups\": {}, \
              \"cycles\": {}, \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
              \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
              \"decode\": {}}}, \"logical_errors\": {}}}{}",
             r.distance,
             r.distance,
             r.precision,
+            r.kernel,
             r.threads,
             r.groups,
             r.cycles,

@@ -1,0 +1,117 @@
+//! Kernel-dispatch pin: the SIMD backend must be invisible to physics.
+//!
+//! With `HERQLES_KERNEL=scalar` and `HERQLES_KERNEL=auto` (CI runs the
+//! whole suite under both), every fused-kernel discriminator design — `mf`,
+//! `mf-svm`, `mf-nn`, `mf-rmf-svm`, `mf-rmf-nn` — must produce **identical
+//! classifications** on a seeded dataset: backends differ only by
+//! floating-point reassociation and FMA contraction, far inside the margin
+//! of any physically plausible shot. Feature *scores* are compared under a
+//! tolerance (they legitimately differ in the last ulps); predicted labels
+//! are compared exactly.
+//!
+//! One `#[test]` on purpose: kernel selection is process-global, and a
+//! concurrent test observing a mid-switch backend would race the
+//! assertions.
+
+use herqles_core::designs::DesignKind;
+use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
+use herqles_core::{Discriminator, FilterBank, FusedFilterKernel};
+use herqles_num::kernel::{active_kernel_name, avx2_available, select_kernel, KernelBackend};
+use readout_dsp::Demodulator;
+use readout_nn::TrainConfig;
+use readout_sim::{ChipConfig, Dataset, ShotBatch};
+
+/// Score tolerance: relative to the feature magnitude, a few hundred f64
+/// ULP-equivalents of headroom over what reassociating a ~2·T-long fused
+/// filter dot can move (the kernel-parity suite bounds the primitive at
+/// 32 ULPs of the absolute-value dot; features here are well-conditioned).
+const SCORE_RTOL: f64 = 1e-9;
+
+/// The five designs with fused batched kernels (the baseline FNN and the
+/// centroid strawman ride the same GEMMs through their NN / mean paths but
+/// are not part of Table 1's fused-kernel family).
+const FUSED_DESIGNS: [DesignKind; 5] = [
+    DesignKind::Mf,
+    DesignKind::MfSvm,
+    DesignKind::MfNn,
+    DesignKind::MfRmfSvm,
+    DesignKind::MfRmfNn,
+];
+
+#[test]
+fn scalar_and_dispatched_backends_classify_identically() {
+    // The suite honors the CI matrix: whatever HERQLES_KERNEL requested
+    // must actually be the live backend before this test starts switching.
+    match std::env::var("HERQLES_KERNEL").as_deref() {
+        Ok("scalar") => assert_eq!(active_kernel_name(), "scalar"),
+        Ok("avx2") => assert_eq!(active_kernel_name(), "avx2"),
+        _ => assert_eq!(
+            active_kernel_name(),
+            if avx2_available() { "avx2" } else { "scalar" }
+        ),
+    }
+    let env_backend = match active_kernel_name() {
+        "avx2" => KernelBackend::Avx2,
+        _ => KernelBackend::Scalar,
+    };
+
+    let chip = ChipConfig::two_qubit_test();
+    let train_ds = Dataset::generate(&chip, 40, 2024);
+    let eval_ds = Dataset::generate(&chip, 250, 777);
+    let train_idx: Vec<usize> = (0..train_ds.shots.len()).collect();
+    let config = TrainerConfig {
+        nn_train: TrainConfig {
+            epochs: 40,
+            ..TrainerConfig::default().nn_train
+        },
+        ..TrainerConfig::default()
+    };
+    let batch: ShotBatch = ShotBatch::from_shots(&eval_ds.shots);
+
+    // Training itself rides the GEMMs, so the trained weights depend on the
+    // backend that was live during training. Train once on the *scalar*
+    // reference; the pin below then isolates inference dispatch.
+    select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+    let mut trainer = ReadoutTrainer::with_config(&train_ds, &train_idx, config);
+    let designs: Vec<(DesignKind, Box<dyn Discriminator>)> = FUSED_DESIGNS
+        .into_iter()
+        .map(|kind| (kind, trainer.train(kind)))
+        .collect();
+
+    for (kind, disc) in &designs {
+        select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+        let labels_scalar = disc.discriminate_shot_batch(&batch);
+        let dispatched = select_kernel(KernelBackend::Auto).expect("auto is always selectable");
+        let labels_auto = disc.discriminate_shot_batch(&batch);
+        assert_eq!(
+            labels_scalar, labels_auto,
+            "{kind}: classifications must be identical under scalar vs {dispatched} dispatch"
+        );
+    }
+
+    // Scores under tolerance: the fused demod + matched-filter features of
+    // the full bank, scalar vs dispatched, on the same compiled kernel.
+    let demod = Demodulator::new(&chip);
+    let bank = FilterBank::with_rmfs(
+        trainer.matched_filters().to_vec(),
+        trainer.relaxation_filters().to_vec(),
+    );
+    let kernel: FusedFilterKernel = FusedFilterKernel::new(&demod, &bank);
+    let mut scores_scalar = Vec::new();
+    let mut scores_auto = Vec::new();
+    select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+    kernel.features_batch(&batch, &mut scores_scalar);
+    select_kernel(KernelBackend::Auto).expect("auto is always selectable");
+    kernel.features_batch(&batch, &mut scores_auto);
+    assert_eq!(scores_scalar.len(), scores_auto.len());
+    for (i, (s, a)) in scores_scalar.iter().zip(&scores_auto).enumerate() {
+        let rel = (s - a).abs() / s.abs().max(1.0);
+        assert!(
+            rel <= SCORE_RTOL,
+            "feature {i}: scalar {s} vs dispatched {a} (rel {rel:e})"
+        );
+    }
+
+    // Leave the process in the state the environment asked for.
+    select_kernel(env_backend).expect("restoring the env-requested backend");
+}

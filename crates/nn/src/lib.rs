@@ -40,6 +40,7 @@ pub mod optim;
 pub mod quant;
 
 pub use data::Standardizer;
+pub use herqles_num::kernel;
 pub use herqles_num::Real;
 pub use layers::Dense;
 pub use loss::softmax_cross_entropy;

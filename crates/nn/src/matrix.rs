@@ -8,9 +8,19 @@
 //! output-row blocks with scoped threads when the problem is large enough to
 //! amortize spawning. It is exposed on raw slices so callers owning flat
 //! buffers (e.g. `ShotBatch` planes) can multiply with zero copies.
+//!
+//! Every inner loop — the broadcast rank-1 updates of the tiled path and
+//! the multi-accumulator dots of the tall-skinny path — runs on the
+//! process-dispatched SIMD microkernel backend
+//! ([`herqles_num::kernel`]): AVX2+FMA on `x86_64` CPUs that support it,
+//! the bit-identical-to-history scalar reference otherwise, overridable
+//! with `HERQLES_KERNEL=scalar|avx2|auto`. The `*_with` variants
+//! ([`gemm_into_with`], [`gemm_rt_into_with`]) take an explicit backend so
+//! the kernel-parity suite can compare them head to head in one process.
 
 use std::fmt;
 
+use herqles_num::kernel::{active_kernel_name, Kernel, ScalarKernel};
 use herqles_num::Real;
 
 /// Minimum number of multiply-accumulates before the matmul bothers spawning
@@ -288,6 +298,36 @@ impl<R: Real> Matrix<R> {
 ///
 /// Panics if any slice length disagrees with the given dimensions.
 pub fn gemm_into<R: Real>(lhs: &[R], rhs: &[R], out: &mut [R], m: usize, k: usize, n: usize) {
+    // The scalar arm is monomorphized (concrete `&ScalarKernel`, not the
+    // `&dyn` the dispatcher hands out) so its inner loops inline and LLVM
+    // auto-vectorizes them exactly like the pre-backend code — hosts
+    // without SIMD support, and `HERQLES_KERNEL=scalar` runs, keep their
+    // historical throughput. SIMD backends lose nothing behind `dyn`:
+    // their bodies are `target_feature` functions that cannot inline into
+    // generic callers anyway.
+    if active_kernel_name() == "scalar" {
+        gemm_into_with(&ScalarKernel, lhs, rhs, out, m, k, n);
+    } else {
+        gemm_into_with(R::kernel(), lhs, rhs, out, m, k, n);
+    }
+}
+
+/// [`gemm_into`] on an explicit microkernel backend instead of the
+/// process-dispatched one. The kernel-parity tests use this to compare
+/// backends within one process; production callers use [`gemm_into`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_into_with<R: Real, K: Kernel<R> + ?Sized>(
+    kernel: &K,
+    lhs: &[R],
+    rhs: &[R],
+    out: &mut [R],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
     assert_eq!(rhs.len(), k * n, "rhs length must equal k*n");
     assert_eq!(out.len(), m * n, "out length must equal m*n");
@@ -314,8 +354,8 @@ pub fn gemm_into<R: Real>(lhs: &[R], rhs: &[R], out: &mut [R], m: usize, k: usiz
         None
     };
     let run = |out_block: &mut [R], r0: usize, r1: usize| match &rhs_t {
-        Some(rt) => gemm_rows_skinny(lhs, rt, out_block, k, n, r0, r1),
-        None => gemm_rows(lhs, rhs, out_block, k, n, r0, r1),
+        Some(rt) => gemm_rows_skinny(kernel, lhs, rt, out_block, k, n, r0, r1),
+        None => gemm_rows(kernel, lhs, rhs, out_block, k, n, r0, r1),
     };
     if threads <= 1 {
         run(out, 0, m);
@@ -343,6 +383,29 @@ pub fn gemm_into<R: Real>(lhs: &[R], rhs: &[R], out: &mut [R], m: usize, k: usiz
 ///
 /// Panics if any slice length disagrees with the given dimensions.
 pub fn gemm_rt_into<R: Real>(lhs: &[R], rhs_t: &[R], out: &mut [R], m: usize, k: usize, n: usize) {
+    // Monomorphized scalar arm, as in [`gemm_into`].
+    if active_kernel_name() == "scalar" {
+        gemm_rt_into_with(&ScalarKernel, lhs, rhs_t, out, m, k, n);
+    } else {
+        gemm_rt_into_with(R::kernel(), lhs, rhs_t, out, m, k, n);
+    }
+}
+
+/// [`gemm_rt_into`] on an explicit microkernel backend instead of the
+/// process-dispatched one (see [`gemm_into_with`]).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_rt_into_with<R: Real, K: Kernel<R> + ?Sized>(
+    kernel: &K,
+    lhs: &[R],
+    rhs_t: &[R],
+    out: &mut [R],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(lhs.len(), m * k, "lhs length must equal m*k");
     assert_eq!(rhs_t.len(), k * n, "rhs_t length must equal k*n");
     assert_eq!(out.len(), m * n, "out length must equal m*n");
@@ -355,42 +418,27 @@ pub fn gemm_rt_into<R: Real>(lhs: &[R], rhs_t: &[R], out: &mut [R], m: usize, k:
         1
     };
     if threads <= 1 {
-        gemm_rows_skinny(lhs, rhs_t, out, k, n, 0, m);
+        gemm_rows_skinny(kernel, lhs, rhs_t, out, k, n, 0, m);
     } else {
         let chunk = m.div_ceil(threads);
         std::thread::scope(|scope| {
             for (block, out_block) in out.chunks_mut(chunk * n).enumerate() {
                 let r0 = block * chunk;
                 let r1 = (r0 + chunk).min(m);
-                scope.spawn(move || gemm_rows_skinny(lhs, rhs_t, out_block, k, n, r0, r1));
+                scope.spawn(move || gemm_rows_skinny(kernel, lhs, rhs_t, out_block, k, n, r0, r1));
             }
         });
     }
 }
 
-/// Eight-accumulator contiguous dot product; the accumulator fan-out breaks
-/// the add dependency chain so the loop saturates the FMA ports.
-#[inline]
-fn dot<R: Real>(a: &[R], b: &[R]) -> R {
-    let mut acc = [R::ZERO; 8];
-    let ca = a.chunks_exact(8);
-    let cb = b.chunks_exact(8);
-    let (ta, tb) = (ca.remainder(), cb.remainder());
-    for (x, y) in ca.zip(cb) {
-        for i in 0..8 {
-            acc[i] += x[i] * y[i];
-        }
-    }
-    let mut tail = R::ZERO;
-    for (&x, &y) in ta.iter().zip(tb) {
-        tail += x * y;
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
-}
-
 /// Tall-skinny kernel: `rhs_t` is the `[n × k]` transpose of `rhs`, so every
-/// output element is one linear scan of two contiguous slices.
-fn gemm_rows_skinny<R: Real>(
+/// output element is one linear scan of two contiguous slices. Columns are
+/// register-blocked four at a time ([`Kernel::dot4`] shares each
+/// left-operand load across four accumulator chains), with a plain
+/// [`Kernel::dot`] sweep over the `rcols % 4` remainder.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_skinny<R: Real, K: Kernel<R> + ?Sized>(
+    kernel: &K,
     lhs: &[R],
     rhs_t: &[R],
     out_block: &mut [R],
@@ -399,18 +447,44 @@ fn gemm_rows_skinny<R: Real>(
     r0: usize,
     r1: usize,
 ) {
+    let quad = kernel.quad_blocked();
     for r in r0..r1 {
         let lhs_row = &lhs[r * inner..(r + 1) * inner];
         let out_row = &mut out_block[(r - r0) * rcols..(r - r0 + 1) * rcols];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            *o = dot(lhs_row, &rhs_t[j * inner..(j + 1) * inner]);
+        let mut j = 0;
+        if quad {
+            while j + 4 <= rcols {
+                let dots = kernel.dot4(
+                    lhs_row,
+                    [
+                        &rhs_t[j * inner..(j + 1) * inner],
+                        &rhs_t[(j + 1) * inner..(j + 2) * inner],
+                        &rhs_t[(j + 2) * inner..(j + 3) * inner],
+                        &rhs_t[(j + 3) * inner..(j + 4) * inner],
+                    ],
+                );
+                out_row[j..j + 4].copy_from_slice(&dots);
+                j += 4;
+            }
+        }
+        // Remainder columns — or, for non-quad backends (the scalar
+        // reference), every column: the plain per-column dot is the loop
+        // shape LLVM optimizes best for plain code.
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            *o = kernel.dot(lhs_row, &rhs_t[jj * inner..(jj + 1) * inner]);
         }
     }
 }
 
 /// Computes output rows `[r0, r1)` of `lhs · rhs` into `out_block`
-/// (`out_block` holds exactly those rows, already zeroed).
-fn gemm_rows<R: Real>(
+/// (`out_block` holds exactly those rows, already zeroed). The inner tile
+/// update is register-blocked four right-operand rows at a time
+/// ([`Kernel::axpy4`] pays one `out` load/store per four fused
+/// multiply-adds), with a per-row [`Kernel::axpy`] — which skips
+/// ReLU-sparse zero multipliers — over the `kw % 4` remainder.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows<R: Real, K: Kernel<R> + ?Sized>(
+    kernel: &K,
     lhs: &[R],
     rhs: &[R],
     out_block: &mut [R],
@@ -428,15 +502,34 @@ fn gemm_rows<R: Real>(
             for r in r0..r1 {
                 let out_seg = &mut out_block[(r - r0) * rcols + jc..(r - r0) * rcols + jc + jw];
                 let lhs_seg = &lhs[r * inner + kc..r * inner + kc + kw];
-                for (l, &a) in lhs_seg.iter().enumerate() {
-                    if a == R::ZERO {
-                        // ReLU activations make training matmuls sparse.
-                        continue;
+                let rhs_seg = |l: usize| &rhs[(kc + l) * rcols + jc..(kc + l) * rcols + jc + jw];
+                let mut l = 0;
+                if kernel.quad_blocked() {
+                    while l + 4 <= kw {
+                        let alphas = [lhs_seg[l], lhs_seg[l + 1], lhs_seg[l + 2], lhs_seg[l + 3]];
+                        if alphas.iter().all(|&a| a != R::ZERO) {
+                            kernel.axpy4(
+                                alphas,
+                                [rhs_seg(l), rhs_seg(l + 1), rhs_seg(l + 2), rhs_seg(l + 3)],
+                                out_seg,
+                            );
+                        } else {
+                            // A quad with zero multipliers takes the per-row
+                            // form: axpy skips zeros on every backend, so
+                            // zero-alpha rows are never *read* — SIMD
+                            // backends would otherwise turn 0 · ∞ (a
+                            // blown-up weight) into NaN where the scalar
+                            // reference stays finite.
+                            for (off, &a) in alphas.iter().enumerate() {
+                                kernel.axpy(a, rhs_seg(l + off), out_seg);
+                            }
+                        }
+                        l += 4;
                     }
-                    let rhs_seg = &rhs[(kc + l) * rcols + jc..(kc + l) * rcols + jc + jw];
-                    for (o, &b) in out_seg.iter_mut().zip(rhs_seg) {
-                        *o += a * b;
-                    }
+                }
+                // Remainder rows — or, for non-quad backends, every row.
+                for (ll, &a) in lhs_seg.iter().enumerate().skip(l) {
+                    kernel.axpy(a, rhs_seg(ll), out_seg);
                 }
             }
         }

@@ -1,0 +1,811 @@
+//! SIMD microkernel backends for the `Real`-generic GEMMs.
+//!
+//! The hot path of the whole workspace — the fused demod + matched-filter
+//! GEMM, the NN heads, the streaming discriminate stage — bottoms out in
+//! three primitive shapes: a contiguous dot product, a register-blocked
+//! 4-column dot ([`Kernel::dot4`], one left-operand load feeding four
+//! accumulator chains), and the broadcast-GEMM rank-1 update
+//! ([`Kernel::axpy`] / the 4-row fused [`Kernel::axpy4`]). [`Kernel`]
+//! abstracts exactly those primitives so one backend serves both pipeline
+//! precisions:
+//!
+//! | backend | where | f32 lanes | f64 lanes |
+//! |---|---|---|---|
+//! | [`ScalarKernel`] | everywhere | 1 (8-acc ILP) | 1 (8-acc ILP) |
+//! | [`Avx2Kernel`] | `x86_64` with AVX2+FMA | 8 | 4 |
+//!
+//! # Dispatch
+//!
+//! The active backend is resolved **once per process**, on first use, from
+//! the `HERQLES_KERNEL` environment variable:
+//!
+//! * `auto` (default) — AVX2+FMA when the CPU has it, scalar otherwise;
+//! * `scalar` — force the reference backend;
+//! * `avx2` — force AVX2+FMA; **panics** if the host lacks it (a silently
+//!   ignored override would invalidate a recorded experiment).
+//!
+//! [`select_kernel`] overrides the choice programmatically at any point
+//! (benches use it to emit scalar-vs-dispatched rows from one process);
+//! [`active_kernel_name`] reports what is live. Every backend computes the
+//! same results up to floating-point reassociation and FMA contraction —
+//! the kernel-parity suite (`crates/nn/tests/kernel_parity.rs`) pins each
+//! backend against [`ScalarKernel`] under documented ULP tolerances, and
+//! [`ScalarKernel`] itself is bit-identical to the pre-SIMD hand-written
+//! loops, so `HERQLES_KERNEL=scalar` reproduces historical results exactly.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::Real;
+
+/// One SIMD (or scalar) implementation of the GEMM primitives at scalar
+/// type `R`.
+///
+/// All slice arguments of one call **must share one length** — the GEMM
+/// callers guarantee it, and the scalar reference debug-asserts it.
+/// Implementations stay memory-safe on unequal lengths (the AVX2 paths
+/// bound their pointers by the common prefix) but the *value* computed is
+/// then unspecified and differs between backends. `out`-accumulating
+/// methods (`axpy*`) must add into `out`, never overwrite it.
+pub trait Kernel<R: Real>: Send + Sync {
+    /// Backend label (`"scalar"` / `"avx2"`), used by bench rows and tests.
+    fn name(&self) -> &'static str;
+
+    /// Contiguous dot product `Σ a[i]·b[i]`.
+    fn dot(&self, a: &[R], b: &[R]) -> R;
+
+    /// Register-blocked 4-column dot: `[Σ a·b0, Σ a·b1, Σ a·b2, Σ a·b3]`.
+    ///
+    /// The tall-skinny GEMM calls this with four consecutive rows of the
+    /// transposed right operand so each left-operand load feeds four
+    /// accumulator chains.
+    fn dot4(&self, a: &[R], bs: [&[R]; 4]) -> [R; 4];
+
+    /// Rank-1 update segment `out[i] += alpha · x[i]`.
+    ///
+    /// `alpha == 0` must leave `out` untouched (the broadcast GEMM leans on
+    /// this to skip ReLU-sparse left operands).
+    fn axpy(&self, alpha: R, x: &[R], out: &mut [R]);
+
+    /// Four fused rank-1 updates `out[i] += Σ_j alphas[j] · xs[j][i]`.
+    ///
+    /// The broadcast GEMM calls this with four consecutive right-operand
+    /// rows of one L1 tile, quartering the `out` load/store traffic. The
+    /// accumulation order over `j` is ascending, so the scalar backend is
+    /// bit-identical to four sequential [`Kernel::axpy`] calls.
+    fn axpy4(&self, alphas: [R; 4], xs: [&[R]; 4], out: &mut [R]);
+
+    /// Whether the GEMMs should present work to this backend in quads
+    /// ([`Kernel::dot4`] / [`Kernel::axpy4`]) rather than one column/row at
+    /// a time.
+    ///
+    /// SIMD backends say `true`: the quad forms amortize left-operand loads
+    /// and `out` traffic across register-blocked accumulator chains. The
+    /// scalar reference says `false` — measured on the reference container,
+    /// funneling four array-returning dot calls through one statement
+    /// defeats LLVM's scalar-replacement + vectorization of the plain
+    /// per-column dot loop and costs ~3.5× on the fused-MF GEMM, so the
+    /// scalar arm keeps the exact pre-backend loop shape instead.
+    fn quad_blocked(&self) -> bool {
+        true
+    }
+}
+
+/// The portable reference backend: plain Rust loops with the 8-accumulator
+/// dot-product fan-out the workspace has always used, bit-identical to the
+/// pre-SIMD `gemm_into`/`gemm_rt_into` on every input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl<R: Real> Kernel<R> for ScalarKernel {
+    #[inline(always)]
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    /// Eight-accumulator contiguous dot product; the accumulator fan-out
+    /// breaks the add dependency chain so the loop saturates the FMA ports
+    /// even without explicit SIMD.
+    #[inline(always)]
+    fn dot(&self, a: &[R], b: &[R]) -> R {
+        debug_assert_eq!(a.len(), b.len(), "kernel slices must share a length");
+        let mut acc = [R::ZERO; 8];
+        let ca = a.chunks_exact(8);
+        let cb = b.chunks_exact(8);
+        let (ta, tb) = (ca.remainder(), cb.remainder());
+        for (x, y) in ca.zip(cb) {
+            for i in 0..8 {
+                acc[i] += x[i] * y[i];
+            }
+        }
+        let mut tail = R::ZERO;
+        for (&x, &y) in ta.iter().zip(tb) {
+            tail += x * y;
+        }
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+    }
+
+    #[inline(always)]
+    fn dot4(&self, a: &[R], bs: [&[R]; 4]) -> [R; 4] {
+        [
+            self.dot(a, bs[0]),
+            self.dot(a, bs[1]),
+            self.dot(a, bs[2]),
+            self.dot(a, bs[3]),
+        ]
+    }
+
+    #[inline(always)]
+    fn axpy(&self, alpha: R, x: &[R], out: &mut [R]) {
+        if alpha == R::ZERO {
+            // ReLU activations make training matmuls sparse.
+            return;
+        }
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o += alpha * v;
+        }
+    }
+
+    #[inline(always)]
+    fn axpy4(&self, alphas: [R; 4], xs: [&[R]; 4], out: &mut [R]) {
+        for j in 0..4 {
+            self.axpy(alphas[j], xs[j], out);
+        }
+    }
+
+    #[inline(always)]
+    fn quad_blocked(&self) -> bool {
+        false
+    }
+}
+
+/// The `x86_64` AVX2+FMA backend: 8-lane f32 / 4-lane f64 microkernels via
+/// `std::arch` intrinsics behind `#[target_feature]`.
+///
+/// Instances are only obtainable through [`Avx2Kernel::get`], which returns
+/// `Some` exactly when the running CPU reports AVX2 **and** FMA — the safe
+/// trait methods may therefore call the `target_feature` functions without
+/// re-checking. Results differ from [`ScalarKernel`] only by reduction
+/// order and FMA contraction (unrounded multiply feeding the add), bounded
+/// by the kernel-parity suite's ULP tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Kernel(());
+
+/// The one (zero-sized) AVX2 backend instance [`Avx2Kernel::get`] hands out.
+static AVX2_INSTANCE: Avx2Kernel = Avx2Kernel(());
+
+impl Avx2Kernel {
+    /// The AVX2+FMA backend, iff the host supports it (always `None` off
+    /// `x86_64`).
+    pub fn get() -> Option<&'static Avx2Kernel> {
+        if avx2_available() {
+            Some(&AVX2_INSTANCE)
+        } else {
+            None
+        }
+    }
+}
+
+/// Whether the running CPU supports the [`Avx2Kernel`] (AVX2 and FMA).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Kernel<f32> for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: an Avx2Kernel only exists when AVX2+FMA were detected.
+        unsafe { avx2::dot_f32(a, b) }
+    }
+
+    fn dot4(&self, a: &[f32], bs: [&[f32]; 4]) -> [f32; 4] {
+        // SAFETY: as above.
+        unsafe { avx2::dot4_f32(a, bs) }
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], out: &mut [f32]) {
+        if alpha == 0.0 {
+            return;
+        }
+        // SAFETY: as above.
+        unsafe { avx2::axpy_f32(alpha, x, out) }
+    }
+
+    fn axpy4(&self, alphas: [f32; 4], xs: [&[f32]; 4], out: &mut [f32]) {
+        // SAFETY: as above.
+        unsafe { avx2::axpy4_f32(alphas, xs, out) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Kernel<f64> for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        // SAFETY: an Avx2Kernel only exists when AVX2+FMA were detected.
+        unsafe { avx2::dot_f64(a, b) }
+    }
+
+    fn dot4(&self, a: &[f64], bs: [&[f64]; 4]) -> [f64; 4] {
+        // SAFETY: as above.
+        unsafe { avx2::dot4_f64(a, bs) }
+    }
+
+    fn axpy(&self, alpha: f64, x: &[f64], out: &mut [f64]) {
+        if alpha == 0.0 {
+            return;
+        }
+        // SAFETY: as above.
+        unsafe { avx2::axpy_f64(alpha, x, out) }
+    }
+
+    fn axpy4(&self, alphas: [f64; 4], xs: [&[f64]; 4], out: &mut [f64]) {
+        // SAFETY: as above.
+        unsafe { avx2::axpy4_f64(alphas, xs, out) }
+    }
+}
+
+/// Off `x86_64` the type still exists (so generic code and the parity
+/// harness compile everywhere) but [`Avx2Kernel::get`] never hands one out;
+/// these impls delegate to the scalar reference and are unreachable in
+/// practice.
+#[cfg(not(target_arch = "x86_64"))]
+impl<R: Real> Kernel<R> for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn dot(&self, a: &[R], b: &[R]) -> R {
+        ScalarKernel.dot(a, b)
+    }
+
+    fn dot4(&self, a: &[R], bs: [&[R]; 4]) -> [R; 4] {
+        ScalarKernel.dot4(a, bs)
+    }
+
+    fn axpy(&self, alpha: R, x: &[R], out: &mut [R]) {
+        ScalarKernel.axpy(alpha, x, out);
+    }
+
+    fn axpy4(&self, alphas: [R; 4], xs: [&[R]; 4], out: &mut [R]) {
+        ScalarKernel.axpy4(alphas, xs, out);
+    }
+}
+
+/// A requestable backend: what `HERQLES_KERNEL` and [`select_kernel`]
+/// accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The portable reference loops.
+    Scalar,
+    /// AVX2+FMA microkernels (requires hardware support).
+    Avx2,
+    /// Best available: [`KernelBackend::Avx2`] when supported, else scalar.
+    Auto,
+}
+
+impl KernelBackend {
+    /// Parses a `HERQLES_KERNEL` value.
+    pub fn parse(s: &str) -> Result<KernelBackend, KernelSelectError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(KernelBackend::Scalar),
+            "avx2" => Ok(KernelBackend::Avx2),
+            "auto" | "" => Ok(KernelBackend::Auto),
+            other => Err(KernelSelectError {
+                reason: format!("unknown kernel backend {other:?} (expected scalar|avx2|auto)"),
+            }),
+        }
+    }
+}
+
+/// Why a kernel selection was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSelectError {
+    reason: String,
+}
+
+impl std::fmt::Display for KernelSelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for KernelSelectError {}
+
+/// The resolved backend, process-wide: 0 = not yet resolved, 1 = scalar,
+/// 2 = avx2. Both precisions share one selection so an `f32` and an `f64`
+/// pipeline in the same process always ride the same backend.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+const SCALAR_ID: u8 = 1;
+const AVX2_ID: u8 = 2;
+
+fn backend_id(backend: KernelBackend) -> Result<u8, KernelSelectError> {
+    match backend {
+        KernelBackend::Scalar => Ok(SCALAR_ID),
+        KernelBackend::Avx2 => {
+            if avx2_available() {
+                Ok(AVX2_ID)
+            } else {
+                Err(KernelSelectError {
+                    reason: "HERQLES_KERNEL=avx2 requested but this CPU lacks AVX2+FMA \
+                             (use scalar or auto)"
+                        .to_string(),
+                })
+            }
+        }
+        KernelBackend::Auto => Ok(if avx2_available() { AVX2_ID } else { SCALAR_ID }),
+    }
+}
+
+/// Resolves the active backend id, reading `HERQLES_KERNEL` on first use.
+///
+/// # Panics
+///
+/// Panics if the environment variable holds an unknown value or requests
+/// `avx2` on hardware without it — a silently ignored override would
+/// invalidate a recorded experiment.
+fn resolved() -> u8 {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            let requested = match std::env::var("HERQLES_KERNEL") {
+                Ok(v) => KernelBackend::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+                Err(_) => KernelBackend::Auto,
+            };
+            let id = backend_id(requested).unwrap_or_else(|e| panic!("{e}"));
+            // A concurrent first-use resolves to the same id (env + CPUID
+            // are process-constant), so a plain store is race-free in effect.
+            ACTIVE.store(id, Ordering::Relaxed);
+            id
+        }
+        id => id,
+    }
+}
+
+/// Overrides the process-wide kernel selection and returns the name of the
+/// now-active backend.
+///
+/// Takes effect for every subsequent GEMM in the process (calls already in
+/// flight on other threads finish on the backend they started with — both
+/// compute the same results within the parity tolerances). Selecting
+/// [`KernelBackend::Avx2`] on hardware without it fails without changing
+/// the selection.
+pub fn select_kernel(backend: KernelBackend) -> Result<&'static str, KernelSelectError> {
+    let id = backend_id(backend)?;
+    ACTIVE.store(id, Ordering::Relaxed);
+    Ok(id_name(id))
+}
+
+fn id_name(id: u8) -> &'static str {
+    match id {
+        SCALAR_ID => "scalar",
+        AVX2_ID => "avx2",
+        _ => unreachable!("unknown kernel backend id {id}"),
+    }
+}
+
+/// The name of the backend the GEMMs are currently dispatched to
+/// (`"scalar"` or `"avx2"`), resolving `HERQLES_KERNEL` if this is the
+/// first kernel use of the process.
+pub fn active_kernel_name() -> &'static str {
+    id_name(resolved())
+}
+
+macro_rules! active_fn {
+    ($name:ident, $t:ty) => {
+        /// The dispatched backend at this scalar type (monomorphic so the
+        /// sealed [`Real::kernel`] impls can reference it directly).
+        pub(crate) fn $name() -> &'static dyn Kernel<$t> {
+            match resolved() {
+                SCALAR_ID => &ScalarKernel,
+                _ => &AVX2_INSTANCE,
+            }
+        }
+    };
+}
+
+active_fn!(active_f32, f32);
+active_fn!(active_f64, f64);
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The `#[target_feature]` bodies. Callers guarantee AVX2+FMA (see
+    //! [`super::Avx2Kernel`]); every function handles arbitrary slice
+    //! lengths with a scalar tail, so all m/k/n remainder edges of the
+    //! blocked GEMMs land here rather than in the callers.
+
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of 8 f32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_ps(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Horizontal sum of 4 f64 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_pd(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// 8-lane f32 dot with a 4-vector (32 MAC/iter) main loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 16)),
+                _mm256_loadu_ps(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 24)),
+                _mm256_loadu_ps(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let mut sum = hsum_ps(_mm256_add_ps(
+            _mm256_add_ps(acc0, acc1),
+            _mm256_add_ps(acc2, acc3),
+        ));
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// 4-lane f64 dot with a 4-vector (16 MAC/iter) main loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_f64(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 8)),
+                _mm256_loadu_pd(bp.add(i + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 12)),
+                _mm256_loadu_pd(bp.add(i + 12)),
+                acc3,
+            );
+            i += 16;
+        }
+        while i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            i += 4;
+        }
+        let mut sum = hsum_pd(_mm256_add_pd(
+            _mm256_add_pd(acc0, acc1),
+            _mm256_add_pd(acc2, acc3),
+        ));
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// Register-blocked 4-column f32 dot: two a-vectors per iteration feed
+    /// eight accumulator chains (4 columns × 2-deep unroll).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4_f32(a: &[f32], bs: [&[f32]; 4]) -> [f32; 4] {
+        let n = bs.iter().fold(a.len(), |acc, b| acc.min(b.len()));
+        let ap = a.as_ptr();
+        let bp = [
+            bs[0].as_ptr(),
+            bs[1].as_ptr(),
+            bs[2].as_ptr(),
+            bs[3].as_ptr(),
+        ];
+        let mut lo = [_mm256_setzero_ps(); 4];
+        let mut hi = [_mm256_setzero_ps(); 4];
+        let mut i = 0;
+        while i + 16 <= n {
+            let va0 = _mm256_loadu_ps(ap.add(i));
+            let va1 = _mm256_loadu_ps(ap.add(i + 8));
+            for j in 0..4 {
+                lo[j] = _mm256_fmadd_ps(va0, _mm256_loadu_ps(bp[j].add(i)), lo[j]);
+                hi[j] = _mm256_fmadd_ps(va1, _mm256_loadu_ps(bp[j].add(i + 8)), hi[j]);
+            }
+            i += 16;
+        }
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(ap.add(i));
+            for j in 0..4 {
+                lo[j] = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp[j].add(i)), lo[j]);
+            }
+            i += 8;
+        }
+        let mut out = [0.0f32; 4];
+        for j in 0..4 {
+            out[j] = hsum_ps(_mm256_add_ps(lo[j], hi[j]));
+        }
+        while i < n {
+            for j in 0..4 {
+                out[j] += a[i] * bs[j][i];
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Register-blocked 4-column f64 dot (4 columns × 2-deep unroll).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4_f64(a: &[f64], bs: [&[f64]; 4]) -> [f64; 4] {
+        let n = bs.iter().fold(a.len(), |acc, b| acc.min(b.len()));
+        let ap = a.as_ptr();
+        let bp = [
+            bs[0].as_ptr(),
+            bs[1].as_ptr(),
+            bs[2].as_ptr(),
+            bs[3].as_ptr(),
+        ];
+        let mut lo = [_mm256_setzero_pd(); 4];
+        let mut hi = [_mm256_setzero_pd(); 4];
+        let mut i = 0;
+        while i + 8 <= n {
+            let va0 = _mm256_loadu_pd(ap.add(i));
+            let va1 = _mm256_loadu_pd(ap.add(i + 4));
+            for j in 0..4 {
+                lo[j] = _mm256_fmadd_pd(va0, _mm256_loadu_pd(bp[j].add(i)), lo[j]);
+                hi[j] = _mm256_fmadd_pd(va1, _mm256_loadu_pd(bp[j].add(i + 4)), hi[j]);
+            }
+            i += 8;
+        }
+        while i + 4 <= n {
+            let va = _mm256_loadu_pd(ap.add(i));
+            for j in 0..4 {
+                lo[j] = _mm256_fmadd_pd(va, _mm256_loadu_pd(bp[j].add(i)), lo[j]);
+            }
+            i += 4;
+        }
+        let mut out = [0.0f64; 4];
+        for j in 0..4 {
+            out[j] = hsum_pd(_mm256_add_pd(lo[j], hi[j]));
+        }
+        while i < n {
+            for j in 0..4 {
+                out[j] += a[i] * bs[j][i];
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// f32 `out += alpha · x` over the common length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_f32(alpha: f32, x: &[f32], out: &mut [f32]) {
+        let n = x.len().min(out.len());
+        let va = _mm256_set1_ps(alpha);
+        let xp = x.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let o = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(op.add(i)));
+            _mm256_storeu_ps(op.add(i), o);
+            i += 8;
+        }
+        while i < n {
+            out[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// f64 `out += alpha · x` over the common length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_f64(alpha: f64, x: &[f64], out: &mut [f64]) {
+        let n = x.len().min(out.len());
+        let va = _mm256_set1_pd(alpha);
+        let xp = x.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let o = _mm256_fmadd_pd(va, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(op.add(i)));
+            _mm256_storeu_pd(op.add(i), o);
+            i += 4;
+        }
+        while i < n {
+            out[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// f32 `out += Σ_j alphas[j] · xs[j]`: one `out` load/store per four
+    /// fused multiply-adds.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy4_f32(alphas: [f32; 4], xs: [&[f32]; 4], out: &mut [f32]) {
+        let n = xs.iter().fold(out.len(), |acc, x| acc.min(x.len()));
+        let va = [
+            _mm256_set1_ps(alphas[0]),
+            _mm256_set1_ps(alphas[1]),
+            _mm256_set1_ps(alphas[2]),
+            _mm256_set1_ps(alphas[3]),
+        ];
+        let xp = [
+            xs[0].as_ptr(),
+            xs[1].as_ptr(),
+            xs[2].as_ptr(),
+            xs[3].as_ptr(),
+        ];
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let mut o = _mm256_loadu_ps(op.add(i));
+            for j in 0..4 {
+                o = _mm256_fmadd_ps(va[j], _mm256_loadu_ps(xp[j].add(i)), o);
+            }
+            _mm256_storeu_ps(op.add(i), o);
+            i += 8;
+        }
+        while i < n {
+            let mut o = out[i];
+            for j in 0..4 {
+                o += alphas[j] * xs[j][i];
+            }
+            out[i] = o;
+            i += 1;
+        }
+    }
+
+    /// f64 `out += Σ_j alphas[j] · xs[j]`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy4_f64(alphas: [f64; 4], xs: [&[f64]; 4], out: &mut [f64]) {
+        let n = xs.iter().fold(out.len(), |acc, x| acc.min(x.len()));
+        let va = [
+            _mm256_set1_pd(alphas[0]),
+            _mm256_set1_pd(alphas[1]),
+            _mm256_set1_pd(alphas[2]),
+            _mm256_set1_pd(alphas[3]),
+        ];
+        let xp = [
+            xs[0].as_ptr(),
+            xs[1].as_ptr(),
+            xs[2].as_ptr(),
+            xs[3].as_ptr(),
+        ];
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut o = _mm256_loadu_pd(op.add(i));
+            for j in 0..4 {
+                o = _mm256_fmadd_pd(va[j], _mm256_loadu_pd(xp[j].add(i)), o);
+            }
+            _mm256_storeu_pd(op.add(i), o);
+            i += 4;
+        }
+        while i < n {
+            let mut o = out[i];
+            for j in 0..4 {
+                o += alphas[j] * xs[j][i];
+            }
+            out[i] = o;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(KernelBackend::parse("scalar"), Ok(KernelBackend::Scalar));
+        assert_eq!(KernelBackend::parse("AVX2"), Ok(KernelBackend::Avx2));
+        assert_eq!(KernelBackend::parse(" auto "), Ok(KernelBackend::Auto));
+        assert!(KernelBackend::parse("neon").is_err());
+    }
+
+    #[test]
+    fn scalar_dot_matches_naive_sum() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64) * 0.25 - 4.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| 1.5 - (i as f64) * 0.125).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got: f64 = ScalarKernel.dot(&a, &b);
+        assert!((got - naive).abs() < 1e-12, "{got} vs {naive}");
+    }
+
+    #[test]
+    fn scalar_axpy_skips_zero_alpha() {
+        let x = [f64::NAN; 3];
+        let mut out = [1.0, 2.0, 3.0];
+        ScalarKernel.axpy(0.0, &x, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0], "alpha == 0 must not touch out");
+    }
+
+    #[test]
+    fn scalar_axpy4_is_sequential_axpys() {
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..9).map(|i| (i + j) as f64 * 0.5).collect())
+            .collect();
+        let alphas = [0.5, -1.0, 0.0, 2.0];
+        let mut fused = vec![1.0; 9];
+        let mut seq = vec![1.0; 9];
+        ScalarKernel.axpy4(alphas, [&xs[0], &xs[1], &xs[2], &xs[3]], &mut fused);
+        for j in 0..4 {
+            ScalarKernel.axpy(alphas[j], &xs[j], &mut seq);
+        }
+        assert_eq!(fused, seq);
+    }
+
+    #[test]
+    fn selection_is_reversible_and_reports_names() {
+        let scalar = select_kernel(KernelBackend::Scalar).expect("scalar always selectable");
+        assert_eq!(scalar, "scalar");
+        assert_eq!(active_kernel_name(), "scalar");
+        assert_eq!(<f64 as Real>::kernel().name(), "scalar");
+        assert_eq!(<f32 as Real>::kernel().name(), "scalar");
+        let auto = select_kernel(KernelBackend::Auto).expect("auto always selectable");
+        assert_eq!(auto, active_kernel_name());
+        assert_eq!(<f64 as Real>::kernel().name(), auto);
+        if avx2_available() {
+            assert_eq!(auto, "avx2");
+            assert!(Avx2Kernel::get().is_some());
+        } else {
+            assert_eq!(auto, "scalar");
+            assert!(Avx2Kernel::get().is_none());
+            assert!(select_kernel(KernelBackend::Avx2).is_err());
+        }
+        // Selection is process-global: put back whatever HERQLES_KERNEL
+        // asked for so the rest of this test binary (and the CI kernel
+        // matrix's scalar arm in particular) runs on the requested backend.
+        let requested = std::env::var("HERQLES_KERNEL")
+            .ok()
+            .and_then(|v| KernelBackend::parse(&v).ok())
+            .unwrap_or(KernelBackend::Auto);
+        select_kernel(requested).expect("restoring the env-requested backend");
+    }
+}

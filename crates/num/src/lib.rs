@@ -26,6 +26,13 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 
 use rand::{Random, Rng};
 
+pub mod kernel;
+
+pub use kernel::{
+    active_kernel_name, avx2_available, select_kernel, Avx2Kernel, Kernel, KernelBackend,
+    KernelSelectError, ScalarKernel,
+};
+
 mod sealed {
     /// Prevents downstream impls: every generic kernel in the workspace may
     /// assume `Real` is exactly `f32` or `f64` (e.g. for `Any`-based kernel
@@ -108,6 +115,13 @@ pub trait Real:
     /// Whether the value is neither infinite nor NaN.
     fn is_finite(self) -> bool;
 
+    /// The SIMD microkernel backend the process is dispatched to at this
+    /// precision ([`kernel`] module): AVX2+FMA where the CPU supports it,
+    /// the scalar reference otherwise, overridable via `HERQLES_KERNEL`
+    /// (`scalar|avx2|auto`) or [`kernel::select_kernel`]. The GEMMs in
+    /// `readout-nn` route every inner loop through this.
+    fn kernel() -> &'static dyn Kernel<Self>;
+
     /// One uniform draw in `[0, 1)` at this precision.
     ///
     /// Consumes exactly one `next_u64` regardless of format, so `f32` and
@@ -142,7 +156,7 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty, $name:literal, $bits:literal, $parity_tol:expr) => {
+    ($t:ty, $name:literal, $bits:literal, $parity_tol:expr, $active_kernel:path) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -190,12 +204,17 @@ macro_rules! impl_real {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+
+            #[inline]
+            fn kernel() -> &'static dyn Kernel<Self> {
+                $active_kernel()
+            }
         }
     };
 }
 
-impl_real!(f32, "f32", 32, 1e-3);
-impl_real!(f64, "f64", 64, 1e-10);
+impl_real!(f32, "f32", 32, 1e-3, kernel::active_f32);
+impl_real!(f64, "f64", 64, 1e-10, kernel::active_f64);
 
 #[cfg(test)]
 mod tests {

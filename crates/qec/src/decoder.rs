@@ -44,9 +44,57 @@ enum Assignment {
     East,
 }
 
+/// One greedy-matching candidate: an event pair or a boundary match.
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    Pair(usize, usize),
+    West(usize),
+    East(usize),
+}
+
 /// Event sets up to this size are decoded with exact minimum-weight
 /// matching (subset DP); larger sets fall back to greedy matching.
 const EXACT_MATCHING_LIMIT: usize = 14;
+
+/// Reusable working memory for [`decode_block_with`].
+///
+/// Decoding allocates in three places — the subset-DP memo of the exact
+/// matcher, and the assignment + candidate vectors of the greedy fallback
+/// (the candidate sort itself is in-place unstable with an explicit
+/// sequence tie-breaker, so it never takes the stable sort's temp buffer).
+/// A scratch owns all three so a warm caller (the streaming engine decodes
+/// one block per cycle) runs the whole decode without touching the heap;
+/// `crates/stream/tests/alloc.rs` pins warm whole cycles at exactly zero
+/// allocations on top of this.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    assign: Vec<Assignment>,
+    candidates: Vec<(usize, u32, Candidate)>,
+    memo: Vec<u64>,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// A scratch pre-sized so no block within the decoder's normal operating
+    /// envelope ever grows it: the exact path's subset memo is reserved to
+    /// its hard `2^EXACT_MATCHING_LIMIT` ceiling (128 KiB of `u64`), and the
+    /// greedy buffers cover blocks of up to 64 events. Pathological blocks
+    /// beyond that grow the greedy buffers once and keep the capacity.
+    pub fn prewarmed() -> Self {
+        let greedy_events = 64;
+        DecodeScratch {
+            assign: Vec::with_capacity(greedy_events),
+            candidates: Vec::with_capacity(
+                greedy_events * (greedy_events - 1) / 2 + 2 * greedy_events,
+            ),
+            memo: Vec::with_capacity(1 << EXACT_MATCHING_LIMIT),
+        }
+    }
+}
 
 /// Decodes a block and determines the logical class.
 ///
@@ -55,11 +103,26 @@ const EXACT_MATCHING_LIMIT: usize = 14;
 /// boundaries, computed by dynamic programming over subsets; larger sets use
 /// greedy pairing with a local-improvement sweep. At Fig. 13's operating
 /// points almost every block falls in the exact regime.
+///
+/// Allocates its working memory per call; hot loops that decode many blocks
+/// hold a [`DecodeScratch`] and call [`decode_block_with`], which is
+/// identical in outcome and allocation-free once warm.
 pub fn decode_block(code: &RotatedSurfaceCode, block: &SyndromeBlock) -> DecodeOutcome {
+    decode_block_with(code, block, &mut DecodeScratch::new())
+}
+
+/// [`decode_block`] against caller-owned working memory: same algorithm,
+/// same outcome for every block, zero heap allocation once `scratch` has
+/// seen the block-size high-water mark (see [`DecodeScratch::prewarmed`]).
+pub fn decode_block_with(
+    code: &RotatedSurfaceCode,
+    block: &SyndromeBlock,
+    scratch: &mut DecodeScratch,
+) -> DecodeOutcome {
     let events = &block.events;
     let n = events.len();
     if n <= EXACT_MATCHING_LIMIT {
-        let west_matches = exact_min_weight_west_matches(code, events);
+        let west_matches = exact_min_weight_west_matches(code, events, &mut scratch.memo);
         let error_parity = block.west_column_error_parity(code);
         return DecodeOutcome {
             n_events: n,
@@ -67,29 +130,34 @@ pub fn decode_block(code: &RotatedSurfaceCode, block: &SyndromeBlock) -> DecodeO
             logical_error: error_parity != (west_matches % 2 == 1),
         };
     }
-    let mut assign = vec![Assignment::Free; n];
+    let assign = &mut scratch.assign;
+    assign.clear();
+    assign.resize(n, Assignment::Free);
 
-    // Candidate list: all event pairs plus per-event boundary matches.
-    #[derive(Clone, Copy)]
-    enum Candidate {
-        Pair(usize, usize),
-        West(usize),
-        East(usize),
-    }
-    let mut candidates: Vec<(usize, Candidate)> = Vec::new();
+    // Candidate list: all event pairs plus per-event boundary matches. Each
+    // entry carries its push sequence so the in-place unstable sort below
+    // reproduces the stable (insertion-order-preserving) ordering the
+    // greedy matcher has always consumed — `sort_by_key` would allocate a
+    // merge buffer on every decode, breaking the zero-alloc contract.
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
     for i in 0..n {
         for j in (i + 1)..n {
+            let seq = candidates.len() as u32;
             candidates.push((
                 event_distance(code, &events[i], &events[j]),
+                seq,
                 Candidate::Pair(i, j),
             ));
         }
-        candidates.push((code.dist_west(events[i].stab), Candidate::West(i)));
-        candidates.push((code.dist_east(events[i].stab), Candidate::East(i)));
+        let seq = candidates.len() as u32;
+        candidates.push((code.dist_west(events[i].stab), seq, Candidate::West(i)));
+        let seq = candidates.len() as u32;
+        candidates.push((code.dist_east(events[i].stab), seq, Candidate::East(i)));
     }
-    candidates.sort_by_key(|&(d, _)| d);
+    candidates.sort_unstable_by_key(|&(d, seq, _)| (d, seq));
 
-    for (_, cand) in candidates {
+    for &(_, _, cand) in candidates.iter() {
         match cand {
             Candidate::Pair(i, j) => {
                 if assign[i] == Assignment::Free && assign[j] == Assignment::Free {
@@ -161,15 +229,21 @@ pub fn decode_block(code: &RotatedSurfaceCode, block: &SyndromeBlock) -> DecodeO
 }
 
 /// Exact minimum-weight matching via subset DP; returns the number of
-/// west-boundary matches in one optimal solution.
-fn exact_min_weight_west_matches(code: &RotatedSurfaceCode, events: &[DetectionEvent]) -> usize {
+/// west-boundary matches in one optimal solution. `memo` is caller-owned
+/// scratch, cleared and resized to the `2^n` subsets here.
+fn exact_min_weight_west_matches(
+    code: &RotatedSurfaceCode,
+    events: &[DetectionEvent],
+    memo: &mut Vec<u64>,
+) -> usize {
     let n = events.len();
     if n == 0 {
         return 0;
     }
     let full = (1usize << n) - 1;
     const UNSET: u64 = u64::MAX;
-    let mut memo = vec![UNSET; 1 << n];
+    memo.clear();
+    memo.resize(1 << n, UNSET);
     memo[0] = 0;
 
     // Bottom-up over subsets in increasing popcount order works, but a

@@ -47,8 +47,8 @@ pub mod logical;
 pub mod syndrome;
 
 pub use cycle::{CycleTimes, GateSet};
-pub use decoder::decode_block;
 pub use decoder::DecodeOutcome;
+pub use decoder::{decode_block, decode_block_with, DecodeScratch};
 pub use layout::RotatedSurfaceCode;
 pub use logical::{estimate_logical_error_rate, LogicalErrorConfig};
 pub use syndrome::{stabilizer_parities, NoiseParams, SyndromeBlock, SyndromeSim};

@@ -41,7 +41,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use readout_sim::{BasisState, ChipConfig, ShotBatch};
 use surface_code::decoder::DecodeOutcome;
-use surface_code::{decode_block, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim};
+use surface_code::{
+    decode_block_with, DecodeScratch, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim,
+};
 
 use crate::map::AncillaMap;
 use crate::synth::RoundSynth;
@@ -191,6 +193,10 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     /// rounds accumulate, and block storage is never reallocated.
     blocks: [SyndromeBlock; 2],
     active: usize,
+    /// Reusable decoder workspace: pre-sized at construction so the block
+    /// decode in [`CycleEngine::finish_cycle`] never allocates, completing
+    /// the warm whole-cycle zero-allocation invariant (`tests/alloc.rs`).
+    decode: DecodeScratch,
     in_flight: StageNanos,
     totals: EngineStats,
     /// Present iff the engine was built with [`CycleEngine::with_pool`].
@@ -250,6 +256,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             round,
             blocks: [empty.clone(), empty],
             active: 0,
+            decode: DecodeScratch::prewarmed(),
             in_flight: StageNanos::default(),
             totals: EngineStats::default(),
             exec: None,
@@ -376,7 +383,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         // write_block reuses the target's buffers — no block reallocation.
         self.sim.write_block(&mut self.blocks[self.active]);
         let t1 = Instant::now();
-        let outcome = decode_block(self.code, &self.blocks[self.active]);
+        let outcome = decode_block_with(self.code, &self.blocks[self.active], &mut self.decode);
         let t2 = Instant::now();
 
         self.in_flight.syndrome += duration_ns(t0, t1);

@@ -112,24 +112,23 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     let result = engine32.finish_cycle();
     assert_eq!(result.stats.rounds, 16);
 
-    // The pooled engine carries the invariant across the fan-out: warm
-    // ParallelCycleEngine *rounds* — sharded synthesis on the pool workers
-    // overlapped with discrimination on this thread — must not allocate.
-    // Job dispatch publishes one borrowed fat pointer, workers park on a
-    // condvar, and every shard writes pre-sized buffers; the counting
-    // allocator is process-global, so worker-side allocations would be
-    // caught here too. Pooled cycles are monolithic (rounds + the decode
-    // epilogue), so the pin compares whole warm cycles against the serial
-    // engine on the bit-identical workload: parallelization must add
-    // exactly zero allocations on top of whatever the decoder itself does.
-    // (Per-cycle alloc sequences are identical across the two engines — same
-    // seed, same cycle indices — so min-of-3 windows compare like for like.)
+    // Whole warm cycles are now pinned at a hard **zero**: with the
+    // decoder's matching scratch owned by the engine (`DecodeScratch`,
+    // pre-sized at construction), a steady-state `run_cycle` — begin,
+    // every round, block write-out, exact-matching decode — must not touch
+    // the heap at all. This is strictly stronger than the previous
+    // pooled-vs-serial *comparison*, which tolerated the decoder's own
+    // per-cycle allocations on both sides.
     let mut serial = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
     let _ = serial.run_cycle();
     let _ = serial.run_cycle();
     let serial_cycle_allocs = min_allocs_over(3, || {
         let _ = serial.run_cycle();
     });
+    assert_eq!(
+        serial_cycle_allocs, 0,
+        "warm whole serial cycles must not touch the heap"
+    );
 
     let pool = ShardPool::new(3);
     // Deterministic pool warm-up: with dynamic scheduling a worker may claim
@@ -141,11 +140,16 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     let _ = pooled.run_cycle();
     let _ = pooled.run_cycle();
 
+    // The pooled engine carries the invariant across the fan-out: job
+    // dispatch publishes one borrowed fat pointer, workers park on a
+    // condvar, and every shard writes pre-sized buffers; the counting
+    // allocator is process-global, so worker-side allocations would be
+    // caught here too.
     let pooled_cycle_allocs = min_allocs_over(3, || {
         let _ = pooled.run_cycle();
     });
     assert_eq!(
-        pooled_cycle_allocs, serial_cycle_allocs,
-        "pooled fan-out must add zero allocations over serial warm cycles"
+        pooled_cycle_allocs, 0,
+        "warm whole pooled cycles must not touch the heap"
     );
 }
