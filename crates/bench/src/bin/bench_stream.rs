@@ -17,10 +17,14 @@
 //! trajectory seeded by `BENCH_inference.json`.
 //!
 //! Flags: `--threads N[,M…]` (pooled worker counts; `--threads 0` disables
-//! pooled rows). Environment overrides: `HERQULES_STREAM_CYCLES` (measured
-//! cycles per distance, default 40), `HERQULES_STREAM_SHOTS` (calibration
-//! shots per basis state, default 12), `HERQULES_STREAM_THREADS` (same as
-//! `--threads`), `HERQULES_SEED`.
+//! pooled rows) and `--drift` (append fault-injection robustness rows: the
+//! adaptive engine's cycles/s under an active centroid drift plus its
+//! rounds-to-detect and rounds-to-recover, per precision, serial and pooled,
+//! kernel-tagged — emitted under a `"drift"` key in the JSON). Environment
+//! overrides: `HERQULES_STREAM_CYCLES` (measured cycles per distance,
+//! default 40), `HERQULES_STREAM_SHOTS` (calibration shots per basis state,
+//! default 12), `HERQULES_STREAM_THREADS` (same as `--threads`),
+//! `HERQULES_SEED`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,7 +32,8 @@ use std::time::Instant;
 use herqles_core::Real;
 use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
 use herqles_stream::{
-    run_cycles_offline, train_mf_discriminator_typed, CycleConfig, CycleEngine, ShardPool,
+    run_cycles_offline, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
+    DriftEvent, FaultPlan, HealthConfig, HealthStatus, RecalConfig, ShardPool,
 };
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
@@ -45,10 +50,12 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Pooled worker counts: `--threads 2,4` wins over `HERQULES_STREAM_THREADS`
-/// wins over the default `2,4`. `0` (or an empty list) means serial only.
-fn thread_counts() -> Vec<usize> {
+/// Parsed command line: pooled worker counts plus the `--drift` switch.
+/// `--threads 2,4` wins over `HERQULES_STREAM_THREADS` wins over the default
+/// `2,4`; `0` (or an empty list) means serial only.
+fn parse_args() -> (Vec<usize>, bool) {
     let mut spec: Option<String> = std::env::var("HERQULES_STREAM_THREADS").ok();
+    let mut drift = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,11 +65,15 @@ fn thread_counts() -> Vec<usize> {
                         .expect("--threads requires a value, e.g. --threads 2,4"),
                 );
             }
-            other => panic!("unknown argument {other:?} (supported: --threads N[,M…])"),
+            "--drift" => drift = true,
+            other => {
+                panic!("unknown argument {other:?} (supported: --threads N[,M…], --drift)")
+            }
         }
     }
     let spec = spec.unwrap_or_else(|| "2,4".to_string());
-    spec.split(',')
+    let counts = spec
+        .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .map(|s| {
@@ -78,7 +89,116 @@ fn thread_counts() -> Vec<usize> {
             }
             t > 1
         })
-        .collect()
+        .collect();
+    (counts, drift)
+}
+
+/// One fault-injection robustness row: throughput under an active centroid
+/// drift plus the detect/recover latencies of the health → hot-swap loop.
+struct DriftRow {
+    precision: &'static str,
+    kernel: &'static str,
+    threads: usize,
+    clean_cycles_per_sec: f64,
+    faulted_cycles_per_sec: f64,
+    /// Rounds from fault onset until the health monitor left `Nominal`
+    /// (−1 if it never tripped within the budget).
+    rounds_to_detect: i64,
+    /// Rounds from fault onset until a hot-swap had fired *and* the monitor
+    /// re-baselined to `Nominal` (−1 if not reached within the budget).
+    rounds_to_recover: i64,
+    hot_swaps: u64,
+    degraded_decodes: u64,
+}
+
+/// Runs the drift → detect → hot-swap → recover scenario (the same recipe
+/// `crates/stream/tests/drift.rs` pins): calibrate clean on the two-channel
+/// chip at d = 3, step both readout clouds by 0.3 of their ground/excited
+/// separation, then stream adaptively until the monitor re-baselines.
+fn measure_drift<R: Real>(shots: usize, seed: u64, pool: Option<&ShardPool>) -> DriftRow
+where
+    herqles_stream::AdaptiveMf: herqles_core::PrecisionDiscriminator<R>,
+{
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(3);
+    let mf = train_mf_discriminator_typed(&chip, shots, seed);
+    let adaptive = AdaptiveMf::from_mf(
+        &mf,
+        RecalConfig {
+            capacity: 128,
+            min_windows: 8,
+            ..RecalConfig::default()
+        },
+    );
+    let cfg = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.03,
+        seed,
+    };
+    let mut engine = match pool {
+        Some(pool) => CycleEngine::<R, _>::with_pool(cfg, &chip, &code, &adaptive, pool),
+        None => CycleEngine::<R, _>::new(cfg, &chip, &code, &adaptive),
+    };
+    engine.set_health_config(HealthConfig {
+        alpha: 0.04,
+        baseline_rounds: 60,
+        hold_rounds: 4,
+        degraded_defect_factor: 3.0,
+        critical_defect_factor: 8.0,
+        ..HealthConfig::default()
+    });
+    engine.set_recal_cooldown(12);
+
+    // Clean calibration phase (also the clean-throughput measurement).
+    const CLEAN_CYCLES: usize = 40;
+    let start = Instant::now();
+    let _ = engine.run_cycles_adaptive(CLEAN_CYCLES);
+    let clean_cps = CLEAN_CYCLES as f64 / start.elapsed().as_secs_f64();
+
+    let onset = engine.stats().rounds;
+    let mut plan = FaultPlan::none();
+    for (k, q) in chip.qubits.iter().enumerate() {
+        plan.push(DriftEvent::CentroidDrift {
+            qubit: k,
+            start_round: onset,
+            end_round: onset,
+            delta: q.separation_dir() * (0.30 * q.separation()),
+        });
+    }
+    engine.set_fault_plan(plan);
+
+    let mut detect_round: Option<u64> = None;
+    let mut recover_round: Option<u64> = None;
+    let mut faulted_cycles = 0usize;
+    let start = Instant::now();
+    for _ in 0..400 {
+        let r = engine.run_cycle_adaptive();
+        faulted_cycles += 1;
+        if detect_round.is_none() && r.stats.health != HealthStatus::Nominal {
+            detect_round = Some(engine.stats().rounds);
+        }
+        if detect_round.is_some()
+            && engine.stats().hot_swaps >= 1
+            && r.stats.health == HealthStatus::Nominal
+        {
+            recover_round = Some(engine.stats().rounds);
+            break;
+        }
+    }
+    let faulted_cps = faulted_cycles as f64 / start.elapsed().as_secs_f64();
+
+    let since_onset = |round: Option<u64>| round.map_or(-1, |r| (r - onset) as i64);
+    DriftRow {
+        precision: R::NAME,
+        kernel: active_kernel_name(),
+        threads: pool.map_or(1, ShardPool::threads),
+        clean_cycles_per_sec: clean_cps,
+        faulted_cycles_per_sec: faulted_cps,
+        rounds_to_detect: since_onset(detect_round),
+        rounds_to_recover: since_onset(recover_round),
+        hot_swaps: engine.stats().hot_swaps,
+        degraded_decodes: engine.stats().degraded_decodes,
+    }
 }
 
 struct Row {
@@ -103,7 +223,7 @@ fn main() {
     assert!(cycles > 0, "HERQULES_STREAM_CYCLES must be at least 1");
     let shots = env_usize("HERQULES_STREAM_SHOTS", 12);
     let seed = env_usize("HERQULES_SEED", 20_230_612) as u64;
-    let threads = thread_counts();
+    let (threads, drift) = parse_args();
 
     let chip = ChipConfig::five_qubit_default();
     eprintln!("[bench_stream] training mf discriminator ({shots} shots/state)…");
@@ -266,6 +386,35 @@ fn main() {
         }
     }
 
+    // `--drift`: fault-injection robustness rows — the adaptive engine under
+    // an injected centroid drift, serial plus the first pooled worker count.
+    let mut drift_rows: Vec<DriftRow> = Vec::new();
+    if drift {
+        eprintln!("[bench_stream] drift scenario (inject → detect → hot-swap → recover)…");
+        let drift_pools: Vec<Option<&ShardPool>> = std::iter::once(None)
+            .chain(pools.first().map(Some))
+            .collect();
+        for pool in drift_pools {
+            drift_rows.push(measure_drift::<f64>(shots, seed, pool));
+            drift_rows.push(measure_drift::<f32>(shots, seed, pool));
+        }
+        for r in &drift_rows {
+            eprintln!(
+                "[bench_stream] drift {}/{}/t={}: {:>8.1} cycles/s clean, {:>8.1} under fault, \
+                 detect {} rounds | recover {} rounds | {} hot-swaps | {} degraded decodes",
+                r.precision,
+                r.kernel,
+                r.threads,
+                r.clean_cycles_per_sec,
+                r.faulted_cycles_per_sec,
+                r.rounds_to_detect,
+                r.rounds_to_recover,
+                r.hot_swaps,
+                r.degraded_decodes,
+            );
+        }
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"stream_cycle_throughput\",\n");
     let _ = writeln!(json, "  \"unit\": \"cycles_per_second\",");
     let _ = writeln!(
@@ -274,6 +423,28 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
     let _ = writeln!(json, "  \"shots_per_state\": {shots},");
+    if !drift_rows.is_empty() {
+        let _ = writeln!(json, "  \"drift\": [");
+        for (k, r) in drift_rows.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"precision\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
+                 \"clean\": {:.1}, \"faulted\": {:.1}, \"rounds_to_detect\": {}, \
+                 \"rounds_to_recover\": {}, \"hot_swaps\": {}, \"degraded_decodes\": {}}}{}",
+                r.precision,
+                r.kernel,
+                r.threads,
+                r.clean_cycles_per_sec,
+                r.faulted_cycles_per_sec,
+                r.rounds_to_detect,
+                r.rounds_to_recover,
+                r.hot_swaps,
+                r.degraded_decodes,
+                if k + 1 < drift_rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "  ],");
+    }
     let _ = writeln!(json, "  \"results\": [");
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(

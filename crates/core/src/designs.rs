@@ -153,6 +153,26 @@ pub trait Discriminator: Send + Sync {
         out.extend(self.discriminate_shot_batch(batch));
     }
 
+    /// Writes the per-qubit *soft margins* of one feature row into `out` and
+    /// returns `true`, or returns `false` when the design has no calibrated
+    /// margin notion (the default).
+    ///
+    /// A soft margin is the distance of qubit `q`'s decision statistic from
+    /// its decision boundary, in feature units: large when the shot sits deep
+    /// inside a calibrated cloud, shrinking toward zero as channel drift
+    /// pushes shots onto the boundary. Streaming health monitors feed on it
+    /// as a leading indicator of discriminator degradation — margins collapse
+    /// *before* the error rate visibly rises.
+    ///
+    /// `features` is one shot's feature row exactly as produced by the
+    /// design's batch path (`scratch` chunk of
+    /// [`Discriminator::discriminate_shot_batch_into`]); implementations must
+    /// return `false` rather than panic on a row of unexpected width.
+    fn soft_margins(&self, features: &[f64], out: &mut [f64]) -> bool {
+        let _ = (features, out);
+        false
+    }
+
     /// Discriminates with per-qubit readout-duration budgets, expressed in
     /// demodulation bins.
     ///

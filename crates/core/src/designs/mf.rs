@@ -59,6 +59,16 @@ impl MfDiscriminator {
         &self.bank
     }
 
+    /// The demodulator the design was trained with.
+    pub fn demod(&self) -> &Demodulator {
+        &self.demod
+    }
+
+    /// The per-qubit decision thresholds (class A = "excited").
+    pub fn thresholds(&self) -> &[ThresholdDiscriminator] {
+        &self.thresholds
+    }
+
     fn classify_features<R: Real>(&self, features: &[R]) -> BasisState {
         let mut state = BasisState::new(0);
         for (q, threshold) in self.thresholds.iter().enumerate() {
@@ -133,6 +143,16 @@ impl Discriminator for MfDiscriminator {
         out: &mut Vec<BasisState>,
     ) {
         self.batch_into_r(batch, scratch, out);
+    }
+
+    fn soft_margins(&self, features: &[f64], out: &mut [f64]) -> bool {
+        if features.len() < self.thresholds.len() || out.len() < self.thresholds.len() {
+            return false;
+        }
+        for (q, threshold) in self.thresholds.iter().enumerate() {
+            out[q] = (features[q] - threshold.threshold()).abs();
+        }
+        true
     }
 
     fn discriminate_truncated(&self, raw: &IqTrace, bins: &[usize]) -> Option<BasisState> {

@@ -28,6 +28,12 @@ pub struct DecodeOutcome {
     /// Whether the block ends in a logical `X` error (correction applied to
     /// the residual error state flips the logical class).
     pub logical_error: bool,
+    /// Whether the block exceeded the exact matcher's
+    /// `2^EXACT_MATCHING_LIMIT` subset ceiling and fell back to the greedy
+    /// matcher — a correct but weaker decode. Blocks this dense usually mean
+    /// the upstream readout channel is unhealthy, so streaming callers
+    /// surface the flag in their degradation accounting.
+    pub degraded: bool,
 }
 
 /// Space-time distance between two detection events.
@@ -128,6 +134,7 @@ pub fn decode_block_with(
             n_events: n,
             west_matches,
             logical_error: error_parity != (west_matches % 2 == 1),
+            degraded: false,
         };
     }
     let assign = &mut scratch.assign;
@@ -225,6 +232,7 @@ pub fn decode_block_with(
         n_events: n,
         west_matches,
         logical_error: error_parity != correction_parity,
+        degraded: true,
     }
 }
 

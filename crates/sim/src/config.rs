@@ -146,7 +146,9 @@ impl ChipConfig {
                 return Err(format!("qubit {k} probabilities must lie in [0, 1]"));
             }
         }
-        self.crosstalk.validate(self.n_qubits())?;
+        self.crosstalk
+            .validate(self.n_qubits())
+            .map_err(|e| e.to_string())?;
         Ok(())
     }
 

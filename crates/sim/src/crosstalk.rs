@@ -10,7 +10,46 @@
 //! outputs; the pairwise part is what gives the neural network its measurable
 //! edge in the cross-fidelity study (paper Table 2).
 
+use std::error::Error;
+use std::fmt;
+
 use crate::trace::IqPoint;
+
+/// A structural defect in a [`CrosstalkModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrosstalkError {
+    /// The model's dimension does not match the chip's channel count.
+    SizeMismatch {
+        /// Qubits the model was built for.
+        model: usize,
+        /// Qubits the chip actually has.
+        chip: usize,
+    },
+    /// A qubit's self-coupling coefficient is nonzero (a qubit cannot be its
+    /// own crosstalk aggressor).
+    NonzeroDiagonal {
+        /// The offending victim/aggressor index.
+        qubit: usize,
+    },
+}
+
+impl fmt::Display for CrosstalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CrosstalkError::SizeMismatch { model, chip } => {
+                write!(
+                    f,
+                    "crosstalk model sized for {model} qubits, chip has {chip}"
+                )
+            }
+            CrosstalkError::NonzeroDiagonal { qubit } => {
+                write!(f, "crosstalk diagonal for qubit {qubit} must be zero")
+            }
+        }
+    }
+}
+
+impl Error for CrosstalkError {}
 
 /// Crosstalk coefficients for one victim/aggressor pair and the shared
 /// pairwise term.
@@ -55,7 +94,8 @@ impl CrosstalkModel {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not `n × n` with `n == pairwise.len()`.
+    /// Panics if the matrix is not `n × n` with `n == pairwise.len()`, or if
+    /// it fails [`CrosstalkModel::validate`] (nonzero diagonal).
     pub fn from_coefficients(linear: Vec<Vec<IqPoint>>, pairwise: Vec<IqPoint>) -> Self {
         let n = linear.len();
         assert!(
@@ -67,14 +107,18 @@ impl CrosstalkModel {
             n,
             "pairwise vector must have one entry per qubit"
         );
-        CrosstalkModel {
+        let model = CrosstalkModel {
             n,
             linear,
             pairwise,
             pair_strength: vec![1.0; n],
             transient_boost: 0.0,
             transient_tau_s: 1.0,
+        };
+        if let Err(e) = model.validate(n) {
+            panic!("invalid crosstalk coefficients: {e}");
         }
+        model
     }
 
     /// Default chain topology with unit aggressor strength: see
@@ -178,21 +222,23 @@ impl CrosstalkModel {
         shift + self.pairwise[victim] * pair_sum
     }
 
-    /// Checks the model is sized for an `n`-qubit chip.
+    /// Checks the model is sized for an `n`-qubit chip and structurally
+    /// sound.
     ///
     /// # Errors
     ///
-    /// Returns an error naming the dimension mismatch, if any.
-    pub fn validate(&self, n: usize) -> Result<(), String> {
+    /// Returns the first [`CrosstalkError`] found: a dimension mismatch or a
+    /// nonzero self-coupling coefficient.
+    pub fn validate(&self, n: usize) -> Result<(), CrosstalkError> {
         if self.n != n {
-            return Err(format!(
-                "crosstalk model sized for {} qubits, chip has {n}",
-                self.n
-            ));
+            return Err(CrosstalkError::SizeMismatch {
+                model: self.n,
+                chip: n,
+            });
         }
         for (v, row) in self.linear.iter().enumerate() {
             if row[v] != IqPoint::ZERO {
-                return Err(format!("crosstalk diagonal for qubit {v} must be zero"));
+                return Err(CrosstalkError::NonzeroDiagonal { qubit: v });
             }
         }
         Ok(())
@@ -285,5 +331,23 @@ mod tests {
             vec![vec![IqPoint::ZERO; 2], vec![IqPoint::ZERO; 3]],
             vec![IqPoint::ZERO; 2],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal for qubit 1")]
+    fn from_coefficients_rejects_nonzero_diagonal() {
+        let mut linear = vec![vec![IqPoint::ZERO; 2]; 2];
+        linear[1][1] = IqPoint::new(0.1, 0.0);
+        let _ = CrosstalkModel::from_coefficients(linear, vec![IqPoint::ZERO; 2]);
+    }
+
+    #[test]
+    fn validate_errors_are_typed_and_display() {
+        let err = CrosstalkModel::chain_default(5).validate(4).unwrap_err();
+        assert_eq!(err, CrosstalkError::SizeMismatch { model: 5, chip: 4 });
+        assert!(err.to_string().contains("sized for 5 qubits, chip has 4"));
+        // The enum is a std::error::Error, so it boxes like one.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("crosstalk"));
     }
 }

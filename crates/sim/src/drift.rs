@@ -1,0 +1,511 @@
+//! Deterministic, round-indexed channel-drift fault injection.
+//!
+//! Real superconducting readout is not stationary: IQ centroids wander with
+//! flux drift, amplifier noise broadens, qubits leak to |2⟩ whose dispersive
+//! shift parks the resonator far from both calibrated clouds, and TLS
+//! activity produces transient crosstalk bursts. A [`FaultPlan`] scripts
+//! those degradations as a composable list of [`DriftEvent`]s, each active
+//! over a half-open round window `[start_round, end_round)` with
+//! ramp-and-hold semantics, so a streaming engine can be driven through a
+//! *reproducible* degradation scenario.
+//!
+//! The plan is purely round-indexed: resolving round `r` into a
+//! [`RoundFaults`] snapshot touches no RNG and allocates nothing once the
+//! snapshot buffers exist. The only stochastic fault — leakage — draws its
+//! per-shot decision from the caller's per-group synthesis RNG stream, which
+//! is already derived from `stream_seed(entropy, group)`; pooled and serial
+//! execution therefore stay bit-identical under active fault injection at
+//! any thread count.
+//!
+//! An empty plan resolves to an inactive snapshot and the synthesis path
+//! skips every fault branch, keeping the no-fault stream bit-exact with the
+//! pre-drift pipeline (pinned by the stream crate's parity tests).
+
+use crate::trace::IqPoint;
+
+/// One scripted channel degradation, active over rounds
+/// `[start_round, end_round)` and (for the ramped kinds) held at full
+/// strength afterwards.
+///
+/// Ramp semantics: strength is `0` before `start_round`, climbs linearly to
+/// reach `1` at round `end_round − 1`, and holds at `1` from `end_round` on.
+/// A zero-length window (`end_round == start_round`) is a step: full
+/// strength from `start_round`. The exception is [`DriftEvent::CrosstalkBurst`],
+/// which is *transient*: active only inside the window, gone after it (a
+/// zero-length burst never fires).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftEvent {
+    /// The readout cloud of channel `qubit` drifts by `delta` in the IQ
+    /// plane (both basis states shift together — a local-oscillator /
+    /// flux-drift error, the classic matched-filter killer).
+    CentroidDrift {
+        /// Victim readout channel.
+        qubit: usize,
+        /// First round of the ramp.
+        start_round: u64,
+        /// First round at which the full `delta` is held.
+        end_round: u64,
+        /// Full-strength IQ displacement.
+        delta: IqPoint,
+    },
+    /// The ADC/amplifier noise deviation of the whole feedline scales by
+    /// `factor` (ramped from `1`, held after the window).
+    SigmaScale {
+        /// First round of the ramp.
+        start_round: u64,
+        /// First round at which the full factor is held.
+        end_round: u64,
+        /// Full-strength sigma multiplier (`> 1` broadens, `< 1` narrows).
+        factor: f64,
+    },
+    /// Channel `qubit` leaks to |2⟩ with per-shot probability ramping to
+    /// `prob`: a leaked shot rings up from the origin toward `leak_ss`
+    /// instead of either computational steady state, producing an IQ cloud
+    /// the calibrated discriminator has never seen.
+    Leakage {
+        /// Leaking readout channel.
+        qubit: usize,
+        /// First round of the ramp.
+        start_round: u64,
+        /// First round at which the full probability is held.
+        end_round: u64,
+        /// Full-strength per-shot leakage probability.
+        prob: f64,
+        /// |2⟩ resonator steady-state point.
+        leak_ss: IqPoint,
+    },
+    /// Transient crosstalk burst: every dispersive crosstalk shift (already
+    /// carrying [`crate::CrosstalkModel::transient_scale`]'s early-window
+    /// weighting) is additionally multiplied by `gain` — but only for rounds
+    /// inside `[start_round, end_round)`.
+    CrosstalkBurst {
+        /// First round of the burst.
+        start_round: u64,
+        /// First round after the burst (exclusive).
+        end_round: u64,
+        /// Shift multiplier while the burst is active.
+        gain: f64,
+    },
+}
+
+/// Linear ramp-and-hold strength of a `[start, end)` window at round `r`.
+fn ramp(r: u64, start: u64, end: u64) -> f64 {
+    if r < start {
+        0.0
+    } else if r >= end {
+        1.0
+    } else {
+        // Reaches exactly 1.0 at r == end − 1.
+        (r - start + 1) as f64 / (end - start) as f64
+    }
+}
+
+impl DriftEvent {
+    /// The event's ramp strength (`0..=1`) at round `r`; for
+    /// [`DriftEvent::CrosstalkBurst`] this is a gate (`1` inside the window,
+    /// `0` outside).
+    pub fn strength_at(&self, r: u64) -> f64 {
+        match *self {
+            DriftEvent::CentroidDrift {
+                start_round,
+                end_round,
+                ..
+            }
+            | DriftEvent::SigmaScale {
+                start_round,
+                end_round,
+                ..
+            }
+            | DriftEvent::Leakage {
+                start_round,
+                end_round,
+                ..
+            } => ramp(r, start_round, end_round),
+            DriftEvent::CrosstalkBurst {
+                start_round,
+                end_round,
+                ..
+            } => {
+                if r >= start_round && r < end_round {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// First round at which the event deviates from nominal.
+    pub fn onset_round(&self) -> u64 {
+        match *self {
+            DriftEvent::CentroidDrift { start_round, .. }
+            | DriftEvent::SigmaScale { start_round, .. }
+            | DriftEvent::Leakage { start_round, .. }
+            | DriftEvent::CrosstalkBurst { start_round, .. } => start_round,
+        }
+    }
+
+    /// Highest channel index the event touches, if it is channel-local.
+    fn qubit(&self) -> Option<usize> {
+        match *self {
+            DriftEvent::CentroidDrift { qubit, .. } | DriftEvent::Leakage { qubit, .. } => {
+                Some(qubit)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic, composable schedule of [`DriftEvent`]s.
+///
+/// Events compose naturally: centroid deltas on the same channel add, sigma
+/// factors and burst gains multiply, leakage probabilities saturate-add
+/// (clamped to `1`). Resolution is pure arithmetic over the round index —
+/// see [`FaultPlan::resolve_into`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<DriftEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: resolves to an inactive snapshot every round.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan over the given events.
+    pub fn new(events: Vec<DriftEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: DriftEvent) {
+        self.events.push(event);
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Earliest onset round across all events (`None` for an empty plan).
+    pub fn first_onset(&self) -> Option<u64> {
+        self.events.iter().map(DriftEvent::onset_round).min()
+    }
+
+    /// Checks that every channel-local event targets a channel `< n_qubits`.
+    pub fn validate(&self, n_qubits: usize) -> Result<(), String> {
+        for e in &self.events {
+            if let Some(q) = e.qubit() {
+                if q >= n_qubits {
+                    return Err(format!(
+                        "fault plan targets channel {q}, chip has {n_qubits}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the plan at round `round` into `out`, a pre-sized snapshot.
+    /// Allocation-free; `out.is_active()` reports whether any event deviates
+    /// from nominal this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a channel `out` was not sized for.
+    pub fn resolve_into(&self, round: u64, out: &mut RoundFaults) {
+        out.reset();
+        for e in &self.events {
+            let s = e.strength_at(round);
+            if s == 0.0 {
+                continue;
+            }
+            match *e {
+                DriftEvent::CentroidDrift { qubit, delta, .. } => {
+                    out.centroid_shift[qubit] += delta * s;
+                }
+                DriftEvent::SigmaScale { factor, .. } => {
+                    out.sigma_scale *= 1.0 + (factor - 1.0) * s;
+                }
+                DriftEvent::Leakage { qubit, prob, .. } => {
+                    out.leak_prob[qubit] = (out.leak_prob[qubit] + prob * s).min(1.0);
+                }
+                DriftEvent::CrosstalkBurst { gain, .. } => {
+                    out.crosstalk_gain *= gain;
+                }
+            }
+            if let DriftEvent::Leakage { qubit, leak_ss, .. } = *e {
+                out.leak_ss[qubit] = leak_ss;
+            }
+        }
+        out.active = out.sigma_scale != 1.0
+            || out.crosstalk_gain != 1.0
+            || out.centroid_shift.iter().any(|&p| p != IqPoint::ZERO)
+            || out.leak_prob.iter().any(|&p| p > 0.0);
+    }
+}
+
+/// The resolved fault state of one round: what synthesis applies.
+///
+/// Channel-indexed fields are sized for the chip's channel count; the same
+/// snapshot applies to every feedline group of the round (channel `k` of
+/// every group drifts together — a feedline-wide fault model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFaults {
+    active: bool,
+    sigma_scale: f64,
+    crosstalk_gain: f64,
+    centroid_shift: Vec<IqPoint>,
+    leak_prob: Vec<f64>,
+    leak_ss: Vec<IqPoint>,
+}
+
+impl RoundFaults {
+    /// A nominal (no-fault) snapshot for `n_qubits` channels.
+    pub fn nominal(n_qubits: usize) -> Self {
+        RoundFaults {
+            active: false,
+            sigma_scale: 1.0,
+            crosstalk_gain: 1.0,
+            centroid_shift: vec![IqPoint::ZERO; n_qubits],
+            leak_prob: vec![0.0; n_qubits],
+            leak_ss: vec![IqPoint::ZERO; n_qubits],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.active = false;
+        self.sigma_scale = 1.0;
+        self.crosstalk_gain = 1.0;
+        self.centroid_shift.fill(IqPoint::ZERO);
+        self.leak_prob.fill(0.0);
+        self.leak_ss.fill(IqPoint::ZERO);
+    }
+
+    /// Whether any fault deviates from nominal this round.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Feedline-wide ADC noise sigma multiplier.
+    pub fn sigma_scale(&self) -> f64 {
+        self.sigma_scale
+    }
+
+    /// Feedline-wide crosstalk shift multiplier.
+    pub fn crosstalk_gain(&self) -> f64 {
+        self.crosstalk_gain
+    }
+
+    /// IQ displacement of channel `k`'s baseband this round.
+    pub fn centroid_shift(&self, k: usize) -> IqPoint {
+        self.centroid_shift[k]
+    }
+
+    /// Per-shot |2⟩ leakage probability of channel `k` this round.
+    pub fn leak_prob(&self, k: usize) -> f64 {
+        self.leak_prob[k]
+    }
+
+    /// |2⟩ steady-state point of channel `k` (meaningful when
+    /// [`RoundFaults::leak_prob`] is nonzero).
+    pub fn leak_ss(&self, k: usize) -> IqPoint {
+        self.leak_ss[k]
+    }
+
+    /// Channels the snapshot was sized for.
+    pub fn n_qubits(&self) -> usize {
+        self.centroid_shift.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(plan: &FaultPlan, r: u64, n: usize) -> RoundFaults {
+        let mut rf = RoundFaults::nominal(n);
+        plan.resolve_into(r, &mut rf);
+        rf
+    }
+
+    #[test]
+    fn empty_plan_is_inactive_every_round() {
+        let plan = FaultPlan::none();
+        for r in [0, 1, 10, u64::MAX] {
+            assert!(!resolve(&plan, r, 3).is_active());
+        }
+        assert!(plan.is_empty());
+        assert_eq!(plan.first_onset(), None);
+    }
+
+    #[test]
+    fn centroid_ramp_hits_schedule_edges() {
+        let plan = FaultPlan::new(vec![DriftEvent::CentroidDrift {
+            qubit: 1,
+            start_round: 10,
+            end_round: 14,
+            delta: IqPoint::new(4.0, -8.0),
+        }]);
+        // Before onset: nominal.
+        assert!(!resolve(&plan, 9, 2).is_active());
+        // First ramp round: 1/4 strength.
+        let rf = resolve(&plan, 10, 2);
+        assert!(rf.is_active());
+        assert_eq!(rf.centroid_shift(1), IqPoint::new(1.0, -2.0));
+        assert_eq!(rf.centroid_shift(0), IqPoint::ZERO);
+        // Last ramp round reaches exactly full strength…
+        assert_eq!(
+            resolve(&plan, 13, 2).centroid_shift(1),
+            IqPoint::new(4.0, -8.0)
+        );
+        // …and holds from end_round on.
+        assert_eq!(
+            resolve(&plan, 14, 2).centroid_shift(1),
+            IqPoint::new(4.0, -8.0)
+        );
+        assert_eq!(
+            resolve(&plan, 1000, 2).centroid_shift(1),
+            IqPoint::new(4.0, -8.0)
+        );
+    }
+
+    #[test]
+    fn zero_length_ramp_is_a_step() {
+        let plan = FaultPlan::new(vec![DriftEvent::SigmaScale {
+            start_round: 5,
+            end_round: 5,
+            factor: 2.0,
+        }]);
+        assert_eq!(resolve(&plan, 4, 1).sigma_scale(), 1.0);
+        assert_eq!(resolve(&plan, 5, 1).sigma_scale(), 2.0);
+        assert_eq!(resolve(&plan, 6, 1).sigma_scale(), 2.0);
+    }
+
+    #[test]
+    fn sigma_ramp_interpolates_the_factor() {
+        let plan = FaultPlan::new(vec![DriftEvent::SigmaScale {
+            start_round: 0,
+            end_round: 2,
+            factor: 3.0,
+        }]);
+        // Round 0: half-way up the ramp → 1 + (3−1)·0.5 = 2.
+        assert_eq!(resolve(&plan, 0, 1).sigma_scale(), 2.0);
+        assert_eq!(resolve(&plan, 1, 1).sigma_scale(), 3.0);
+        assert_eq!(resolve(&plan, 7, 1).sigma_scale(), 3.0);
+    }
+
+    #[test]
+    fn leakage_ramps_and_saturates() {
+        let plan = FaultPlan::new(vec![
+            DriftEvent::Leakage {
+                qubit: 0,
+                start_round: 0,
+                end_round: 1,
+                prob: 0.8,
+                leak_ss: IqPoint::new(9.0, 9.0),
+            },
+            DriftEvent::Leakage {
+                qubit: 0,
+                start_round: 0,
+                end_round: 1,
+                prob: 0.8,
+                leak_ss: IqPoint::new(9.0, 9.0),
+            },
+        ]);
+        let rf = resolve(&plan, 3, 1);
+        // Two 0.8 events saturate-add to 1.0, never beyond.
+        assert_eq!(rf.leak_prob(0), 1.0);
+        assert_eq!(rf.leak_ss(0), IqPoint::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn crosstalk_burst_is_transient_and_zero_length_never_fires() {
+        let burst = FaultPlan::new(vec![DriftEvent::CrosstalkBurst {
+            start_round: 3,
+            end_round: 6,
+            gain: 5.0,
+        }]);
+        assert_eq!(resolve(&burst, 2, 1).crosstalk_gain(), 1.0);
+        assert_eq!(resolve(&burst, 3, 1).crosstalk_gain(), 5.0);
+        assert_eq!(resolve(&burst, 5, 1).crosstalk_gain(), 5.0);
+        // Transient: gone at end_round, unlike the ramp-and-hold kinds.
+        assert_eq!(resolve(&burst, 6, 1).crosstalk_gain(), 1.0);
+
+        let empty = FaultPlan::new(vec![DriftEvent::CrosstalkBurst {
+            start_round: 3,
+            end_round: 3,
+            gain: 5.0,
+        }]);
+        for r in 0..10 {
+            assert!(!resolve(&empty, r, 1).is_active(), "round {r}");
+        }
+    }
+
+    #[test]
+    fn events_compose_additively_and_multiplicatively() {
+        let plan = FaultPlan::new(vec![
+            DriftEvent::CentroidDrift {
+                qubit: 0,
+                start_round: 0,
+                end_round: 0,
+                delta: IqPoint::new(1.0, 0.0),
+            },
+            DriftEvent::CentroidDrift {
+                qubit: 0,
+                start_round: 0,
+                end_round: 0,
+                delta: IqPoint::new(0.0, 2.0),
+            },
+            DriftEvent::SigmaScale {
+                start_round: 0,
+                end_round: 0,
+                factor: 2.0,
+            },
+            DriftEvent::SigmaScale {
+                start_round: 0,
+                end_round: 0,
+                factor: 3.0,
+            },
+        ]);
+        let rf = resolve(&plan, 0, 1);
+        assert_eq!(rf.centroid_shift(0), IqPoint::new(1.0, 2.0));
+        assert_eq!(rf.sigma_scale(), 6.0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_channels() {
+        let plan = FaultPlan::new(vec![DriftEvent::Leakage {
+            qubit: 5,
+            start_round: 0,
+            end_round: 1,
+            prob: 0.1,
+            leak_ss: IqPoint::ZERO,
+        }]);
+        assert!(plan.validate(6).is_ok());
+        assert!(plan.validate(5).unwrap_err().contains("channel 5"));
+    }
+
+    #[test]
+    fn first_onset_is_the_earliest_event() {
+        let plan = FaultPlan::new(vec![
+            DriftEvent::SigmaScale {
+                start_round: 40,
+                end_round: 50,
+                factor: 2.0,
+            },
+            DriftEvent::CrosstalkBurst {
+                start_round: 12,
+                end_round: 20,
+                gain: 2.0,
+            },
+        ]);
+        assert_eq!(plan.first_onset(), Some(12));
+    }
+}

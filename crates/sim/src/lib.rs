@@ -39,6 +39,7 @@ pub mod batch;
 pub mod config;
 pub mod crosstalk;
 pub mod dataset;
+pub mod drift;
 pub mod events;
 pub mod multiplex;
 pub mod noise;
@@ -47,8 +48,9 @@ pub mod trajectory;
 
 pub use batch::ShotBatch;
 pub use config::{ChipConfig, QubitParams};
-pub use crosstalk::CrosstalkModel;
+pub use crosstalk::{CrosstalkError, CrosstalkModel};
 pub use dataset::{Dataset, DatasetSplit, Shot, ShotTruth};
+pub use drift::{DriftEvent, FaultPlan, RoundFaults};
 pub use herqles_num::Real;
 pub use noise::GaussianNoise;
 pub use trace::{BasisState, IqPoint, IqTrace};

@@ -104,6 +104,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_sigma_panics() {
+        // NaN fails the is_finite gate — garbage configs die loudly instead
+        // of silently poisoning every synthesized sample.
+        let _ = GaussianNoise::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_sigma_panics() {
+        let _ = GaussianNoise::new(f32::INFINITY);
+    }
+
+    #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_sigma_panics() {
         let _ = GaussianNoise::new(-1.0);

@@ -39,13 +39,16 @@ use herqles_core::{Discriminator, PrecisionDiscriminator, Real};
 use herqles_exec::{stream_seed, ShardPool, Tiles};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use readout_sim::drift::{FaultPlan, RoundFaults};
 use readout_sim::{BasisState, ChipConfig, ShotBatch};
 use surface_code::decoder::DecodeOutcome;
 use surface_code::{
     decode_block_with, DecodeScratch, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim,
 };
 
+use crate::health::{HealthConfig, HealthMonitor, HealthStatus};
 use crate::map::AncillaMap;
+use crate::recal::Recalibrate;
 use crate::synth::RoundSynth;
 
 /// Configuration of a streaming cycle run.
@@ -68,6 +71,23 @@ impl CycleConfig {
             data_error_prob: 4e-3,
             seed: 0,
         }
+    }
+
+    /// Rejects nonsensical configurations loudly at construction time
+    /// instead of letting them surface as NaN syndromes or empty blocks
+    /// deep inside a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `data_error_prob` is not a finite
+    /// probability in `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.rounds > 0, "need at least one round per cycle");
+        assert!(
+            self.data_error_prob.is_finite() && (0.0..=1.0).contains(&self.data_error_prob),
+            "data_error_prob must be a finite probability in [0, 1], got {}",
+            self.data_error_prob
+        );
     }
 }
 
@@ -108,6 +128,8 @@ pub struct CycleStats {
     pub n_events: usize,
     /// Per-stage wall time of this cycle.
     pub stage: StageNanos,
+    /// Channel health verdict at the end of the cycle.
+    pub health: HealthStatus,
 }
 
 /// One completed streaming cycle: the decode verdict plus its timings.
@@ -128,6 +150,15 @@ pub struct EngineStats {
     pub rounds: u64,
     /// Logical errors observed.
     pub logical_errors: u64,
+    /// Blocks that exceeded the exact matcher's ceiling and fell back to
+    /// the greedy decoder ([`DecodeOutcome::degraded`]).
+    pub degraded_decodes: u64,
+    /// Health-status transitions reported by the engine's
+    /// [`HealthMonitor`].
+    pub health_transitions: u64,
+    /// Discriminator hot-swaps performed by
+    /// [`CycleEngine::run_cycle_adaptive`].
+    pub hot_swaps: u64,
     /// Cumulative per-stage wall time.
     pub stage: StageNanos,
 }
@@ -155,6 +186,21 @@ impl<R: Real> RoundBuffers<R> {
             features: Vec::new(),
         }
     }
+}
+
+/// The engine's health-monitoring working set: the [`HealthMonitor`] plus
+/// the fixed buffers the per-round observation writes through (a widened
+/// `f64` feature row for [`Discriminator::soft_margins`] and the per-channel
+/// margin output). Sized during the first cycle, allocation-free thereafter.
+struct HealthState {
+    monitor: HealthMonitor,
+    /// Per-channel soft margins of one feature row.
+    margins: Vec<f64>,
+    /// One group's feature row widened to `f64` for the margin query.
+    feat_row: Vec<f64>,
+    /// Latched off permanently the first time the discriminator declines a
+    /// margin query, so unsupported designs pay one call, not one per round.
+    margin_supported: bool,
 }
 
 /// The execution state a pooled engine carries on top of the serial one:
@@ -201,6 +247,19 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     totals: EngineStats,
     /// Present iff the engine was built with [`CycleEngine::with_pool`].
     exec: Option<PoolState<'a, R>>,
+    /// Deterministic fault schedule (empty by default: the zero-cost no-fault
+    /// path) and the per-round snapshot it resolves into.
+    plan: FaultPlan,
+    faults: RoundFaults,
+    /// Rounds synthesized since construction — the fault schedule's clock.
+    /// Distinct from `totals.rounds`, which counts *consumed* rounds and
+    /// therefore lags synthesis inside the pooled pipeline.
+    synth_round: u64,
+    health: HealthState,
+    /// Consumed-round stamp of the last discriminator hot-swap.
+    last_swap_round: u64,
+    /// Minimum consumed rounds between hot-swaps.
+    recal_cooldown: u64,
 }
 
 /// A [`CycleEngine`] whose cycles execute on a [`ShardPool`]
@@ -223,7 +282,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         code: &'a RotatedSurfaceCode,
         disc: &'a D,
     ) -> Self {
-        assert!(cfg.rounds > 0, "need at least one round per cycle");
+        cfg.validate();
         assert_eq!(
             disc.n_qubits(),
             chip.n_qubits(),
@@ -245,6 +304,12 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             rounds: 0,
         };
         let round = RoundBuffers::new(&map, synth.n_samples());
+        let health = HealthState {
+            monitor: HealthMonitor::new(HealthConfig::default(), map.n_ancillas()),
+            margins: vec![0.0; chip.n_qubits()],
+            feat_row: Vec::new(),
+            margin_supported: true,
+        };
         CycleEngine {
             cfg,
             code,
@@ -260,6 +325,12 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             in_flight: StageNanos::default(),
             totals: EngineStats::default(),
             exec: None,
+            plan: FaultPlan::none(),
+            faults: RoundFaults::nominal(chip.n_qubits()),
+            synth_round: 0,
+            health,
+            last_swap_round: 0,
+            recal_cooldown: 64,
         }
     }
 
@@ -315,10 +386,67 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         &self.blocks[self.active]
     }
 
+    /// Installs a deterministic fault schedule. Rounds already synthesized
+    /// keep their clock: the plan's round indices are absolute over the
+    /// engine's lifetime, so installing at round `r` leaves events scheduled
+    /// before `r` in the past.
+    ///
+    /// Fault resolution is part of the serial round prologue and the
+    /// injected randomness rides the existing per-group synthesis streams,
+    /// so pooled and serial engines under the same plan remain
+    /// **bit-identical at every pool size**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a qubit outside the chip or carries a
+    /// non-finite parameter.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Err(e) = plan.validate(self.faults.n_qubits()) {
+            panic!("invalid fault plan: {e}");
+        }
+        self.plan = plan;
+    }
+
+    /// The installed fault schedule (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The engine's health monitor.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health.monitor
+    }
+
+    /// Replaces the health monitor's tuning (resets its baseline).
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health.monitor = HealthMonitor::new(cfg, self.map.n_ancillas());
+    }
+
+    /// Sets the minimum consumed rounds between discriminator hot-swaps in
+    /// [`CycleEngine::run_cycle_adaptive`] (default 64).
+    pub fn set_recal_cooldown(&mut self, rounds: u64) {
+        self.recal_cooldown = rounds;
+    }
+
+    /// Advances the fault clock one synthesized round and resolves the
+    /// schedule into the engine's [`RoundFaults`] snapshot. Returns whether
+    /// any fault is active this round. Early-outs with no work when the plan
+    /// is empty — the zero-cost no-fault default.
+    fn resolve_round_faults(&mut self) -> bool {
+        let r = self.synth_round;
+        self.synth_round += 1;
+        if self.plan.is_empty() {
+            return false;
+        }
+        self.plan.resolve_into(r, &mut self.faults);
+        self.faults.is_active()
+    }
+
     /// Starts a new block: clears per-block state, keeping all capacity.
     pub fn begin_cycle(&mut self) {
         self.sim.reset();
         self.sim.reserve_rounds(self.cfg.rounds);
+        self.health.monitor.begin_block();
         self.in_flight = StageNanos::default();
     }
 
@@ -335,14 +463,19 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(&mut self.round.true_parities);
         let entropy = self.round_entropy();
+        let fault_active = self.resolve_round_faults();
         let t1 = Instant::now();
 
         self.round.batch.clear();
         for g in 0..self.map.n_groups() {
             let prepared = self.map.prepared_state(g, &self.round.true_parities);
             let mut rng = StdRng::seed_from_u64(stream_seed(entropy, g as u64));
-            self.synth
-                .synth_into_row(prepared, &mut self.round.batch, &mut rng);
+            self.synth.synth_into_row_faulted(
+                prepared,
+                fault_active.then_some(&self.faults),
+                &mut self.round.batch,
+                &mut rng,
+            );
         }
         let t2 = Instant::now();
 
@@ -358,6 +491,13 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             *m = self.round.states[g].qubit(c);
         }
         self.sim.record_measured_syndrome(&self.round.measured);
+        observe_round_health(
+            self.disc,
+            &self.map,
+            &mut self.health,
+            &self.round.features,
+            &self.round.measured,
+        );
         let t4 = Instant::now();
 
         self.in_flight.syndrome += duration_ns(t0, t1) + duration_ns(t3, t4);
@@ -392,9 +532,12 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             rounds: self.sim.round(),
             n_events: outcome.n_events,
             stage: self.in_flight,
+            health: self.health.monitor.status(),
         };
         self.totals.cycles += 1;
         self.totals.logical_errors += u64::from(outcome.logical_error);
+        self.totals.degraded_decodes += u64::from(outcome.degraded);
+        self.totals.health_transitions = self.health.monitor.transitions();
         self.totals.stage.add(&self.in_flight);
         CycleResult { outcome, stats }
     }
@@ -423,14 +566,25 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// with the consumption (discriminate + syndrome commit) of the *front*
     /// buffer, and ping-pongs the buffers.
     fn run_cycle_pooled(&mut self) -> CycleResult {
+        self.run_cycle_pooled_ext(None)
+    }
+
+    /// [`CycleEngine::run_cycle_pooled`] with an optional control-plane task
+    /// overlapped into the round-0 pipeline slot — the one consume stage
+    /// with nothing to consume. While every group's round-0 synthesis fans
+    /// out across the pool, `extra` runs on the calling thread; a
+    /// discriminator retrain scheduled here hides behind synthesis instead
+    /// of stalling the stream.
+    fn run_cycle_pooled_ext(&mut self, extra: Option<&mut dyn FnMut()>) -> CycleResult {
         self.begin_cycle();
-        // Round 0 has nothing to consume yet: plain sharded synthesis.
+        // Round 0 has nothing to consume yet: plain sharded synthesis (plus
+        // the overlapped extra task, when present).
         self.prepare_back_round();
-        self.pipelined_round(false);
+        self.pipelined_round(false, extra);
         self.swap_round_buffers();
         for _ in 1..self.cfg.rounds {
             self.prepare_back_round();
-            self.pipelined_round(true);
+            self.pipelined_round(true, None);
             self.swap_round_buffers();
         }
         self.consume_front_round();
@@ -453,6 +607,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                 .true_parities,
         );
         let entropy = self.round_entropy();
+        self.resolve_round_faults();
         let n_groups = self.map.n_groups();
         let exec = self.exec.as_mut().expect("pooled engine");
         for (g, s) in exec.seeds.iter_mut().enumerate() {
@@ -469,7 +624,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// out across the pool while (when `consume_front`) discriminating the
     /// front round and committing its measured syndrome on the calling
     /// thread. Allocation-free once warm.
-    fn pipelined_round(&mut self, consume_front: bool) {
+    fn pipelined_round(&mut self, consume_front: bool, extra: Option<&mut dyn FnMut()>) {
         let t0 = Instant::now();
         let CycleEngine {
             disc,
@@ -477,10 +632,13 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             sim,
             round: front,
             exec,
+            faults,
+            health,
             ..
         } = self;
         let disc: &D = disc;
         let map: &AncillaMap = map;
+        let faults: &RoundFaults = faults;
         let exec = exec.as_mut().expect("pooled engine");
         let pool = exec.pool;
         let RoundBuffers {
@@ -494,6 +652,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         let row_tiles = Tiles::chunks(back_batch.as_mut_slice(), row_width);
         let seeds: &[u64] = &exec.seeds;
         let parities: &[bool] = back_parities;
+        let round_faults = faults.is_active().then_some(faults);
 
         let (disc_ns, syndrome_ns) = pool.overlap(
             map.n_groups(),
@@ -505,10 +664,22 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                 let row = unsafe { row_tiles.tile(g) };
                 let (i_row, q_row) = row.split_at_mut(n_samples);
                 let mut rng = StdRng::seed_from_u64(seeds[g]);
-                synth.synth_into_slot(map.prepared_state(g, parities), i_row, q_row, &mut rng);
+                synth.synth_into_slot_faulted(
+                    map.prepared_state(g, parities),
+                    round_faults,
+                    i_row,
+                    q_row,
+                    &mut rng,
+                );
             },
             || {
                 if !consume_front {
+                    // The idle consume slot: run the overlapped
+                    // control-plane task (e.g. a discriminator retrain)
+                    // behind round 0's synthesis fan-out.
+                    if let Some(f) = extra {
+                        f();
+                    }
                     return (0, 0);
                 }
                 let c0 = Instant::now();
@@ -523,6 +694,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                     *m = front.states[g].qubit(c);
                 }
                 sim.record_measured_syndrome(&front.measured);
+                observe_round_health(disc, map, health, &front.features, &front.measured);
                 (duration_ns(c0, c1), duration_ns(c1, Instant::now()))
             },
         );
@@ -557,6 +729,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             *m = states[g].qubit(c);
         }
         self.sim.record_measured_syndrome(measured);
+        observe_round_health(self.disc, &self.map, &mut self.health, features, measured);
         self.in_flight.discriminate += duration_ns(c0, c1);
         self.in_flight.syndrome += duration_ns(c1, Instant::now());
         self.totals.rounds += 1;
@@ -578,6 +751,102 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     pub fn cycles(&mut self) -> Cycles<'_, 'a, R, D> {
         Cycles { engine: self }
     }
+}
+
+impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R> + Recalibrate> CycleEngine<'a, R, D> {
+    /// [`CycleEngine::run_cycle`] with the detect → recover loop closed:
+    /// when the [`HealthMonitor`] reports Degraded or Critical, the
+    /// discriminator has harvested enough windows
+    /// ([`Recalibrate::recal_ready`]), and the hot-swap cooldown has
+    /// elapsed, the cycle retrains and atomically hot-swaps the
+    /// discriminator's calibration. On a pooled engine the retrain is
+    /// overlapped into the round-0 pipeline slot, hidden behind the first
+    /// round's synthesis fan-out; serially it runs before the cycle.
+    ///
+    /// A successful swap bumps [`EngineStats::hot_swaps`] and re-baselines
+    /// the health monitor (the new calibration's feature scale invalidates
+    /// the old margin baseline).
+    pub fn run_cycle_adaptive(&mut self) -> CycleResult {
+        let unhealthy = matches!(
+            self.health.monitor.status(),
+            HealthStatus::Degraded | HealthStatus::Critical
+        );
+        let cooled = self.totals.rounds >= self.last_swap_round.saturating_add(self.recal_cooldown)
+            || self.totals.hot_swaps == 0;
+        if !(unhealthy && cooled && self.disc.recal_ready()) {
+            return self.run_cycle();
+        }
+        let disc = self.disc;
+        let mut swapped = None;
+        let result = if self.exec.is_some() {
+            let mut retrain = || swapped = disc.recalibrate();
+            self.run_cycle_pooled_ext(Some(&mut retrain))
+        } else {
+            swapped = disc.recalibrate();
+            self.begin_cycle();
+            for _ in 0..self.cfg.rounds {
+                self.step_round();
+            }
+            self.finish_cycle()
+        };
+        if swapped.is_some() {
+            self.totals.hot_swaps += 1;
+            self.last_swap_round = self.totals.rounds;
+            self.health.monitor.recalibrated();
+        }
+        result
+    }
+
+    /// Blocking adaptive API: [`CycleEngine::run_cycle_adaptive`], `n`
+    /// times.
+    pub fn run_cycles_adaptive(&mut self, n: usize) -> Vec<CycleResult> {
+        (0..n).map(|_| self.run_cycle_adaptive()).collect()
+    }
+}
+
+/// Feeds one consumed round into the engine's health state: widens each
+/// group's feature row to `f64`, queries the discriminator's soft margins,
+/// averages them over *live* ancilla slots (idle pad channels carry no
+/// signal), and folds the mean plus the measured syndrome into the
+/// [`HealthMonitor`]. Allocation-free once the feature-row buffer has its
+/// warm size.
+fn observe_round_health<R: Real, D: ?Sized + PrecisionDiscriminator<R>>(
+    disc: &D,
+    map: &AncillaMap,
+    health: &mut HealthState,
+    features: &[R],
+    measured: &[bool],
+) {
+    let mut margin_sum = 0.0;
+    let mut margin_n = 0usize;
+    let n_groups = map.n_groups();
+    if health.margin_supported && n_groups > 0 && !features.is_empty() {
+        let width = features.len() / n_groups;
+        if width > 0 && features.len() == n_groups * width {
+            if health.feat_row.len() != width {
+                health.feat_row.resize(width, 0.0);
+            }
+            for g in 0..n_groups {
+                let row = &features[g * width..(g + 1) * width];
+                for (dst, src) in health.feat_row.iter_mut().zip(row) {
+                    *dst = src.to_f64();
+                }
+                if !disc.soft_margins(&health.feat_row, &mut health.margins) {
+                    health.margin_supported = false;
+                    margin_n = 0;
+                    break;
+                }
+                for (c, &m) in health.margins.iter().enumerate() {
+                    if map.ancilla(g, c).is_some() {
+                        margin_sum += m;
+                        margin_n += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mean_margin = (margin_n > 0).then(|| margin_sum / margin_n as f64);
+    health.monitor.observe_round(mean_margin, measured);
 }
 
 impl<R: Real, D: ?Sized> std::fmt::Debug for CycleEngine<'_, R, D> {

@@ -56,17 +56,22 @@
 //! ```
 
 pub mod engine;
+pub mod health;
 pub mod map;
 pub mod offline;
+pub mod recal;
 pub mod synth;
 
 pub use engine::{
     CycleConfig, CycleEngine, CycleResult, CycleStats, Cycles, EngineStats, ParallelCycleEngine,
     StageNanos,
 };
+pub use health::{HealthConfig, HealthMonitor, HealthStatus};
 pub use herqles_exec::{stream_seed, ShardPool};
 pub use map::AncillaMap;
 pub use offline::{run_cycles_offline, OfflineCycle};
+pub use readout_sim::{DriftEvent, FaultPlan, RoundFaults};
+pub use recal::{AdaptiveMf, RecalConfig, Recalibrate};
 pub use synth::RoundSynth;
 
 use herqles_core::designs::DesignKind;

@@ -87,7 +87,7 @@ pub fn run_cycles_offline(
     disc: &dyn Discriminator,
     n_cycles: usize,
 ) -> Vec<OfflineCycle> {
-    assert!(cfg.rounds > 0, "need at least one round per cycle");
+    cfg.validate();
     assert_eq!(
         disc.n_qubits(),
         chip.n_qubits(),

@@ -1,0 +1,573 @@
+//! Online recalibration: a self-harvesting, hot-swappable MF discriminator.
+//!
+//! [`AdaptiveMf`] wraps the `mf` design's fused demod + matched-filter GEMM
+//! behind a **generation-counted atomic calibration slot**: every batch
+//! discriminate loads the current [`Arc`]'d calibration (a read lock plus a
+//! refcount bump — no allocation), so a retrain can build a complete new
+//! calibration off to the side and [`SwapSlot::swap`] it in while the
+//! engine keeps streaming. Readers either see the old calibration or the
+//! new one, never a torn mix of old filters and new thresholds.
+//!
+//! While discriminating, the design *harvests its own training data*: shots
+//! whose soft margin clears a self-normalizing confidence gate are copied
+//! (raw window + self-assigned label) into a fixed-capacity [`WindowRing`].
+//! [`AdaptiveMf::recalibrate`] then
+//!
+//! 1. averages the confident raw windows per qubit per class and
+//!    demodulates the means (demodulation is linear, so the demodulated
+//!    mean *is* the mean demodulated trace),
+//! 2. rebuilds each drifted qubit's matched filter from the
+//!    excited-minus-ground mean envelope,
+//! 3. re-featurizes the harvested windows through the new
+//!    [`herqles_core::FusedFilterKernel`] — one tall-skinny GEMM on the
+//!    `herqles-num` kernel layer — and refits the per-qubit thresholds on
+//!    those features,
+//! 4. swaps the new calibration in atomically, bumping the generation.
+//!
+//! The retrain path may allocate (it is a rare control-plane event, and the
+//! streaming engine can hide it behind synthesis via
+//! [`herqles_exec::ShardPool::overlap`]); the harvest path on the round loop
+//! is allocation-free once warm.
+//!
+//! Self-labeling is honest about its limits: labels come from the *current*
+//! calibration, so recovery works while the drifted channel still labels
+//! high-margin shots correctly — the regime the confidence gate selects for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use herqles_core::bank::FilterBank;
+use herqles_core::designs::MfDiscriminator;
+use herqles_core::{Discriminator, PrecisionDiscriminator, PrecisionKernels, Real};
+use readout_classifiers::ThresholdDiscriminator;
+use readout_dsp::filters::MatchedFilter;
+use readout_dsp::Demodulator;
+use readout_sim::trace::{BasisState, IqTrace};
+use readout_sim::ShotBatch;
+
+/// A discriminator that can retrain itself from harvested data and hot-swap
+/// the result into place. The streaming engine's adaptive cycle entry point
+/// is bounded on this trait.
+pub trait Recalibrate: Send + Sync {
+    /// Whether enough harvested data is buffered for a retrain to be worth
+    /// attempting.
+    fn recal_ready(&self) -> bool;
+
+    /// Rebuilds the calibration from harvested data and atomically swaps it
+    /// in. Returns the new generation, or `None` when there was not enough
+    /// per-class data to retrain anything.
+    fn recalibrate(&self) -> Option<u64>;
+
+    /// Generation of the live calibration (0 until the first swap).
+    fn generation(&self) -> u64;
+}
+
+/// A generation-counted atomic publication slot.
+///
+/// Readers [`SwapSlot::load`] an [`Arc`] snapshot (read lock + refcount, no
+/// allocation); writers build a replacement off-line and [`SwapSlot::swap`]
+/// it in, bumping the generation. Std-only — no external atomics crates.
+#[derive(Debug)]
+pub struct SwapSlot<T> {
+    current: RwLock<Arc<T>>,
+    generation: AtomicU64,
+}
+
+impl<T> SwapSlot<T> {
+    /// A slot publishing `value` at generation 0.
+    pub fn new(value: T) -> Self {
+        SwapSlot {
+            current: RwLock::new(Arc::new(value)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the current value.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read().expect("swap slot poisoned"))
+    }
+
+    /// Atomically publishes `value`, returning the new generation.
+    pub fn swap(&self, value: T) -> u64 {
+        let mut slot = self.current.write().expect("swap slot poisoned");
+        *slot = Arc::new(value);
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Generation of the published value (0 before any swap).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+/// One immutable calibration: filters, fused kernels, thresholds. Swapped
+/// wholesale so readers never observe a torn calibration.
+#[derive(Debug)]
+struct Calibration {
+    bank: FilterBank,
+    kernels: PrecisionKernels,
+    thresholds: Vec<ThresholdDiscriminator>,
+}
+
+impl Calibration {
+    fn classify_features<R: Real>(&self, features: &[R]) -> BasisState {
+        let mut state = BasisState::new(0);
+        for (q, threshold) in self.thresholds.iter().enumerate() {
+            state = state.with_qubit(q, threshold.classify_a(features[q].to_f64()));
+        }
+        state
+    }
+}
+
+/// Fixed-capacity ring of harvested high-confidence raw windows.
+///
+/// Each slot stores one shot's raw row (`[i…, q…]`, widened to `f64`), the
+/// self-assigned label bits, and a per-qubit confidence mask. The per-qubit
+/// margin-scale EWMA that drives the confidence gate lives here too, so the
+/// whole harvest path works under one uncontended mutex with zero
+/// allocation.
+#[derive(Debug)]
+struct WindowRing {
+    width: usize,
+    capacity: usize,
+    data: Vec<f64>,
+    labels: Vec<u32>,
+    conf: Vec<u32>,
+    len: usize,
+    head: usize,
+    /// Per-qubit EWMA of the absolute soft margin — the self-normalizing
+    /// scale the confidence gate compares against.
+    scale: Vec<f64>,
+}
+
+impl WindowRing {
+    fn new(capacity: usize, width: usize, n_qubits: usize) -> Self {
+        WindowRing {
+            width,
+            capacity,
+            data: vec![0.0; capacity * width],
+            labels: vec![0; capacity],
+            conf: vec![0; capacity],
+            len: 0,
+            head: 0,
+            scale: vec![0.0; n_qubits],
+        }
+    }
+
+    fn push<R: Real>(&mut self, i_row: &[R], q_row: &[R], label: u32, conf: u32) {
+        let slot = &mut self.data[self.head * self.width..(self.head + 1) * self.width];
+        let (i_dst, q_dst) = slot.split_at_mut(i_row.len());
+        for (d, s) in i_dst.iter_mut().zip(i_row) {
+            *d = s.to_f64();
+        }
+        for (d, s) in q_dst.iter_mut().zip(q_row) {
+            *d = s.to_f64();
+        }
+        self.labels[self.head] = label;
+        self.conf[self.head] = conf;
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    #[cfg(test)]
+    fn row(&self, s: usize) -> &[f64] {
+        &self.data[s * self.width..(s + 1) * self.width]
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.head = 0;
+    }
+}
+
+/// Tuning of the harvest ring and retrain gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecalConfig {
+    /// Harvested windows kept (ring capacity).
+    pub capacity: usize,
+    /// A shot is "confident" for qubit `q` when its margin is at least this
+    /// fraction of the qubit's margin-scale EWMA.
+    pub min_margin_frac: f64,
+    /// Minimum confident windows *per class per qubit* to retrain that
+    /// qubit's filter and threshold.
+    pub min_windows: usize,
+    /// EWMA weight of the per-qubit margin scale.
+    pub scale_alpha: f64,
+}
+
+impl Default for RecalConfig {
+    fn default() -> Self {
+        RecalConfig {
+            capacity: 256,
+            min_margin_frac: 0.5,
+            min_windows: 12,
+            scale_alpha: 0.05,
+        }
+    }
+}
+
+/// The `mf` design wrapped in an atomic, self-recalibrating shell: same
+/// fused batch hot path, plus window harvesting and
+/// [`Recalibrate::recalibrate`].
+///
+/// Implements [`Discriminator`] (and `PrecisionDiscriminator<f32>`), so it
+/// drives a `CycleEngine` at either pipeline precision.
+#[derive(Debug)]
+pub struct AdaptiveMf {
+    demod: Demodulator,
+    cfg: RecalConfig,
+    slot: SwapSlot<Calibration>,
+    ring: Mutex<WindowRing>,
+    n_qubits: usize,
+}
+
+impl AdaptiveMf {
+    /// Wraps a trained [`MfDiscriminator`]'s calibration (filters and
+    /// thresholds are cloned; generation starts at 0).
+    pub fn from_mf(mf: &MfDiscriminator, cfg: RecalConfig) -> Self {
+        let demod = mf.demod().clone();
+        let bank = mf.bank().clone();
+        let kernels = PrecisionKernels::new(&demod, &bank);
+        let n_qubits = bank.n_qubits();
+        let width = 2 * demod.n_samples();
+        AdaptiveMf {
+            slot: SwapSlot::new(Calibration {
+                bank,
+                kernels,
+                thresholds: mf.thresholds().to_vec(),
+            }),
+            ring: Mutex::new(WindowRing::new(cfg.capacity.max(1), width, n_qubits)),
+            demod,
+            cfg,
+            n_qubits,
+        }
+    }
+
+    /// Harvested windows currently buffered.
+    pub fn buffered_windows(&self) -> usize {
+        self.ring.lock().expect("ring poisoned").len
+    }
+
+    /// The live per-qubit decision thresholds (snapshot).
+    pub fn thresholds(&self) -> Vec<ThresholdDiscriminator> {
+        self.slot.load().thresholds.clone()
+    }
+
+    /// The fused batch path at any pipeline precision, plus harvesting.
+    fn batch_into_r<R: Real>(
+        &self,
+        batch: &ShotBatch<R>,
+        scratch: &mut Vec<R>,
+        out: &mut Vec<BasisState>,
+    ) {
+        let cal = self.slot.load();
+        out.clear();
+        let kernel = cal.kernels.get::<R>();
+        if !kernel.matches(batch) {
+            out.extend((0..batch.n_shots()).map(|s| self.discriminate(&batch.trace(s))));
+            return;
+        }
+        kernel.features_batch(batch, scratch);
+        let width = kernel.n_features().max(1);
+        out.extend(scratch.chunks(width).map(|f| cal.classify_features(f)));
+        self.harvest(&cal, batch, scratch, out);
+    }
+
+    /// Updates the per-qubit margin scales and copies confident windows into
+    /// the ring. Allocation-free: fixed ring storage, uncontended mutex.
+    fn harvest<R: Real>(
+        &self,
+        cal: &Calibration,
+        batch: &ShotBatch<R>,
+        features: &[R],
+        states: &[BasisState],
+    ) {
+        let width = cal.kernels.n_features().max(1);
+        let mut ring = self.ring.lock().expect("ring poisoned");
+        for s in 0..batch.n_shots() {
+            let f = &features[s * width..(s + 1) * width];
+            let mut conf = 0u32;
+            for (q, threshold) in cal.thresholds.iter().enumerate() {
+                let margin = (f[q].to_f64() - threshold.threshold()).abs();
+                let scale = &mut ring.scale[q];
+                *scale += self.cfg.scale_alpha * (margin - *scale);
+                if margin >= self.cfg.min_margin_frac * *scale {
+                    conf |= 1 << q;
+                }
+            }
+            if conf != 0 {
+                ring.push(batch.i_of(s), batch.q_of(s), states[s].bits(), conf);
+            }
+        }
+    }
+}
+
+impl Discriminator for AdaptiveMf {
+    fn name(&self) -> &str {
+        "mf-adaptive"
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn discriminate(&self, raw: &IqTrace) -> BasisState {
+        let cal = self.slot.load();
+        let traces = self.demod.demodulate(raw);
+        cal.classify_features(&cal.bank.features(&traces))
+    }
+
+    fn discriminate_shot_batch(&self, batch: &ShotBatch) -> Vec<BasisState> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.discriminate_shot_batch_into(batch, &mut scratch, &mut out);
+        out
+    }
+
+    fn discriminate_shot_batch_into(
+        &self,
+        batch: &ShotBatch,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<BasisState>,
+    ) {
+        self.batch_into_r(batch, scratch, out);
+    }
+
+    fn soft_margins(&self, features: &[f64], out: &mut [f64]) -> bool {
+        let cal = self.slot.load();
+        if features.len() < cal.thresholds.len() || out.len() < cal.thresholds.len() {
+            return false;
+        }
+        for (q, threshold) in cal.thresholds.iter().enumerate() {
+            out[q] = (features[q] - threshold.threshold()).abs();
+        }
+        true
+    }
+}
+
+impl PrecisionDiscriminator<f32> for AdaptiveMf {
+    fn discriminate_shot_batch_r_into(
+        &self,
+        batch: &ShotBatch<f32>,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<BasisState>,
+    ) {
+        self.batch_into_r(batch, scratch, out);
+    }
+}
+
+impl Recalibrate for AdaptiveMf {
+    fn recal_ready(&self) -> bool {
+        // Cheap gate: enough windows that at least one qubit can plausibly
+        // split into two sufficiently populated classes.
+        self.buffered_windows() >= 4 * self.cfg.min_windows
+    }
+
+    fn recalibrate(&self) -> Option<u64> {
+        // Snapshot the ring (copy, then release the lock so the hot path
+        // keeps harvesting while we train).
+        let (rows, labels, conf, n_windows) = {
+            let ring = self.ring.lock().expect("ring poisoned");
+            if ring.len == 0 {
+                return None;
+            }
+            let rows: Vec<f64> = ring.data[..ring.len * ring.width].to_vec();
+            (
+                rows,
+                ring.labels[..ring.len].to_vec(),
+                ring.conf[..ring.len].to_vec(),
+                ring.len,
+            )
+        };
+        let cal = self.slot.load();
+        let n_samples = self.demod.n_samples();
+        let width = 2 * n_samples;
+        let row = |s: usize| -> &[f64] { &rows[s * width..(s + 1) * width] };
+        let kern = <f64 as Real>::kernel();
+
+        // 1.+2. Per-qubit mean confident window per class → new envelope.
+        let mut mfs = Vec::with_capacity(self.n_qubits);
+        let mut retrained = vec![false; self.n_qubits];
+        for (q, q_retrained) in retrained.iter_mut().enumerate() {
+            let bit = 1u32 << q;
+            let excited: Vec<usize> = (0..n_windows)
+                .filter(|&s| conf[s] & bit != 0 && labels[s] & bit != 0)
+                .collect();
+            let ground: Vec<usize> = (0..n_windows)
+                .filter(|&s| conf[s] & bit != 0 && labels[s] & bit == 0)
+                .collect();
+            if excited.len() < self.cfg.min_windows || ground.len() < self.cfg.min_windows {
+                mfs.push(cal.bank.mf(q).clone());
+                continue;
+            }
+            let mean_demod = |idx: &[usize]| -> IqTrace {
+                let mut acc = vec![0.0f64; width];
+                for &s in idx {
+                    kern.axpy(1.0, row(s), &mut acc);
+                }
+                let inv = 1.0 / idx.len() as f64;
+                for v in &mut acc {
+                    *v *= inv;
+                }
+                let (i_mean, q_mean) = acc.split_at(n_samples);
+                // Demodulation is linear: demod(mean raw) == mean demod.
+                self.demod
+                    .demodulate_qubit(&IqTrace::new(i_mean.to_vec(), q_mean.to_vec()), q)
+            };
+            let mean_e = mean_demod(&excited);
+            let mean_g = mean_demod(&ground);
+            let di: Vec<f64> = mean_e
+                .i()
+                .iter()
+                .zip(mean_g.i())
+                .map(|(a, b)| a - b)
+                .collect();
+            let dq: Vec<f64> = mean_e
+                .q()
+                .iter()
+                .zip(mean_g.q())
+                .map(|(a, b)| a - b)
+                .collect();
+            // Excited-minus-ground mean envelope: the matched filter for
+            // white bin noise, oriented so positive ⇒ excited.
+            mfs.push(MatchedFilter::from_envelope(IqTrace::new(di, dq)));
+            *q_retrained = true;
+        }
+        if !retrained.iter().any(|&r| r) {
+            return None;
+        }
+
+        // 3. Refit thresholds on the harvested windows, featurized through
+        //    the new fused kernel — one tall-skinny GEMM on the kernel layer.
+        let bank = FilterBank::new(mfs);
+        let kernels = PrecisionKernels::new(&self.demod, &bank);
+        let mut batch: ShotBatch<f64> = ShotBatch::with_capacity(n_windows, n_samples);
+        for s in 0..n_windows {
+            let (i_dst, q_dst) = batch.push_empty_row();
+            let (i_src, q_src) = row(s).split_at(n_samples);
+            i_dst.copy_from_slice(i_src);
+            q_dst.copy_from_slice(q_src);
+        }
+        let mut features = Vec::new();
+        kernels.get::<f64>().features_batch(&batch, &mut features);
+        let f_width = kernels.n_features().max(1);
+        let mut thresholds = Vec::with_capacity(self.n_qubits);
+        for q in 0..self.n_qubits {
+            if !retrained[q] {
+                thresholds.push(cal.thresholds[q]);
+                continue;
+            }
+            let bit = 1u32 << q;
+            let mut excited = Vec::new();
+            let mut ground = Vec::new();
+            for s in 0..n_windows {
+                if conf[s] & bit == 0 {
+                    continue;
+                }
+                let v = features[s * f_width + q];
+                if labels[s] & bit != 0 {
+                    excited.push(v);
+                } else {
+                    ground.push(v);
+                }
+            }
+            thresholds.push(ThresholdDiscriminator::train(&excited, &ground));
+        }
+
+        // 4. Atomic publication; stale self-labels die with the old epoch.
+        let generation = self.slot.swap(Calibration {
+            bank,
+            kernels,
+            thresholds,
+        });
+        self.ring.lock().expect("ring poisoned").clear();
+        Some(generation)
+    }
+
+    fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_mf_discriminator_typed;
+    use readout_sim::{ChipConfig, Dataset};
+
+    #[test]
+    fn swap_slot_publishes_generations() {
+        let slot = SwapSlot::new(1u32);
+        assert_eq!(slot.generation(), 0);
+        assert_eq!(*slot.load(), 1);
+        assert_eq!(slot.swap(2), 1);
+        assert_eq!(slot.swap(3), 2);
+        assert_eq!(*slot.load(), 3);
+        assert_eq!(slot.generation(), 2);
+    }
+
+    #[test]
+    fn window_ring_wraps_and_clears() {
+        let mut ring = WindowRing::new(2, 4, 1);
+        ring.push(&[1.0, 2.0], &[3.0, 4.0], 1, 1);
+        ring.push(&[5.0, 6.0], &[7.0, 8.0], 0, 1);
+        ring.push(&[9.0, 10.0], &[11.0, 12.0], 1, 1);
+        assert_eq!(ring.len, 2);
+        // Third push overwrote slot 0.
+        assert_eq!(ring.row(0), &[9.0, 10.0, 11.0, 12.0]);
+        assert_eq!(ring.labels[0], 1);
+        ring.clear();
+        assert_eq!(ring.len, 0);
+    }
+
+    #[test]
+    fn adaptive_mf_matches_wrapped_mf_before_any_swap() {
+        let chip = ChipConfig::two_qubit_test();
+        let mf = train_mf_discriminator_typed(&chip, 12, 99);
+        let adaptive = AdaptiveMf::from_mf(&mf, RecalConfig::default());
+        let ds = Dataset::generate(&chip, 16, 1234);
+        for shot in &ds.shots {
+            assert_eq!(
+                adaptive.discriminate(&shot.raw),
+                mf.discriminate(&shot.raw),
+                "generation 0 must classify exactly like the wrapped mf"
+            );
+        }
+        assert_eq!(adaptive.generation(), 0);
+        assert_eq!(adaptive.name(), "mf-adaptive");
+        assert_eq!(adaptive.n_qubits(), 2);
+    }
+
+    #[test]
+    fn harvesting_fills_the_ring_and_retrain_swaps_a_generation() {
+        let chip = ChipConfig::two_qubit_test();
+        let mf = train_mf_discriminator_typed(&chip, 12, 99);
+        let cfg = RecalConfig {
+            min_windows: 8,
+            ..RecalConfig::default()
+        };
+        let adaptive = AdaptiveMf::from_mf(&mf, cfg);
+        let ds = Dataset::generate(&chip, 40, 777);
+        let mut batch: ShotBatch<f64> = ShotBatch::with_capacity(ds.shots.len(), chip.n_samples());
+        for shot in &ds.shots {
+            batch.push_trace(&shot.raw);
+        }
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        adaptive.discriminate_shot_batch_into(&batch, &mut scratch, &mut out);
+        assert!(adaptive.buffered_windows() > 0, "confident shots harvested");
+        assert!(adaptive.recal_ready());
+        let generation = adaptive.recalibrate().expect("enough data to retrain");
+        assert_eq!(generation, 1);
+        assert_eq!(adaptive.generation(), 1);
+        // The self-trained calibration still discriminates competently on
+        // clean data (trained from its own labels, so near the original).
+        let correct = ds
+            .shots
+            .iter()
+            .filter(|s| adaptive.discriminate(&s.raw) == s.prepared)
+            .count();
+        let accuracy = correct as f64 / ds.shots.len() as f64;
+        assert!(accuracy > 0.8, "post-swap accuracy {accuracy}");
+    }
+}

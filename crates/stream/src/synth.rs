@@ -15,7 +15,8 @@
 //! bit-identical.
 
 use herqles_num::Real;
-use rand::Rng;
+use rand::{Rng, RngExt};
+use readout_sim::drift::RoundFaults;
 use readout_sim::events::{sample_path, StatePath};
 use readout_sim::multiplex::{synthesize_into, CarrierTable};
 use readout_sim::trace::IqPoint;
@@ -101,13 +102,30 @@ impl<R: Real> RoundSynth<R> {
         batch: &mut ShotBatch<R>,
         rng: &mut G,
     ) {
+        self.synth_into_row_faulted(prepared, None, batch, rng);
+    }
+
+    /// Like [`RoundSynth::synth_into_row`] with an optional resolved fault
+    /// snapshot; `None` is the nominal path, bit-identical to
+    /// [`RoundSynth::synth_into_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` was sized for a different sample count.
+    pub fn synth_into_row_faulted<G: Rng + ?Sized>(
+        &mut self,
+        prepared: BasisState,
+        faults: Option<&RoundFaults>,
+        batch: &mut ShotBatch<R>,
+        rng: &mut G,
+    ) {
         assert_eq!(
             batch.n_samples(),
             self.n_samples(),
             "batch sized for a different readout window"
         );
         let (i_row, q_row) = batch.push_empty_row();
-        self.synth_into_slot(prepared, i_row, q_row, rng);
+        self.synth_into_slot_faulted(prepared, faults, i_row, q_row, rng);
     }
 
     /// Synthesizes one feedline shot straight into caller-owned channel
@@ -128,6 +146,35 @@ impl<R: Real> RoundSynth<R> {
         q_row: &mut [R],
         rng: &mut G,
     ) {
+        self.synth_into_slot_faulted(prepared, None, i_row, q_row, rng);
+    }
+
+    /// [`RoundSynth::synth_into_slot`] with an optional resolved
+    /// [`RoundFaults`] snapshot injected into the physics: per-channel IQ
+    /// centroid shifts, |2⟩ leakage clouds, a feedline-wide crosstalk gain
+    /// and an ADC-noise sigma multiplier.
+    ///
+    /// `faults: None` is the nominal path and is **bit-identical** to
+    /// [`RoundSynth::synth_into_slot`] — every fault branch (including the
+    /// per-shot leakage draw) is gated on the corresponding fault actually
+    /// deviating from nominal, so the RNG draw sequence and all floating
+    /// point values are untouched when no fault is active. A leaked channel
+    /// replaces its state-path draws with a single leakage uniform, which
+    /// stays inside the caller's per-group RNG stream: pooled and serial
+    /// engines remain bit-identical under active fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the synthesizer's sample count, or
+    /// the snapshot was sized for a different channel count.
+    pub fn synth_into_slot_faulted<G: Rng + ?Sized>(
+        &mut self,
+        prepared: BasisState,
+        faults: Option<&RoundFaults>,
+        i_row: &mut [R],
+        q_row: &mut [R],
+        rng: &mut G,
+    ) {
         assert_eq!(
             i_row.len(),
             self.n_samples(),
@@ -138,23 +185,64 @@ impl<R: Real> RoundSynth<R> {
             self.n_samples(),
             "row sized for a different readout window"
         );
+        if let Some(f) = faults {
+            assert_eq!(
+                f.n_qubits(),
+                self.chip.n_qubits(),
+                "fault snapshot sized for a different channel count"
+            );
+        }
         // 1. Per-channel state paths (relaxation / excitation / init errors).
+        //    A channel with an active leakage fault first draws its per-shot
+        //    leakage decision; a leaked shot consumes exactly that one
+        //    uniform and skips the computational-state path entirely.
+        let mut leaked: u32 = 0;
         self.paths.clear();
         for (k, params) in self.chip.qubits.iter().enumerate() {
+            if let Some(f) = faults {
+                let p = f.leak_prob(k);
+                if p > 0.0 && rng.random::<f64>() < p {
+                    leaked |= 1 << k;
+                    self.paths.push(StatePath::Ground);
+                    continue;
+                }
+            }
             let sampled = sample_path(params, prepared.qubit(k), self.chip.readout_duration_s, rng);
             self.paths.push(sampled.path);
         }
-        // 2. Noiseless ring-up basebands.
-        for ((params, path), bb) in self
+        // 2. Noiseless ring-up basebands. A leaked channel rings up from the
+        //    origin toward its |2⟩ steady state instead; centroid drift then
+        //    displaces the whole baseband (both clouds shift together).
+        for (k, ((params, path), bb)) in self
             .chip
             .qubits
             .iter()
             .zip(&self.paths)
             .zip(&mut self.basebands)
+            .enumerate()
         {
-            baseband_into(params, path, &self.times, bb);
+            if leaked & (1 << k) != 0 {
+                let leak_ss = faults.expect("leak without faults").leak_ss(k);
+                bb.clear();
+                bb.extend(self.times.iter().map(|&t| {
+                    let ringup = 1.0 - (-t / params.ringup_tau_s).exp();
+                    leak_ss * ringup
+                }));
+            } else {
+                baseband_into(params, path, &self.times, bb);
+            }
+            if let Some(f) = faults {
+                let shift = f.centroid_shift(k);
+                if shift != IqPoint::ZERO {
+                    for s in bb.iter_mut() {
+                        *s += shift;
+                    }
+                }
+            }
         }
-        // 3. Excitation measures driving the crosstalk model.
+        // 3. Excitation measures driving the crosstalk model (computed on the
+        //    faulted basebands: a drifted or leaked channel pulls neighbours
+        //    according to where its resonator actually sits).
         for ((params, bb), meas) in self
             .chip
             .qubits
@@ -166,18 +254,30 @@ impl<R: Real> RoundSynth<R> {
             meas.extend(bb.iter().map(|&s| excitation_measure(params, s)));
         }
         // 4. Dispersive crosstalk shifts, sample by sample.
+        let gain = faults.map_or(1.0, RoundFaults::crosstalk_gain);
         for t in 0..self.times.len() {
             for (k, meas) in self.measures.iter().enumerate() {
                 self.m[k] = meas[t];
             }
             for (victim, bb) in self.basebands.iter_mut().enumerate() {
-                let shift = self.chip.crosstalk.shift_at(victim, &self.m, self.times[t]);
+                let mut shift = self.chip.crosstalk.shift_at(victim, &self.m, self.times[t]);
+                if gain != 1.0 {
+                    shift = shift * gain;
+                }
                 bb[t] += shift;
             }
         }
         // 5. Multiplexed synthesis with amplifier noise, straight into the
-        //    row (fresh noise state per shot, like the dataset path).
-        let mut noise = GaussianNoise::new(self.sigma);
+        //    row (fresh noise state per shot, like the dataset path). Sigma
+        //    scaling rebuilds the sampler only when the fault deviates, so
+        //    the nominal noise stream is untouched bit for bit.
+        let sigma_scale = faults.map_or(1.0, RoundFaults::sigma_scale);
+        let sigma = if sigma_scale != 1.0 {
+            self.sigma * R::from_f64(sigma_scale)
+        } else {
+            self.sigma
+        };
+        let mut noise = GaussianNoise::new(sigma);
         synthesize_into(
             &self.carriers,
             &self.basebands,
@@ -223,6 +323,80 @@ mod tests {
             batch.i_of(0).iter().map(|x| x * x).sum()
         };
         assert!((energy(0b00) - energy(0b11)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn inactive_fault_snapshot_is_bit_identical_to_nominal() {
+        use readout_sim::drift::RoundFaults;
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let nominal = {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row(BasisState::new(0b01), &mut batch, &mut rng);
+            batch
+        };
+        let faulted = {
+            let rf = RoundFaults::nominal(chip.n_qubits());
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row_faulted(BasisState::new(0b01), Some(&rf), &mut batch, &mut rng);
+            batch
+        };
+        assert_eq!(nominal, faulted, "nominal snapshot must not perturb draws");
+    }
+
+    #[test]
+    fn centroid_shift_displaces_the_row() {
+        use readout_sim::drift::{DriftEvent, FaultPlan, RoundFaults};
+        use readout_sim::IqPoint;
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let mut run = |faults: Option<&RoundFaults>| -> ShotBatch {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row_faulted(BasisState::new(0b00), faults, &mut batch, &mut rng);
+            batch
+        };
+        let clean = run(None);
+        let plan = FaultPlan::new(vec![DriftEvent::CentroidDrift {
+            qubit: 0,
+            start_round: 0,
+            end_round: 0,
+            delta: IqPoint::new(3.0, -1.0),
+        }]);
+        let mut rf = RoundFaults::nominal(chip.n_qubits());
+        plan.resolve_into(0, &mut rf);
+        let shifted = run(Some(&rf));
+        assert_ne!(clean, shifted, "an active drift must change the waveform");
+    }
+
+    #[test]
+    fn certain_leakage_rings_to_the_leak_cloud() {
+        use readout_sim::drift::{DriftEvent, FaultPlan, RoundFaults};
+        use readout_sim::IqPoint;
+        let chip = ChipConfig::two_qubit_test();
+        let mut synth = RoundSynth::new(&chip);
+        let plan = FaultPlan::new(vec![DriftEvent::Leakage {
+            qubit: 0,
+            start_round: 0,
+            end_round: 0,
+            prob: 1.0,
+            leak_ss: IqPoint::new(40.0, 40.0),
+        }]);
+        let mut rf = RoundFaults::nominal(chip.n_qubits());
+        plan.resolve_into(0, &mut rf);
+        let energy = |synth: &mut RoundSynth, faults: Option<&RoundFaults>| -> f64 {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut batch: ShotBatch = ShotBatch::with_capacity(1, chip.n_samples());
+            synth.synth_into_row_faulted(BasisState::new(0b00), faults, &mut batch, &mut rng);
+            batch.i_of(0).iter().map(|x| x * x).sum()
+        };
+        let clean = energy(&mut synth, None);
+        let leaked = energy(&mut synth, Some(&rf));
+        // A |2⟩ cloud parked at (40, 40) carries far more carrier energy
+        // than either computational cloud.
+        assert!(leaked > 2.0 * clean, "leaked {leaked} vs clean {clean}");
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use herqles_stream::{
-    train_mf_discriminator, train_mf_discriminator_typed, CycleConfig, CycleEngine, ShardPool,
+    train_mf_discriminator, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
+    DriftEvent, FaultPlan, RecalConfig, ShardPool,
 };
+use readout_sim::trace::IqPoint;
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -151,5 +153,58 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     assert_eq!(
         pooled_cycle_allocs, 0,
         "warm whole pooled cycles must not touch the heap"
+    );
+
+    // Active fault injection keeps the invariant: fault resolution writes a
+    // pre-sized `RoundFaults` snapshot, the faulted synthesis branches work
+    // in the same per-channel scratch, and the health monitor's round
+    // observation runs through fixed buffers. The plan below holds every
+    // fault kind at full strength for the entire probed window.
+    let mut faulted = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+    faulted.set_fault_plan(FaultPlan::new(vec![
+        DriftEvent::CentroidDrift {
+            qubit: 0,
+            start_round: 0,
+            end_round: 0,
+            delta: IqPoint::new(2.0, -1.5),
+        },
+        DriftEvent::SigmaScale {
+            start_round: 0,
+            end_round: 0,
+            factor: 1.4,
+        },
+        DriftEvent::Leakage {
+            qubit: 1,
+            start_round: 0,
+            end_round: 0,
+            prob: 0.3,
+            leak_ss: IqPoint::new(20.0, 20.0),
+        },
+    ]));
+    let _ = faulted.run_cycle();
+    let _ = faulted.run_cycle();
+    let faulted_cycle_allocs = min_allocs_over(3, || {
+        let _ = faulted.run_cycle();
+    });
+    assert_eq!(
+        faulted_cycle_allocs, 0,
+        "warm cycles under active fault injection must not touch the heap"
+    );
+
+    // The adaptive discriminator's hot path — generation-counted calibration
+    // load, fused GEMM, margin computation, confident-window harvest into
+    // the fixed ring — is allocation-free too (the *retrain* is the
+    // control-plane exception and runs outside this probe).
+    let mf = train_mf_discriminator_typed(&chip, 8, 1234);
+    let adaptive = AdaptiveMf::from_mf(&mf, RecalConfig::default());
+    let mut adaptive_engine = CycleEngine::<f64, _>::new(cfg, &chip, &code, &adaptive);
+    let _ = adaptive_engine.run_cycle();
+    let _ = adaptive_engine.run_cycle();
+    let adaptive_cycle_allocs = min_allocs_over(3, || {
+        let _ = adaptive_engine.run_cycle();
+    });
+    assert_eq!(
+        adaptive_cycle_allocs, 0,
+        "warm cycles through the adaptive discriminator must not touch the heap"
     );
 }

@@ -7,9 +7,10 @@
 
 use herqles_core::PrecisionDiscriminator;
 use herqles_stream::{
-    train_mf_discriminator, train_mf_discriminator_typed, CycleConfig, CycleEngine,
-    ParallelCycleEngine, Real, ShardPool,
+    train_mf_discriminator, train_mf_discriminator_typed, CycleConfig, CycleEngine, DriftEvent,
+    FaultPlan, ParallelCycleEngine, Real, ShardPool,
 };
+use readout_sim::trace::IqPoint;
 use readout_sim::ChipConfig;
 use surface_code::{RotatedSurfaceCode, SyndromeBlock};
 
@@ -25,7 +26,22 @@ fn assert_pooled_matches_serial<R, D>(
     R: Real,
     D: ?Sized + PrecisionDiscriminator<R>,
 {
+    assert_pooled_matches_serial_under_plan(cfg, chip, code, disc, cycles, &FaultPlan::none());
+}
+
+fn assert_pooled_matches_serial_under_plan<R, D>(
+    cfg: CycleConfig,
+    chip: &ChipConfig,
+    code: &RotatedSurfaceCode,
+    disc: &D,
+    cycles: usize,
+    plan: &FaultPlan,
+) where
+    R: Real,
+    D: ?Sized + PrecisionDiscriminator<R>,
+{
     let mut serial = CycleEngine::<R, _>::new(cfg, chip, code, disc);
+    serial.set_fault_plan(plan.clone());
     let mut reference: Vec<(SyndromeBlock, surface_code::decoder::DecodeOutcome)> = Vec::new();
     for _ in 0..cycles {
         let r = serial.run_cycle();
@@ -35,6 +51,7 @@ fn assert_pooled_matches_serial<R, D>(
     for threads in THREAD_COUNTS {
         let pool = ShardPool::new(threads);
         let mut pooled = ParallelCycleEngine::<R, _>::with_pool(cfg, chip, code, disc, &pool);
+        pooled.set_fault_plan(plan.clone());
         for (i, (ref_block, ref_outcome)) in reference.iter().enumerate() {
             let r = pooled.run_cycle();
             assert_eq!(
@@ -97,6 +114,76 @@ fn pooled_engine_with_idle_padding_slots_matches_serial() {
         seed: 13,
     };
     assert_pooled_matches_serial::<f64, _>(cfg, &chip, &code, disc.as_ref(), 3);
+}
+
+#[test]
+fn pooled_engine_is_bit_identical_to_serial_under_active_faults() {
+    // Every fault kind at once, ramping across the run: leakage draws an
+    // extra random number per leaked channel, so this pins that the injected
+    // randomness rides the per-group streams (not the master RNG) and stays
+    // thread-count-independent.
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(5);
+    let disc = train_mf_discriminator(&chip, 10, 404);
+    let cfg = CycleConfig {
+        rounds: 5,
+        data_error_prob: 0.01,
+        seed: 777,
+    };
+    let plan = FaultPlan::new(vec![
+        DriftEvent::CentroidDrift {
+            qubit: 0,
+            start_round: 2,
+            end_round: 10,
+            delta: IqPoint::new(3.0, -2.0),
+        },
+        DriftEvent::SigmaScale {
+            start_round: 0,
+            end_round: 8,
+            factor: 1.6,
+        },
+        DriftEvent::Leakage {
+            qubit: 1,
+            start_round: 4,
+            end_round: 12,
+            prob: 0.35,
+            leak_ss: IqPoint::new(25.0, 25.0),
+        },
+        DriftEvent::CrosstalkBurst {
+            start_round: 6,
+            end_round: 14,
+            gain: 3.0,
+        },
+    ]);
+    assert_pooled_matches_serial_under_plan::<f64, _>(cfg, &chip, &code, disc.as_ref(), 4, &plan);
+}
+
+#[test]
+fn pooled_engine_is_bit_identical_to_serial_under_active_faults_f32() {
+    let chip = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(5);
+    let disc = train_mf_discriminator_typed(&chip, 10, 404);
+    let cfg = CycleConfig {
+        rounds: 5,
+        data_error_prob: 0.01,
+        seed: 777,
+    };
+    let plan = FaultPlan::new(vec![
+        DriftEvent::CentroidDrift {
+            qubit: 1,
+            start_round: 0,
+            end_round: 6,
+            delta: IqPoint::new(-2.0, 4.0),
+        },
+        DriftEvent::Leakage {
+            qubit: 0,
+            start_round: 3,
+            end_round: 3,
+            prob: 0.5,
+            leak_ss: IqPoint::new(30.0, 30.0),
+        },
+    ]);
+    assert_pooled_matches_serial_under_plan::<f32, _>(cfg, &chip, &code, &disc, 4, &plan);
 }
 
 #[test]
