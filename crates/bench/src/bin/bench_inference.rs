@@ -29,12 +29,12 @@
 //! the dataset, default 50), `HERQULES_SEED`, `HERQLES_KERNEL`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use herqles_core::designs::DesignKind;
 use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
 use herqles_core::{Discriminator, PrecisionDiscriminator};
 use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
+use herqles_telemetry::StageTimer;
 use readout_nn::net::TrainConfig;
 use readout_sim::{ChipConfig, Dataset, ShotBatch};
 
@@ -45,11 +45,11 @@ fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
     f(); // warm-up
     let mut reps = 1u32;
     loop {
-        let start = Instant::now();
+        let timer = StageTimer::start();
         for _ in 0..reps {
             f();
         }
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = timer.elapsed_secs();
         if elapsed > 0.2 {
             return elapsed / f64::from(reps);
         }

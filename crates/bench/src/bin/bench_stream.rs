@@ -16,6 +16,19 @@
 //! Results land in `BENCH_stream.json` (cwd), continuing the performance
 //! trajectory seeded by `BENCH_inference.json`.
 //!
+//! Every engine the benchmark runs carries **registry-backed telemetry**
+//! (`herqles-telemetry`): per-stage latency histograms scoped by an
+//! `engine="d{d}-{precision}-t{threads}-{kernel}"` label. The JSON rows gain
+//! `p50_ns` / `p99_ns` / `max_ns` per-stage percentile objects, and the whole
+//! registry can be exported after the run:
+//!
+//! * `--serve-text` — dump the Prometheus text exposition to **stdout**
+//!   (bench progress goes to stderr, so `bench_stream --serve-text >
+//!   metrics.prom` scrapes cleanly in CI);
+//! * `--serve-text ADDR` (e.g. `127.0.0.1:9184`) — serve `GET /metrics`
+//!   forever on a plain TCP listener;
+//! * `--metrics-json PATH` — write the JSON export of the same snapshot.
+//!
 //! Flags: `--threads N[,M…]` (pooled worker counts; `--threads 0` disables
 //! pooled rows) and `--drift` (append fault-injection robustness rows: the
 //! adaptive engine's cycles/s under an active centroid drift plus its
@@ -27,14 +40,15 @@
 //! `HERQULES_SEED`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use herqles_core::Real;
 use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
 use herqles_stream::{
     run_cycles_offline, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
-    DriftEvent, FaultPlan, HealthConfig, HealthStatus, RecalConfig, ShardPool,
+    DriftEvent, EngineTelemetry, FaultPlan, HealthConfig, HealthStatus, LatencySummary,
+    RecalConfig, ShardPool, StageLatency,
 };
+use herqles_telemetry::{Registry, StageTimer};
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -50,29 +64,74 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Parsed command line: pooled worker counts plus the `--drift` switch.
-/// `--threads 2,4` wins over `HERQULES_STREAM_THREADS` wins over the default
-/// `2,4`; `0` (or an empty list) means serial only.
-fn parse_args() -> (Vec<usize>, bool) {
+/// How `--serve-text` exports the metrics registry after the run.
+enum ServeText {
+    /// Flag absent.
+    Off,
+    /// Bare `--serve-text`: dump the exposition to stdout once.
+    Stdout,
+    /// `--serve-text ADDR`: serve `GET /metrics` forever.
+    Addr(String),
+}
+
+/// Parsed command line.
+struct Args {
+    /// Pooled worker counts; empty means serial only.
+    threads: Vec<usize>,
+    /// Append the fault-injection robustness rows.
+    drift: bool,
+    /// Prometheus-text export mode.
+    serve_text: ServeText,
+    /// Write the registry's JSON export here.
+    metrics_json: Option<String>,
+}
+
+/// Parses the command line. `--threads 2,4` wins over
+/// `HERQULES_STREAM_THREADS` wins over the default `2,4`; `0` (or an empty
+/// list) means serial only.
+fn parse_args() -> Args {
     let mut spec: Option<String> = std::env::var("HERQULES_STREAM_THREADS").ok();
     let mut drift = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
+    let mut serve_text = ServeText::Off;
+    let mut metrics_json = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--threads" => {
+                i += 1;
                 spec = Some(
-                    args.next()
-                        .expect("--threads requires a value, e.g. --threads 2,4"),
+                    argv.get(i)
+                        .expect("--threads requires a value, e.g. --threads 2,4")
+                        .clone(),
                 );
             }
             "--drift" => drift = true,
+            "--serve-text" => {
+                // Optional value: an address to serve on; bare means stdout.
+                serve_text = match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        ServeText::Addr(v.clone())
+                    }
+                    _ => ServeText::Stdout,
+                };
+            }
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(argv.get(i).expect("--metrics-json requires a path").clone());
+            }
             other => {
-                panic!("unknown argument {other:?} (supported: --threads N[,M…], --drift)")
+                panic!(
+                    "unknown argument {other:?} (supported: --threads N[,M…], --drift, \
+                     --serve-text [ADDR], --metrics-json PATH)"
+                )
             }
         }
+        i += 1;
     }
     let spec = spec.unwrap_or_else(|| "2,4".to_string());
-    let counts = spec
+    let threads = spec
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
@@ -90,7 +149,12 @@ fn parse_args() -> (Vec<usize>, bool) {
             t > 1
         })
         .collect();
-    (counts, drift)
+    Args {
+        threads,
+        drift,
+        serve_text,
+        metrics_json,
+    }
 }
 
 /// One fault-injection robustness row: throughput under an active centroid
@@ -151,9 +215,9 @@ where
 
     // Clean calibration phase (also the clean-throughput measurement).
     const CLEAN_CYCLES: usize = 40;
-    let start = Instant::now();
+    let timer = StageTimer::start();
     let _ = engine.run_cycles_adaptive(CLEAN_CYCLES);
-    let clean_cps = CLEAN_CYCLES as f64 / start.elapsed().as_secs_f64();
+    let clean_cps = CLEAN_CYCLES as f64 / timer.elapsed_secs();
 
     let onset = engine.stats().rounds;
     let mut plan = FaultPlan::none();
@@ -170,7 +234,7 @@ where
     let mut detect_round: Option<u64> = None;
     let mut recover_round: Option<u64> = None;
     let mut faulted_cycles = 0usize;
-    let start = Instant::now();
+    let timer = StageTimer::start();
     for _ in 0..400 {
         let r = engine.run_cycle_adaptive();
         faulted_cycles += 1;
@@ -185,7 +249,7 @@ where
             break;
         }
     }
-    let faulted_cps = faulted_cycles as f64 / start.elapsed().as_secs_f64();
+    let faulted_cps = faulted_cycles as f64 / timer.elapsed_secs();
 
     let since_onset = |round: Option<u64>| round.map_or(-1, |r| (r - onset) as i64);
     DriftRow {
@@ -216,6 +280,9 @@ struct Row {
     discriminate_ns: u64,
     syndrome_ns: u64,
     decode_ns: u64,
+    /// Per-stage latency percentiles (p50/p90/p99/max, ns per cycle) from
+    /// the engine's registered histograms, warm cycles only.
+    latency: StageLatency,
 }
 
 fn main() {
@@ -223,37 +290,62 @@ fn main() {
     assert!(cycles > 0, "HERQULES_STREAM_CYCLES must be at least 1");
     let shots = env_usize("HERQULES_STREAM_SHOTS", 12);
     let seed = env_usize("HERQULES_SEED", 20_230_612) as u64;
-    let (threads, drift) = parse_args();
+    let args = parse_args();
 
     let chip = ChipConfig::five_qubit_default();
     eprintln!("[bench_stream] training mf discriminator ({shots} shots/state)…");
     let disc = train_mf_discriminator_typed(&chip, shots, seed);
+
+    // One registry spans the whole run; every engine variant registers its
+    // histograms and counters under a distinguishing `engine=…` label, so the
+    // exports at the end expose the full matrix in one scrape.
+    let registry = Registry::new();
+
+    /// Run-wide invariants shared by every `measure` call.
+    struct MeasureCtx<'a> {
+        disc: &'a herqles_core::designs::MfDiscriminator,
+        chip: &'a ChipConfig,
+        cycles: usize,
+        registry: &'a Registry,
+    }
 
     /// One warm-up cycle, then the measured run; returns a precision- and
     /// thread-tagged row. `pool: None` is the serial engine. Offline
     /// throughput is supplied by the caller (the materializing reference is
     /// serial `f64` by construction and shared by every row of a distance).
     fn measure<R: Real>(
-        disc: &herqles_core::designs::MfDiscriminator,
-        chip: &ChipConfig,
+        ctx: &MeasureCtx<'_>,
         code: &RotatedSurfaceCode,
         cfg: CycleConfig,
-        cycles: usize,
         pool: Option<&ShardPool>,
         offline_cycles_per_sec: f64,
     ) -> Row
     where
         herqles_core::designs::MfDiscriminator: herqles_core::PrecisionDiscriminator<R>,
     {
+        let cycles = ctx.cycles;
         let mut engine = match pool {
-            Some(pool) => CycleEngine::<R, _>::with_pool(cfg, chip, code, disc, pool),
-            None => CycleEngine::<R, _>::new(cfg, chip, code, disc),
+            Some(pool) => CycleEngine::<R, _>::with_pool(cfg, ctx.chip, code, ctx.disc, pool),
+            None => CycleEngine::<R, _>::new(cfg, ctx.chip, code, ctx.disc),
         };
+        let label = format!(
+            "d{}-{}-t{}-{}",
+            code.distance(),
+            R::NAME,
+            pool.map_or(1, ShardPool::threads),
+            active_kernel_name()
+        );
+        engine.set_telemetry(EngineTelemetry::registered(
+            &ctx.registry.scope(&[("engine", label.as_str())]),
+        ));
         let _ = engine.run_cycle();
+        // Drop the warm-up cycle from the histograms so the percentiles
+        // describe the same warm cycles the throughput figure does.
+        engine.telemetry().clear_latency();
         let warm = *engine.stats();
-        let start = Instant::now();
+        let timer = StageTimer::start();
         let results = engine.run_cycles(cycles);
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = timer.elapsed_secs();
         let mut stage = herqles_stream::StageNanos::default();
         for r in &results {
             stage.add(&r.stats.stage);
@@ -273,10 +365,18 @@ fn main() {
             discriminate_ns: stage.discriminate / n,
             syndrome_ns: stage.syndrome / n,
             decode_ns: stage.decode / n,
+            latency: engine.stage_latency(),
         }
     }
 
-    let pools: Vec<ShardPool> = threads.iter().map(|&t| ShardPool::new(t)).collect();
+    let ctx = MeasureCtx {
+        disc: &disc,
+        chip: &chip,
+        cycles,
+        registry: &registry,
+    };
+
+    let pools: Vec<ShardPool> = args.threads.iter().map(|&t| ShardPool::new(t)).collect();
     let mut rows = Vec::new();
     for d in DISTANCES {
         let code = RotatedSurfaceCode::new(d);
@@ -287,49 +387,16 @@ fn main() {
         };
 
         // Offline materializing path on the same cycle count.
-        let off_start = Instant::now();
+        let off_timer = StageTimer::start();
         let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
-        let off_elapsed = off_start.elapsed().as_secs_f64();
-        let offline_cps = cycles as f64 / off_elapsed;
+        let offline_cps = cycles as f64 / off_timer.elapsed_secs();
 
         let mut variants: Vec<Row> = Vec::new();
-        variants.push(measure::<f64>(
-            &disc,
-            &chip,
-            &code,
-            cfg,
-            cycles,
-            None,
-            offline_cps,
-        ));
-        variants.push(measure::<f32>(
-            &disc,
-            &chip,
-            &code,
-            cfg,
-            cycles,
-            None,
-            offline_cps,
-        ));
+        variants.push(measure::<f64>(&ctx, &code, cfg, None, offline_cps));
+        variants.push(measure::<f32>(&ctx, &code, cfg, None, offline_cps));
         for pool in &pools {
-            variants.push(measure::<f64>(
-                &disc,
-                &chip,
-                &code,
-                cfg,
-                cycles,
-                Some(pool),
-                offline_cps,
-            ));
-            variants.push(measure::<f32>(
-                &disc,
-                &chip,
-                &code,
-                cfg,
-                cycles,
-                Some(pool),
-                offline_cps,
-            ));
+            variants.push(measure::<f64>(&ctx, &code, cfg, Some(pool), offline_cps));
+            variants.push(measure::<f32>(&ctx, &code, cfg, Some(pool), offline_cps));
         }
 
         // Scalar-kernel reference rows (serial, both precisions): when the
@@ -340,27 +407,11 @@ fn main() {
         if active_kernel_name() != "scalar" {
             let dispatched = active_kernel_name();
             select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
-            let off_start = Instant::now();
+            let off_timer = StageTimer::start();
             let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
-            let scalar_offline_cps = cycles as f64 / off_start.elapsed().as_secs_f64();
-            variants.push(measure::<f64>(
-                &disc,
-                &chip,
-                &code,
-                cfg,
-                cycles,
-                None,
-                scalar_offline_cps,
-            ));
-            variants.push(measure::<f32>(
-                &disc,
-                &chip,
-                &code,
-                cfg,
-                cycles,
-                None,
-                scalar_offline_cps,
-            ));
+            let scalar_offline_cps = cycles as f64 / off_timer.elapsed_secs();
+            variants.push(measure::<f64>(&ctx, &code, cfg, None, scalar_offline_cps));
+            variants.push(measure::<f32>(&ctx, &code, cfg, None, scalar_offline_cps));
             select_kernel(KernelBackend::parse(dispatched).expect("dispatched name parses"))
                 .expect("restoring the dispatched backend");
         }
@@ -368,7 +419,8 @@ fn main() {
         for row in variants {
             eprintln!(
                 "[bench_stream] d={}/{}/{}/t={}: {:>8.1} cycles/s streamed ({:>8.1} offline, {:.2}x), per-cycle \
-                 synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, {} logical errors",
+                 synth {} ns | discriminate {} ns | syndrome {} ns | decode {} ns, \
+                 cycle p50 {} ns | p99 {} ns | max {} ns, {} logical errors",
                 row.distance,
                 row.precision,
                 row.kernel,
@@ -380,6 +432,9 @@ fn main() {
                 row.discriminate_ns,
                 row.syndrome_ns,
                 row.decode_ns,
+                row.latency.cycle.p50,
+                row.latency.cycle.p99,
+                row.latency.cycle.max,
                 row.logical_errors,
             );
             rows.push(row);
@@ -389,7 +444,7 @@ fn main() {
     // `--drift`: fault-injection robustness rows — the adaptive engine under
     // an injected centroid drift, serial plus the first pooled worker count.
     let mut drift_rows: Vec<DriftRow> = Vec::new();
-    if drift {
+    if args.drift {
         eprintln!("[bench_stream] drift scenario (inject → detect → hot-swap → recover)…");
         let drift_pools: Vec<Option<&ShardPool>> = std::iter::once(None)
             .chain(pools.first().map(Some))
@@ -445,6 +500,20 @@ fn main() {
         }
         let _ = writeln!(json, "  ],");
     }
+    /// One `{"synth": …, "discriminate": …, "syndrome": …, "decode": …,
+    /// "cycle": …}` object built from a single percentile of every stage
+    /// histogram.
+    fn pct_json(l: &StageLatency, pick: fn(LatencySummary) -> u64) -> String {
+        format!(
+            "{{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \"decode\": {}, \"cycle\": {}}}",
+            pick(l.synth),
+            pick(l.discriminate),
+            pick(l.syndrome),
+            pick(l.decode),
+            pick(l.cycle)
+        )
+    }
+
     let _ = writeln!(json, "  \"results\": [");
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -453,7 +522,8 @@ fn main() {
              \"threads\": {}, \"groups\": {}, \
              \"cycles\": {}, \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
              \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
-             \"decode\": {}}}, \"logical_errors\": {}}}{}",
+             \"decode\": {}}}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"logical_errors\": {}}}{}",
             r.distance,
             r.distance,
             r.precision,
@@ -468,6 +538,9 @@ fn main() {
             r.discriminate_ns,
             r.syndrome_ns,
             r.decode_ns,
+            pct_json(&r.latency, |s| s.p50),
+            pct_json(&r.latency, |s| s.p99),
+            pct_json(&r.latency, |s| s.max),
             r.logical_errors,
             if k + 1 < rows.len() { "," } else { "" }
         );
@@ -475,4 +548,48 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
     eprintln!("[bench_stream] wrote BENCH_stream.json");
+
+    // Registry exports: the same snapshot drives every export format.
+    let snapshot = registry.snapshot();
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, snapshot.to_json()).expect("write metrics JSON");
+        eprintln!("[bench_stream] wrote metrics JSON to {path}");
+    }
+    match args.serve_text {
+        ServeText::Off => {}
+        ServeText::Stdout => {
+            // Stdout is reserved for the exposition (progress goes to
+            // stderr), so `bench_stream --serve-text > metrics.prom`
+            // produces a clean scrape file.
+            print!("{}", snapshot.to_prometheus_text());
+        }
+        ServeText::Addr(addr) => {
+            serve_metrics(&addr, &snapshot.to_prometheus_text());
+        }
+    }
+}
+
+/// Serves `GET /metrics` (and any other path — a scraper only asks for one)
+/// forever on a plain TCP listener. Deliberately minimal: read the request
+/// until the blank line, answer 200 with the exposition, close.
+fn serve_metrics(addr: &str, body: &str) -> ! {
+    use std::io::{Read as _, Write as _};
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| panic!("--serve-text: cannot bind {addr}: {e}"));
+    eprintln!("[bench_stream] serving metrics on http://{addr}/metrics (ctrl-c to stop)");
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        // Drain the request line + headers; ignore contents and errors.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
 }

@@ -1,0 +1,211 @@
+//! Lints a Prometheus text exposition file.
+//!
+//! CI observability smoke: `bench_stream --serve-text > metrics.prom` followed
+//! by `prom_lint metrics.prom herqles_cycle_latency_ns …` proves the
+//! telemetry registry's export both *parses* as the text format and *contains*
+//! the metric families the dashboards expect — under every kernel-dispatch
+//! arm the workflow runs.
+//!
+//! Usage: `prom_lint PATH [REQUIRED_FAMILY…]`
+//!
+//! Checks, all hand-rolled (no regex, no deps):
+//!
+//! * every non-empty line is a `# HELP`, `# TYPE`, or a sample
+//!   `name{labels} value` / `name value`;
+//! * metric and label names are `[a-zA-Z_:][a-zA-Z0-9_:]*` (labels without
+//!   the colon), label values are double-quoted, sample values parse as
+//!   finite `f64`;
+//! * every `REQUIRED_FAMILY` argument has at least one sample whose name is
+//!   the family or a `_sum`/`_count`-suffixed series of it.
+//!
+//! Exits 0 on success, 1 with a per-line diagnostic otherwise.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+/// `true` for a legal metric-name character (`:` allowed per the exposition
+/// format; first position must not be a digit — checked by the caller).
+fn name_char(c: char, allow_colon: bool) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':')
+}
+
+/// Parses a metric/label name prefix of `s`; returns (name, rest) or an
+/// error string.
+fn parse_name(s: &str, allow_colon: bool) -> Result<(&str, &str), String> {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !name_char(c, allow_colon))
+        .map_or(s.len(), |(i, _)| i);
+    if end == 0 {
+        return Err(format!("expected a name at {s:?}"));
+    }
+    let name = &s[..end];
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        return Err(format!("name {name:?} must not start with a digit"));
+    }
+    Ok((name, &s[end..]))
+}
+
+/// Validates one `{label="value",…}` block; returns the rest after `}`.
+fn parse_labels(s: &str) -> Result<&str, String> {
+    let mut rest = s.strip_prefix('{').expect("caller saw '{'");
+    loop {
+        let (_, after_name) = parse_name(rest, false)?;
+        rest = after_name
+            .strip_prefix("=\"")
+            .ok_or_else(|| format!("expected =\"…\" after label name at {rest:?}"))?;
+        // Label values may escape `\"`, `\\` and `\n`.
+        let mut chars = rest.char_indices();
+        let close = loop {
+            match chars.next() {
+                None => return Err("unterminated label value".to_string()),
+                Some((_, '\\')) => {
+                    chars.next(); // skip whatever is escaped
+                }
+                Some((i, '"')) => break i,
+                Some(_) => {}
+            }
+        };
+        rest = &rest[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None => {
+                return rest
+                    .strip_prefix('}')
+                    .ok_or_else(|| format!("expected , or }} at {rest:?}"))
+            }
+        }
+    }
+}
+
+/// Validates one sample line; returns the metric name on success.
+fn lint_sample(line: &str) -> Result<&str, String> {
+    let (name, mut rest) = parse_name(line, true)?;
+    if rest.starts_with('{') {
+        rest = parse_labels(rest)?;
+    }
+    let value = rest.trim_start();
+    if value == rest {
+        return Err(format!("expected whitespace before the value at {rest:?}"));
+    }
+    let v: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("sample value {value:?} is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("sample value {value:?} is not finite"));
+    }
+    Ok(name)
+}
+
+/// Validates a `# HELP name text` / `# TYPE name type` comment line.
+fn lint_comment(line: &str) -> Result<(), String> {
+    let body = line.strip_prefix('#').expect("caller saw '#'").trim_start();
+    for keyword in ["HELP", "TYPE"] {
+        if let Some(rest) = body.strip_prefix(keyword) {
+            let rest = rest.trim_start();
+            let (_, after) = parse_name(rest, true)?;
+            if !after.starts_with(' ') {
+                return Err(format!("# {keyword} needs text after the metric name"));
+            }
+            return Ok(());
+        }
+    }
+    // Other comments are legal in the format; the exporter never emits them,
+    // so flag anything unexpected rather than silently passing it.
+    Err(format!(
+        "unexpected comment {line:?} (only # HELP / # TYPE)"
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(path) = argv.next() else {
+        eprintln!("usage: prom_lint PATH [REQUIRED_FAMILY…]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<String> = argv.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("prom_lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut families: BTreeSet<String> = BTreeSet::new();
+    let mut errors = 0usize;
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let result = if line.starts_with('#') {
+            lint_comment(line)
+        } else {
+            lint_sample(line).map(|name| {
+                samples += 1;
+                // A summary family owns its `_sum` / `_count` series.
+                let family = name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(name);
+                families.insert(family.to_string());
+                families.insert(name.to_string());
+            })
+        };
+        if let Err(msg) = result {
+            eprintln!("prom_lint: {path}:{}: {msg}", i + 1);
+            errors += 1;
+        }
+    }
+    if samples == 0 {
+        eprintln!("prom_lint: {path}: no samples found");
+        errors += 1;
+    }
+    for family in &required {
+        if !families.contains(family) {
+            eprintln!("prom_lint: {path}: required family {family:?} is missing");
+            errors += 1;
+        }
+    }
+    if errors > 0 {
+        eprintln!("prom_lint: {path}: {errors} error(s)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "prom_lint: {path}: OK ({samples} samples, {} families, {} required present)",
+        families.len(),
+        required.len()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_parse() {
+        assert_eq!(lint_sample("m_total 3").unwrap(), "m_total");
+        assert_eq!(
+            lint_sample("m{engine=\"d3-f64\",quantile=\"0.5\"} 12.5").unwrap(),
+            "m"
+        );
+        assert!(lint_sample("m{unterminated 3").is_err());
+        assert!(lint_sample("m NaN").is_err());
+        assert!(lint_sample("3m 1").is_err());
+    }
+
+    #[test]
+    fn comments_parse() {
+        assert!(lint_comment("# HELP m help text").is_ok());
+        assert!(lint_comment("# TYPE m summary").is_ok());
+        assert!(lint_comment("# random chatter").is_err());
+    }
+
+    #[test]
+    fn escaped_label_values() {
+        assert!(lint_sample("m{l=\"a\\\"b\"} 1").is_ok());
+    }
+}

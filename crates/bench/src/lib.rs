@@ -15,8 +15,7 @@
 //! the defaults keep the same split ratios at reduced volume so every
 //! regenerator finishes in minutes on a laptop.
 
-use std::time::Instant;
-
+use herqles_telemetry::StageTimer;
 use readout_sim::dataset::DatasetSplit;
 use readout_sim::{ChipConfig, Dataset};
 
@@ -63,13 +62,13 @@ impl BenchConfig {
     /// (19.5 % train / 10.5 % val / 70 % test).
     pub fn standard_dataset(&self) -> (Dataset, DatasetSplit) {
         let config = ChipConfig::five_qubit_default();
-        let t = Instant::now();
+        let t = StageTimer::start();
         let dataset = Dataset::generate(&config, self.shots_per_state, self.seed);
         eprintln!(
-            "[harness] generated {} shots ({} per state) in {:.1?}",
+            "[harness] generated {} shots ({} per state) in {:.2} s",
             dataset.shots.len(),
             self.shots_per_state,
-            t.elapsed()
+            t.elapsed_secs()
         );
         let split = dataset.split(0.195, 0.105, self.seed ^ 0x5117);
         (dataset, split)

@@ -33,10 +33,9 @@
 //! reference. Warm pooled rounds keep the zero-allocation invariant: job
 //! dispatch on the pool allocates nothing.
 
-use std::time::Instant;
-
 use herqles_core::{Discriminator, PrecisionDiscriminator, Real};
 use herqles_exec::{stream_seed, ShardPool, Tiles};
+use herqles_telemetry::StageTimer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use readout_sim::drift::{FaultPlan, RoundFaults};
@@ -50,6 +49,7 @@ use crate::health::{HealthConfig, HealthMonitor, HealthStatus};
 use crate::map::AncillaMap;
 use crate::recal::Recalibrate;
 use crate::synth::RoundSynth;
+use crate::telemetry::{fmt_ns, EngineTelemetry, StageLatency};
 
 /// Configuration of a streaming cycle run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,6 +161,69 @@ pub struct EngineStats {
     pub hot_swaps: u64,
     /// Cumulative per-stage wall time.
     pub stage: StageNanos,
+    /// Per-stage latency percentiles (p50/p90/p99/max, ns per cycle) from
+    /// the engine's [`EngineTelemetry`] histograms. All-zero while telemetry
+    /// is disabled or before the first cycle.
+    pub latency: StageLatency,
+}
+
+impl EngineStats {
+    /// The multi-line human-readable report [`EngineStats`]'s `Display`
+    /// renders.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles {} | rounds {} | logical errors {} | degraded decodes {}",
+            self.cycles, self.rounds, self.logical_errors, self.degraded_decodes
+        )?;
+        writeln!(
+            f,
+            "health transitions {} | hot-swaps {}",
+            self.health_transitions, self.hot_swaps
+        )?;
+        writeln!(f, "stage           p50        p99        max")?;
+        for (name, s) in [
+            ("synth", self.latency.synth),
+            ("discriminate", self.latency.discriminate),
+            ("syndrome", self.latency.syndrome),
+            ("decode", self.latency.decode),
+            ("cycle", self.latency.cycle),
+        ] {
+            writeln!(
+                f,
+                "{name:<13} {:>10} {:>10} {:>10}",
+                fmt_ns(s.p50),
+                fmt_ns(s.p99),
+                fmt_ns(s.max)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} events, health {:?}: synth {} | discriminate {} | \
+             syndrome {} | decode {} | total {}",
+            self.rounds,
+            self.n_events,
+            self.health,
+            fmt_ns(self.stage.synth),
+            fmt_ns(self.stage.discriminate),
+            fmt_ns(self.stage.syndrome),
+            fmt_ns(self.stage.decode),
+            fmt_ns(self.stage.total())
+        )
+    }
 }
 
 /// The reusable per-round working set: one shot batch, the parity planes and
@@ -260,6 +323,9 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     last_swap_round: u64,
     /// Minimum consumed rounds between hot-swaps.
     recal_cooldown: u64,
+    /// Latency histograms, counters and the event trace. Enabled by
+    /// default; recording is allocation-free.
+    telem: EngineTelemetry,
 }
 
 /// A [`CycleEngine`] whose cycles execute on a [`ShardPool`]
@@ -331,6 +397,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             health,
             last_swap_round: 0,
             recal_cooldown: 64,
+            telem: EngineTelemetry::new(),
         }
     }
 
@@ -428,6 +495,31 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.recal_cooldown = rounds;
     }
 
+    /// The engine's telemetry bundle (histograms, counters, event trace).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telem
+    }
+
+    /// Replaces the telemetry bundle — the way to give the engine
+    /// registry-backed metrics ([`EngineTelemetry::registered`]) so a scrape
+    /// endpoint sees them. Histories recorded into the old bundle stay with
+    /// the old bundle.
+    pub fn set_telemetry(&mut self, telem: EngineTelemetry) {
+        self.telem = telem;
+    }
+
+    /// Enables or disables telemetry recording (enabled by default). While
+    /// disabled the engine skips every histogram/counter/trace touch;
+    /// [`EngineStats::latency`] stops refreshing.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telem.set_enabled(enabled);
+    }
+
+    /// Current per-stage latency percentiles (ns per cycle). Allocation-free.
+    pub fn stage_latency(&self) -> StageLatency {
+        self.telem.stage_latency()
+    }
+
     /// Advances the fault clock one synthesized round and resolves the
     /// schedule into the engine's [`RoundFaults`] snapshot. Returns whether
     /// any fault is active this round. Early-outs with no work when the plan
@@ -448,6 +540,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.sim.reserve_rounds(self.cfg.rounds);
         self.health.monitor.begin_block();
         self.in_flight = StageNanos::default();
+        self.telem.note_cycle_begin(self.totals.cycles);
     }
 
     /// Processes one noisy round: data errors → true parities → multiplexed
@@ -459,12 +552,12 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// [`stream_seed`]-derived streams the pooled path shards out, so manual
     /// stepping and pooled cycles produce identical results.
     pub fn step_round(&mut self) {
-        let t0 = Instant::now();
+        let mut timer = StageTimer::start();
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(&mut self.round.true_parities);
         let entropy = self.round_entropy();
         let fault_active = self.resolve_round_faults();
-        let t1 = Instant::now();
+        let prologue_ns = timer.lap_ns();
 
         self.round.batch.clear();
         for g in 0..self.map.n_groups() {
@@ -477,14 +570,14 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                 &mut rng,
             );
         }
-        let t2 = Instant::now();
+        let synth_ns = timer.lap_ns();
 
         self.disc.discriminate_shot_batch_r_into(
             &self.round.batch,
             &mut self.round.features,
             &mut self.round.states,
         );
-        let t3 = Instant::now();
+        let disc_ns = timer.lap_ns();
 
         for (a, m) in self.round.measured.iter_mut().enumerate() {
             let (g, c) = self.map.slot(a);
@@ -498,11 +591,10 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             &self.round.features,
             &self.round.measured,
         );
-        let t4 = Instant::now();
 
-        self.in_flight.syndrome += duration_ns(t0, t1) + duration_ns(t3, t4);
-        self.in_flight.synth += duration_ns(t1, t2);
-        self.in_flight.discriminate += duration_ns(t2, t3);
+        self.in_flight.syndrome += prologue_ns + timer.lap_ns();
+        self.in_flight.synth += synth_ns;
+        self.in_flight.discriminate += disc_ns;
         self.totals.rounds += 1;
     }
 
@@ -517,28 +609,34 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Terminates the block with a perfect round, swaps it into the inactive
     /// block home, and decodes it.
     pub fn finish_cycle(&mut self) -> CycleResult {
-        let t0 = Instant::now();
+        let mut timer = StageTimer::start();
         self.sim.finish_perfect_round();
         self.active ^= 1;
         // write_block reuses the target's buffers — no block reallocation.
         self.sim.write_block(&mut self.blocks[self.active]);
-        let t1 = Instant::now();
+        self.in_flight.syndrome += timer.lap_ns();
         let outcome = decode_block_with(self.code, &self.blocks[self.active], &mut self.decode);
-        let t2 = Instant::now();
+        self.in_flight.decode += timer.lap_ns();
 
-        self.in_flight.syndrome += duration_ns(t0, t1);
-        self.in_flight.decode += duration_ns(t1, t2);
         let stats = CycleStats {
             rounds: self.sim.round(),
             n_events: outcome.n_events,
             stage: self.in_flight,
             health: self.health.monitor.status(),
         };
+        let transitions = self.health.monitor.transitions();
+        let transitions_delta = transitions.saturating_sub(self.totals.health_transitions);
+        let cycle_index = self.totals.cycles;
         self.totals.cycles += 1;
         self.totals.logical_errors += u64::from(outcome.logical_error);
         self.totals.degraded_decodes += u64::from(outcome.degraded);
-        self.totals.health_transitions = self.health.monitor.transitions();
+        self.totals.health_transitions = transitions;
         self.totals.stage.add(&self.in_flight);
+        self.telem
+            .observe_cycle(cycle_index, &stats, &outcome, transitions_delta);
+        if self.telem.enabled() {
+            self.totals.latency = self.telem.stage_latency();
+        }
         CycleResult { outcome, stats }
     }
 
@@ -596,7 +694,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// entropy word — derives the per-group stream seeds, and pre-sizes the
     /// back batch's rows for sharded writes.
     fn prepare_back_round(&mut self) {
-        let t0 = Instant::now();
+        let timer = StageTimer::start();
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(
             &mut self
@@ -617,7 +715,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         for _ in 0..n_groups {
             let _ = exec.back.batch.push_empty_row();
         }
-        self.in_flight.syndrome += duration_ns(t0, Instant::now());
+        self.in_flight.syndrome += timer.elapsed_ns();
     }
 
     /// One pooled pipeline step: fans the back round's per-group synthesis
@@ -625,7 +723,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// front round and committing its measured syndrome on the calling
     /// thread. Allocation-free once warm.
     fn pipelined_round(&mut self, consume_front: bool, extra: Option<&mut dyn FnMut()>) {
-        let t0 = Instant::now();
+        let wall_timer = StageTimer::start();
         let CycleEngine {
             disc,
             map,
@@ -682,24 +780,24 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                     }
                     return (0, 0);
                 }
-                let c0 = Instant::now();
+                let mut timer = StageTimer::start();
                 disc.discriminate_shot_batch_r_into(
                     &front.batch,
                     &mut front.features,
                     &mut front.states,
                 );
-                let c1 = Instant::now();
+                let disc_ns = timer.lap_ns();
                 for (a, m) in front.measured.iter_mut().enumerate() {
                     let (g, c) = map.slot(a);
                     *m = front.states[g].qubit(c);
                 }
                 sim.record_measured_syndrome(&front.measured);
                 observe_round_health(disc, map, health, &front.features, &front.measured);
-                (duration_ns(c0, c1), duration_ns(c1, Instant::now()))
+                (disc_ns, timer.lap_ns())
             },
         );
 
-        let wall = duration_ns(t0, Instant::now());
+        let wall = wall_timer.elapsed_ns();
         self.in_flight.discriminate += disc_ns;
         self.in_flight.syndrome += syndrome_ns;
         // Pipeline accounting: the synth stage is charged only the wall time
@@ -713,7 +811,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Drains the front buffer (the pipeline's epilogue): batched
     /// discrimination plus measured-syndrome commit of the last round.
     fn consume_front_round(&mut self) {
-        let c0 = Instant::now();
+        let mut timer = StageTimer::start();
         let RoundBuffers {
             batch,
             features,
@@ -723,15 +821,14 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         } = &mut self.round;
         self.disc
             .discriminate_shot_batch_r_into(batch, features, states);
-        let c1 = Instant::now();
+        self.in_flight.discriminate += timer.lap_ns();
         for (a, m) in measured.iter_mut().enumerate() {
             let (g, c) = self.map.slot(a);
             *m = states[g].qubit(c);
         }
         self.sim.record_measured_syndrome(measured);
         observe_round_health(self.disc, &self.map, &mut self.health, features, measured);
-        self.in_flight.discriminate += duration_ns(c0, c1);
-        self.in_flight.syndrome += duration_ns(c1, Instant::now());
+        self.in_flight.syndrome += timer.lap_ns();
         self.totals.rounds += 1;
     }
 
@@ -789,10 +886,16 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R> + Recalibrate> CycleEngi
             }
             self.finish_cycle()
         };
+        // The cycle that hosted the retrain attempt (just finished).
+        let cycle_index = self.totals.cycles.saturating_sub(1);
         if swapped.is_some() {
             self.totals.hot_swaps += 1;
             self.last_swap_round = self.totals.rounds;
             self.health.monitor.recalibrated();
+            self.telem.note_recal_trained(cycle_index);
+            self.telem.note_hot_swap(self.totals.hot_swaps);
+        } else {
+            self.telem.note_recal_declined(cycle_index);
         }
         result
     }
@@ -872,10 +975,6 @@ impl<R: Real, D: ?Sized + PrecisionDiscriminator<R>> Iterator for Cycles<'_, '_,
     fn next(&mut self) -> Option<CycleResult> {
         Some(self.engine.run_cycle())
     }
-}
-
-fn duration_ns(from: Instant, to: Instant) -> u64 {
-    u64::try_from((to - from).as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

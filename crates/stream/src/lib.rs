@@ -61,6 +61,7 @@ pub mod map;
 pub mod offline;
 pub mod recal;
 pub mod synth;
+pub mod telemetry;
 
 pub use engine::{
     CycleConfig, CycleEngine, CycleResult, CycleStats, Cycles, EngineStats, ParallelCycleEngine,
@@ -73,6 +74,7 @@ pub use offline::{run_cycles_offline, OfflineCycle};
 pub use readout_sim::{DriftEvent, FaultPlan, RoundFaults};
 pub use recal::{AdaptiveMf, RecalConfig, Recalibrate};
 pub use synth::RoundSynth;
+pub use telemetry::{EngineTelemetry, LatencySummary, StageLatency};
 
 use herqles_core::designs::DesignKind;
 use herqles_core::designs::MfDiscriminator;

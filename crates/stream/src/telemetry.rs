@@ -1,0 +1,414 @@
+//! The engine's observability surface: latency histograms, counters and the
+//! event trace, bundled as [`EngineTelemetry`].
+//!
+//! Every [`crate::CycleEngine`] owns one `EngineTelemetry`. By default it is
+//! *unregistered* — private histograms and counters the engine records into
+//! so [`crate::EngineStats`] can answer per-stage p50/p90/p99/max — but
+//! [`EngineTelemetry::registered`] builds the same bundle on a
+//! [`herqles_telemetry::Registry`] scope, which is how `bench_stream` exposes
+//! per-engine metrics to the Prometheus-text and JSON exporters. Either way
+//! the hot path is identical: recording is lock- and allocation-free, so the
+//! engine's warm-cycle zero-allocation invariant (`tests/alloc.rs`) holds
+//! with telemetry enabled.
+//!
+//! Exported metric families (all prefixed `herqles_`):
+//!
+//! | name | type | labels |
+//! |------|------|--------|
+//! | `herqles_stage_latency_ns` | histogram | `stage` = `synth` \| `discriminate` \| `syndrome` \| `decode` |
+//! | `herqles_cycle_latency_ns` | histogram | — |
+//! | `herqles_cycles_total` | counter | — |
+//! | `herqles_rounds_total` | counter | — |
+//! | `herqles_logical_errors_total` | counter | — |
+//! | `herqles_degraded_decodes_total` | counter | — |
+//! | `herqles_health_transitions_total` | counter | — |
+//! | `herqles_hot_swaps_total` | counter | — |
+
+use std::sync::Arc;
+
+use herqles_telemetry::registry::Scope;
+use herqles_telemetry::{Counter, EventKind, Histogram, TraceRing};
+use surface_code::decoder::DecodeOutcome;
+
+use crate::engine::CycleStats;
+use crate::health::HealthStatus;
+
+/// Trace-ring capacity of an engine: roughly seven events per cycle, so 4096
+/// slots retain the last ~580 cycles.
+const TRACE_CAPACITY: usize = 4096;
+
+/// Scalar latency summary of one histogram: the percentile block
+/// [`crate::EngineStats`] carries per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median estimate (≤ one bucket width, <1 % relative error).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+}
+
+impl LatencySummary {
+    fn of(hist: &Histogram) -> Self {
+        let mut q = [0u64; 3];
+        hist.quantiles(&[0.5, 0.9, 0.99], &mut q);
+        LatencySummary {
+            p50: q[0],
+            p90: q[1],
+            p99: q[2],
+            max: hist.max(),
+        }
+    }
+}
+
+/// Per-stage latency percentiles over an engine's lifetime (or since the
+/// last [`EngineTelemetry::clear`]). All values in nanoseconds per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Waveform synthesis.
+    pub synth: LatencySummary,
+    /// Batched discrimination.
+    pub discriminate: LatencySummary,
+    /// Syndrome bookkeeping.
+    pub syndrome: LatencySummary,
+    /// Block decode.
+    pub decode: LatencySummary,
+    /// Whole cycle (sum of the stages, distributed per cycle).
+    pub cycle: LatencySummary,
+}
+
+/// Maps a [`HealthStatus`] onto the stable `u64` payload trace events carry.
+fn health_arg(status: HealthStatus) -> u64 {
+    match status {
+        HealthStatus::Nominal => 0,
+        HealthStatus::Degraded => 1,
+        HealthStatus::Critical => 2,
+    }
+}
+
+/// The telemetry bundle one engine records into: five latency histograms
+/// (per stage + whole cycle), six lifetime counters mirroring
+/// [`crate::EngineStats`], and the event [`TraceRing`].
+///
+/// Recording is allocation-free; building ([`EngineTelemetry::new`] /
+/// [`EngineTelemetry::registered`]) and draining
+/// ([`EngineTelemetry::trace`]'s snapshot) are control-plane.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    enabled: bool,
+    synth: Arc<Histogram>,
+    discriminate: Arc<Histogram>,
+    syndrome: Arc<Histogram>,
+    decode: Arc<Histogram>,
+    cycle: Arc<Histogram>,
+    cycles: Arc<Counter>,
+    rounds: Arc<Counter>,
+    logical_errors: Arc<Counter>,
+    degraded_decodes: Arc<Counter>,
+    health_transitions: Arc<Counter>,
+    hot_swaps: Arc<Counter>,
+    trace: TraceRing,
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineTelemetry {
+    /// A private (unregistered) bundle: the engine's default, feeding
+    /// [`crate::EngineStats::latency`] without any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineTelemetry {
+            enabled: true,
+            synth: Arc::new(Histogram::new()),
+            discriminate: Arc::new(Histogram::new()),
+            syndrome: Arc::new(Histogram::new()),
+            decode: Arc::new(Histogram::new()),
+            cycle: Arc::new(Histogram::new()),
+            cycles: Arc::new(Counter::new()),
+            rounds: Arc::new(Counter::new()),
+            logical_errors: Arc::new(Counter::new()),
+            degraded_decodes: Arc::new(Counter::new()),
+            health_transitions: Arc::new(Counter::new()),
+            hot_swaps: Arc::new(Counter::new()),
+            trace: TraceRing::new(TRACE_CAPACITY),
+        }
+    }
+
+    /// The same bundle registered on `scope`, so the metrics show up in the
+    /// scope's registry snapshots (and therefore in both exporters). The
+    /// scope's labels — typically `engine="…"` — keep engines apart in a
+    /// shared registry.
+    #[must_use]
+    pub fn registered(scope: &Scope<'_>) -> Self {
+        let stage_help = "Per-cycle stage wall time in nanoseconds";
+        let stage = |name: &str| {
+            scope.histogram("herqles_stage_latency_ns", stage_help, &[("stage", name)])
+        };
+        EngineTelemetry {
+            enabled: true,
+            synth: stage("synth"),
+            discriminate: stage("discriminate"),
+            syndrome: stage("syndrome"),
+            decode: stage("decode"),
+            cycle: scope.histogram(
+                "herqles_cycle_latency_ns",
+                "Whole-cycle wall time in nanoseconds",
+                &[],
+            ),
+            cycles: scope.counter("herqles_cycles_total", "Completed QEC cycles", &[]),
+            rounds: scope.counter("herqles_rounds_total", "Noisy rounds processed", &[]),
+            logical_errors: scope.counter(
+                "herqles_logical_errors_total",
+                "Logical errors observed",
+                &[],
+            ),
+            degraded_decodes: scope.counter(
+                "herqles_degraded_decodes_total",
+                "Blocks that fell back to the greedy decoder",
+                &[],
+            ),
+            health_transitions: scope.counter(
+                "herqles_health_transitions_total",
+                "Health-status transitions",
+                &[],
+            ),
+            hot_swaps: scope.counter(
+                "herqles_hot_swaps_total",
+                "Discriminator hot-swaps performed",
+                &[],
+            ),
+            trace: TraceRing::new(TRACE_CAPACITY),
+        }
+    }
+
+    /// Whether the engine records into this bundle.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording. Disabled telemetry skips every
+    /// histogram/counter/trace touch on the hot path (the A/B arm of
+    /// `tests/overhead.rs`).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Resets the five latency histograms (e.g. after warm-up, so reported
+    /// percentiles cover only measured cycles). Counters and the trace keep
+    /// their lifetime totals.
+    pub fn clear_latency(&self) {
+        self.synth.clear();
+        self.discriminate.clear();
+        self.syndrome.clear();
+        self.decode.clear();
+        self.cycle.clear();
+    }
+
+    /// Current per-stage latency percentiles. Allocation-free.
+    #[must_use]
+    pub fn stage_latency(&self) -> StageLatency {
+        StageLatency {
+            synth: LatencySummary::of(&self.synth),
+            discriminate: LatencySummary::of(&self.discriminate),
+            syndrome: LatencySummary::of(&self.syndrome),
+            decode: LatencySummary::of(&self.decode),
+            cycle: LatencySummary::of(&self.cycle),
+        }
+    }
+
+    /// Stamps a cycle's start into the trace. Allocation-free.
+    pub(crate) fn note_cycle_begin(&self, cycle_index: u64) {
+        if self.enabled {
+            self.trace.record(EventKind::CycleBegin, cycle_index);
+        }
+    }
+
+    /// Folds one finished cycle into the histograms, counters and trace:
+    /// stage spans, the cycle span, outcome counters, and any health
+    /// transition observed during the cycle. Allocation-free.
+    pub(crate) fn observe_cycle(
+        &self,
+        cycle_index: u64,
+        stats: &CycleStats,
+        outcome: &DecodeOutcome,
+        transitions_delta: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let stage = &stats.stage;
+        self.synth.record(stage.synth);
+        self.discriminate.record(stage.discriminate);
+        self.syndrome.record(stage.syndrome);
+        self.decode.record(stage.decode);
+        self.cycle.record(stage.total());
+
+        self.cycles.inc();
+        self.rounds.add(stats.rounds as u64);
+        self.logical_errors.add(u64::from(outcome.logical_error));
+        self.degraded_decodes.add(u64::from(outcome.degraded));
+        self.health_transitions.add(transitions_delta);
+
+        self.trace.record(EventKind::StageSynth, stage.synth);
+        self.trace
+            .record(EventKind::StageDiscriminate, stage.discriminate);
+        self.trace.record(EventKind::StageSyndrome, stage.syndrome);
+        self.trace.record(EventKind::StageDecode, stage.decode);
+        if transitions_delta > 0 {
+            self.trace
+                .record(EventKind::HealthTransition, health_arg(stats.health));
+        }
+        if outcome.degraded {
+            self.trace.record(EventKind::DegradedDecode, cycle_index);
+        }
+        self.trace.record(EventKind::CycleEnd, cycle_index);
+    }
+
+    /// Stamps a discriminator hot-swap (`arg` = lifetime swap count after
+    /// the swap) and bumps the swap counter. Allocation-free.
+    pub(crate) fn note_hot_swap(&self, swap_count: u64) {
+        if self.enabled {
+            self.hot_swaps.inc();
+            self.trace.record(EventKind::HotSwap, swap_count);
+        }
+    }
+
+    /// Stamps an adaptive retrain that produced a new calibration.
+    pub(crate) fn note_recal_trained(&self, cycle_index: u64) {
+        if self.enabled {
+            self.trace.record(EventKind::RecalTrained, cycle_index);
+        }
+    }
+
+    /// Stamps an adaptive retrain attempt that declined (e.g. single-class
+    /// harvest).
+    pub(crate) fn note_recal_declined(&self, cycle_index: u64) {
+        if self.enabled {
+            self.trace.record(EventKind::RecalDeclined, cycle_index);
+        }
+    }
+}
+
+/// Renders nanoseconds with a human unit (`ns`, `µs`, `ms`, `s`), three
+/// significant-ish digits.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StageNanos;
+    use herqles_telemetry::Registry;
+
+    fn stats(synth: u64) -> CycleStats {
+        CycleStats {
+            rounds: 3,
+            n_events: 2,
+            stage: StageNanos {
+                synth,
+                discriminate: 200,
+                syndrome: 300,
+                decode: 400,
+            },
+            health: HealthStatus::Degraded,
+        }
+    }
+
+    fn outcome() -> DecodeOutcome {
+        DecodeOutcome {
+            n_events: 2,
+            west_matches: 0,
+            logical_error: true,
+            degraded: true,
+        }
+    }
+
+    #[test]
+    fn observe_cycle_populates_everything() {
+        let t = EngineTelemetry::new();
+        t.note_cycle_begin(0);
+        t.observe_cycle(0, &stats(100), &outcome(), 1);
+        let lat = t.stage_latency();
+        assert_eq!(lat.synth.p50, 100);
+        assert_eq!(lat.decode.max, 400);
+        assert_eq!(lat.cycle.p50, 1000);
+        let events = t.trace().snapshot();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::CycleBegin,
+                EventKind::StageSynth,
+                EventKind::StageDiscriminate,
+                EventKind::StageSyndrome,
+                EventKind::StageDecode,
+                EventKind::HealthTransition,
+                EventKind::DegradedDecode,
+                EventKind::CycleEnd,
+            ]
+        );
+        assert_eq!(events[5].arg, health_arg(HealthStatus::Degraded));
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let mut t = EngineTelemetry::new();
+        t.set_enabled(false);
+        t.note_cycle_begin(0);
+        t.observe_cycle(0, &stats(100), &outcome(), 1);
+        t.note_hot_swap(1);
+        assert_eq!(t.trace().recorded(), 0);
+        assert_eq!(t.stage_latency(), StageLatency::default());
+    }
+
+    #[test]
+    fn clear_latency_keeps_counters() {
+        let t = EngineTelemetry::new();
+        t.observe_cycle(0, &stats(100), &outcome(), 0);
+        t.clear_latency();
+        assert_eq!(t.stage_latency(), StageLatency::default());
+        // Lifetime counters survive the clear.
+        assert_eq!(t.cycles.get(), 1);
+        assert_eq!(t.logical_errors.get(), 1);
+    }
+
+    #[test]
+    fn registered_bundle_reaches_the_exporters() {
+        let registry = Registry::new();
+        let scope = registry.scope(&[("engine", "d3")]);
+        let t = EngineTelemetry::registered(&scope);
+        t.observe_cycle(0, &stats(100), &outcome(), 0);
+        let text = registry.snapshot().to_prometheus_text();
+        assert!(text.contains("herqles_cycles_total{engine=\"d3\"} 1"));
+        assert!(text.contains(
+            "herqles_stage_latency_ns{engine=\"d3\",stage=\"decode\",quantile=\"0.5\"} 400"
+        ));
+        assert!(text.contains("herqles_cycle_latency_ns_count{engine=\"d3\"} 1"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(12_500), "12.5 µs");
+        assert_eq!(fmt_ns(12_500_000), "12.5 ms");
+        assert_eq!(fmt_ns(12_500_000_000), "12.50 s");
+    }
+}

@@ -16,8 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use herqles_stream::{
     train_mf_discriminator, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
-    DriftEvent, FaultPlan, RecalConfig, ShardPool,
+    DriftEvent, EngineTelemetry, FaultPlan, RecalConfig, ShardPool,
 };
+use herqles_telemetry::Registry;
 use readout_sim::trace::IqPoint;
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
@@ -206,5 +207,42 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     assert_eq!(
         adaptive_cycle_allocs, 0,
         "warm cycles through the adaptive discriminator must not touch the heap"
+    );
+
+    // Telemetry is enabled by default, so every probe above already ran with
+    // histogram recording, counter bumps, trace stamping and the per-cycle
+    // percentile refresh inside the zero-allocation window. Make that
+    // explicit: the engines really were recording.
+    assert!(
+        serial.telemetry().trace().recorded() > 0,
+        "default-on telemetry must have traced the probed cycles"
+    );
+    assert!(serial.stats().latency.cycle.max > 0);
+
+    // Registry-backed telemetry carries the same guarantee: registration is
+    // control-plane (outside the probe), but warm cycles recording into
+    // registered histograms/counters must stay heap-free, and so must a
+    // stage-latency read.
+    let registry = Registry::new();
+    let mut registered = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+    registered.set_telemetry(EngineTelemetry::registered(
+        &registry.scope(&[("engine", "alloc-pin")]),
+    ));
+    let _ = registered.run_cycle();
+    let _ = registered.run_cycle();
+    let registered_cycle_allocs = min_allocs_over(3, || {
+        let _ = registered.run_cycle();
+        let _ = registered.stage_latency();
+    });
+    assert_eq!(
+        registered_cycle_allocs, 0,
+        "warm cycles with registry-backed telemetry must not touch the heap"
+    );
+    assert!(
+        registry.snapshot().metrics.iter().any(|m| {
+            m.name == "herqles_cycles_total"
+                && matches!(m.value, herqles_telemetry::MetricValue::Counter(c) if c >= 3)
+        }),
+        "registered counters must have seen the probed cycles"
     );
 }

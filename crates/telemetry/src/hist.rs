@@ -1,0 +1,411 @@
+//! Fixed-size, allocation-free, log-linear latency histogram.
+//!
+//! The bucket layout is the HDR-histogram scheme: values below
+//! 2^[`SUB_BITS`] get one exact bucket each; every octave `[2^h, 2^(h+1))`
+//! above that is subdivided into 2^[`SUB_BITS`] equal linear sub-buckets.
+//! Any `u64` therefore maps to one of [`N_BUCKETS`] cells with relative
+//! error at most [`RELATIVE_ERROR`] (one sub-bucket width), and the whole
+//! table is ~58 KiB of `AtomicU64` — small enough to hold one histogram per
+//! stage per engine.
+//!
+//! Every operation on the hot side ([`Histogram::record`],
+//! [`Histogram::merge`], [`Histogram::quantile`]) is lock-free and performs
+//! **zero heap allocation**; only [`Histogram::snapshot`] allocates, and it
+//! is meant for the control plane. Concurrent recording is allowed from any
+//! number of threads (cells are relaxed atomics); quantiles taken during
+//! concurrent recording are approximate in the usual monitoring sense.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, bounding relative error at `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 7;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+const SUB_MASK: u64 = SUB_BUCKETS - 1;
+
+/// Worst-case relative bucket error: one sub-bucket width (`2^-7` < 1 %).
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Total bucket count covering the full `u64` range: the exact low range
+/// plus one sub-divided octave per leading-bit position above it.
+pub const N_BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Index of the bucket holding `v`. Total order preserving: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`, and every power of two starts a
+/// fresh bucket exactly on its boundary.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let h = 63 - v.leading_zeros(); // highest set bit, ≥ SUB_BITS
+        let sub = (v >> (h - SUB_BITS)) & SUB_MASK;
+        ((u64::from(h - SUB_BITS + 1)) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Inclusive `(lowest, highest)` value range of bucket `idx`.
+#[inline]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    debug_assert!(idx < N_BUCKETS);
+    let octave = idx as u64 / SUB_BUCKETS;
+    let sub = idx as u64 & SUB_MASK;
+    if octave == 0 {
+        (sub, sub)
+    } else {
+        let lo = (SUB_BUCKETS + sub) << (octave - 1);
+        let width = 1u64 << (octave - 1);
+        (lo, lo + (width - 1))
+    }
+}
+
+/// Adds `v` to `cell`, saturating at `u64::MAX` instead of wrapping (sums of
+/// nanosecond values can legitimately approach the ceiling).
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    if v == 0 {
+        return;
+    }
+    let mut cur = cell.load(Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Lock-free log-linear histogram over `u64` values (typically
+/// nanoseconds). See the module docs for the bucket layout.
+#[derive(Debug)]
+pub struct Histogram {
+    cells: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The one allocation this type ever performs.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            cells: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock- and allocation-free; safe from any
+    /// thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value in one shot.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cells[bucket_index(v)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        saturating_fetch_add(&self.sum, v.saturating_mul(n));
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Folds `other` into `self` cell-by-cell. Recording into `self` after
+    /// the merge is indistinguishable from having recorded both streams
+    /// interleaved into one histogram.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.cells.iter().zip(&other.cells) {
+            let v = src.load(Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Relaxed), Relaxed);
+        saturating_fetch_add(&self.sum, other.sum.load(Relaxed));
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+    }
+
+    /// Resets every cell and register to empty. Not atomic with respect to
+    /// concurrent recorders; intended for between-run reuse.
+    pub fn clear(&self) {
+        for c in &self.cells {
+            c.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded values (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest recorded value (exact; `0` when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (exact; `0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `p ∈ [0, 1]`: the lowest bucket whose
+    /// cumulative count reaches rank `⌈p·count⌉`, reported as the bucket's
+    /// lower bound clamped into `[min, max]`. The clamp makes singleton
+    /// distributions exact and bounds the error against a sorted reference
+    /// at one bucket width. Allocation-free. Returns `0` on an empty
+    /// histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let mut out = [0u64];
+        self.quantiles(&[p], &mut out);
+        out[0]
+    }
+
+    /// Multi-quantile variant: one pass over the table answers every entry
+    /// of `ps` (which must be sorted ascending, each in `[0, 1]`) into
+    /// `out`. Allocation-free; this is the hot-path-adjacent form the
+    /// engine's per-cycle stats refresh uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` and `out` lengths differ or `ps` is not sorted
+    /// ascending within `[0, 1]`.
+    pub fn quantiles(&self, ps: &[f64], out: &mut [u64]) {
+        assert_eq!(ps.len(), out.len(), "one output slot per quantile");
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be sorted ascending");
+        }
+        if let (Some(first), Some(last)) = (ps.first(), ps.last()) {
+            assert!(
+                (0.0..=1.0).contains(first) && (0.0..=1.0).contains(last),
+                "quantiles must lie in [0, 1]"
+            );
+        }
+        let count = self.count();
+        if count == 0 {
+            out.fill(0);
+            return;
+        }
+        let min = self.min();
+        let max = self.max();
+        let rank = |p: f64| -> u64 { ((p * count as f64).ceil() as u64).clamp(1, count) };
+        let mut cum = 0u64;
+        let mut k = 0usize;
+        // Buckets below min are empty by construction: start at min's bucket.
+        for idx in bucket_index(min)..N_BUCKETS {
+            let c = self.cells[idx].load(Relaxed);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            while k < ps.len() && cum >= rank(ps[k]) {
+                out[k] = bucket_bounds(idx).0.clamp(min, max);
+                k += 1;
+            }
+            if k == ps.len() {
+                return;
+            }
+        }
+        // Racing recorders can leave count ahead of the cells; report max.
+        out[k..].fill(max);
+    }
+
+    /// A point-in-time summary (count/sum/min/max/p50/p90/p99).
+    /// Allocation-free.
+    pub fn summary(&self) -> HistogramSummary {
+        let mut q = [0u64; 3];
+        self.quantiles(&[0.5, 0.9, 0.99], &mut q);
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: q[0],
+            p90: q[1],
+            p99: q[2],
+        }
+    }
+
+    /// A full copy of the bucket table for offline analysis. Allocates (the
+    /// control-plane exception).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.cells.iter().map(|c| c.load(Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A point-in-time scalar summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (exact).
+    pub min: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Median estimate (≤ one bucket width off).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s bucket table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bucket counts (length [`N_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Quantile over the frozen table, same semantics as
+    /// [`Histogram::quantile`].
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile must lie in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(idx).0.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotonic_and_total() {
+        let probes = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1 << 20,
+            (1 << 20) + 12_345,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for w in probes.windows(2) {
+            assert!(bucket_index(w[0]) <= bucket_index(w[1]));
+        }
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn bounds_invert_the_index() {
+        for &v in &[0u64, 1, 127, 128, 1000, 65_535, 1 << 30, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) <= RELATIVE_ERROR * lo.max(1) as f64 + 1.0,
+                "bucket width {width} too wide at {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.record(1 << 40);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        h.record(7);
+        assert_eq!(h.quantile(0.5), 7);
+    }
+}

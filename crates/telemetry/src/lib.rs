@@ -1,0 +1,63 @@
+//! # herqles-telemetry — allocation-free observability primitives
+//!
+//! The streaming QEC engine's hot path must not allocate, lock, or block —
+//! yet a production readout service needs to *see* its own latency
+//! distribution and event history. This crate provides the observation layer
+//! under that constraint:
+//!
+//! * [`Histogram`] — a fixed-size, log-linear-bucketed latency histogram in
+//!   the HDR style: every `u64` value maps to one of [`hist::N_BUCKETS`]
+//!   atomic cells with ≤ [`hist::RELATIVE_ERROR`] relative error.
+//!   [`Histogram::record`] is a handful of relaxed atomic operations — no
+//!   locks, no allocation — and [`Histogram::quantile`] /
+//!   [`Histogram::quantiles`] answer p50/p90/p99/max without allocating
+//!   either. [`Histogram::merge`] folds shards together;
+//!   [`Histogram::snapshot`] takes a consistent-enough copy for offline
+//!   analysis.
+//! * [`TraceRing`] — a lock-free fixed-capacity ring of typed
+//!   [`TraceEvent`]s (cycle begin/end, stage spans, health transitions,
+//!   hot-swaps, …) with monotonic-clock timestamps and sequence numbers.
+//!   [`TraceRing::record`] never blocks the hot path;
+//!   [`TraceRing::snapshot_into`] drains an ordered snapshot off it.
+//! * [`Registry`] — named counters/gauges/histograms with label sets.
+//!   Registration (setup time) allocates; the returned [`Counter`],
+//!   [`Gauge`] and [`Histogram`] handles are `Arc`s recorded into without
+//!   ever touching the registry again. [`Registry::scope`] pins a label set
+//!   (e.g. `engine="d5-f32-t4"`) — the seam a multi-tenant fleet hangs
+//!   per-tenant views on.
+//! * Exporters — [`RegistrySnapshot::to_prometheus_text`] (text exposition
+//!   format) and [`RegistrySnapshot::to_json`] render the *same* snapshot,
+//!   so the two views can never disagree.
+//! * [`time`] — the one shared timing vocabulary: saturating
+//!   [`time::duration_ns`], a process-global monotonic [`time::now_ns`],
+//!   and the reusable [`StageTimer`] lap timer.
+//!
+//! The crate has no dependencies and uses only `std`.
+//!
+//! # Example
+//!
+//! ```
+//! use herqles_telemetry::{Histogram, Registry};
+//!
+//! let registry = Registry::new();
+//! let scope = registry.scope(&[("engine", "a")]);
+//! let hist = scope.histogram("req_latency_ns", "request latency", &[]);
+//! for v in [120u64, 140, 135, 90_000] {
+//!     hist.record(v); // lock- and allocation-free
+//! }
+//! assert!(hist.quantile(0.5) >= 120 && hist.quantile(0.5) <= 141);
+//! assert_eq!(hist.max(), 90_000);
+//! let text = registry.snapshot().to_prometheus_text();
+//! assert!(text.contains("req_latency_ns_count{engine=\"a\"} 4"));
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod time;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, HistogramSummary};
+pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot, Scope};
+pub use time::{duration_ns, now_ns, StageTimer};
+pub use trace::{EventKind, TraceEvent, TraceRing};

@@ -1,0 +1,277 @@
+//! Lock-free fixed-capacity event tracing.
+//!
+//! [`TraceRing`] keeps the last *capacity* typed events in a preallocated
+//! ring. Recording is wait-free for practical purposes — one atomic
+//! sequence claim plus four relaxed stores — so the streaming engine's hot
+//! path can stamp health transitions, hot-swaps and stage spans without
+//! locks or allocation. Draining ([`TraceRing::snapshot_into`]) walks the
+//! ring outside the hot path and yields events ordered by sequence number;
+//! slots being overwritten *while* the drain reads them are detected via
+//! their publication stamp and skipped rather than returned torn.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+
+use crate::time::now_ns;
+
+/// What a [`TraceEvent`] describes. The discriminants are stable (stored as
+/// `u64` inside the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A streaming cycle started; `arg` = cycle index.
+    CycleBegin = 0,
+    /// A streaming cycle finished decoding; `arg` = cycle index.
+    CycleEnd = 1,
+    /// Synthesis-stage span of one cycle; `arg` = duration in ns.
+    StageSynth = 2,
+    /// Discrimination-stage span of one cycle; `arg` = duration in ns.
+    StageDiscriminate = 3,
+    /// Syndrome-stage span of one cycle; `arg` = duration in ns.
+    StageSyndrome = 4,
+    /// Decode-stage span of one cycle; `arg` = duration in ns.
+    StageDecode = 5,
+    /// The health monitor adopted a new status; `arg` = new status
+    /// (0 nominal, 1 degraded, 2 critical).
+    HealthTransition = 6,
+    /// A recalibrated discriminator was atomically published; `arg` =
+    /// lifetime hot-swap count after the swap.
+    HotSwap = 7,
+    /// A block decode fell back to the greedy decoder; `arg` = cycle index.
+    DegradedDecode = 8,
+    /// An adaptive discriminator retrained successfully; `arg` = cycle
+    /// index.
+    RecalTrained = 9,
+    /// An adaptive discriminator declined to retrain (e.g. single-class
+    /// harvest); `arg` = cycle index.
+    RecalDeclined = 10,
+    /// Free-form user event; `arg` is caller-defined.
+    Custom = 11,
+}
+
+impl EventKind {
+    /// Decodes a stored discriminant; `None` for unknown values.
+    pub fn from_u64(v: u64) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::CycleBegin,
+            1 => EventKind::CycleEnd,
+            2 => EventKind::StageSynth,
+            3 => EventKind::StageDiscriminate,
+            4 => EventKind::StageSyndrome,
+            5 => EventKind::StageDecode,
+            6 => EventKind::HealthTransition,
+            7 => EventKind::HotSwap,
+            8 => EventKind::DegradedDecode,
+            9 => EventKind::RecalTrained,
+            10 => EventKind::RecalDeclined,
+            11 => EventKind::Custom,
+            _ => return None,
+        })
+    }
+
+    /// Stable label for exporters and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::CycleBegin => "cycle_begin",
+            EventKind::CycleEnd => "cycle_end",
+            EventKind::StageSynth => "stage_synth",
+            EventKind::StageDiscriminate => "stage_discriminate",
+            EventKind::StageSyndrome => "stage_syndrome",
+            EventKind::StageDecode => "stage_decode",
+            EventKind::HealthTransition => "health_transition",
+            EventKind::HotSwap => "hot_swap",
+            EventKind::DegradedDecode => "degraded_decode",
+            EventKind::RecalTrained => "recal_trained",
+            EventKind::RecalDeclined => "recal_declined",
+            EventKind::Custom => "custom",
+        }
+    }
+}
+
+/// One drained trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotonic per ring, starts at 0).
+    pub seq: u64,
+    /// Monotonic timestamp ([`now_ns`]) at record time.
+    pub ts_ns: u64,
+    /// Event type.
+    pub kind: EventKind,
+    /// Event payload (see the [`EventKind`] variants).
+    pub arg: u64,
+}
+
+/// A slot's publication stamp while a writer is mid-store.
+const IN_PROGRESS: u64 = u64::MAX;
+
+struct Slot {
+    /// `seq` of the published event, or [`IN_PROGRESS`].
+    stamp: AtomicU64,
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    arg: AtomicU64,
+}
+
+/// Lock-free ring of the last `capacity` [`TraceEvent`]s. See the module
+/// docs for the protocol.
+pub struct TraceRing {
+    head: AtomicU64,
+    mask: u64,
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding the last `capacity` events (rounded up to a power of
+    /// two, minimum 2). The one allocation this type ever performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        let cap = capacity.next_power_of_two().max(2);
+        TraceRing {
+            head: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+            slots: (0..cap)
+                .map(|_| Slot {
+                    // Pre-stamp with a sequence no event can have, so the
+                    // drain skips never-written slots.
+                    stamp: AtomicU64::new(IN_PROGRESS),
+                    ts_ns: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    arg: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events recorded over the ring's lifetime (not just those still
+    /// resident).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    /// Records one event. Lock- and allocation-free; safe from any thread.
+    /// The oldest resident event is overwritten once the ring is full.
+    #[inline]
+    pub fn record(&self, kind: EventKind, arg: u64) {
+        let seq = self.head.fetch_add(1, Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        slot.stamp.store(IN_PROGRESS, Release);
+        slot.ts_ns.store(now_ns(), Relaxed);
+        slot.kind.store(kind as u64, Relaxed);
+        slot.arg.store(arg, Relaxed);
+        slot.stamp.store(seq, Release);
+    }
+
+    /// Copies the resident events, ordered by ascending sequence number,
+    /// into `out` (cleared first; capacity is reused across calls, so a
+    /// warm caller allocates only on growth). Returns the number of events
+    /// written. Slots caught mid-overwrite by a concurrent recorder are
+    /// skipped. Never blocks recorders.
+    pub fn snapshot_into(&self, out: &mut Vec<TraceEvent>) -> usize {
+        out.clear();
+        let head = self.head.load(Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            if slot.stamp.load(Acquire) != seq {
+                continue; // never written, overwritten, or mid-write
+            }
+            let ts_ns = slot.ts_ns.load(Relaxed);
+            let kind = slot.kind.load(Relaxed);
+            let arg = slot.arg.load(Relaxed);
+            // Re-check the stamp: if a racing writer claimed this slot while
+            // we read the fields, the record may be torn — drop it.
+            if slot.stamp.load(Acquire) != seq {
+                continue;
+            }
+            let Some(kind) = EventKind::from_u64(kind) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                seq,
+                ts_ns,
+                kind,
+                arg,
+            });
+        }
+        out.len()
+    }
+
+    /// Allocating convenience form of [`TraceRing::snapshot_into`].
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let ring = TraceRing::new(16);
+        ring.record(EventKind::CycleBegin, 0);
+        ring.record(EventKind::StageSynth, 123);
+        ring.record(EventKind::CycleEnd, 0);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::CycleBegin);
+        assert_eq!(events[1].arg, 123);
+        assert_eq!(events[2].kind, EventKind::CycleEnd);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn kind_roundtrips_through_u64() {
+        for k in 0..=11u64 {
+            let kind = EventKind::from_u64(k).expect("known discriminant");
+            assert_eq!(kind as u64, k);
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(EventKind::from_u64(12), None);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let ring = std::sync::Arc::new(TraceRing::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(EventKind::Custom, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 400);
+        let events = ring.snapshot();
+        assert!(events.len() <= 64);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

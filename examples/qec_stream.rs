@@ -72,5 +72,12 @@ fn main() {
             serial_errors,
         );
         assert_eq!(pooled, serial_errors, "pooled run must match serial");
+
+        // The engine's built-in telemetry (always on) has been watching the
+        // serial run: per-stage latency percentiles straight from `stats()`.
+        println!("\n  telemetry summary (serial engine):");
+        for line in engine.stats().summary().lines() {
+            println!("    {line}");
+        }
     }
 }

@@ -16,6 +16,8 @@
 //! * [`qec`] — rotated surface-code simulation and syndrome-cycle timing
 //! * [`stream`] — streaming QEC-cycle engine (readout → syndrome → decode
 //!   on one batch pipeline)
+//! * [`telemetry`] — allocation-free latency histograms, metrics registry
+//!   with Prometheus/JSON exporters, and lock-free event tracing
 //! * [`nisq`] — noisy state-vector simulation of NISQ benchmark circuits
 //!
 //! # Quickstart
@@ -34,6 +36,7 @@ pub use fpga_model as fpga;
 pub use herqles_core as core;
 pub use herqles_exec as exec;
 pub use herqles_stream as stream;
+pub use herqles_telemetry as telemetry;
 pub use nisq_sim as nisq;
 pub use readout_classifiers as classifiers;
 pub use readout_dsp as dsp;
