@@ -28,12 +28,11 @@
 //! Environment overrides: `HERQULES_BENCH_SHOTS` (shots per basis state for
 //! the dataset, default 50), `HERQULES_SEED`, `HERQLES_KERNEL`.
 
-use std::fmt::Write as _;
-
+use herqles_bench::{env_usize, with_scalar_kernel, JsonReport};
 use herqles_core::designs::DesignKind;
 use herqles_core::trainer::{ReadoutTrainer, TrainerConfig};
 use herqles_core::{Discriminator, PrecisionDiscriminator};
-use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
+use herqles_num::kernel::active_kernel_name;
 use herqles_telemetry::StageTimer;
 use readout_nn::net::TrainConfig;
 use readout_sim::{ChipConfig, Dataset, ShotBatch};
@@ -147,14 +146,8 @@ fn log_row(row: &Row) {
 }
 
 fn main() {
-    let shots_per_state: usize = std::env::var("HERQULES_BENCH_SHOTS")
-        .ok()
-        .map(|v| v.parse().expect("HERQULES_BENCH_SHOTS must be an integer"))
-        .unwrap_or(50);
-    let seed: u64 = std::env::var("HERQULES_SEED")
-        .ok()
-        .map(|v| v.parse().expect("HERQULES_SEED must be an integer"))
-        .unwrap_or(20_230_612);
+    let shots_per_state = env_usize("HERQULES_BENCH_SHOTS", 50);
+    let seed = env_usize("HERQULES_SEED", 20_230_612) as u64;
 
     let config = ChipConfig::five_qubit_default();
     eprintln!("[bench_inference] generating {shots_per_state} shots/state…");
@@ -249,9 +242,9 @@ fn main() {
     // backend, re-measure the same typed instances at the headline batch
     // size with the scalar reference forced, so the JSON carries the SIMD
     // multiplier (dispatched vs scalar) for both precisions.
-    if dispatched != "scalar" {
-        select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+    let scalar_rows = with_scalar_kernel(|| {
         let batch_size = *BATCH_SIZES.last().expect("non-empty");
+        let mut out = Vec::new();
         for (label, disc) in &typed {
             let t = time_typed(disc, &dataset, &split.test[..batch_size]);
             for (precision, batched_secs, f32_vs_f64) in [
@@ -272,46 +265,43 @@ fn main() {
                     f32_vs_f64,
                 };
                 log_row(&row);
-                rows.push(row);
+                out.push(row);
             }
         }
-        select_kernel(KernelBackend::parse(dispatched).expect("dispatched name parses"))
-            .expect("restoring the dispatched backend");
-    } else {
-        eprintln!("[bench_inference] dispatch resolved to scalar; skipping duplicate scalar rows");
+        out
+    });
+    match scalar_rows {
+        Some(extra) => rows.extend(extra),
+        None => {
+            eprintln!(
+                "[bench_inference] dispatch resolved to scalar; skipping duplicate scalar rows"
+            )
+        }
     }
 
-    let mut json = String::from("{\n  \"benchmark\": \"inference_throughput\",\n");
-    let _ = writeln!(json, "  \"unit\": \"shots_per_second\",");
-    let _ = writeln!(
-        json,
-        "  \"cores\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
-    let _ = writeln!(json, "  \"shots_per_state\": {shots_per_state},");
-    let _ = writeln!(json, "  \"results\": [");
-    for (k, row) in rows.iter().enumerate() {
+    let mut report = JsonReport::new("inference_throughput", "shots_per_second");
+    report.scalar("shots_per_state", shots_per_state);
+    for row in &rows {
         let f32_vs_f64 = row
             .f32_vs_f64
             .map(|r| format!(", \"f32_vs_f64\": {r:.3}"))
             .unwrap_or_default();
-        let _ = writeln!(
-            json,
-            "    {{\"design\": \"{}\", \"precision\": \"{}\", \"kernel\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}{}}}{}",
-            row.design,
-            row.precision,
-            row.kernel,
-            row.batch,
-            row.per_shot,
-            row.batched,
-            row.batched / row.per_shot,
-            f32_vs_f64,
-            if k + 1 < rows.len() { "," } else { "" }
+        report.row(
+            "results",
+            format!(
+                "{{\"design\": \"{}\", \"precision\": \"{}\", \"kernel\": \"{}\", \"batch_size\": {}, \"per_shot\": {:.1}, \"batched\": {:.1}, \"speedup\": {:.3}{}}}",
+                row.design,
+                row.precision,
+                row.kernel,
+                row.batch,
+                row.per_shot,
+                row.batched,
+                row.batched / row.per_shot,
+                f32_vs_f64,
+            ),
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
-    eprintln!("[bench_inference] wrote BENCH_inference.json");
+    report.write("BENCH_inference.json");
 
     let mf_1024 = rows
         .iter()

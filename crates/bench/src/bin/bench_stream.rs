@@ -30,7 +30,11 @@
 //! * `--metrics-json PATH` — write the JSON export of the same snapshot.
 //!
 //! Flags: `--threads N[,M…]` (pooled worker counts; `--threads 0` disables
-//! pooled rows) and `--drift` (append fault-injection robustness rows: the
+//! pooled rows), `--assert-synth-share PCT` (fail the run if synthesis
+//! exceeds PCT percent of the per-cycle stage time on any serial row of the
+//! dispatched backend — the CI guard that vectorized synthesis stays out of
+//! the dominant-stage regime), and `--drift` (append fault-injection
+//! robustness rows: the
 //! adaptive engine's cycles/s under an active centroid drift plus its
 //! rounds-to-detect and rounds-to-recover, per precision, serial and pooled,
 //! kernel-tagged — emitted under a `"drift"` key in the JSON). Environment
@@ -39,10 +43,9 @@
 //! default 12), `HERQULES_STREAM_THREADS` (same as `--threads`),
 //! `HERQULES_SEED`.
 
-use std::fmt::Write as _;
-
+use herqles_bench::{env_usize, with_scalar_kernel, JsonReport};
 use herqles_core::Real;
-use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
+use herqles_num::kernel::active_kernel_name;
 use herqles_stream::{
     run_cycles_offline, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
     DriftEvent, EngineTelemetry, FaultPlan, HealthConfig, HealthStatus, LatencySummary,
@@ -53,16 +56,6 @@ use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
 const DISTANCES: [usize; 3] = [3, 5, 7];
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("{name} must be an integer"))
-        })
-        .unwrap_or(default)
-}
 
 /// How `--serve-text` exports the metrics registry after the run.
 enum ServeText {
@@ -84,6 +77,11 @@ struct Args {
     serve_text: ServeText,
     /// Write the registry's JSON export here.
     metrics_json: Option<String>,
+    /// `--assert-synth-share PCT`: fail the run if synthesis exceeds this
+    /// percentage of the measured per-cycle stage time on any serial row of
+    /// the dispatched backend. CI uses it to pin that vectorized synthesis
+    /// stays out of the dominant-stage regime.
+    assert_synth_share: Option<f64>,
 }
 
 /// Parses the command line. `--threads 2,4` wins over
@@ -94,6 +92,7 @@ fn parse_args() -> Args {
     let mut drift = false;
     let mut serve_text = ServeText::Off;
     let mut metrics_json = None;
+    let mut assert_synth_share = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -121,10 +120,23 @@ fn parse_args() -> Args {
                 i += 1;
                 metrics_json = Some(argv.get(i).expect("--metrics-json requires a path").clone());
             }
+            "--assert-synth-share" => {
+                i += 1;
+                let pct: f64 = argv
+                    .get(i)
+                    .expect("--assert-synth-share requires a percentage, e.g. 80")
+                    .parse()
+                    .expect("--assert-synth-share must be a number");
+                assert!(
+                    (0.0..=100.0).contains(&pct),
+                    "--assert-synth-share must be in 0..=100"
+                );
+                assert_synth_share = Some(pct);
+            }
             other => {
                 panic!(
                     "unknown argument {other:?} (supported: --threads N[,M…], --drift, \
-                     --serve-text [ADDR], --metrics-json PATH)"
+                     --serve-text [ADDR], --metrics-json PATH, --assert-synth-share PCT)"
                 )
             }
         }
@@ -154,6 +166,7 @@ fn parse_args() -> Args {
         drift,
         serve_text,
         metrics_json,
+        assert_synth_share,
     }
 }
 
@@ -404,16 +417,17 @@ fn main() {
         // multiplier is dispatched-vs-scalar at the same distance. The
         // offline baseline is re-measured under the scalar backend so the
         // rows' offline/speedup fields describe one backend, not a mix.
-        if active_kernel_name() != "scalar" {
-            let dispatched = active_kernel_name();
-            select_kernel(KernelBackend::Scalar).expect("scalar is always selectable");
+        if let Some((r64, r32)) = with_scalar_kernel(|| {
             let off_timer = StageTimer::start();
             let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
             let scalar_offline_cps = cycles as f64 / off_timer.elapsed_secs();
-            variants.push(measure::<f64>(&ctx, &code, cfg, None, scalar_offline_cps));
-            variants.push(measure::<f32>(&ctx, &code, cfg, None, scalar_offline_cps));
-            select_kernel(KernelBackend::parse(dispatched).expect("dispatched name parses"))
-                .expect("restoring the dispatched backend");
+            (
+                measure::<f64>(&ctx, &code, cfg, None, scalar_offline_cps),
+                measure::<f32>(&ctx, &code, cfg, None, scalar_offline_cps),
+            )
+        }) {
+            variants.push(r64);
+            variants.push(r32);
         }
 
         for row in variants {
@@ -438,6 +452,46 @@ fn main() {
                 row.logical_errors,
             );
             rows.push(row);
+        }
+    }
+
+    // `--assert-synth-share`: pin how dominant the synthesis stage is.
+    // Serial rows of the dispatched backend only — pooled rows report the
+    // *exposed* synth latency (pipelining hides most of it), and the scalar
+    // reference rows exist precisely to show the unvectorized cost. The
+    // asserted quantity is the **mean** share across those rows: the
+    // non-synth stages are only microseconds per cycle, so a single row's
+    // share carries a few points of run-to-run jitter, while the mean over
+    // both precisions and every distance separates the vectorized regime
+    // (~93 %) from the pre-vectorization one (~99 %) with real margin.
+    if let Some(limit) = args.assert_synth_share {
+        let dispatched = active_kernel_name();
+        let mut shares = Vec::new();
+        for r in rows
+            .iter()
+            .filter(|r| r.threads == 1 && r.kernel == dispatched)
+        {
+            let total = (r.synth_ns + r.discriminate_ns + r.syndrome_ns + r.decode_ns) as f64;
+            let share = 100.0 * r.synth_ns as f64 / total.max(1.0);
+            eprintln!(
+                "[bench_stream] synth share d={}/{}: {share:.1}%",
+                r.distance, r.precision
+            );
+            shares.push(share);
+        }
+        if !shares.is_empty() {
+            let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+            eprintln!(
+                "[bench_stream] mean synth share over {} serial {dispatched} rows: \
+                 {mean:.1}% (limit {limit}%)",
+                shares.len()
+            );
+            assert!(
+                mean <= limit,
+                "synth averages {mean:.1}% of the serial {dispatched} cycle (> {limit}%): \
+                 vectorized synthesis regressed back toward the pre-vectorization \
+                 dominant-stage regime"
+            );
         }
     }
 
@@ -470,36 +524,6 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n  \"benchmark\": \"stream_cycle_throughput\",\n");
-    let _ = writeln!(json, "  \"unit\": \"cycles_per_second\",");
-    let _ = writeln!(
-        json,
-        "  \"cores\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
-    let _ = writeln!(json, "  \"shots_per_state\": {shots},");
-    if !drift_rows.is_empty() {
-        let _ = writeln!(json, "  \"drift\": [");
-        for (k, r) in drift_rows.iter().enumerate() {
-            let _ = writeln!(
-                json,
-                "    {{\"precision\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
-                 \"clean\": {:.1}, \"faulted\": {:.1}, \"rounds_to_detect\": {}, \
-                 \"rounds_to_recover\": {}, \"hot_swaps\": {}, \"degraded_decodes\": {}}}{}",
-                r.precision,
-                r.kernel,
-                r.threads,
-                r.clean_cycles_per_sec,
-                r.faulted_cycles_per_sec,
-                r.rounds_to_detect,
-                r.rounds_to_recover,
-                r.hot_swaps,
-                r.degraded_decodes,
-                if k + 1 < drift_rows.len() { "," } else { "" }
-            );
-        }
-        let _ = writeln!(json, "  ],");
-    }
     /// One `{"synth": …, "discriminate": …, "syndrome": …, "decode": …,
     /// "cycle": …}` object built from a single percentile of every stage
     /// histogram.
@@ -514,40 +538,59 @@ fn main() {
         )
     }
 
-    let _ = writeln!(json, "  \"results\": [");
-    for (k, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"kernel\": \"{}\", \
-             \"threads\": {}, \"groups\": {}, \
-             \"cycles\": {}, \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
-             \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
-             \"decode\": {}}}, \
-             \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"logical_errors\": {}}}{}",
-            r.distance,
-            r.distance,
-            r.precision,
-            r.kernel,
-            r.threads,
-            r.groups,
-            r.cycles,
-            r.cycles_per_sec,
-            r.offline_cycles_per_sec,
-            r.cycles_per_sec / r.offline_cycles_per_sec,
-            r.synth_ns,
-            r.discriminate_ns,
-            r.syndrome_ns,
-            r.decode_ns,
-            pct_json(&r.latency, |s| s.p50),
-            pct_json(&r.latency, |s| s.p99),
-            pct_json(&r.latency, |s| s.max),
-            r.logical_errors,
-            if k + 1 < rows.len() { "," } else { "" }
+    let mut report = JsonReport::new("stream_cycle_throughput", "cycles_per_second");
+    report.scalar("shots_per_state", shots);
+    for r in &drift_rows {
+        report.row(
+            "drift",
+            format!(
+                "{{\"precision\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
+                 \"clean\": {:.1}, \"faulted\": {:.1}, \"rounds_to_detect\": {}, \
+                 \"rounds_to_recover\": {}, \"hot_swaps\": {}, \"degraded_decodes\": {}}}",
+                r.precision,
+                r.kernel,
+                r.threads,
+                r.clean_cycles_per_sec,
+                r.faulted_cycles_per_sec,
+                r.rounds_to_detect,
+                r.rounds_to_recover,
+                r.hot_swaps,
+                r.degraded_decodes,
+            ),
         );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
-    eprintln!("[bench_stream] wrote BENCH_stream.json");
+    for r in &rows {
+        report.row(
+            "results",
+            format!(
+                "{{\"distance\": {}, \"rounds\": {}, \"precision\": \"{}\", \"kernel\": \"{}\", \
+                 \"threads\": {}, \"groups\": {}, \
+                 \"cycles\": {}, \"streamed\": {:.1}, \"offline\": {:.1}, \"speedup\": {:.3}, \
+                 \"per_cycle_ns\": {{\"synth\": {}, \"discriminate\": {}, \"syndrome\": {}, \
+                 \"decode\": {}}}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"logical_errors\": {}}}",
+                r.distance,
+                r.distance,
+                r.precision,
+                r.kernel,
+                r.threads,
+                r.groups,
+                r.cycles,
+                r.cycles_per_sec,
+                r.offline_cycles_per_sec,
+                r.cycles_per_sec / r.offline_cycles_per_sec,
+                r.synth_ns,
+                r.discriminate_ns,
+                r.syndrome_ns,
+                r.decode_ns,
+                pct_json(&r.latency, |s| s.p50),
+                pct_json(&r.latency, |s| s.p99),
+                pct_json(&r.latency, |s| s.max),
+                r.logical_errors,
+            ),
+        );
+    }
+    report.write("BENCH_stream.json");
 
     // Registry exports: the same snapshot drives every export format.
     let snapshot = registry.snapshot();

@@ -88,6 +88,39 @@ pub trait Kernel<R: Real>: Send + Sync {
     fn quad_blocked(&self) -> bool {
         true
     }
+
+    /// Carrier mix-accumulate: the multiplexed-readout modulation
+    /// `i_out[t] += bi[t]·cos[t] − bq[t]·sin[t]`,
+    /// `q_out[t] += bi[t]·sin[t] + bq[t]·cos[t]`.
+    ///
+    /// The default body is the historical per-sample scalar expression in
+    /// its exact operation order, so every non-overriding backend (the
+    /// scalar reference in particular) is bit-identical to the pre-batched
+    /// synthesis loop. The AVX2 override contracts the multiplies into
+    /// FMAs, diverging by at most the contraction rounding.
+    fn mix_accum(
+        &self,
+        bi: &[R],
+        bq: &[R],
+        cos: &[R],
+        sin: &[R],
+        i_out: &mut [R],
+        q_out: &mut [R],
+    ) {
+        let n = bi
+            .len()
+            .min(bq.len())
+            .min(cos.len())
+            .min(sin.len())
+            .min(i_out.len())
+            .min(q_out.len());
+        for t in 0..n {
+            let (si, sq) = (bi[t], bq[t]);
+            let (c, sn) = (cos[t], sin[t]);
+            i_out[t] += si * c - sq * sn;
+            q_out[t] += si * sn + sq * c;
+        }
+    }
 }
 
 /// The portable reference backend: plain Rust loops with the 8-accumulator
@@ -225,6 +258,19 @@ impl Kernel<f32> for Avx2Kernel {
         // SAFETY: as above.
         unsafe { avx2::axpy4_f32(alphas, xs, out) }
     }
+
+    fn mix_accum(
+        &self,
+        bi: &[f32],
+        bq: &[f32],
+        cos: &[f32],
+        sin: &[f32],
+        i_out: &mut [f32],
+        q_out: &mut [f32],
+    ) {
+        // SAFETY: as above.
+        unsafe { avx2::mix_accum_f32(bi, bq, cos, sin, i_out, q_out) }
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -254,6 +300,19 @@ impl Kernel<f64> for Avx2Kernel {
     fn axpy4(&self, alphas: [f64; 4], xs: [&[f64]; 4], out: &mut [f64]) {
         // SAFETY: as above.
         unsafe { avx2::axpy4_f64(alphas, xs, out) }
+    }
+
+    fn mix_accum(
+        &self,
+        bi: &[f64],
+        bq: &[f64],
+        cos: &[f64],
+        sin: &[f64],
+        i_out: &mut [f64],
+        q_out: &mut [f64],
+    ) {
+        // SAFETY: as above.
+        unsafe { avx2::mix_accum_f64(bi, bq, cos, sin, i_out, q_out) }
     }
 }
 
@@ -329,7 +388,7 @@ impl std::error::Error for KernelSelectError {}
 /// pipeline in the same process always ride the same backend.
 static ACTIVE: AtomicU8 = AtomicU8::new(0);
 
-const SCALAR_ID: u8 = 1;
+pub(crate) const SCALAR_ID: u8 = 1;
 const AVX2_ID: u8 = 2;
 
 fn backend_id(backend: KernelBackend) -> Result<u8, KernelSelectError> {
@@ -357,7 +416,7 @@ fn backend_id(backend: KernelBackend) -> Result<u8, KernelSelectError> {
 /// Panics if the environment variable holds an unknown value or requests
 /// `avx2` on hardware without it — a silently ignored override would
 /// invalidate a recorded experiment.
-fn resolved() -> u8 {
+pub(crate) fn resolved() -> u8 {
     match ACTIVE.load(Ordering::Relaxed) {
         0 => {
             let requested = match std::env::var("HERQLES_KERNEL") {
@@ -733,6 +792,90 @@ mod avx2 {
             }
             out[i] = o;
             i += 1;
+        }
+    }
+
+    /// f32 carrier mix-accumulate (see [`super::Kernel::mix_accum`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mix_accum_f32(
+        bi: &[f32],
+        bq: &[f32],
+        cos: &[f32],
+        sin: &[f32],
+        i_out: &mut [f32],
+        q_out: &mut [f32],
+    ) {
+        let n = bi
+            .len()
+            .min(bq.len())
+            .min(cos.len())
+            .min(sin.len())
+            .min(i_out.len())
+            .min(q_out.len());
+        let (bip, bqp, cp, sp) = (bi.as_ptr(), bq.as_ptr(), cos.as_ptr(), sin.as_ptr());
+        let (ip, qp) = (i_out.as_mut_ptr(), q_out.as_mut_ptr());
+        let mut t = 0;
+        while t + 8 <= n {
+            let vbi = _mm256_loadu_ps(bip.add(t));
+            let vbq = _mm256_loadu_ps(bqp.add(t));
+            let vc = _mm256_loadu_ps(cp.add(t));
+            let vs = _mm256_loadu_ps(sp.add(t));
+            let mut vi = _mm256_loadu_ps(ip.add(t));
+            let mut vq = _mm256_loadu_ps(qp.add(t));
+            vi = _mm256_fmadd_ps(vbi, vc, vi);
+            vi = _mm256_fnmadd_ps(vbq, vs, vi);
+            vq = _mm256_fmadd_ps(vbi, vs, vq);
+            vq = _mm256_fmadd_ps(vbq, vc, vq);
+            _mm256_storeu_ps(ip.add(t), vi);
+            _mm256_storeu_ps(qp.add(t), vq);
+            t += 8;
+        }
+        while t < n {
+            i_out[t] += bi[t] * cos[t] - bq[t] * sin[t];
+            q_out[t] += bi[t] * sin[t] + bq[t] * cos[t];
+            t += 1;
+        }
+    }
+
+    /// f64 carrier mix-accumulate (see [`super::Kernel::mix_accum`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mix_accum_f64(
+        bi: &[f64],
+        bq: &[f64],
+        cos: &[f64],
+        sin: &[f64],
+        i_out: &mut [f64],
+        q_out: &mut [f64],
+    ) {
+        let n = bi
+            .len()
+            .min(bq.len())
+            .min(cos.len())
+            .min(sin.len())
+            .min(i_out.len())
+            .min(q_out.len());
+        let (bip, bqp, cp, sp) = (bi.as_ptr(), bq.as_ptr(), cos.as_ptr(), sin.as_ptr());
+        let (ip, qp) = (i_out.as_mut_ptr(), q_out.as_mut_ptr());
+        let mut t = 0;
+        while t + 4 <= n {
+            let vbi = _mm256_loadu_pd(bip.add(t));
+            let vbq = _mm256_loadu_pd(bqp.add(t));
+            let vc = _mm256_loadu_pd(cp.add(t));
+            let vs = _mm256_loadu_pd(sp.add(t));
+            let mut vi = _mm256_loadu_pd(ip.add(t));
+            let mut vq = _mm256_loadu_pd(qp.add(t));
+            vi = _mm256_fmadd_pd(vbi, vc, vi);
+            vi = _mm256_fnmadd_pd(vbq, vs, vi);
+            vq = _mm256_fmadd_pd(vbi, vs, vq);
+            vq = _mm256_fmadd_pd(vbq, vc, vq);
+            _mm256_storeu_pd(ip.add(t), vi);
+            _mm256_storeu_pd(qp.add(t), vq);
+            t += 4;
+        }
+        while t < n {
+            i_out[t] += bi[t] * cos[t] - bq[t] * sin[t];
+            q_out[t] += bi[t] * sin[t] + bq[t] * cos[t];
+            t += 1;
         }
     }
 }

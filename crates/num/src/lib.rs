@@ -27,11 +27,13 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 use rand::{Random, Rng};
 
 pub mod kernel;
+pub mod noisegen;
 
 pub use kernel::{
     active_kernel_name, avx2_available, select_kernel, Avx2Kernel, Kernel, KernelBackend,
     KernelSelectError, ScalarKernel,
 };
+pub use noisegen::{active_noise_kernel_name, Avx2NoiseKernel, NoiseKernel, ScalarNoiseKernel};
 
 mod sealed {
     /// Prevents downstream impls: every generic kernel in the workspace may
@@ -122,6 +124,13 @@ pub trait Real:
     /// `readout-nn` route every inner loop through this.
     fn kernel() -> &'static dyn Kernel<Self>;
 
+    /// The bulk Gaussian backend at this precision ([`noisegen`] module),
+    /// riding the same process-wide selection as [`Real::kernel`]: the
+    /// scalar backend replays [`Real::sample_gaussian`] bit for bit off the
+    /// caller's RNG; the AVX2 backend expands one caller draw into an
+    /// in-register SplitMix64 → polar pipeline.
+    fn noise_kernel() -> &'static dyn NoiseKernel<Self>;
+
     /// One uniform draw in `[0, 1)` at this precision.
     ///
     /// Consumes exactly one `next_u64` regardless of format, so `f32` and
@@ -156,7 +165,7 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty, $name:literal, $bits:literal, $parity_tol:expr, $active_kernel:path) => {
+    ($t:ty, $name:literal, $bits:literal, $parity_tol:expr, $active_kernel:path, $active_noise:path) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -209,12 +218,31 @@ macro_rules! impl_real {
             fn kernel() -> &'static dyn Kernel<Self> {
                 $active_kernel()
             }
+
+            #[inline]
+            fn noise_kernel() -> &'static dyn NoiseKernel<Self> {
+                $active_noise()
+            }
         }
     };
 }
 
-impl_real!(f32, "f32", 32, 1e-3, kernel::active_f32);
-impl_real!(f64, "f64", 64, 1e-10, kernel::active_f64);
+impl_real!(
+    f32,
+    "f32",
+    32,
+    1e-3,
+    kernel::active_f32,
+    noisegen::active_noise_f32
+);
+impl_real!(
+    f64,
+    "f64",
+    64,
+    1e-10,
+    kernel::active_f64,
+    noisegen::active_noise_f64
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,579 @@
+//! SIMD Gaussian-noise backends for readout synthesis.
+//!
+//! The synthesis hot loop adds one `N(0, σ²)` deviate to every I and Q
+//! sample of a shot — at 500 MS/s over a 1 µs window that is 1000 scalar
+//! Marsaglia-polar draws per shot, enough to keep the whole stream pipeline
+//! pinned on one rejection loop. [`NoiseKernel`] abstracts the draw the same
+//! way [`crate::Kernel`] abstracts the GEMM primitives, and rides the same
+//! process-wide `HERQLES_KERNEL` dispatch:
+//!
+//! | backend | stream | draw order |
+//! |---|---|---|
+//! | [`ScalarNoiseKernel`] | the caller's [`Rng`] | bit-identical to repeated [`Real::sample_gaussian`] |
+//! | [`Avx2NoiseKernel`] | 4 SplitMix64 lanes seeded from **one** caller draw | lane-interleaved polar, in registers |
+//!
+//! The scalar backend consumes the caller RNG exactly like the historical
+//! per-sample loop, so every determinism/parity pin that ran on scalar stays
+//! green unchanged. The AVX2 backend draws a *single* `next_u64` from the
+//! caller per bulk fill and expands it into four SplitMix64 lane states
+//! (lane `j` starts at `seed + j·γ` with stride `4γ`, so the four lanes
+//! together walk one non-overlapping SplitMix64 stream); the fill is then a
+//! pure function of that seed. Its values differ from scalar — that is the
+//! point — but pooled and serial engines remain bit-identical within the
+//! backend because the per-group RNG advances by the same one draw either
+//! way.
+
+use rand::Rng;
+
+use crate::kernel::{self, SCALAR_ID};
+use crate::Real;
+
+/// One backend of the bulk Gaussian primitives at scalar type `R`.
+///
+/// `spare` carries the Marsaglia spare deviate *for the scalar backend
+/// only* (it is what makes a sequence of calls equal to a sequence of
+/// [`Real::sample_gaussian`] draws); the AVX2 backend generates deviates in
+/// even pairs and never touches it.
+pub trait NoiseKernel<R: Real>: Send + Sync {
+    /// Backend label (`"scalar"` / `"avx2"`).
+    fn name(&self) -> &'static str;
+
+    /// Fills `out` with standard-normal deviates.
+    fn fill_standard(&self, rng: &mut dyn Rng, spare: &mut Option<R>, out: &mut [R]);
+
+    /// Adds `sigma · N(0, 1)` to every sample of an I/Q pair of rows, in
+    /// the synthesis draw order `i[0], q[0], i[1], q[1], …` (the scalar
+    /// backend reproduces the historical interleaved per-sample loop bit
+    /// for bit, including the degenerate `sigma == 0` draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rows differ in length.
+    fn add_iq(
+        &self,
+        rng: &mut dyn Rng,
+        sigma: R,
+        spare: &mut Option<R>,
+        i_out: &mut [R],
+        q_out: &mut [R],
+    );
+}
+
+/// The reference backend: the caller's RNG, one Marsaglia-polar rejection
+/// loop per deviate pair, spare buffering — the exact draw order of
+/// [`Real::sample_gaussian`], which is the historical synthesis noise
+/// stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarNoiseKernel;
+
+impl<R: Real> NoiseKernel<R> for ScalarNoiseKernel {
+    #[inline(always)]
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn fill_standard(&self, rng: &mut dyn Rng, spare: &mut Option<R>, out: &mut [R]) {
+        for o in out.iter_mut() {
+            *o = R::sample_gaussian(rng, spare);
+        }
+    }
+
+    fn add_iq(
+        &self,
+        rng: &mut dyn Rng,
+        sigma: R,
+        spare: &mut Option<R>,
+        i_out: &mut [R],
+        q_out: &mut [R],
+    ) {
+        assert_eq!(i_out.len(), q_out.len(), "I/Q rows must share a length");
+        for (i, q) in i_out.iter_mut().zip(q_out.iter_mut()) {
+            *i += sigma * R::sample_gaussian(rng, spare);
+            *q += sigma * R::sample_gaussian(rng, spare);
+        }
+    }
+}
+
+/// The AVX2 backend: four SplitMix64 lanes → `[-1, 1)` uniforms → masked
+/// polar rejection → `√(−2 ln s / s)` scaling, all in 256-bit registers
+/// (the logarithm is an in-register atanh-series evaluation, not a libm
+/// call). Produces 8 deviates per accepted polar batch.
+///
+/// Only obtainable through [`Avx2NoiseKernel::get`], which returns `Some`
+/// exactly when the CPU reports AVX2+FMA.
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2NoiseKernel(());
+
+static AVX2_NOISE_INSTANCE: Avx2NoiseKernel = Avx2NoiseKernel(());
+
+impl Avx2NoiseKernel {
+    /// The AVX2+FMA noise backend, iff the host supports it.
+    pub fn get() -> Option<&'static Avx2NoiseKernel> {
+        if kernel::avx2_available() {
+            Some(&AVX2_NOISE_INSTANCE)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl NoiseKernel<f64> for Avx2NoiseKernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn fill_standard(&self, rng: &mut dyn Rng, _spare: &mut Option<f64>, out: &mut [f64]) {
+        let seed = rng.next_u64();
+        // SAFETY: an Avx2NoiseKernel only exists when AVX2+FMA were detected.
+        unsafe { avx2noise::fill_standard_f64(seed, out) }
+    }
+
+    fn add_iq(
+        &self,
+        rng: &mut dyn Rng,
+        sigma: f64,
+        _spare: &mut Option<f64>,
+        i_out: &mut [f64],
+        q_out: &mut [f64],
+    ) {
+        assert_eq!(i_out.len(), q_out.len(), "I/Q rows must share a length");
+        let seed = rng.next_u64();
+        // SAFETY: as above.
+        unsafe { avx2noise::add_iq_f64(seed, sigma, i_out, q_out) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl NoiseKernel<f32> for Avx2NoiseKernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn fill_standard(&self, rng: &mut dyn Rng, _spare: &mut Option<f32>, out: &mut [f32]) {
+        let seed = rng.next_u64();
+        // SAFETY: an Avx2NoiseKernel only exists when AVX2+FMA were detected.
+        unsafe { avx2noise::fill_standard_f32(seed, out) }
+    }
+
+    fn add_iq(
+        &self,
+        rng: &mut dyn Rng,
+        sigma: f32,
+        _spare: &mut Option<f32>,
+        i_out: &mut [f32],
+        q_out: &mut [f32],
+    ) {
+        assert_eq!(i_out.len(), q_out.len(), "I/Q rows must share a length");
+        let seed = rng.next_u64();
+        // SAFETY: as above.
+        unsafe { avx2noise::add_iq_f32(seed, sigma, i_out, q_out) }
+    }
+}
+
+/// Off `x86_64` the type exists so generic code compiles, but
+/// [`Avx2NoiseKernel::get`] never hands one out; delegate to scalar.
+#[cfg(not(target_arch = "x86_64"))]
+impl<R: Real> NoiseKernel<R> for Avx2NoiseKernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn fill_standard(&self, rng: &mut dyn Rng, spare: &mut Option<R>, out: &mut [R]) {
+        ScalarNoiseKernel.fill_standard(rng, spare, out);
+    }
+
+    fn add_iq(
+        &self,
+        rng: &mut dyn Rng,
+        sigma: R,
+        spare: &mut Option<R>,
+        i_out: &mut [R],
+        q_out: &mut [R],
+    ) {
+        ScalarNoiseKernel.add_iq(rng, sigma, spare, i_out, q_out);
+    }
+}
+
+/// The name of the noise backend the process is currently dispatched to —
+/// always in lockstep with [`crate::active_kernel_name`] (one `ACTIVE`
+/// selection covers GEMMs and noise).
+pub fn active_noise_kernel_name() -> &'static str {
+    <f64 as Real>::noise_kernel().name()
+}
+
+macro_rules! active_noise_fn {
+    ($name:ident, $t:ty) => {
+        /// The dispatched noise backend at this scalar type (monomorphic so
+        /// the sealed [`Real::noise_kernel`] impls can reference it
+        /// directly).
+        pub(crate) fn $name() -> &'static dyn NoiseKernel<$t> {
+            match kernel::resolved() {
+                SCALAR_ID => &ScalarNoiseKernel,
+                _ => &AVX2_NOISE_INSTANCE,
+            }
+        }
+    };
+}
+
+active_noise_fn!(active_noise_f32, f32);
+active_noise_fn!(active_noise_f64, f64);
+
+#[cfg(target_arch = "x86_64")]
+mod avx2noise {
+    //! The `#[target_feature]` bodies. Callers guarantee AVX2+FMA (see
+    //! [`super::Avx2NoiseKernel`]). Everything after the one caller seed
+    //! draw runs in registers: SplitMix64 lane advance (64×64 multiply
+    //! emulated on 32-bit halves), uniform mapping via the `[1, 2)`
+    //! exponent trick, masked polar rejection, and an atanh-series `ln`.
+
+    use std::arch::x86_64::*;
+
+    /// SplitMix64's golden-ratio increment.
+    const GAMMA: u64 = 0x9e3779b97f4a7c15;
+    const MIX1: u64 = 0xbf58476d1ce4e5b9;
+    const MIX2: u64 = 0x94d049bb133111eb;
+
+    /// Lane-wise 64×64→64 multiply by a broadcast constant (AVX2 has no
+    /// 64-bit multiply; compose it from 32×32→64 partial products).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+        _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// Advances four interleaved SplitMix64 lanes one step and returns the
+    /// four mixed outputs. Lane `j` holds state `seed + (k·4 + j + 1)·γ`
+    /// after `k` steps, so the union of lanes is one SplitMix64 stream.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn splitmix4(state: &mut __m256i) -> __m256i {
+        *state = _mm256_add_epi64(*state, _mm256_set1_epi64x((GAMMA.wrapping_mul(4)) as i64));
+        let mut z = *state;
+        z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+        z = mul64(z, _mm256_set1_epi64x(MIX1 as i64));
+        z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+        z = mul64(z, _mm256_set1_epi64x(MIX2 as i64));
+        _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+    }
+
+    /// Initial lane states such that the first [`splitmix4`] outputs are
+    /// `mix(seed + (j+1)γ)` for lanes `j = 0..4`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn lane_states(seed: u64) -> __m256i {
+        let g = GAMMA;
+        _mm256_set_epi64x(
+            seed.wrapping_sub(g.wrapping_mul(0)) as i64,
+            seed.wrapping_sub(g.wrapping_mul(1)) as i64,
+            seed.wrapping_sub(g.wrapping_mul(2)) as i64,
+            seed.wrapping_sub(g.wrapping_mul(3)) as i64,
+        )
+    }
+
+    /// Maps 64 random bits per lane to a uniform in `[-1, 1)`: the top 52
+    /// bits become the mantissa of a double in `[1, 2)`, then `2d − 3`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn uniform_sym(bits: __m256i) -> __m256d {
+        let mant = _mm256_or_si256(
+            _mm256_srli_epi64(bits, 12),
+            _mm256_set1_epi64x(0x3ff0_0000_0000_0000u64 as i64),
+        );
+        let d = _mm256_castsi256_pd(mant);
+        _mm256_fmsub_pd(d, _mm256_set1_pd(2.0), _mm256_set1_pd(3.0))
+    }
+
+    /// Vector natural logarithm for strictly positive normal inputs (the
+    /// polar `s ∈ (0, 1)` never hits zero, subnormals, infinities or NaN).
+    ///
+    /// Decomposes `x = m · 2^e` with `m ∈ [√½, √2)` and evaluates
+    /// `ln m = 2·atanh(t)`, `t = (m−1)/(m+1)`, as an 8-term odd series —
+    /// `|t| ≤ 0.172` keeps the truncation under ~2·10⁻¹² relative, far
+    /// below what the deviate statistics can resolve.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn ln_pd(x: __m256d) -> __m256d {
+        let bits = _mm256_castpd_si256(x);
+        // Biased exponent, per lane, as 32-bit ints packed to the low half.
+        let exp_bits = _mm256_srli_epi64(bits, 52);
+        // Mantissa with the exponent forced to 0 → m ∈ [1, 2).
+        let mant_bits = _mm256_or_si256(
+            _mm256_and_si256(bits, _mm256_set1_epi64x(0x000f_ffff_ffff_ffffu64 as i64)),
+            _mm256_set1_epi64x(0x3ff0_0000_0000_0000u64 as i64),
+        );
+        let mut m = _mm256_castsi256_pd(mant_bits);
+        // e as double: exponents here are small (|e| ≤ ~1030), so the
+        // 64→32-bit pack + cvtepi32_pd round trip is exact.
+        let packed = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+            exp_bits,
+            _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0),
+        ));
+        let mut e = _mm256_cvtepi32_pd(_mm_sub_epi32(packed, _mm_set1_epi32(1023)));
+        // Center m in [√½, √2): where m > √2, halve it and bump e.
+        let sqrt2 = _mm256_set1_pd(std::f64::consts::SQRT_2);
+        let over = _mm256_cmp_pd::<_CMP_GT_OQ>(m, sqrt2);
+        m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), over);
+        e = _mm256_add_pd(e, _mm256_and_pd(over, _mm256_set1_pd(1.0)));
+        // atanh series in u = t².
+        let one = _mm256_set1_pd(1.0);
+        let t = _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+        let u = _mm256_mul_pd(t, t);
+        let mut p = _mm256_set1_pd(1.0 / 15.0);
+        for c in [
+            1.0 / 13.0,
+            1.0 / 11.0,
+            1.0 / 9.0,
+            1.0 / 7.0,
+            1.0 / 5.0,
+            1.0 / 3.0,
+            1.0,
+        ] {
+            p = _mm256_fmadd_pd(p, u, _mm256_set1_pd(c));
+        }
+        let ln_m = _mm256_mul_pd(_mm256_add_pd(t, t), p);
+        _mm256_fmadd_pd(e, _mm256_set1_pd(std::f64::consts::LN_2), ln_m)
+    }
+
+    /// One accepted polar batch: returns `(u·f, v·f)` — 8 standard-normal
+    /// deviates across the two vectors. Rejected lanes are re-drawn with a
+    /// blend mask until all four lanes hold an accepted `(u, v, s)`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn polar8(state: &mut __m256i) -> (__m256d, __m256d) {
+        let zero = _mm256_setzero_pd();
+        let one = _mm256_set1_pd(1.0);
+        let mut u = zero;
+        let mut v = zero;
+        let mut s = one;
+        let mut done = zero; // all-zero mask = no lane accepted yet
+        loop {
+            let cu = uniform_sym(splitmix4(state));
+            let cv = uniform_sym(splitmix4(state));
+            let cs = _mm256_fmadd_pd(cu, cu, _mm256_mul_pd(cv, cv));
+            let ok = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_GT_OQ>(cs, zero),
+                _mm256_cmp_pd::<_CMP_LT_OQ>(cs, one),
+            );
+            let fresh = _mm256_andnot_pd(done, ok);
+            u = _mm256_blendv_pd(u, cu, fresh);
+            v = _mm256_blendv_pd(v, cv, fresh);
+            s = _mm256_blendv_pd(s, cs, fresh);
+            done = _mm256_or_pd(done, fresh);
+            if _mm256_movemask_pd(done) == 0xf {
+                break;
+            }
+        }
+        let f = _mm256_sqrt_pd(_mm256_div_pd(
+            _mm256_mul_pd(_mm256_set1_pd(-2.0), ln_pd(s)),
+            s,
+        ));
+        (_mm256_mul_pd(u, f), _mm256_mul_pd(v, f))
+    }
+
+    /// Fills `out` with standard normals from the lane stream of `seed`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn fill_standard_f64(seed: u64, out: &mut [f64]) {
+        let mut state = lane_states(seed);
+        let n = out.len();
+        let p = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let (z0, z1) = polar8(&mut state);
+            _mm256_storeu_pd(p.add(i), z0);
+            _mm256_storeu_pd(p.add(i + 4), z1);
+            i += 8;
+        }
+        if i < n {
+            let mut tail = [0.0f64; 8];
+            let (z0, z1) = polar8(&mut state);
+            _mm256_storeu_pd(tail.as_mut_ptr(), z0);
+            _mm256_storeu_pd(tail.as_mut_ptr().add(4), z1);
+            out[i..].copy_from_slice(&tail[..n - i]);
+        }
+    }
+
+    /// `i_out[t] += σ·z`, `q_out[t] += σ·z'` — one polar batch covers four
+    /// samples of both rows.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_iq_f64(seed: u64, sigma: f64, i_out: &mut [f64], q_out: &mut [f64]) {
+        let mut state = lane_states(seed);
+        let vs = _mm256_set1_pd(sigma);
+        let n = i_out.len().min(q_out.len());
+        let (ip, qp) = (i_out.as_mut_ptr(), q_out.as_mut_ptr());
+        let mut t = 0;
+        while t + 4 <= n {
+            let (z0, z1) = polar8(&mut state);
+            _mm256_storeu_pd(
+                ip.add(t),
+                _mm256_fmadd_pd(vs, z0, _mm256_loadu_pd(ip.add(t))),
+            );
+            _mm256_storeu_pd(
+                qp.add(t),
+                _mm256_fmadd_pd(vs, z1, _mm256_loadu_pd(qp.add(t))),
+            );
+            t += 4;
+        }
+        if t < n {
+            let mut zi = [0.0f64; 4];
+            let mut zq = [0.0f64; 4];
+            let (z0, z1) = polar8(&mut state);
+            _mm256_storeu_pd(zi.as_mut_ptr(), z0);
+            _mm256_storeu_pd(zq.as_mut_ptr(), z1);
+            for (k, r) in (t..n).enumerate() {
+                i_out[r] += sigma * zi[k];
+                q_out[r] += sigma * zq[k];
+            }
+        }
+    }
+
+    /// f32 fill: generates f64 deviates and rounds — the extra precision is
+    /// free next to the rejection loop, and keeps one polar core.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn fill_standard_f32(seed: u64, out: &mut [f32]) {
+        let mut state = lane_states(seed);
+        let n = out.len();
+        let p = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let (z0, z1) = polar8(&mut state);
+            _mm_storeu_ps(p.add(i), _mm256_cvtpd_ps(z0));
+            _mm_storeu_ps(p.add(i + 4), _mm256_cvtpd_ps(z1));
+            i += 8;
+        }
+        if i < n {
+            let mut tail = [0.0f32; 8];
+            let (z0, z1) = polar8(&mut state);
+            _mm_storeu_ps(tail.as_mut_ptr(), _mm256_cvtpd_ps(z0));
+            _mm_storeu_ps(tail.as_mut_ptr().add(4), _mm256_cvtpd_ps(z1));
+            out[i..].copy_from_slice(&tail[..n - i]);
+        }
+    }
+
+    /// f32 I/Q add, structured like [`add_iq_f64`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_iq_f32(seed: u64, sigma: f32, i_out: &mut [f32], q_out: &mut [f32]) {
+        let mut state = lane_states(seed);
+        let vs = _mm_set1_ps(sigma);
+        let n = i_out.len().min(q_out.len());
+        let (ip, qp) = (i_out.as_mut_ptr(), q_out.as_mut_ptr());
+        let mut t = 0;
+        while t + 4 <= n {
+            let (z0, z1) = polar8(&mut state);
+            _mm_storeu_ps(
+                ip.add(t),
+                _mm_fmadd_ps(vs, _mm256_cvtpd_ps(z0), _mm_loadu_ps(ip.add(t))),
+            );
+            _mm_storeu_ps(
+                qp.add(t),
+                _mm_fmadd_ps(vs, _mm256_cvtpd_ps(z1), _mm_loadu_ps(qp.add(t))),
+            );
+            t += 4;
+        }
+        if t < n {
+            let mut zi = [0.0f32; 4];
+            let mut zq = [0.0f32; 4];
+            let (z0, z1) = polar8(&mut state);
+            _mm_storeu_ps(zi.as_mut_ptr(), _mm256_cvtpd_ps(z0));
+            _mm_storeu_ps(zq.as_mut_ptr(), _mm256_cvtpd_ps(z1));
+            for (k, r) in (t..n).enumerate() {
+                i_out[r] += sigma * zi[k];
+                q_out[r] += sigma * zq[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_add_iq_matches_sample_gaussian_loop() {
+        let n = 37;
+        let mut a_i = vec![0.25f64; n];
+        let mut a_q = vec![-0.5f64; n];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut spare = None;
+        ScalarNoiseKernel.add_iq(&mut rng, 1.75, &mut spare, &mut a_i, &mut a_q);
+
+        let mut b_i = vec![0.25f64; n];
+        let mut b_q = vec![-0.5f64; n];
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let mut spare2 = None;
+        for t in 0..n {
+            b_i[t] += 1.75 * f64::sample_gaussian(&mut rng2, &mut spare2);
+            b_q[t] += 1.75 * f64::sample_gaussian(&mut rng2, &mut spare2);
+        }
+        assert_eq!(a_i, b_i);
+        assert_eq!(a_q, b_q);
+    }
+
+    #[test]
+    fn scalar_fill_matches_sample_gaussian_loop() {
+        let mut out = vec![0.0f32; 9];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut spare = None;
+        ScalarNoiseKernel.fill_standard(&mut rng, &mut spare, &mut out);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut spare2 = None;
+        for (k, &x) in out.iter().enumerate() {
+            assert_eq!(x, f32::sample_gaussian(&mut rng2, &mut spare2), "slot {k}");
+        }
+        // Odd length: the spare survives to the next call, like the loop.
+        assert!(spare.is_some());
+    }
+
+    #[test]
+    fn avx2_fill_is_deterministic_per_caller_state() {
+        let Some(k) = Avx2NoiseKernel::get() else {
+            return;
+        };
+        let fill = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut out = vec![0.0f64; 21];
+            k.fill_standard(&mut rng, &mut None, &mut out);
+            out
+        };
+        assert_eq!(fill(), fill());
+        for x in fill() {
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn avx2_add_iq_consumes_exactly_one_caller_draw() {
+        let Some(k) = Avx2NoiseKernel::get() else {
+            return;
+        };
+        use rand::Rng as _;
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut i = vec![0.0f64; 19];
+        let mut q = vec![0.0f64; 19];
+        k.add_iq(&mut a, 2.0, &mut None, &mut i, &mut q);
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64(), "one draw per bulk fill");
+    }
+
+    #[test]
+    fn dispatch_follows_kernel_selection() {
+        use crate::kernel::{select_kernel, KernelBackend};
+        select_kernel(KernelBackend::Scalar).unwrap();
+        assert_eq!(active_noise_kernel_name(), "scalar");
+        let auto = select_kernel(KernelBackend::Auto).unwrap();
+        assert_eq!(active_noise_kernel_name(), auto);
+        // Restore whatever the environment requested (process-global state).
+        let requested = std::env::var("HERQLES_KERNEL")
+            .ok()
+            .and_then(|v| KernelBackend::parse(&v).ok())
+            .unwrap_or(KernelBackend::Auto);
+        select_kernel(requested).unwrap();
+    }
+}

@@ -1,0 +1,220 @@
+//! Noise-backend parity suite, mirroring `kernel_parity.rs`: the scalar
+//! backend is pinned bit-for-bit against the historical per-sample draw
+//! loop, and the AVX2 backend — which intentionally runs a different (lane
+//! -parallel) stream — is pinned statistically: moment bounds, a KS-style
+//! CDF distance against the scalar reference, and a buffer-length sweep
+//! over the 0/1/lane/remainder edges.
+
+use herqles_num::{Avx2NoiseKernel, NoiseKernel, Real, ScalarNoiseKernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lengths exercising empty, sub-lane, exact-lane/batch, and remainder
+/// shapes of the 4-lane / 8-deviate AVX2 pipeline.
+const LENGTHS: &[usize] = &[0, 1, 3, 4, 7, 8, 9, 16, 31, 32, 33, 500];
+
+fn scalar_reference<R: Real>(seed: u64, n: usize) -> Vec<R> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spare = None;
+    (0..n)
+        .map(|_| R::sample_gaussian(&mut rng, &mut spare))
+        .collect()
+}
+
+#[test]
+fn scalar_fill_bit_identical_to_draw_loop_all_lengths() {
+    for &n in LENGTHS {
+        let mut out = vec![0.0f64; n];
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
+        ScalarNoiseKernel.fill_standard(&mut rng, &mut None.clone(), &mut out);
+        // fill_standard took its own spare; replay with an explicit one.
+        let mut out2 = vec![0.0f64; n];
+        let mut rng2 = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
+        let mut spare = None;
+        ScalarNoiseKernel.fill_standard(&mut rng2, &mut spare, &mut out2);
+        assert_eq!(out, out2);
+        assert_eq!(out2, scalar_reference::<f64>(0xC0FFEE ^ n as u64, n));
+    }
+}
+
+#[test]
+fn scalar_add_iq_bit_identical_to_interleaved_loop_all_lengths() {
+    for &n in LENGTHS {
+        let sigma = 2.5f64;
+        let mut i_a = vec![1.0f64; n];
+        let mut q_a = vec![-1.0f64; n];
+        let mut rng = StdRng::seed_from_u64(n as u64 + 1);
+        let mut spare = None;
+        ScalarNoiseKernel.add_iq(&mut rng, sigma, &mut spare, &mut i_a, &mut q_a);
+
+        let mut i_b = vec![1.0f64; n];
+        let mut q_b = vec![-1.0f64; n];
+        let mut rng2 = StdRng::seed_from_u64(n as u64 + 1);
+        let mut spare2 = None;
+        for t in 0..n {
+            i_b[t] += sigma * f64::sample_gaussian(&mut rng2, &mut spare2);
+            q_b[t] += sigma * f64::sample_gaussian(&mut rng2, &mut spare2);
+        }
+        assert_eq!(i_a, i_b, "length {n}");
+        assert_eq!(q_a, q_b, "length {n}");
+        // Same number of caller draws consumed.
+        assert_eq!(rng.next_u64(), rng2.next_u64(), "length {n}");
+    }
+}
+
+#[test]
+fn avx2_fill_deterministic_and_finite_all_lengths() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    for &n in LENGTHS {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99 + n as u64);
+            let mut out = vec![0.0f64; n];
+            k.fill_standard(&mut rng, &mut None, &mut out);
+            out
+        };
+        let a = run();
+        assert_eq!(a, run(), "length {n} must be deterministic per seed");
+        for (t, x) in a.iter().enumerate() {
+            assert!(x.is_finite(), "non-finite deviate at {t} (length {n})");
+        }
+    }
+}
+
+#[test]
+fn avx2_add_iq_consumes_one_draw_and_adds_in_place() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    for &n in LENGTHS {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut shadow = StdRng::seed_from_u64(7);
+        let base_i = vec![0.5f64; n];
+        let base_q = vec![-0.25f64; n];
+        let mut i = base_i.clone();
+        let mut q = base_q.clone();
+        k.add_iq(&mut rng, 3.0, &mut None, &mut i, &mut q);
+        let _one_draw = shadow.next_u64();
+        assert_eq!(rng.next_u64(), shadow.next_u64(), "length {n}");
+
+        // The fill is seed-pure: replaying the same caller state onto zero
+        // rows must reproduce the added deviates (up to one FMA rounding of
+        // the non-zero accumulate, hence the tight tolerance rather than
+        // bit equality).
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut zi = vec![0.0f64; n];
+        let mut zq = vec![0.0f64; n];
+        k.add_iq(&mut rng2, 3.0, &mut None, &mut zi, &mut zq);
+        for t in 0..n {
+            assert!(
+                (i[t] - base_i[t] - zi[t]).abs() <= 1e-12,
+                "i lane {t} (length {n})"
+            );
+            assert!(
+                (q[t] - base_q[t] - zq[t]).abs() <= 1e-12,
+                "q lane {t} (length {n})"
+            );
+        }
+    }
+}
+
+#[test]
+fn avx2_zero_sigma_still_consumes_the_seed_draw() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut shadow = StdRng::seed_from_u64(1);
+    let mut i = vec![1.0f64; 16];
+    let mut q = vec![2.0f64; 16];
+    k.add_iq(&mut rng, 0.0, &mut None, &mut i, &mut q);
+    assert_eq!(i, vec![1.0f64; 16]);
+    assert_eq!(q, vec![2.0f64; 16]);
+    let _ = shadow.next_u64();
+    assert_eq!(rng.next_u64(), shadow.next_u64());
+}
+
+/// Moments of a large seeded AVX2 sample: mean ≈ 0, variance ≈ 1, excess
+/// kurtosis ≈ 0. Bounds are ~6 standard errors for n = 400 000 — loose
+/// enough to be seed-robust, tight enough to catch a broken uniform map,
+/// a mis-scaled polar factor, or a fat-tailed lane bug.
+#[test]
+fn avx2_moment_bounds() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    const N: usize = 400_000;
+    let mut out = vec![0.0f64; N];
+    let mut rng = StdRng::seed_from_u64(0xA5A5);
+    k.fill_standard(&mut rng, &mut None, &mut out);
+    let n = N as f64;
+    let mean = out.iter().sum::<f64>() / n;
+    let var = out.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let m4 = out.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+    let kurt = m4 / (var * var) - 3.0;
+    assert!(mean.abs() < 6.0 / n.sqrt(), "mean {mean}");
+    assert!(
+        (var - 1.0).abs() < 6.0 * (2.0f64).sqrt() / n.sqrt(),
+        "variance {var}"
+    );
+    assert!(
+        kurt.abs() < 6.0 * (24.0f64).sqrt() / n.sqrt(),
+        "excess kurtosis {kurt}"
+    );
+}
+
+/// KS-style two-sample check: the empirical CDF of the AVX2 stream vs the
+/// scalar (Marsaglia-polar off StdRng) stream. With n = m = 200 000 the
+/// 1e-6-level critical value of the two-sample KS statistic is ~4.9·√(1/n);
+/// 6·√(2/n) gives comfortable seed headroom while still failing for any
+/// systematic CDF distortion above ~0.6 %.
+#[test]
+fn avx2_ks_distance_vs_scalar_reference() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    const N: usize = 200_000;
+    let mut a = vec![0.0f64; N];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    k.fill_standard(&mut rng, &mut None, &mut a);
+    let mut b = scalar_reference::<f64>(0xF00D, N);
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // Two-pointer sweep over the merged order.
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+    while i < N && j < N {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / N as f64 - j as f64 / N as f64).abs());
+    }
+    let bound = 6.0 * (2.0 / N as f64).sqrt();
+    assert!(d < bound, "KS distance {d} ≥ {bound}");
+}
+
+#[test]
+fn avx2_f32_tracks_f64_pipeline() {
+    let Some(k) = Avx2NoiseKernel::get() else {
+        eprintln!("skipping: no AVX2+FMA on this host");
+        return;
+    };
+    for &n in LENGTHS {
+        let mut as32 = vec![0.0f32; n];
+        let mut rng32 = StdRng::seed_from_u64(42);
+        k.fill_standard(&mut rng32, &mut None, &mut as32);
+        let mut as64 = vec![0.0f64; n];
+        let mut rng64 = StdRng::seed_from_u64(42);
+        k.fill_standard(&mut rng64, &mut None, &mut as64);
+        for t in 0..n {
+            assert_eq!(as32[t], as64[t] as f32, "slot {t} (length {n})");
+        }
+    }
+}

@@ -13,6 +13,8 @@
 use std::error::Error;
 use std::fmt;
 
+use herqles_num::Real;
+
 use crate::trace::IqPoint;
 
 /// A structural defect in a [`CrosstalkModel`].
@@ -50,6 +52,39 @@ impl fmt::Display for CrosstalkError {
 }
 
 impl Error for CrosstalkError {}
+
+/// Reusable row buffers for [`CrosstalkModel::apply_batch`].
+///
+/// Holds the victim-major linear shift rows, the per-aggressor weight rows,
+/// the per-pair term rows and the per-victim pair sums. Sized lazily on
+/// first use and only re-sized when the model or window changes, so a warm
+/// streaming synthesizer applies crosstalk without touching the heap.
+#[derive(Debug, Clone, Default)]
+pub struct CrosstalkScratch {
+    lin_i: Vec<f64>,
+    lin_q: Vec<f64>,
+    w: Vec<f64>,
+    terms: Vec<f64>,
+    pair: Vec<f64>,
+}
+
+impl CrosstalkScratch {
+    /// An empty scratch; buffers are sized on first
+    /// [`CrosstalkModel::apply_batch`].
+    pub fn new() -> Self {
+        CrosstalkScratch::default()
+    }
+
+    fn resize(&mut self, n: usize, n_samples: usize) {
+        let rows = n * n_samples;
+        self.lin_i.resize(rows, 0.0);
+        self.lin_q.resize(rows, 0.0);
+        self.w.resize(rows, 0.0);
+        self.pair.resize(rows, 0.0);
+        self.terms
+            .resize(n * n.saturating_sub(1) / 2 * n_samples, 0.0);
+    }
+}
 
 /// Crosstalk coefficients for one victim/aggressor pair and the shared
 /// pairwise term.
@@ -222,6 +257,152 @@ impl CrosstalkModel {
         shift + self.pairwise[victim] * pair_sum
     }
 
+    /// Precomputed [`CrosstalkModel::transient_scale`] at each sample time.
+    ///
+    /// Sample clocks are fixed per configuration, so the per-sample `exp`
+    /// inside the scale can be evaluated once and reused for every shot;
+    /// the table entries are exactly `transient_scale(t)`.
+    pub fn transient_table(&self, times_s: &[f64]) -> Vec<f64> {
+        times_s.iter().map(|&t| self.transient_scale(t)).collect()
+    }
+
+    /// Applies the crosstalk shifts of a whole readout window in batch:
+    /// equivalent to `basebands[v][t] += shift_at(v, m_t, times[t]) * gain`
+    /// for every victim and sample (with the `gain` multiply skipped when
+    /// `gain == 1.0`, like the per-sample caller did), but restructured
+    /// into contiguous row passes:
+    ///
+    /// * the linear part becomes one axpy per victim/aggressor pair over
+    ///   the sample axis, routed through the dispatched [`Kernel`]
+    ///   (element-wise, aggressors ascending — the same adds in the same
+    ///   per-element order as the scalar loop, so the scalar backend is
+    ///   bit-identical and the AVX2 backend differs only by FMA
+    ///   contraction);
+    /// * the pairwise part hoists the per-aggressor weights
+    ///   `w_j = m_j · p_j` and the pair terms `(w_j · m_k) · p_k` out of
+    ///   the victim loop, preserving the original left-association and
+    ///   per-victim summation order exactly;
+    /// * the transient factor comes from a precomputed
+    ///   [`CrosstalkModel::transient_table`].
+    ///
+    /// Both the streaming synthesizer and the offline reference route
+    /// through this one function, so engine and offline traces stay
+    /// bit-identical on every kernel backend.
+    ///
+    /// [`Kernel`]: herqles_num::Kernel
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measures`, `basebands` or their rows disagree with the
+    /// model size or the transient table length.
+    pub fn apply_batch(
+        &self,
+        measures: &[Vec<f64>],
+        transient: &[f64],
+        gain: f64,
+        basebands: &mut [Vec<IqPoint>],
+        scratch: &mut CrosstalkScratch,
+    ) {
+        let n = self.n;
+        let ns = transient.len();
+        assert_eq!(measures.len(), n, "one measure row per qubit required");
+        assert_eq!(basebands.len(), n, "one baseband per qubit required");
+        for row in measures {
+            assert_eq!(row.len(), ns, "measure row must match the window");
+        }
+        for row in basebands.iter() {
+            assert_eq!(row.len(), ns, "baseband must match the window");
+        }
+        scratch.resize(n, ns);
+
+        // Linear part, victim-major: lin[v][t] = Σ_{agg≠v} L[v][agg]·m[agg][t],
+        // aggressors ascending so the per-element add order matches the
+        // historical per-sample accumulation.
+        let kernel = <f64 as Real>::kernel();
+        scratch.lin_i.fill(0.0);
+        scratch.lin_q.fill(0.0);
+        for v in 0..n {
+            let li = &mut scratch.lin_i[v * ns..v * ns + ns];
+            for (agg, m) in measures.iter().enumerate() {
+                if agg != v {
+                    kernel.axpy(self.linear[v][agg].i, m, li);
+                }
+            }
+            let lq = &mut scratch.lin_q[v * ns..v * ns + ns];
+            for (agg, m) in measures.iter().enumerate() {
+                if agg != v {
+                    kernel.axpy(self.linear[v][agg].q, m, lq);
+                }
+            }
+        }
+
+        // Pairwise part: weights, then one term row per (j, k) pair, then
+        // per-victim sums over that victim's pairs in lexicographic order —
+        // the same addends in the same order as the scalar double loop.
+        // Element-wise product rows, written through lockstep iterators so
+        // the compiler can vectorize them (no reassociation — each output
+        // element is the exact historical expression).
+        for (j, m) in measures.iter().enumerate() {
+            let p = self.pair_strength[j];
+            let w = &mut scratch.w[j * ns..j * ns + ns];
+            for (w, &m) in w.iter_mut().zip(m) {
+                *w = m * p;
+            }
+        }
+        let mut idx = 0;
+        for j in 0..n {
+            for (k, mk) in measures.iter().enumerate().skip(j + 1) {
+                let pk = self.pair_strength[k];
+                let wj = &scratch.w[j * ns..j * ns + ns];
+                let term = &mut scratch.terms[idx * ns..idx * ns + ns];
+                for ((term, &wj), &mk) in term.iter_mut().zip(wj).zip(mk) {
+                    *term = (wj * mk) * pk;
+                }
+                idx += 1;
+            }
+        }
+        for v in 0..n {
+            let pair = &mut scratch.pair[v * ns..v * ns + ns];
+            pair.fill(0.0);
+            let mut idx = 0;
+            for j in 0..n {
+                for k in (j + 1)..n {
+                    if j != v && k != v {
+                        // axpy with α = 1.0 is a plain element-wise add on
+                        // both backends (1·x is exact, and fma(1, x, acc)
+                        // rounds exactly like acc + x), so routing the pair
+                        // sums through the kernel keeps the scalar arm
+                        // bit-identical while vectorizing the AVX2 arm.
+                        let term = &scratch.terms[idx * ns..idx * ns + ns];
+                        kernel.axpy(1.0, term, pair);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+
+        // Combine, exactly as the per-sample expression nested it:
+        // ((lin + pairwise·pair_sum) · transient) · gain.
+        for (v, bb) in basebands.iter_mut().enumerate() {
+            let li = &scratch.lin_i[v * ns..v * ns + ns];
+            let lq = &scratch.lin_q[v * ns..v * ns + ns];
+            let ps = &scratch.pair[v * ns..v * ns + ns];
+            let pw = self.pairwise[v];
+            let rows = bb.iter_mut().zip(li).zip(lq).zip(ps.iter().zip(transient));
+            if gain != 1.0 {
+                for (((bb, &li), &lq), (&ps, &tr)) in rows {
+                    bb.i += (li + pw.i * ps) * tr * gain;
+                    bb.q += (lq + pw.q * ps) * tr * gain;
+                }
+            } else {
+                for (((bb, &li), &lq), (&ps, &tr)) in rows {
+                    bb.i += (li + pw.i * ps) * tr;
+                    bb.q += (lq + pw.q * ps) * tr;
+                }
+            }
+        }
+    }
+
     /// Checks the model is sized for an `n`-qubit chip and structurally
     /// sound.
     ///
@@ -339,6 +520,106 @@ mod tests {
         let mut linear = vec![vec![IqPoint::ZERO; 2]; 2];
         linear[1][1] = IqPoint::new(0.1, 0.0);
         let _ = CrosstalkModel::from_coefficients(linear, vec![IqPoint::ZERO; 2]);
+    }
+
+    #[test]
+    fn transient_table_matches_transient_scale() {
+        let xt = CrosstalkModel::chain_default(5);
+        let times: Vec<f64> = (0..64).map(|t| t as f64 * 2e-9).collect();
+        let table = xt.transient_table(&times);
+        for (&t, &tr) in times.iter().zip(&table) {
+            assert_eq!(tr, xt.transient_scale(t), "transient at t={t}");
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_per_sample_shift_at() {
+        // The batched pass must reproduce the historical per-sample loop:
+        // bit-for-bit on the scalar kernel, and within FMA rounding slack on
+        // any vector backend (CI runs this test under both arms).
+        let xt = CrosstalkModel::chain_default(4);
+        let n = 4;
+        let times: Vec<f64> = (0..33).map(|t| t as f64 * 2e-9).collect();
+        let measures: Vec<Vec<f64>> = (0..n)
+            .map(|q| {
+                times
+                    .iter()
+                    .enumerate()
+                    .map(|(t, _)| ((q * 31 + t * 7) % 13) as f64 / 13.0 - 0.4)
+                    .collect()
+            })
+            .collect();
+        let base: Vec<Vec<IqPoint>> = (0..n)
+            .map(|q| {
+                times
+                    .iter()
+                    .enumerate()
+                    .map(|(t, _)| IqPoint::new(q as f64 + t as f64 * 0.01, -(t as f64) * 0.02))
+                    .collect()
+            })
+            .collect();
+        for gain in [1.0, 0.35] {
+            // Reference: the original sample-major loop over shift_at.
+            let mut want = base.clone();
+            let mut m = vec![0.0; n];
+            for t in 0..times.len() {
+                for (k, meas) in measures.iter().enumerate() {
+                    m[k] = meas[t];
+                }
+                for (victim, bb) in want.iter_mut().enumerate() {
+                    let mut shift = xt.shift_at(victim, &m, times[t]);
+                    if gain != 1.0 {
+                        shift = shift * gain;
+                    }
+                    bb[t] += shift;
+                }
+            }
+            let mut got = base.clone();
+            let transient = xt.transient_table(&times);
+            let mut scratch = CrosstalkScratch::new();
+            xt.apply_batch(&measures, &transient, gain, &mut got, &mut scratch);
+            let scalar = herqles_num::active_kernel_name() == "scalar";
+            for (v, (g_row, w_row)) in got.iter().zip(&want).enumerate() {
+                for (t, (g, w)) in g_row.iter().zip(w_row).enumerate() {
+                    if scalar {
+                        assert_eq!(
+                            (g.i.to_bits(), g.q.to_bits()),
+                            (w.i.to_bits(), w.q.to_bits()),
+                            "victim {v} sample {t} gain {gain}: scalar arm must be bit-identical"
+                        );
+                    } else {
+                        assert!(
+                            (g.i - w.i).abs() <= 1e-12 && (g.q - w.q).abs() <= 1e-12,
+                            "victim {v} sample {t} gain {gain}: {g:?} vs {w:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_batch_scratch_is_reusable_across_sizes() {
+        // Shrinking then growing the problem must not leave stale rows behind.
+        let big = CrosstalkModel::chain_default(5);
+        let small = CrosstalkModel::chain_default(2);
+        let times: Vec<f64> = (0..16).map(|t| t as f64 * 2e-9).collect();
+        let mut scratch = CrosstalkScratch::new();
+        for xt in [&big, &small, &big] {
+            let n = xt.n_qubits();
+            let measures = vec![vec![0.7; times.len()]; n];
+            let mut bb = vec![vec![IqPoint::ZERO; times.len()]; n];
+            let transient = xt.transient_table(&times);
+            xt.apply_batch(&measures, &transient, 1.0, &mut bb, &mut scratch);
+            let m = vec![0.7; n];
+            for t in 0..times.len() {
+                for (victim, row) in bb.iter().enumerate() {
+                    let want = xt.shift_at(victim, &m, times[t]);
+                    assert!((row[t].i - want.i).abs() <= 1e-12);
+                    assert!((row[t].q - want.q).abs() <= 1e-12);
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,17 +20,58 @@ use crate::noise::GaussianNoise;
 use crate::trace::{IqPoint, IqTrace};
 
 /// Precomputed carrier phasors `e^{i ω_q t}` for every qubit and raw sample.
+///
+/// Besides the `f64` phasor pairs the demodulator reads, the table caches
+/// flattened per-precision cosine/sine planes (`[qubit × sample]`, values
+/// rounded through [`Real::from_f64`] exactly as the per-sample mix did) so
+/// trace assembly can run as contiguous [`herqles_num::Kernel::mix_accum`]
+/// passes instead of per-sample phasor lookups.
 #[derive(Debug, Clone)]
 pub struct CarrierTable {
     /// `phasors[qubit][sample] = (cos ω_q t, sin ω_q t)`.
     phasors: Vec<Vec<(f64, f64)>>,
+    planes32: CarrierPlanes<f32>,
+    planes64: CarrierPlanes<f64>,
+}
+
+/// Flattened `R`-typed modulation planes of one [`CarrierTable`].
+#[derive(Debug, Clone)]
+struct CarrierPlanes<R> {
+    cos: Vec<R>,
+    sin: Vec<R>,
+    n_samples: usize,
+}
+
+impl<R: Real> CarrierPlanes<R> {
+    fn build(phasors: &[Vec<(f64, f64)>]) -> Self {
+        let n_samples = phasors.first().map_or(0, Vec::len);
+        let mut cos = Vec::with_capacity(phasors.len() * n_samples);
+        let mut sin = Vec::with_capacity(phasors.len() * n_samples);
+        for row in phasors {
+            cos.extend(row.iter().map(|&(c, _)| R::from_f64(c)));
+            sin.extend(row.iter().map(|&(_, s)| R::from_f64(s)));
+        }
+        CarrierPlanes {
+            cos,
+            sin,
+            n_samples,
+        }
+    }
+
+    fn cos_of(&self, qubit: usize) -> &[R] {
+        &self.cos[qubit * self.n_samples..(qubit + 1) * self.n_samples]
+    }
+
+    fn sin_of(&self, qubit: usize) -> &[R] {
+        &self.sin[qubit * self.n_samples..(qubit + 1) * self.n_samples]
+    }
 }
 
 impl CarrierTable {
     /// Builds the table for a chip configuration.
     pub fn new(config: &ChipConfig) -> Self {
         let n_samples = config.n_samples();
-        let phasors = config
+        let phasors: Vec<Vec<(f64, f64)>> = config
             .qubits
             .iter()
             .map(|q| {
@@ -44,7 +85,13 @@ impl CarrierTable {
                     .collect()
             })
             .collect();
-        CarrierTable { phasors }
+        let planes32 = CarrierPlanes::build(&phasors);
+        let planes64 = CarrierPlanes::build(&phasors);
+        CarrierTable {
+            phasors,
+            planes32,
+            planes64,
+        }
     }
 
     /// The phasor of `qubit` at raw sample `t` as `(cos, sin)`.
@@ -61,6 +108,19 @@ impl CarrierTable {
     pub fn n_samples(&self) -> usize {
         self.phasors.first().map_or(0, Vec::len)
     }
+
+    /// The cached `R`-typed planes ([`Real`] is sealed to `f32`/`f64`, so
+    /// one of the two stored precisions always matches).
+    fn planes<R: Real>(&self) -> &CarrierPlanes<R> {
+        use std::any::Any;
+        let p32: &dyn Any = &self.planes32;
+        if let Some(p) = p32.downcast_ref::<CarrierPlanes<R>>() {
+            return p;
+        }
+        let p64: &dyn Any = &self.planes64;
+        p64.downcast_ref::<CarrierPlanes<R>>()
+            .expect("Real is sealed to f32/f64")
+    }
 }
 
 /// Synthesizes the raw ADC trace from per-qubit baseband signals, adding
@@ -72,30 +132,51 @@ impl CarrierTable {
 /// # Panics
 ///
 /// Panics if the baseband dimensions do not match the carrier table.
-pub fn synthesize<R: Rng + ?Sized>(
+pub fn synthesize<R: Real, G: Rng + ?Sized>(
     carriers: &CarrierTable,
     basebands: &[Vec<IqPoint>],
-    noise: &mut GaussianNoise,
-    rng: &mut R,
+    noise: &mut GaussianNoise<R>,
+    rng: &mut G,
 ) -> IqTrace {
     let n = carriers.n_samples();
-    let mut i_ch = vec![0.0; n];
-    let mut q_ch = vec![0.0; n];
+    let mut i_ch = vec![R::ZERO; n];
+    let mut q_ch = vec![R::ZERO; n];
     synthesize_into(carriers, basebands, noise, rng, &mut i_ch, &mut q_ch);
-    IqTrace::new(i_ch, q_ch)
+    IqTrace::new(
+        i_ch.iter().map(|x| x.to_f64()).collect(),
+        q_ch.iter().map(|x| x.to_f64()).collect(),
+    )
 }
 
-/// Allocation-free variant of [`synthesize`]: writes the summed waveform into
+/// Reusable SoA staging buffers for [`synthesize_into_scratch`]: one
+/// baseband's I and Q samples, converted to `R` once per qubit so the mix
+/// runs as a contiguous kernel pass.
+#[derive(Debug, Clone)]
+pub struct SynthScratch<R: Real> {
+    bi: Vec<R>,
+    bq: Vec<R>,
+}
+
+impl<R: Real> SynthScratch<R> {
+    /// Pre-sizes the staging buffers for `n_samples`-sample windows.
+    pub fn new(n_samples: usize) -> Self {
+        SynthScratch {
+            bi: vec![R::ZERO; n_samples],
+            bq: vec![R::ZERO; n_samples],
+        }
+    }
+
+    fn resize(&mut self, n_samples: usize) {
+        self.bi.resize(n_samples, R::ZERO);
+        self.bq.resize(n_samples, R::ZERO);
+    }
+}
+
+/// Buffer-writing variant of [`synthesize`]: writes the summed waveform into
 /// caller-owned channel slices (e.g. a [`crate::ShotBatch`] row obtained from
-/// [`crate::ShotBatch::push_empty_row`]).
-///
-/// Generic over the output precision `R` ([`Real`]): the per-sample carrier
-/// mixing, channel accumulation and amplifier-noise draws all run in `R`, so
-/// an `f32` batch row is synthesized at `f32` arithmetic width end to end.
-/// At `R = f64` every conversion is the identity and the accumulation and
-/// RNG draw order are identical to [`synthesize`] (which is implemented on
-/// top of this function), so materializing and streaming synthesis are
-/// bit-identical for the same RNG state.
+/// [`crate::ShotBatch::push_empty_row`]), allocating a fresh [`SynthScratch`]
+/// per call. Hot paths that own a scratch should call
+/// [`synthesize_into_scratch`] directly — the values are identical.
 ///
 /// # Panics
 ///
@@ -109,6 +190,39 @@ pub fn synthesize_into<R: Real, G: Rng + ?Sized>(
     i_out: &mut [R],
     q_out: &mut [R],
 ) {
+    let mut scratch = SynthScratch::new(carriers.n_samples());
+    synthesize_into_scratch(carriers, basebands, noise, rng, &mut scratch, i_out, q_out);
+}
+
+/// The allocation-free trace-assembly engine behind [`synthesize`] and
+/// [`synthesize_into`].
+///
+/// Generic over the output precision `R` ([`Real`]): carrier mixing, channel
+/// accumulation and amplifier-noise draws all run in `R`, so an `f32` batch
+/// row is synthesized at `f32` arithmetic width end to end. Per qubit, the
+/// baseband is staged into `scratch`'s SoA rows (through the same
+/// [`Real::from_f64`] rounding the per-sample loop applied) and mixed onto
+/// the output by one [`herqles_num::Kernel::mix_accum`] pass over the
+/// cached carrier planes; the amplifier noise then lands as one bulk
+/// [`GaussianNoise::fill_add_iq`]. On the scalar backend every operation
+/// matches the historical per-sample loop in order and rounding, so scalar
+/// synthesis is bit-identical to the pre-batched implementation; the AVX2
+/// backend diverges only by FMA contraction in the mix and by its
+/// lane-parallel noise stream.
+///
+/// # Panics
+///
+/// Panics if the baseband dimensions or output slice lengths do not match the
+/// carrier table.
+pub fn synthesize_into_scratch<R: Real, G: Rng + ?Sized>(
+    carriers: &CarrierTable,
+    basebands: &[Vec<IqPoint>],
+    noise: &mut GaussianNoise<R>,
+    rng: &mut G,
+    scratch: &mut SynthScratch<R>,
+    i_out: &mut [R],
+    q_out: &mut [R],
+) {
     assert_eq!(
         basebands.len(),
         carriers.n_qubits(),
@@ -117,23 +231,27 @@ pub fn synthesize_into<R: Real, G: Rng + ?Sized>(
     let n = carriers.n_samples();
     assert_eq!(i_out.len(), n, "I output length must match carrier table");
     assert_eq!(q_out.len(), n, "Q output length must match carrier table");
+    scratch.resize(n);
     i_out.fill(R::ZERO);
     q_out.fill(R::ZERO);
+    let kernel = R::kernel();
+    let planes = carriers.planes::<R>();
     for (q, bb) in basebands.iter().enumerate() {
         assert_eq!(bb.len(), n, "baseband length must match carrier table");
         for (t, s) in bb.iter().enumerate() {
-            let (c, sn) = carriers.phasor(q, t);
-            let (si, sq) = (R::from_f64(s.i), R::from_f64(s.q));
-            let (c, sn) = (R::from_f64(c), R::from_f64(sn));
-            // (s.i + i s.q) · (c + i sn)
-            i_out[t] += si * c - sq * sn;
-            q_out[t] += si * sn + sq * c;
+            scratch.bi[t] = R::from_f64(s.i);
+            scratch.bq[t] = R::from_f64(s.q);
         }
+        kernel.mix_accum(
+            &scratch.bi,
+            &scratch.bq,
+            planes.cos_of(q),
+            planes.sin_of(q),
+            i_out,
+            q_out,
+        );
     }
-    for t in 0..n {
-        i_out[t] += noise.sample(rng);
-        q_out[t] += noise.sample(rng);
-    }
+    noise.fill_add_iq(rng, i_out, q_out);
 }
 
 #[cfg(test)]

@@ -59,6 +59,23 @@ impl<R: Real> GaussianNoise<R> {
     pub fn standard<G: Rng + ?Sized>(&mut self, rng: &mut G) -> R {
         R::sample_gaussian(rng, &mut self.spare)
     }
+
+    /// Adds `N(0, sigma²)` to every sample of an I/Q row pair through the
+    /// dispatched bulk backend ([`Real::noise_kernel`]).
+    ///
+    /// On the scalar backend this replays the historical interleaved
+    /// per-sample loop (`i[0], q[0], i[1], q[1], …` off the caller's RNG,
+    /// spare buffered across calls) bit for bit; the AVX2 backend consumes
+    /// exactly one `next_u64` from the caller and generates the deviates
+    /// lane-parallel in registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows differ in length.
+    pub fn fill_add_iq<G: Rng + ?Sized>(&mut self, rng: &mut G, i_out: &mut [R], q_out: &mut [R]) {
+        let mut rng = rng;
+        R::noise_kernel().add_iq(&mut rng, self.sigma, &mut self.spare, i_out, q_out);
+    }
 }
 
 #[cfg(test)]

@@ -13,10 +13,11 @@ use herqles_core::Discriminator;
 use herqles_exec::stream_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
+use readout_sim::crosstalk::CrosstalkScratch;
 use readout_sim::events::sample_path;
 use readout_sim::multiplex::{synthesize, CarrierTable};
 use readout_sim::trace::{IqPoint, IqTrace};
-use readout_sim::trajectory::{baseband, excitation_measure};
+use readout_sim::trajectory::{baseband_into_cached, excitation_measure, RingupTable};
 use readout_sim::{BasisState, ChipConfig, GaussianNoise};
 use surface_code::decoder::DecodeOutcome;
 use surface_code::{decode_block, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim};
@@ -33,13 +34,14 @@ pub struct OfflineCycle {
     pub outcome: DecodeOutcome,
 }
 
-/// Materializes one feedline shot with the allocating primitives
-/// ([`baseband`], [`synthesize`]); RNG draws match
-/// [`crate::RoundSynth::synth_into_row`] exactly.
+/// Materializes one feedline shot with freshly allocated buffers
+/// ([`baseband_into_cached`] into new `Vec`s, [`synthesize`]); RNG draws
+/// match [`crate::RoundSynth::synth_into_row`] exactly.
 fn synth_trace<R: Rng + ?Sized>(
     chip: &ChipConfig,
     carriers: &CarrierTable,
     times: &[f64],
+    ringups: &[RingupTable],
     prepared: BasisState,
     rng: &mut R,
 ) -> IqTrace {
@@ -48,11 +50,19 @@ fn synth_trace<R: Rng + ?Sized>(
     for (k, params) in chip.qubits.iter().enumerate() {
         paths.push(sample_path(params, prepared.qubit(k), chip.readout_duration_s, rng).path);
     }
+    // Basebands ride the same closed-form ring-up tables as the streaming
+    // engine (falling back to the sequential reference on the scalar arm),
+    // so engine/offline parity stays bit-exact on every backend.
     let mut basebands: Vec<Vec<IqPoint>> = chip
         .qubits
         .iter()
         .zip(&paths)
-        .map(|(params, path)| baseband(params, path, times))
+        .zip(ringups)
+        .map(|((params, path), table)| {
+            let mut bb = Vec::new();
+            baseband_into_cached(params, path, times, table, &mut bb);
+            bb
+        })
         .collect();
     let measures: Vec<Vec<f64>> = chip
         .qubits
@@ -60,16 +70,13 @@ fn synth_trace<R: Rng + ?Sized>(
         .zip(&basebands)
         .map(|(params, bb)| bb.iter().map(|&s| excitation_measure(params, s)).collect())
         .collect();
-    let mut m = vec![0.0; n];
-    for t in 0..times.len() {
-        for (k, meas) in measures.iter().enumerate() {
-            m[k] = meas[t];
-        }
-        for (victim, bb) in basebands.iter_mut().enumerate() {
-            let shift = chip.crosstalk.shift_at(victim, &m, times[t]);
-            bb[t] += shift;
-        }
-    }
+    // Crosstalk rides the same batched pass as the streaming engine — the
+    // AVX2 kernels use FMA, so routing both paths through one implementation
+    // is what keeps engine/offline parity bit-exact on every backend.
+    let transient = chip.crosstalk.transient_table(times);
+    let mut scratch = CrosstalkScratch::new();
+    chip.crosstalk
+        .apply_batch(&measures, &transient, 1.0, &mut basebands, &mut scratch);
     let mut noise = GaussianNoise::new(chip.adc_noise_sigma);
     synthesize(carriers, &basebands, &mut noise, rng)
 }
@@ -98,6 +105,11 @@ pub fn run_cycles_offline(
     let times: Vec<f64> = (0..chip.n_samples())
         .map(|t| chip.sample_time(t) + 0.5 / chip.sample_rate_hz)
         .collect();
+    let ringups: Vec<RingupTable> = chip
+        .qubits
+        .iter()
+        .map(|q| RingupTable::new(q, &times))
+        .collect();
     let map = AncillaMap::new(code.n_stabilizers(), chip.n_qubits());
     let noise = NoiseParams {
         data_error_prob: cfg.data_error_prob,
@@ -122,7 +134,7 @@ pub fn run_cycles_offline(
                 .map(|g| {
                     let prepared = map.prepared_state(g, &parities);
                     let mut group_rng = StdRng::seed_from_u64(stream_seed(entropy, g as u64));
-                    synth_trace(chip, &carriers, &times, prepared, &mut group_rng)
+                    synth_trace(chip, &carriers, &times, &ringups, prepared, &mut group_rng)
                 })
                 .collect();
             let refs: Vec<&IqTrace> = traces.iter().collect();

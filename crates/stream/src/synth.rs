@@ -16,11 +16,12 @@
 
 use herqles_num::Real;
 use rand::{Rng, RngExt};
+use readout_sim::crosstalk::CrosstalkScratch;
 use readout_sim::drift::RoundFaults;
 use readout_sim::events::{sample_path, StatePath};
-use readout_sim::multiplex::{synthesize_into, CarrierTable};
+use readout_sim::multiplex::{synthesize_into_scratch, CarrierTable, SynthScratch};
 use readout_sim::trace::IqPoint;
-use readout_sim::trajectory::{baseband_into, excitation_measure};
+use readout_sim::trajectory::{baseband_into_cached, ExcitationProbe, RingupTable};
 use readout_sim::{BasisState, ChipConfig, GaussianNoise, ShotBatch};
 
 /// Reusable synthesizer of one feedline group's readout shot.
@@ -39,7 +40,17 @@ pub struct RoundSynth<R: Real = f64> {
     paths: Vec<StatePath>,
     basebands: Vec<Vec<IqPoint>>,
     measures: Vec<Vec<f64>>,
-    m: Vec<f64>,
+    /// Per-sample crosstalk transient factors, precomputed once (the sample
+    /// clock never changes) so the hot loop evaluates no exponentials.
+    transient: Vec<f64>,
+    /// Per-qubit excitation geometry, precomputed so the per-sample measure
+    /// needs no square roots.
+    probes: Vec<ExcitationProbe>,
+    /// Per-qubit closed-form ring-up tables (`dᵏ` decay powers on the fixed
+    /// sample clock) driving the vectorizable baseband fill on SIMD arms.
+    ringups: Vec<RingupTable>,
+    xtalk: CrosstalkScratch,
+    synth: SynthScratch<R>,
     /// ADC noise deviation at pipeline precision.
     sigma: R,
 }
@@ -62,11 +73,19 @@ impl<R: Real> RoundSynth<R> {
         RoundSynth {
             chip: chip.clone(),
             carriers: CarrierTable::new(chip),
+            transient: chip.crosstalk.transient_table(&times),
+            probes: chip.qubits.iter().map(ExcitationProbe::new).collect(),
+            ringups: chip
+                .qubits
+                .iter()
+                .map(|q| RingupTable::new(q, &times))
+                .collect(),
             times,
             paths: Vec::with_capacity(n),
             basebands: vec![Vec::with_capacity(n_samples); n],
             measures: vec![Vec::with_capacity(n_samples); n],
-            m: vec![0.0; n],
+            xtalk: CrosstalkScratch::new(),
+            synth: SynthScratch::new(n_samples),
             sigma: R::from_f64(chip.adc_noise_sigma),
         }
     }
@@ -229,7 +248,7 @@ impl<R: Real> RoundSynth<R> {
                     leak_ss * ringup
                 }));
             } else {
-                baseband_into(params, path, &self.times, bb);
+                baseband_into_cached(params, path, &self.times, &self.ringups[k], bb);
             }
             if let Some(f) = faults {
                 let shift = f.centroid_shift(k);
@@ -242,31 +261,29 @@ impl<R: Real> RoundSynth<R> {
         }
         // 3. Excitation measures driving the crosstalk model (computed on the
         //    faulted basebands: a drifted or leaked channel pulls neighbours
-        //    according to where its resonator actually sits).
-        for ((params, bb), meas) in self
-            .chip
-            .qubits
+        //    according to where its resonator actually sits). Cached probes
+        //    produce the same values as `excitation_measure` without the
+        //    per-sample square roots.
+        for ((probe, bb), meas) in self
+            .probes
             .iter()
             .zip(&self.basebands)
             .zip(&mut self.measures)
         {
             meas.clear();
-            meas.extend(bb.iter().map(|&s| excitation_measure(params, s)));
+            meas.extend(bb.iter().map(|&s| probe.measure(s)));
         }
-        // 4. Dispersive crosstalk shifts, sample by sample.
+        // 4. Dispersive crosstalk shifts, applied as contiguous row passes
+        //    (precomputed transient table, hoisted pair weights) — the same
+        //    values the per-sample `shift_at` loop produced.
         let gain = faults.map_or(1.0, RoundFaults::crosstalk_gain);
-        for t in 0..self.times.len() {
-            for (k, meas) in self.measures.iter().enumerate() {
-                self.m[k] = meas[t];
-            }
-            for (victim, bb) in self.basebands.iter_mut().enumerate() {
-                let mut shift = self.chip.crosstalk.shift_at(victim, &self.m, self.times[t]);
-                if gain != 1.0 {
-                    shift = shift * gain;
-                }
-                bb[t] += shift;
-            }
-        }
+        self.chip.crosstalk.apply_batch(
+            &self.measures,
+            &self.transient,
+            gain,
+            &mut self.basebands,
+            &mut self.xtalk,
+        );
         // 5. Multiplexed synthesis with amplifier noise, straight into the
         //    row (fresh noise state per shot, like the dataset path). Sigma
         //    scaling rebuilds the sampler only when the fault deviates, so
@@ -278,11 +295,12 @@ impl<R: Real> RoundSynth<R> {
             self.sigma
         };
         let mut noise = GaussianNoise::new(sigma);
-        synthesize_into(
+        synthesize_into_scratch(
             &self.carriers,
             &self.basebands,
             &mut noise,
             rng,
+            &mut self.synth,
             i_row,
             q_row,
         );

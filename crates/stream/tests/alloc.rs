@@ -219,6 +219,48 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     );
     assert!(serial.stats().latency.cycle.max > 0);
 
+    // The vectorized-synthesis contract must hold on **every** noise/GEMM
+    // backend, not just whatever HERQLES_KERNEL resolved to above: the AVX2
+    // bulk Gaussian path generates deviates in registers and must spill to
+    // stack tails only, and the scalar path replays the historical
+    // per-sample loop through the same pre-sized scratch. Force each
+    // selectable backend in turn and re-probe whole warm cycles, serial and
+    // pooled.
+    {
+        use herqles_num::kernel::{active_kernel_name, select_kernel, KernelBackend};
+        let restore = KernelBackend::parse(active_kernel_name()).expect("active name parses");
+        let mut backends = vec![KernelBackend::Scalar];
+        if herqles_num::avx2_available() {
+            backends.push(KernelBackend::Avx2);
+        } else {
+            eprintln!("alloc: AVX2 unavailable, pinning scalar backend only");
+        }
+        for backend in backends {
+            select_kernel(backend).expect("backend known selectable");
+            let mut serial_b = CycleEngine::new(cfg, &chip, &code, disc.as_ref());
+            let _ = serial_b.run_cycle();
+            let _ = serial_b.run_cycle();
+            let allocs = min_allocs_over(3, || {
+                let _ = serial_b.run_cycle();
+            });
+            assert_eq!(
+                allocs, 0,
+                "warm serial cycles on the {backend:?} backend must not touch the heap"
+            );
+            let mut pooled_b = CycleEngine::with_pool(cfg, &chip, &code, disc.as_ref(), &pool);
+            let _ = pooled_b.run_cycle();
+            let _ = pooled_b.run_cycle();
+            let allocs = min_allocs_over(3, || {
+                let _ = pooled_b.run_cycle();
+            });
+            assert_eq!(
+                allocs, 0,
+                "warm pooled cycles on the {backend:?} backend must not touch the heap"
+            );
+        }
+        select_kernel(restore).expect("restoring the dispatched backend");
+    }
+
     // Registry-backed telemetry carries the same guarantee: registration is
     // control-plane (outside the probe), but warm cycles recording into
     // registered histograms/counters must stay heap-free, and so must a
