@@ -26,8 +26,14 @@
 //!   (bench progress goes to stderr, so `bench_stream --serve-text >
 //!   metrics.prom` scrapes cleanly in CI);
 //! * `--serve-text ADDR` (e.g. `127.0.0.1:9184`) — serve `GET /metrics`
-//!   forever on a plain TCP listener;
-//! * `--metrics-json PATH` — write the JSON export of the same snapshot.
+//!   (and `GET /trace`, the Chrome-trace JSON) forever on a plain TCP
+//!   listener;
+//! * `--metrics-json PATH` — write the JSON export of the same snapshot;
+//! * `--trace-json PATH` — write the **flight recorder** export: every
+//!   variant's stage spans and typed trace events as Chrome Trace Event
+//!   Format JSON, one process per engine variant (tid 0 = the engine's
+//!   stage track, tid 1+w = pool worker `w`'s task track), loadable in
+//!   Perfetto / `chrome://tracing`.
 //!
 //! Flags: `--threads N[,M…]` (pooled worker counts; `--threads 0` disables
 //! pooled rows), `--assert-synth-share PCT` (fail the run if synthesis
@@ -37,21 +43,40 @@
 //! robustness rows: the
 //! adaptive engine's cycles/s under an active centroid drift plus its
 //! rounds-to-detect and rounds-to-recover, per precision, serial and pooled,
-//! kernel-tagged — emitted under a `"drift"` key in the JSON). Environment
-//! overrides: `HERQULES_STREAM_CYCLES` (measured cycles per distance,
-//! default 40), `HERQULES_STREAM_SHOTS` (calibration shots per basis state,
-//! default 12), `HERQULES_STREAM_THREADS` (same as `--threads`),
-//! `HERQULES_SEED`.
+//! kernel-tagged — emitted under a `"drift"` key in the JSON; each drift
+//! variant also evaluates the demo SLO alert set
+//! ([`demo_alert_rules`](herqles_stream::demo_alert_rules)) every cycle and
+//! reports how many alerts fired and cleared).
+//!
+//! # Environment knobs — two prefixes, deliberately different
+//!
+//! The bench's **workload** knobs all share the `HERQULES_STREAM_*` prefix
+//! (plus the run-wide `HERQULES_SEED`), while the SIMD **kernel dispatch**
+//! is the `herqles-num` crate's own `HERQLES_KERNEL` variable — note the
+//! spelling difference (`HERQULES_` vs `HERQLES_`). The kernel variable
+//! predates the bench prefix and is read process-wide by every crate that
+//! links `herqles-num`, so it keeps its historical name; everything the
+//! bench itself owns is namespaced under the longer prefix:
+//!
+//! * `HERQULES_STREAM_CYCLES` — measured cycles per distance (default 40);
+//! * `HERQULES_STREAM_SHOTS` — calibration shots per basis state
+//!   (default 12);
+//! * `HERQULES_STREAM_THREADS` — same as `--threads`;
+//! * `HERQULES_SEED` — the run seed;
+//! * `HERQLES_KERNEL` — `scalar` | `avx2` | `auto` GEMM/noise backend
+//!   dispatch (consumed by `herqles-num`, not parsed here).
+
+use std::sync::Arc;
 
 use herqles_bench::{env_usize, with_scalar_kernel, JsonReport};
 use herqles_core::Real;
 use herqles_num::kernel::active_kernel_name;
 use herqles_stream::{
-    run_cycles_offline, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
-    DriftEvent, EngineTelemetry, FaultPlan, HealthConfig, HealthStatus, LatencySummary,
-    RecalConfig, ShardPool, StageLatency,
+    demo_alert_rules, run_cycles_offline, train_mf_discriminator_typed, AdaptiveMf, CycleConfig,
+    CycleEngine, DriftEvent, EngineTelemetry, FaultPlan, HealthConfig, HealthStatus,
+    LatencySummary, PoolTelemetry, RecalConfig, ShardPool, StageLatency,
 };
-use herqles_telemetry::{Registry, StageTimer};
+use herqles_telemetry::{AlertEngine, ChromeTrace, Registry, SpanKind, StageTimer};
 use readout_sim::ChipConfig;
 use surface_code::RotatedSurfaceCode;
 
@@ -77,6 +102,8 @@ struct Args {
     serve_text: ServeText,
     /// Write the registry's JSON export here.
     metrics_json: Option<String>,
+    /// Write the Chrome-trace flight-recorder export here.
+    trace_json: Option<String>,
     /// `--assert-synth-share PCT`: fail the run if synthesis exceeds this
     /// percentage of the measured per-cycle stage time on any serial row of
     /// the dispatched backend. CI uses it to pin that vectorized synthesis
@@ -92,6 +119,7 @@ fn parse_args() -> Args {
     let mut drift = false;
     let mut serve_text = ServeText::Off;
     let mut metrics_json = None;
+    let mut trace_json = None;
     let mut assert_synth_share = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -120,6 +148,10 @@ fn parse_args() -> Args {
                 i += 1;
                 metrics_json = Some(argv.get(i).expect("--metrics-json requires a path").clone());
             }
+            "--trace-json" => {
+                i += 1;
+                trace_json = Some(argv.get(i).expect("--trace-json requires a path").clone());
+            }
             "--assert-synth-share" => {
                 i += 1;
                 let pct: f64 = argv
@@ -136,7 +168,8 @@ fn parse_args() -> Args {
             other => {
                 panic!(
                     "unknown argument {other:?} (supported: --threads N[,M…], --drift, \
-                     --serve-text [ADDR], --metrics-json PATH, --assert-synth-share PCT)"
+                     --serve-text [ADDR], --metrics-json PATH, --trace-json PATH, \
+                     --assert-synth-share PCT)"
                 )
             }
         }
@@ -166,7 +199,83 @@ fn parse_args() -> Args {
         drift,
         serve_text,
         metrics_json,
+        trace_json,
         assert_synth_share,
+    }
+}
+
+/// Accumulates every variant's flight-recorder output into one Chrome
+/// trace: one process (pid) per engine variant, tid 0 = the engine's stage
+/// track, tid `1 + w` = pool worker `w`'s task track (worker 0 is the
+/// calling thread). Always built — draining the rings doubles as the
+/// in-bench check that span recording actually happened — and written out
+/// only under `--trace-json` / served under `--serve-text ADDR`.
+struct TraceSink {
+    chrome: ChromeTrace,
+    next_pid: u32,
+}
+
+impl TraceSink {
+    fn new() -> Self {
+        TraceSink {
+            chrome: ChromeTrace::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Registers a new variant process and returns its pid.
+    fn alloc_pid(&mut self, name: &str) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.chrome.set_process_name(pid, name);
+        self.chrome.set_thread_name(pid, 0, "engine");
+        pid
+    }
+
+    /// Drains one engine variant's telemetry into the trace and asserts the
+    /// flight recorder really recorded: a `Cycle` span per measured cycle
+    /// (unless the ring wrapped) and, for pooled variants, at least one
+    /// task span on a background-worker track.
+    fn drain_engine(
+        &mut self,
+        label: &str,
+        telem: &EngineTelemetry,
+        pool_telem: Option<&PoolTelemetry>,
+        measured_cycles: usize,
+    ) {
+        let pid = self.alloc_pid(label);
+        let spans = telem.spans().snapshot();
+        let cycle_spans = spans.iter().filter(|s| s.kind == SpanKind::Cycle).count();
+        if telem.spans().dropped() == 0 {
+            assert!(
+                cycle_spans >= measured_cycles,
+                "variant {label}: {cycle_spans} cycle spans recorded for {measured_cycles} \
+                 measured cycles"
+            );
+        } else {
+            assert!(
+                cycle_spans > 0,
+                "variant {label}: span ring wrapped but kept no cycle spans"
+            );
+        }
+        self.chrome.add_spans(pid, 0, &spans);
+        self.chrome.add_instants(pid, 0, &telem.trace().snapshot());
+        if let Some(t) = pool_telem {
+            let tasks = t.spans().snapshot();
+            assert!(
+                tasks.iter().any(|s| s.track >= 1),
+                "variant {label}: pooled run recorded no background-worker task spans"
+            );
+            for w in 0..t.workers() {
+                let name = if w == 0 {
+                    "worker 0 (caller)".to_string()
+                } else {
+                    format!("worker {w}")
+                };
+                self.chrome.set_thread_name(pid, 1 + w as u32, &name);
+            }
+            self.chrome.add_spans(pid, 1, &tasks);
+        }
     }
 }
 
@@ -186,13 +295,28 @@ struct DriftRow {
     rounds_to_recover: i64,
     hot_swaps: u64,
     degraded_decodes: u64,
+    /// Demo-alert-set fire transitions over the whole scenario.
+    alerts_fired: u64,
+    /// Demo-alert-set clear transitions over the whole scenario.
+    alerts_cleared: u64,
 }
 
 /// Runs the drift → detect → hot-swap → recover scenario (the same recipe
 /// `crates/stream/tests/drift.rs` pins): calibrate clean on the two-channel
 /// chip at d = 3, step both readout clouds by 0.3 of their ground/excited
 /// separation, then stream adaptively until the monitor re-baselines.
-fn measure_drift<R: Real>(shots: usize, seed: u64, pool: Option<&ShardPool>) -> DriftRow
+///
+/// The demo SLO alert set rides along: an [`AlertEngine`] over the
+/// variant's own registry is evaluated after every cycle, and once the
+/// engine has recovered the scenario keeps streaming quiet cycles until
+/// every alert has cleared — asserting the fire → hold → clear lifecycle
+/// end to end.
+fn measure_drift<R: Real>(
+    shots: usize,
+    seed: u64,
+    pool: Option<&ShardPool>,
+    sink: &mut TraceSink,
+) -> DriftRow
 where
     herqles_stream::AdaptiveMf: herqles_core::PrecisionDiscriminator<R>,
 {
@@ -226,11 +350,33 @@ where
     });
     engine.set_recal_cooldown(12);
 
+    // Per-variant registry + the demo SLO alert set, evaluated once per
+    // cycle against fresh registry snapshots.
+    let registry = Registry::new();
+    let label = format!(
+        "drift-{}-t{}-{}",
+        R::NAME,
+        pool.map_or(1, ShardPool::threads),
+        active_kernel_name()
+    );
+    let scope = registry.scope(&[("engine", label.as_str())]);
+    engine.set_telemetry(EngineTelemetry::registered(&scope));
+    let mut alerts = AlertEngine::registered(demo_alert_rules(), &scope);
+
     // Clean calibration phase (also the clean-throughput measurement).
     const CLEAN_CYCLES: usize = 40;
     let timer = StageTimer::start();
     let _ = engine.run_cycles_adaptive(CLEAN_CYCLES);
     let clean_cps = CLEAN_CYCLES as f64 / timer.elapsed_secs();
+    // Two quiet evaluations: the first baselines the rate rules, the
+    // second confirms the clean phase evaluates to Ok across the board.
+    alerts.evaluate(&registry.snapshot());
+    alerts.evaluate(&registry.snapshot());
+    assert_eq!(
+        alerts.firing(),
+        0,
+        "{label}: demo alerts must be quiet on the clean baseline"
+    );
 
     let onset = engine.stats().rounds;
     let mut plan = FaultPlan::none();
@@ -251,6 +397,7 @@ where
     for _ in 0..400 {
         let r = engine.run_cycle_adaptive();
         faulted_cycles += 1;
+        alerts.evaluate(&registry.snapshot());
         if detect_round.is_none() && r.stats.health != HealthStatus::Nominal {
             detect_round = Some(engine.stats().rounds);
         }
@@ -264,6 +411,43 @@ where
     }
     let faulted_cps = faulted_cycles as f64 / timer.elapsed_secs();
 
+    // Post-recovery: stream quiet cycles until every alert's clear debounce
+    // has run down (the demo set's longest is 6 evaluations).
+    if recover_round.is_some() {
+        for _ in 0..40 {
+            if alerts.firing() == 0 {
+                break;
+            }
+            let _ = engine.run_cycle_adaptive();
+            alerts.evaluate(&registry.snapshot());
+        }
+    }
+
+    let (alerts_fired, alerts_cleared) = alerts
+        .statuses()
+        .iter()
+        .fold((0, 0), |acc, s| (acc.0 + s.fired, acc.1 + s.cleared));
+    if recover_round.is_some() {
+        assert!(
+            alerts_fired >= 1,
+            "{label}: drift was detected and recovered but no demo alert fired"
+        );
+        assert_eq!(
+            alerts.firing(),
+            0,
+            "{label}: demo alerts must all clear after recovery (fired {alerts_fired}, \
+             cleared {alerts_cleared})"
+        );
+    }
+
+    // Flight-recorder export: the drift variant's stage spans plus its
+    // typed engine events and alert fire/clear instants on the same track.
+    let telem = engine.telemetry();
+    let pid = sink.alloc_pid(&label);
+    sink.chrome.add_spans(pid, 0, &telem.spans().snapshot());
+    sink.chrome.add_instants(pid, 0, &telem.trace().snapshot());
+    sink.chrome.add_instants(pid, 0, &alerts.trace().snapshot());
+
     let since_onset = |round: Option<u64>| round.map_or(-1, |r| (r - onset) as i64);
     DriftRow {
         precision: R::NAME,
@@ -275,6 +459,8 @@ where
         rounds_to_recover: since_onset(recover_round),
         hot_swaps: engine.stats().hot_swaps,
         degraded_decodes: engine.stats().degraded_decodes,
+        alerts_fired,
+        alerts_cleared,
     }
 }
 
@@ -332,6 +518,7 @@ fn main() {
         cfg: CycleConfig,
         pool: Option<&ShardPool>,
         offline_cycles_per_sec: f64,
+        sink: &mut TraceSink,
     ) -> Row
     where
         herqles_core::designs::MfDiscriminator: herqles_core::PrecisionDiscriminator<R>,
@@ -351,6 +538,18 @@ fn main() {
         engine.set_telemetry(EngineTelemetry::registered(
             &ctx.registry.scope(&[("engine", label.as_str())]),
         ));
+        // Pooled variants get per-worker instrumentation for the flight
+        // recorder (a generous ring so a full measured run fits). The
+        // warm-up fan-out is barrier-synchronized — every thread claims
+        // exactly one task — so with telemetry already attached each
+        // background worker deterministically records at least one span,
+        // however the measured cycles themselves get scheduled.
+        let pool_telem = pool.map(|p| {
+            let t = Arc::new(PoolTelemetry::with_span_capacity(p.threads(), 1 << 16));
+            p.set_telemetry(Some(Arc::clone(&t)));
+            p.warm_up();
+            t
+        });
         let _ = engine.run_cycle();
         // Drop the warm-up cycle from the histograms so the percentiles
         // describe the same warm cycles the throughput figure does.
@@ -359,6 +558,10 @@ fn main() {
         let timer = StageTimer::start();
         let results = engine.run_cycles(cycles);
         let elapsed = timer.elapsed_secs();
+        if let Some(p) = pool {
+            p.set_telemetry(None);
+        }
+        sink.drain_engine(&label, engine.telemetry(), pool_telem.as_deref(), cycles);
         let mut stage = herqles_stream::StageNanos::default();
         for r in &results {
             stage.add(&r.stats.stage);
@@ -390,6 +593,7 @@ fn main() {
     };
 
     let pools: Vec<ShardPool> = args.threads.iter().map(|&t| ShardPool::new(t)).collect();
+    let mut sink = TraceSink::new();
     let mut rows = Vec::new();
     for d in DISTANCES {
         let code = RotatedSurfaceCode::new(d);
@@ -405,11 +609,39 @@ fn main() {
         let offline_cps = cycles as f64 / off_timer.elapsed_secs();
 
         let mut variants: Vec<Row> = Vec::new();
-        variants.push(measure::<f64>(&ctx, &code, cfg, None, offline_cps));
-        variants.push(measure::<f32>(&ctx, &code, cfg, None, offline_cps));
+        variants.push(measure::<f64>(
+            &ctx,
+            &code,
+            cfg,
+            None,
+            offline_cps,
+            &mut sink,
+        ));
+        variants.push(measure::<f32>(
+            &ctx,
+            &code,
+            cfg,
+            None,
+            offline_cps,
+            &mut sink,
+        ));
         for pool in &pools {
-            variants.push(measure::<f64>(&ctx, &code, cfg, Some(pool), offline_cps));
-            variants.push(measure::<f32>(&ctx, &code, cfg, Some(pool), offline_cps));
+            variants.push(measure::<f64>(
+                &ctx,
+                &code,
+                cfg,
+                Some(pool),
+                offline_cps,
+                &mut sink,
+            ));
+            variants.push(measure::<f32>(
+                &ctx,
+                &code,
+                cfg,
+                Some(pool),
+                offline_cps,
+                &mut sink,
+            ));
         }
 
         // Scalar-kernel reference rows (serial, both precisions): when the
@@ -422,8 +654,8 @@ fn main() {
             let _ = run_cycles_offline(&cfg, &chip, &code, &disc, cycles);
             let scalar_offline_cps = cycles as f64 / off_timer.elapsed_secs();
             (
-                measure::<f64>(&ctx, &code, cfg, None, scalar_offline_cps),
-                measure::<f32>(&ctx, &code, cfg, None, scalar_offline_cps),
+                measure::<f64>(&ctx, &code, cfg, None, scalar_offline_cps, &mut sink),
+                measure::<f32>(&ctx, &code, cfg, None, scalar_offline_cps, &mut sink),
             )
         }) {
             variants.push(r64);
@@ -504,13 +736,14 @@ fn main() {
             .chain(pools.first().map(Some))
             .collect();
         for pool in drift_pools {
-            drift_rows.push(measure_drift::<f64>(shots, seed, pool));
-            drift_rows.push(measure_drift::<f32>(shots, seed, pool));
+            drift_rows.push(measure_drift::<f64>(shots, seed, pool, &mut sink));
+            drift_rows.push(measure_drift::<f32>(shots, seed, pool, &mut sink));
         }
         for r in &drift_rows {
             eprintln!(
                 "[bench_stream] drift {}/{}/t={}: {:>8.1} cycles/s clean, {:>8.1} under fault, \
-                 detect {} rounds | recover {} rounds | {} hot-swaps | {} degraded decodes",
+                 detect {} rounds | recover {} rounds | {} hot-swaps | {} degraded decodes | \
+                 {} alerts fired, {} cleared",
                 r.precision,
                 r.kernel,
                 r.threads,
@@ -520,6 +753,8 @@ fn main() {
                 r.rounds_to_recover,
                 r.hot_swaps,
                 r.degraded_decodes,
+                r.alerts_fired,
+                r.alerts_cleared,
             );
         }
     }
@@ -546,7 +781,8 @@ fn main() {
             format!(
                 "{{\"precision\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
                  \"clean\": {:.1}, \"faulted\": {:.1}, \"rounds_to_detect\": {}, \
-                 \"rounds_to_recover\": {}, \"hot_swaps\": {}, \"degraded_decodes\": {}}}",
+                 \"rounds_to_recover\": {}, \"hot_swaps\": {}, \"degraded_decodes\": {}, \
+                 \"alerts_fired\": {}, \"alerts_cleared\": {}}}",
                 r.precision,
                 r.kernel,
                 r.threads,
@@ -556,6 +792,8 @@ fn main() {
                 r.rounds_to_recover,
                 r.hot_swaps,
                 r.degraded_decodes,
+                r.alerts_fired,
+                r.alerts_cleared,
             ),
         );
     }
@@ -592,6 +830,17 @@ fn main() {
     }
     report.write("BENCH_stream.json");
 
+    // Flight-recorder export: one Chrome trace spanning every variant.
+    let trace_body = sink.chrome.to_json();
+    if let Some(path) = &args.trace_json {
+        std::fs::write(path, &trace_body).expect("write trace JSON");
+        eprintln!(
+            "[bench_stream] wrote Chrome trace ({} events) to {path} — load it in \
+             Perfetto or chrome://tracing",
+            sink.chrome.event_count()
+        );
+    }
+
     // Registry exports: the same snapshot drives every export format.
     let snapshot = registry.snapshot();
     if let Some(path) = &args.metrics_json {
@@ -607,29 +856,45 @@ fn main() {
             print!("{}", snapshot.to_prometheus_text());
         }
         ServeText::Addr(addr) => {
-            serve_metrics(&addr, &snapshot.to_prometheus_text());
+            serve_metrics(&addr, &snapshot.to_prometheus_text(), &trace_body);
         }
     }
 }
 
-/// Serves `GET /metrics` (and any other path — a scraper only asks for one)
-/// forever on a plain TCP listener. Deliberately minimal: read the request
-/// until the blank line, answer 200 with the exposition, close.
-fn serve_metrics(addr: &str, body: &str) -> ! {
+/// Serves `GET /metrics` (the default for any unrecognized path — a scraper
+/// only asks for one) and `GET /trace` (the Chrome-trace JSON) forever on a
+/// plain TCP listener. Deliberately minimal: read the request head, route
+/// on the request-line path, answer 200, close.
+fn serve_metrics(addr: &str, metrics: &str, trace: &str) -> ! {
     use std::io::{Read as _, Write as _};
     let listener = std::net::TcpListener::bind(addr)
         .unwrap_or_else(|e| panic!("--serve-text: cannot bind {addr}: {e}"));
-    eprintln!("[bench_stream] serving metrics on http://{addr}/metrics (ctrl-c to stop)");
+    eprintln!(
+        "[bench_stream] serving metrics on http://{addr}/metrics and the flight \
+         recorder on http://{addr}/trace (ctrl-c to stop)"
+    );
     loop {
         let Ok((mut stream, _)) = listener.accept() else {
             continue;
         };
-        // Drain the request line + headers; ignore contents and errors.
+        // Read the request head; the request line is all we route on.
         let mut buf = [0u8; 1024];
-        let _ = stream.read(&mut buf);
+        let n = stream.read(&mut buf).unwrap_or(0);
+        let head = String::from_utf8_lossy(&buf[..n]);
+        let path = head
+            .lines()
+            .next()
+            .and_then(|line| line.split_whitespace().nth(1))
+            .unwrap_or("/metrics");
+        let (body, content_type) = if path == "/trace" || path.starts_with("/trace?") {
+            (trace, "application/json")
+        } else {
+            (metrics, "text/plain; version=0.0.4")
+        };
         let response = format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+            "HTTP/1.1 200 OK\r\nContent-Type: {}\r\n\
              Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            content_type,
             body.len(),
             body
         );

@@ -23,6 +23,10 @@
 //!   `readout_sim`'s dataset generator) that makes per-shard randomness a
 //!   function of `(root seed, shard index)` rather than of the sharding
 //!   layout.
+//! * [`PoolTelemetry`] — optional per-worker instrumentation
+//!   ([`ShardPool::set_telemetry`]): task spans with worker-id tracks plus
+//!   busy/idle-ns counters, zero-cost when unset and allocation-free when
+//!   attached.
 //!
 //! **Determinism is by construction, not by scheduling**: the pool hands out
 //! task indices dynamically (whichever worker is free takes the next shard),
@@ -48,8 +52,10 @@
 
 pub mod pool;
 pub mod rng;
+pub mod telemetry;
 pub mod tiles;
 
 pub use pool::ShardPool;
 pub use rng::stream_seed;
+pub use telemetry::PoolTelemetry;
 pub use tiles::Tiles;

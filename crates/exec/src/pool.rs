@@ -24,6 +24,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+use herqles_telemetry::time::now_ns;
+
+use crate::telemetry::PoolTelemetry;
 use crate::tiles::Tiles;
 
 thread_local! {
@@ -78,6 +81,10 @@ struct Slot {
     /// Whether any task of the current job panicked.
     panicked: bool,
     shutdown: bool,
+    /// Optional per-worker instrumentation. Read (one `Arc` clone) at most
+    /// once per fan-out per thread, under this same lock; `None` costs one
+    /// branch.
+    telem: Option<Arc<PoolTelemetry>>,
 }
 
 struct Shared {
@@ -138,6 +145,7 @@ impl ShardPool {
                 pending: 0,
                 panicked: false,
                 shutdown: false,
+                telem: None,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -147,7 +155,7 @@ impl ShardPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("herqles-shard-{k}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, k))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -166,6 +174,33 @@ impl ShardPool {
     /// Total parallelism: background workers plus the calling thread.
     pub fn threads(&self) -> usize {
         self.workers.len() + 1
+    }
+
+    /// Attaches (or, with `None`, detaches) per-worker instrumentation:
+    /// every subsequently executed task records a span + busy-ns into
+    /// `telem`. Zero-cost when unset beyond one branch per task. Takes
+    /// effect from the next fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `telem` was sized for a different worker count than
+    /// [`ShardPool::threads`].
+    pub fn set_telemetry(&self, telem: Option<Arc<PoolTelemetry>>) {
+        if let Some(t) = &telem {
+            assert_eq!(
+                t.workers(),
+                self.threads(),
+                "PoolTelemetry sized for {} workers, pool has {} threads",
+                t.workers(),
+                self.threads()
+            );
+        }
+        self.shared.lock().telem = telem;
+    }
+
+    /// The currently attached instrumentation, if any.
+    pub fn telemetry(&self) -> Option<Arc<PoolTelemetry>> {
+        self.shared.lock().telem.clone()
     }
 
     /// Forces every thread of the pool through one full task execution
@@ -234,10 +269,21 @@ impl ShardPool {
     {
         if self.workers.is_empty() || n_produce == 0 {
             // Inline degeneration: consume, then the produce loop. Order is
-            // unobservable under the disjoint-stages contract.
+            // unobservable under the disjoint-stages contract. The caller is
+            // logical worker 0 for instrumentation purposes.
             let out = consume();
-            for i in 0..n_produce {
-                produce(i);
+            if n_produce > 0 {
+                let telem = self.shared.lock().telem.clone();
+                for i in 0..n_produce {
+                    match telem.as_deref() {
+                        Some(t) => {
+                            let begin = now_ns();
+                            produce(i);
+                            t.note_task(0, i, begin, now_ns().saturating_sub(begin));
+                        }
+                        None => produce(i),
+                    }
+                }
             }
             return out;
         }
@@ -257,7 +303,7 @@ impl ShardPool {
         let task_ref: &(dyn Fn(usize) + Sync) = &produce;
         let task: *const (dyn Fn(usize) + Sync + 'static) =
             unsafe { std::mem::transmute(task_ref) };
-        {
+        let telem = {
             let mut slot = self.shared.lock();
             slot.job = Some(Job {
                 task,
@@ -268,7 +314,8 @@ impl ShardPool {
             slot.pending = n_produce;
             slot.panicked = false;
             self.shared.work.notify_all();
-        }
+            slot.telem.clone()
+        };
 
         // Stage two runs on the calling thread, overlapped with the fan-out.
         // A consume panic must not unwind past the borrow of `produce`, so
@@ -286,7 +333,11 @@ impl ShardPool {
                 slot.next += 1;
                 i
             };
+            let begin = telem.as_deref().map(|_| now_ns());
             let result = catch_unwind(AssertUnwindSafe(|| produce(i)));
+            if let (Some(t), Some(begin)) = (telem.as_deref(), begin) {
+                t.note_task(0, i, begin, now_ns().saturating_sub(begin));
+            }
             let mut slot = self.shared.lock();
             if result.is_err() {
                 slot.panicked = true;
@@ -333,7 +384,7 @@ impl Drop for ShardPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     // Workers belong to exactly one pool for their whole life: mark it once
     // so a task that tries to publish a nested fan-out on this same pool
     // panics (propagated to the publisher) instead of deadlocking.
@@ -352,6 +403,9 @@ fn worker_loop(shared: &Shared) {
         }
         let job = slot.job.expect("claimable job present");
         let generation = slot.generation;
+        // One `Arc` clone per generation, under the lock we already hold —
+        // not per task, and no allocation.
+        let telem = slot.telem.clone();
         // Drain this generation's tasks. The publisher stays blocked while
         // `pending > 0` (each claimed task keeps `pending` nonzero until its
         // completion is recorded), so the task pointer stays valid for every
@@ -360,8 +414,12 @@ fn worker_loop(shared: &Shared) {
             let i = slot.next;
             slot.next += 1;
             drop(slot);
+            let begin = telem.as_deref().map(|_| now_ns());
             // SAFETY: pointer validity per the protocol above.
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.task)(i) }));
+            if let (Some(t), Some(begin)) = (telem.as_deref(), begin) {
+                t.note_task(worker, i, begin, now_ns().saturating_sub(begin));
+            }
             slot = shared.lock();
             if result.is_err() {
                 slot.panicked = true;
@@ -521,5 +579,40 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_is_rejected() {
         let _ = ShardPool::new(0);
+    }
+
+    #[test]
+    fn telemetry_records_every_task_with_worker_tracks() {
+        let pool = ShardPool::new(3);
+        let telem = Arc::new(PoolTelemetry::with_span_capacity(3, 256));
+        pool.set_telemetry(Some(Arc::clone(&telem)));
+        pool.warm_up();
+        pool.run(20, |_| std::hint::black_box(()));
+        let consumed = pool.overlap(10, |_| std::hint::black_box(()), || 7);
+        assert_eq!(consumed, 7);
+        // warm_up (3 tasks) + run (20) + overlap (10).
+        assert_eq!(telem.total_tasks(), 33);
+        let spans = telem.spans().snapshot();
+        assert_eq!(spans.len(), 33);
+        assert!(spans
+            .iter()
+            .all(|s| s.kind == herqles_telemetry::SpanKind::Task && (s.track as usize) < 3));
+        // warm_up's barrier guarantees every worker ran at least one task.
+        for w in 0..3 {
+            assert!(telem.tasks_run(w) >= 1, "worker {w} never ran a task");
+            assert!(telem.busy_ns(w) > 0 || telem.tasks_run(w) == 0);
+        }
+        // Detaching stops recording; the pool still works.
+        pool.set_telemetry(None);
+        pool.run(5, |_| {});
+        assert_eq!(telem.total_tasks(), 33);
+
+        // The 1-thread inline degeneration path records as worker 0 too.
+        let inline_pool = ShardPool::new(1);
+        let inline_telem = Arc::new(PoolTelemetry::with_span_capacity(1, 64));
+        inline_pool.set_telemetry(Some(Arc::clone(&inline_telem)));
+        inline_pool.run(4, |_| {});
+        assert_eq!(inline_telem.tasks_run(0), 4);
+        assert!(inline_telem.spans().snapshot().iter().all(|s| s.track == 0));
     }
 }

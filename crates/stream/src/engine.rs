@@ -35,7 +35,7 @@
 
 use herqles_core::{Discriminator, PrecisionDiscriminator, Real};
 use herqles_exec::{stream_seed, ShardPool, Tiles};
-use herqles_telemetry::StageTimer;
+use herqles_telemetry::{now_ns, SpanKind, StageTimer};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use readout_sim::drift::{FaultPlan, RoundFaults};
@@ -165,6 +165,10 @@ pub struct EngineStats {
     /// the engine's [`EngineTelemetry`] histograms. All-zero while telemetry
     /// is disabled or before the first cycle.
     pub latency: StageLatency,
+    /// Trace/span-ring events lost to overwrite
+    /// ([`EngineTelemetry::dropped_events`]): nonzero means the flight
+    /// recorder's history no longer reaches back to the first event.
+    pub trace_dropped: u64,
 }
 
 impl EngineStats {
@@ -185,8 +189,8 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
-            "health transitions {} | hot-swaps {}",
-            self.health_transitions, self.hot_swaps
+            "health transitions {} | hot-swaps {} | trace events dropped {}",
+            self.health_transitions, self.hot_swaps, self.trace_dropped
         )?;
         writeln!(f, "stage           p50        p99        max")?;
         for (name, s) in [
@@ -321,6 +325,9 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     health: HealthState,
     /// Consumed-round stamp of the last discriminator hot-swap.
     last_swap_round: u64,
+    /// [`now_ns`] stamp of the current cycle's [`CycleEngine::begin_cycle`],
+    /// the begin timestamp of the cycle's flight-recorder span.
+    cycle_begin_ns: u64,
     /// Minimum consumed rounds between hot-swaps.
     recal_cooldown: u64,
     /// Latency histograms, counters and the event trace. Enabled by
@@ -396,6 +403,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             synth_round: 0,
             health,
             last_swap_round: 0,
+            cycle_begin_ns: 0,
             recal_cooldown: 64,
             telem: EngineTelemetry::new(),
         }
@@ -540,6 +548,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.sim.reserve_rounds(self.cfg.rounds);
         self.health.monitor.begin_block();
         self.in_flight = StageNanos::default();
+        self.cycle_begin_ns = now_ns();
         self.telem.note_cycle_begin(self.totals.cycles);
     }
 
@@ -552,12 +561,13 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// [`stream_seed`]-derived streams the pooled path shards out, so manual
     /// stepping and pooled cycles produce identical results.
     pub fn step_round(&mut self) {
+        let round_arg = self.sim.round() as u64;
         let mut timer = StageTimer::start();
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(&mut self.round.true_parities);
         let entropy = self.round_entropy();
         let fault_active = self.resolve_round_faults();
-        let prologue_ns = timer.lap_ns();
+        let (prologue_begin, prologue_ns) = timer.lap_span_ns();
 
         self.round.batch.clear();
         for g in 0..self.map.n_groups() {
@@ -570,14 +580,14 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                 &mut rng,
             );
         }
-        let synth_ns = timer.lap_ns();
+        let (synth_begin, synth_ns) = timer.lap_span_ns();
 
         self.disc.discriminate_shot_batch_r_into(
             &self.round.batch,
             &mut self.round.features,
             &mut self.round.states,
         );
-        let disc_ns = timer.lap_ns();
+        let (disc_begin, disc_ns) = timer.lap_span_ns();
 
         for (a, m) in self.round.measured.iter_mut().enumerate() {
             let (g, c) = self.map.slot(a);
@@ -591,11 +601,20 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             &self.round.features,
             &self.round.measured,
         );
+        let (commit_begin, commit_ns) = timer.lap_span_ns();
 
-        self.in_flight.syndrome += prologue_ns + timer.lap_ns();
+        self.in_flight.syndrome += prologue_ns + commit_ns;
         self.in_flight.synth += synth_ns;
         self.in_flight.discriminate += disc_ns;
         self.totals.rounds += 1;
+        self.telem
+            .note_span(SpanKind::Syndrome, prologue_begin, prologue_ns, round_arg);
+        self.telem
+            .note_span(SpanKind::Synth, synth_begin, synth_ns, round_arg);
+        self.telem
+            .note_span(SpanKind::Discriminate, disc_begin, disc_ns, round_arg);
+        self.telem
+            .note_span(SpanKind::Syndrome, commit_begin, commit_ns, round_arg);
     }
 
     /// Draws the round's entropy word from the master RNG. Every group's
@@ -609,14 +628,27 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Terminates the block with a perfect round, swaps it into the inactive
     /// block home, and decodes it.
     pub fn finish_cycle(&mut self) -> CycleResult {
+        let cycle_index = self.totals.cycles;
         let mut timer = StageTimer::start();
         self.sim.finish_perfect_round();
         self.active ^= 1;
         // write_block reuses the target's buffers — no block reallocation.
         self.sim.write_block(&mut self.blocks[self.active]);
-        self.in_flight.syndrome += timer.lap_ns();
+        let (write_begin, write_ns) = timer.lap_span_ns();
+        self.in_flight.syndrome += write_ns;
         let outcome = decode_block_with(self.code, &self.blocks[self.active], &mut self.decode);
-        self.in_flight.decode += timer.lap_ns();
+        let (decode_begin, decode_ns) = timer.lap_span_ns();
+        self.in_flight.decode += decode_ns;
+        self.telem
+            .note_span(SpanKind::Syndrome, write_begin, write_ns, cycle_index);
+        self.telem
+            .note_span(SpanKind::Decode, decode_begin, decode_ns, cycle_index);
+        self.telem.note_span(
+            SpanKind::Cycle,
+            self.cycle_begin_ns,
+            now_ns().saturating_sub(self.cycle_begin_ns),
+            cycle_index,
+        );
 
         let stats = CycleStats {
             rounds: self.sim.round(),
@@ -626,7 +658,6 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         };
         let transitions = self.health.monitor.transitions();
         let transitions_delta = transitions.saturating_sub(self.totals.health_transitions);
-        let cycle_index = self.totals.cycles;
         self.totals.cycles += 1;
         self.totals.logical_errors += u64::from(outcome.logical_error);
         self.totals.degraded_decodes += u64::from(outcome.degraded);
@@ -637,6 +668,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         if self.telem.enabled() {
             self.totals.latency = self.telem.stage_latency();
         }
+        self.totals.trace_dropped = self.telem.dropped_events();
         CycleResult { outcome, stats }
     }
 
@@ -694,7 +726,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// entropy word — derives the per-group stream seeds, and pre-sizes the
     /// back batch's rows for sharded writes.
     fn prepare_back_round(&mut self) {
-        let timer = StageTimer::start();
+        let mut timer = StageTimer::start();
         self.sim.apply_data_errors(&mut self.rng);
         self.sim.true_parities_into(
             &mut self
@@ -715,7 +747,10 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         for _ in 0..n_groups {
             let _ = exec.back.batch.push_empty_row();
         }
-        self.in_flight.syndrome += timer.elapsed_ns();
+        let (begin, prologue_ns) = timer.lap_span_ns();
+        self.in_flight.syndrome += prologue_ns;
+        self.telem
+            .note_span(SpanKind::Syndrome, begin, prologue_ns, self.synth_round);
     }
 
     /// One pooled pipeline step: fans the back round's per-group synthesis
@@ -723,7 +758,8 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// front round and committing its measured syndrome on the calling
     /// thread. Allocation-free once warm.
     fn pipelined_round(&mut self, consume_front: bool, extra: Option<&mut dyn FnMut()>) {
-        let wall_timer = StageTimer::start();
+        let mut wall_timer = StageTimer::start();
+        let round_arg = self.sim.round() as u64;
         let CycleEngine {
             disc,
             map,
@@ -732,6 +768,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             exec,
             faults,
             health,
+            telem,
             ..
         } = self;
         let disc: &D = disc;
@@ -786,18 +823,25 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                     &mut front.features,
                     &mut front.states,
                 );
-                let disc_ns = timer.lap_ns();
+                let (disc_begin, disc_ns) = timer.lap_span_ns();
                 for (a, m) in front.measured.iter_mut().enumerate() {
                     let (g, c) = map.slot(a);
                     *m = front.states[g].qubit(c);
                 }
                 sim.record_measured_syndrome(&front.measured);
                 observe_round_health(disc, map, health, &front.features, &front.measured);
-                (disc_ns, timer.lap_ns())
+                let (commit_begin, commit_ns) = timer.lap_span_ns();
+                telem.note_span(SpanKind::Discriminate, disc_begin, disc_ns, round_arg);
+                telem.note_span(SpanKind::Syndrome, commit_begin, commit_ns, round_arg);
+                (disc_ns, commit_ns)
             },
         );
 
-        let wall = wall_timer.elapsed_ns();
+        // The synth span covers the whole overlap window: the fan-out's
+        // exact per-worker layout lives on the pool's worker tracks.
+        let (wall_begin, wall) = wall_timer.lap_span_ns();
+        self.telem
+            .note_span(SpanKind::Synth, wall_begin, wall, round_arg);
         self.in_flight.discriminate += disc_ns;
         self.in_flight.syndrome += syndrome_ns;
         // Pipeline accounting: the synth stage is charged only the wall time
@@ -811,6 +855,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     /// Drains the front buffer (the pipeline's epilogue): batched
     /// discrimination plus measured-syndrome commit of the last round.
     fn consume_front_round(&mut self) {
+        let round_arg = self.sim.round() as u64;
         let mut timer = StageTimer::start();
         let RoundBuffers {
             batch,
@@ -821,15 +866,21 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         } = &mut self.round;
         self.disc
             .discriminate_shot_batch_r_into(batch, features, states);
-        self.in_flight.discriminate += timer.lap_ns();
+        let (disc_begin, disc_ns) = timer.lap_span_ns();
+        self.in_flight.discriminate += disc_ns;
         for (a, m) in measured.iter_mut().enumerate() {
             let (g, c) = self.map.slot(a);
             *m = states[g].qubit(c);
         }
         self.sim.record_measured_syndrome(measured);
         observe_round_health(self.disc, &self.map, &mut self.health, features, measured);
-        self.in_flight.syndrome += timer.lap_ns();
+        let (commit_begin, commit_ns) = timer.lap_span_ns();
+        self.in_flight.syndrome += commit_ns;
         self.totals.rounds += 1;
+        self.telem
+            .note_span(SpanKind::Discriminate, disc_begin, disc_ns, round_arg);
+        self.telem
+            .note_span(SpanKind::Syndrome, commit_begin, commit_ns, round_arg);
     }
 
     /// Ping-pongs the freshly synthesized back buffer into the front slot.

@@ -68,13 +68,13 @@ pub use engine::{
     StageNanos,
 };
 pub use health::{HealthConfig, HealthMonitor, HealthStatus};
-pub use herqles_exec::{stream_seed, ShardPool};
+pub use herqles_exec::{stream_seed, PoolTelemetry, ShardPool};
 pub use map::AncillaMap;
 pub use offline::{run_cycles_offline, OfflineCycle};
 pub use readout_sim::{DriftEvent, FaultPlan, RoundFaults};
 pub use recal::{AdaptiveMf, RecalConfig, Recalibrate};
 pub use synth::RoundSynth;
-pub use telemetry::{EngineTelemetry, LatencySummary, StageLatency};
+pub use telemetry::{demo_alert_rules, EngineTelemetry, LatencySummary, StageLatency};
 
 use herqles_core::designs::DesignKind;
 use herqles_core::designs::MfDiscriminator;

@@ -23,11 +23,22 @@
 //! | `herqles_degraded_decodes_total` | counter | — |
 //! | `herqles_health_transitions_total` | counter | — |
 //! | `herqles_hot_swaps_total` | counter | — |
+//! | `herqles_trace_dropped_events` | gauge | — |
+//!
+//! Beyond the aggregate view, every engine carries a flight recorder: a
+//! [`SpanRing`] of causal stage spans (begin timestamp + duration + track)
+//! recorded from the same zero-alloc hot path, drainable into the
+//! [`herqles_telemetry::ChromeTrace`] exporter. [`demo_alert_rules`]
+//! provides the reference SLO alert set evaluated by `bench_stream` and
+//! the `qec_stream` example.
 
 use std::sync::Arc;
 
 use herqles_telemetry::registry::Scope;
-use herqles_telemetry::{Counter, EventKind, Histogram, TraceRing};
+use herqles_telemetry::{
+    AlertCondition, AlertRule, Counter, EventKind, Gauge, Histogram, Quantile, SpanKind, SpanRing,
+    TraceRing,
+};
 use surface_code::decoder::DecodeOutcome;
 
 use crate::engine::CycleStats;
@@ -36,6 +47,10 @@ use crate::health::HealthStatus;
 /// Trace-ring capacity of an engine: roughly seven events per cycle, so 4096
 /// slots retain the last ~580 cycles.
 const TRACE_CAPACITY: usize = 4096;
+
+/// Span-ring capacity of an engine: four stage spans per round plus three
+/// per cycle, so 8192 slots retain the last ~60–250 cycles at d ∈ {3..9}.
+const SPAN_CAPACITY: usize = 8192;
 
 /// Scalar latency summary of one histogram: the percentile block
 /// [`crate::EngineStats`] carries per stage.
@@ -110,7 +125,11 @@ pub struct EngineTelemetry {
     degraded_decodes: Arc<Counter>,
     health_transitions: Arc<Counter>,
     hot_swaps: Arc<Counter>,
+    /// Ring-overwrite loss across `trace` + `spans`, refreshed per cycle so
+    /// a scrape sees overflow instead of silence.
+    dropped_events: Arc<Gauge>,
     trace: TraceRing,
+    spans: SpanRing,
 }
 
 impl Default for EngineTelemetry {
@@ -137,7 +156,9 @@ impl EngineTelemetry {
             degraded_decodes: Arc::new(Counter::new()),
             health_transitions: Arc::new(Counter::new()),
             hot_swaps: Arc::new(Counter::new()),
+            dropped_events: Arc::new(Gauge::new()),
             trace: TraceRing::new(TRACE_CAPACITY),
+            spans: SpanRing::new(SPAN_CAPACITY),
         }
     }
 
@@ -184,7 +205,13 @@ impl EngineTelemetry {
                 "Discriminator hot-swaps performed",
                 &[],
             ),
+            dropped_events: scope.gauge(
+                "herqles_trace_dropped_events",
+                "Trace/span ring events lost to overwrite",
+                &[],
+            ),
             trace: TraceRing::new(TRACE_CAPACITY),
+            spans: SpanRing::new(SPAN_CAPACITY),
         }
     }
 
@@ -203,6 +230,19 @@ impl EngineTelemetry {
     /// The event trace.
     pub fn trace(&self) -> &TraceRing {
         &self.trace
+    }
+
+    /// The flight recorder's stage-span ring (track 0 = the engine's stage
+    /// lane; see [`herqles_telemetry::SpanEvent`]).
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Events lost to ring overwrite, trace + spans combined. Grows once
+    /// either ring wraps — surfaced as the `herqles_trace_dropped_events`
+    /// gauge and in [`crate::EngineStats::summary`].
+    pub fn dropped_events(&self) -> u64 {
+        self.trace.dropped() + self.spans.dropped()
     }
 
     /// Resets the five latency histograms (e.g. after warm-up, so reported
@@ -274,6 +314,16 @@ impl EngineTelemetry {
             self.trace.record(EventKind::DegradedDecode, cycle_index);
         }
         self.trace.record(EventKind::CycleEnd, cycle_index);
+        self.dropped_events.set(self.dropped_events() as f64);
+    }
+
+    /// Records one causal stage span on the engine's stage track (track 0).
+    /// Allocation-free; no-op while disabled.
+    #[inline]
+    pub(crate) fn note_span(&self, kind: SpanKind, begin_ns: u64, dur_ns: u64, arg: u64) {
+        if self.enabled {
+            self.spans.record(kind, 0, begin_ns, dur_ns, arg);
+        }
     }
 
     /// Stamps a discriminator hot-swap (`arg` = lifetime swap count after
@@ -299,6 +349,50 @@ impl EngineTelemetry {
             self.trace.record(EventKind::RecalDeclined, cycle_index);
         }
     }
+}
+
+/// The reference SLO alert set for one (or a registry of) streaming
+/// engine(s), matched against the `herqles_*` families
+/// [`EngineTelemetry::registered`] exports:
+///
+/// * `decode_p99_high` — block-decode p99 above 5 ms (well clear of the
+///   µs-scale nominal decode; fires only on genuine stalls);
+/// * `degraded_decode_rate` — any greedy-decoder fallback between two
+///   evaluations;
+/// * `health_transitions` — any health-status transition between two
+///   evaluations; clears only after six consecutive quiet evaluations, so
+///   a drift-detect → hot-swap → recover episode renders as one
+///   fire → hold → clear arc.
+///
+/// Evaluate with [`herqles_telemetry::AlertEngine`] at cycle or scrape
+/// cadence.
+#[must_use]
+pub fn demo_alert_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::new(
+            "decode_p99_high",
+            "herqles_stage_latency_ns",
+            AlertCondition::QuantileAbove {
+                quantile: Quantile::P99,
+                threshold: 5e6,
+            },
+        )
+        .with_labels(&[("stage", "decode")])
+        .with_hold_evals(2)
+        .with_clear_evals(2),
+        AlertRule::new(
+            "degraded_decode_rate",
+            "herqles_degraded_decodes_total",
+            AlertCondition::RateAbove { per_eval: 0.0 },
+        )
+        .with_clear_evals(2),
+        AlertRule::new(
+            "health_transitions",
+            "herqles_health_transitions_total",
+            AlertCondition::RateAbove { per_eval: 0.0 },
+        )
+        .with_clear_evals(6),
+    ]
 }
 
 /// Renders nanoseconds with a human unit (`ns`, `µs`, `ms`, `s`), three
@@ -338,6 +432,15 @@ mod tests {
             west_matches: 0,
             logical_error: true,
             degraded: true,
+        }
+    }
+
+    fn clean_outcome() -> DecodeOutcome {
+        DecodeOutcome {
+            n_events: 0,
+            west_matches: 0,
+            logical_error: false,
+            degraded: false,
         }
     }
 
@@ -402,6 +505,62 @@ mod tests {
             "herqles_stage_latency_ns{engine=\"d3\",stage=\"decode\",quantile=\"0.5\"} 400"
         ));
         assert!(text.contains("herqles_cycle_latency_ns_count{engine=\"d3\"} 1"));
+    }
+
+    #[test]
+    fn note_span_lands_on_the_stage_track() {
+        let t = EngineTelemetry::new();
+        t.note_span(SpanKind::Synth, 1_000, 250, 0);
+        t.note_span(SpanKind::Decode, 1_250, 80, 3);
+        let spans = t.spans().snapshot();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.track == 0));
+        assert_eq!(spans[0].kind, SpanKind::Synth);
+        assert_eq!(spans[1].arg, 3);
+        assert_eq!(t.dropped_events(), 0);
+
+        let mut off = EngineTelemetry::new();
+        off.set_enabled(false);
+        off.note_span(SpanKind::Synth, 0, 1, 0);
+        assert_eq!(off.spans().recorded(), 0);
+    }
+
+    #[test]
+    fn demo_alert_rules_fire_on_drift_symptoms_and_clear() {
+        use herqles_telemetry::{AlertEngine, AlertState, Registry};
+        let registry = Registry::new();
+        let scope = registry.scope(&[("engine", "demo")]);
+        let t = EngineTelemetry::registered(&scope);
+        let mut alerts = AlertEngine::registered(demo_alert_rules(), &registry.scope(&[]));
+
+        // Quiet baseline: two evaluations, nothing fires.
+        t.observe_cycle(0, &stats(100), &clean_outcome(), 0);
+        alerts.evaluate(&registry.snapshot());
+        t.observe_cycle(1, &stats(100), &clean_outcome(), 0);
+        assert_eq!(alerts.evaluate(&registry.snapshot()), 0);
+        assert_eq!(alerts.firing(), 0);
+
+        // A drifted cycle: degraded decode + a health transition.
+        t.observe_cycle(2, &stats(100), &outcome(), 1);
+        assert_eq!(alerts.evaluate(&registry.snapshot()), 2);
+        assert_eq!(alerts.firing(), 2);
+
+        // Recovery: degraded clears after 2 quiet evals, transitions after 6.
+        for i in 0..6 {
+            t.observe_cycle(3 + i, &stats(100), &clean_outcome(), 0);
+            alerts.evaluate(&registry.snapshot());
+        }
+        assert_eq!(alerts.firing(), 0);
+        let statuses = alerts.statuses();
+        for s in &statuses {
+            if s.name == "decode_p99_high" {
+                assert_eq!(s.fired, 0, "µs-scale decode must not trip the 5 ms SLO");
+            } else {
+                assert_eq!(s.fired, 1, "{} must have fired once", s.name);
+                assert_eq!(s.cleared, 1, "{} must have cleared", s.name);
+                assert_eq!(s.state, AlertState::Ok);
+            }
+        }
     }
 
     #[test]

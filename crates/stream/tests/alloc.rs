@@ -13,10 +13,11 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use herqles_stream::{
     train_mf_discriminator, train_mf_discriminator_typed, AdaptiveMf, CycleConfig, CycleEngine,
-    DriftEvent, EngineTelemetry, FaultPlan, RecalConfig, ShardPool,
+    DriftEvent, EngineTelemetry, FaultPlan, PoolTelemetry, RecalConfig, ShardPool,
 };
 use herqles_telemetry::Registry;
 use readout_sim::trace::IqPoint;
@@ -210,14 +211,41 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
     );
 
     // Telemetry is enabled by default, so every probe above already ran with
-    // histogram recording, counter bumps, trace stamping and the per-cycle
-    // percentile refresh inside the zero-allocation window. Make that
-    // explicit: the engines really were recording.
+    // histogram recording, counter bumps, trace stamping, flight-recorder
+    // span recording and the per-cycle percentile refresh inside the
+    // zero-allocation window. Make that explicit: the engines really were
+    // recording.
     assert!(
         serial.telemetry().trace().recorded() > 0,
         "default-on telemetry must have traced the probed cycles"
     );
+    assert!(
+        serial.telemetry().spans().recorded() > 0,
+        "default-on span tracing must have recorded stage spans"
+    );
     assert!(serial.stats().latency.cycle.max > 0);
+
+    // Per-worker pool instrumentation rides inside the same invariant: with
+    // a `PoolTelemetry` attached, every fan-out task records a worker-track
+    // span plus two relaxed counter bumps, and warm pooled cycles must still
+    // be allocation-free.
+    let pool_telem = Arc::new(PoolTelemetry::new(pool.threads()));
+    pool.set_telemetry(Some(Arc::clone(&pool_telem)));
+    let mut instrumented = CycleEngine::with_pool(cfg, &chip, &code, disc.as_ref(), &pool);
+    let _ = instrumented.run_cycle();
+    let _ = instrumented.run_cycle();
+    let instrumented_cycle_allocs = min_allocs_over(3, || {
+        let _ = instrumented.run_cycle();
+    });
+    assert_eq!(
+        instrumented_cycle_allocs, 0,
+        "warm pooled cycles with pool instrumentation attached must not touch the heap"
+    );
+    assert!(
+        pool_telem.total_tasks() > 0,
+        "attached pool telemetry must have recorded fan-out tasks"
+    );
+    pool.set_telemetry(None);
 
     // The vectorized-synthesis contract must hold on **every** noise/GEMM
     // backend, not just whatever HERQLES_KERNEL resolved to above: the AVX2

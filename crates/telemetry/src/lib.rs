@@ -25,6 +25,17 @@
 //!   ever touching the registry again. [`Registry::scope`] pins a label set
 //!   (e.g. `engine="d5-f32-t4"`) — the seam a multi-tenant fleet hangs
 //!   per-tenant views on.
+//! * [`SpanRing`] — the flight-recorder companion to the trace ring: each
+//!   [`SpanEvent`] carries a begin timestamp, duration and *track id*
+//!   (stage lane, pool worker, …) under the same torn-write-safe stamp
+//!   protocol, so causal timelines can be reconstructed exactly.
+//! * [`ChromeTrace`] — renders span/trace snapshots as Chrome Trace Event
+//!   Format JSON (`"X"` complete events, `"M"` track metadata) loadable in
+//!   Perfetto or `chrome://tracing`.
+//! * [`AlertEngine`] — declarative [`AlertRule`]s (quantile threshold,
+//!   counter rate, gauge bound) evaluated over successive
+//!   [`RegistrySnapshot`]s with hold/hysteresis debounce, firing typed
+//!   trace events and per-rule state gauges.
 //! * Exporters — [`RegistrySnapshot::to_prometheus_text`] (text exposition
 //!   format) and [`RegistrySnapshot::to_json`] render the *same* snapshot,
 //!   so the two views can never disagree.
@@ -51,13 +62,19 @@
 //! assert!(text.contains("req_latency_ns_count{engine=\"a\"} 4"));
 //! ```
 
+pub mod alert;
+pub mod chrome;
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod span;
 pub mod time;
 pub mod trace;
 
+pub use alert::{AlertCondition, AlertEngine, AlertRule, AlertState, Quantile, RuleStatus};
+pub use chrome::ChromeTrace;
 pub use hist::{Histogram, HistogramSnapshot, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot, Scope};
+pub use span::{SpanEvent, SpanKind, SpanRing};
 pub use time::{duration_ns, now_ns, StageTimer};
 pub use trace::{EventKind, TraceEvent, TraceRing};

@@ -79,6 +79,16 @@ impl StageTimer {
         ns
     }
 
+    /// [`StageTimer::lap_ns`] plus the lap's *begin* timestamp on the
+    /// process-global [`now_ns`] timeline: returns
+    /// `(begin_ns, duration_ns)` for the window between the previous lap
+    /// boundary and now — exactly the pair a
+    /// [`SpanRing`](crate::span::SpanRing) record wants. Allocation-free.
+    pub fn lap_span_ns(&mut self) -> (u64, u64) {
+        let begin = duration_ns(epoch(), self.last);
+        (begin, self.lap_ns())
+    }
+
     /// [`StageTimer::lap_ns`] recorded straight into a [`Histogram`].
     pub fn record_lap(&mut self, hist: &Histogram) -> u64 {
         let ns = self.lap_ns();

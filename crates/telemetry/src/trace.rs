@@ -49,6 +49,11 @@ pub enum EventKind {
     RecalDeclined = 10,
     /// Free-form user event; `arg` is caller-defined.
     Custom = 11,
+    /// An alert rule transitioned to firing; `arg` = rule index in its
+    /// [`AlertEngine`](crate::alert::AlertEngine).
+    AlertFiring = 12,
+    /// A firing alert rule cleared; `arg` = rule index.
+    AlertCleared = 13,
 }
 
 impl EventKind {
@@ -67,6 +72,8 @@ impl EventKind {
             9 => EventKind::RecalTrained,
             10 => EventKind::RecalDeclined,
             11 => EventKind::Custom,
+            12 => EventKind::AlertFiring,
+            13 => EventKind::AlertCleared,
             _ => return None,
         })
     }
@@ -86,6 +93,8 @@ impl EventKind {
             EventKind::RecalTrained => "recal_trained",
             EventKind::RecalDeclined => "recal_declined",
             EventKind::Custom => "custom",
+            EventKind::AlertFiring => "alert_firing",
+            EventKind::AlertCleared => "alert_cleared",
         }
     }
 }
@@ -169,6 +178,12 @@ impl TraceRing {
         self.head.load(Relaxed)
     }
 
+    /// Events lost to ring overwrite: everything recorded beyond what the
+    /// ring can keep resident. Zero until the ring wraps.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
     /// Records one event. Lock- and allocation-free; safe from any thread.
     /// The oldest resident event is overwritten once the ring is full.
     #[inline]
@@ -248,12 +263,12 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u64() {
-        for k in 0..=11u64 {
+        for k in 0..=13u64 {
             let kind = EventKind::from_u64(k).expect("known discriminant");
             assert_eq!(kind as u64, k);
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(EventKind::from_u64(12), None);
+        assert_eq!(EventKind::from_u64(14), None);
     }
 
     #[test]

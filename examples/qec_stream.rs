@@ -1,18 +1,39 @@
 //! End-to-end streaming QEC cycles: multiplexed ancilla readout synthesized,
 //! discriminated, and decoded on one batch pipeline with per-stage timing —
 //! serially, then on a `ShardPool` with the two-stage synthesis pipeline
-//! (bit-identical results at any worker count).
+//! (bit-identical results at any worker count). Every engine's flight
+//! recorder is drained into `qec_stream.trace.json` (open it in Perfetto or
+//! `chrome://tracing`), and a drifted run at the end drives the demo SLO
+//! alert set through its fire → clear lifecycle.
 //!
 //! Run with `cargo run --release --example qec_stream`.
 
+use std::sync::Arc;
+
+use herqles::exec::PoolTelemetry;
 use herqles::qec::RotatedSurfaceCode;
-use herqles::sim::ChipConfig;
-use herqles::stream::{train_mf_discriminator, CycleConfig, CycleEngine, ShardPool};
+use herqles::sim::{ChipConfig, DriftEvent, FaultPlan};
+use herqles::stream::{
+    demo_alert_rules, train_mf_discriminator, train_mf_discriminator_typed, AdaptiveMf,
+    CycleConfig, CycleEngine, EngineTelemetry, HealthConfig, RecalConfig, ShardPool,
+};
+use herqles::telemetry::{AlertEngine, ChromeTrace, Registry};
 
 fn main() {
     let chip = ChipConfig::five_qubit_default();
     println!("training the mf discriminator on a synthetic calibration set…");
     let disc = train_mf_discriminator(&chip, 12, 7);
+
+    // The flight recorder: every engine in this example drains its spans
+    // into one Chrome trace, one process per engine.
+    let mut trace = ChromeTrace::new();
+    let mut next_pid = 0u32;
+    let mut alloc_pid = move |trace: &mut ChromeTrace, name: &str| {
+        next_pid += 1;
+        trace.set_process_name(next_pid, name);
+        trace.set_thread_name(next_pid, 0, "engine");
+        next_pid
+    };
 
     for distance in [3usize, 5] {
         let code = RotatedSurfaceCode::new(distance);
@@ -56,8 +77,11 @@ fn main() {
 
         // The same cycles on a worker pool: each feedline group synthesizes
         // on its own shard while the previous round discriminates — and the
-        // outcomes are bit-identical to the serial engine's.
+        // outcomes are bit-identical to the serial engine's. Per-worker
+        // instrumentation rides along for the flight recorder.
         let pool = ShardPool::new(4);
+        let workers = Arc::new(PoolTelemetry::new(pool.threads()));
+        pool.set_telemetry(Some(Arc::clone(&workers)));
         let mut parallel = CycleEngine::with_pool(cfg, &chip, &code, disc.as_ref(), &pool);
         let serial_errors = totals.logical_errors;
         let pooled: u64 = parallel
@@ -65,6 +89,7 @@ fn main() {
             .take(10)
             .map(|r| u64::from(r.outcome.logical_error))
             .sum();
+        pool.set_telemetry(None);
         println!(
             "  ⇒ pooled on {} threads: {} logical errors (serial saw {}) — identical per seed",
             pool.threads(),
@@ -79,5 +104,103 @@ fn main() {
         for line in engine.stats().summary().lines() {
             println!("    {line}");
         }
+
+        // Drain both engines into the flight recorder: the serial engine's
+        // stage track, and the pooled engine's stage track plus one task
+        // track per worker (tid 1 + w; worker 0 is the calling thread).
+        let pid = alloc_pid(&mut trace, &format!("qec_stream d{distance} serial"));
+        trace.add_spans(pid, 0, &engine.telemetry().spans().snapshot());
+        trace.add_instants(pid, 0, &engine.telemetry().trace().snapshot());
+        let pid = alloc_pid(&mut trace, &format!("qec_stream d{distance} pooled"));
+        trace.add_spans(pid, 0, &parallel.telemetry().spans().snapshot());
+        for w in 0..workers.workers() {
+            trace.set_thread_name(pid, 1 + w as u32, &format!("worker {w}"));
+        }
+        trace.add_spans(pid, 1, &workers.spans().snapshot());
     }
+
+    // SLO alerting: stream adaptively through an injected centroid drift
+    // and evaluate the demo alert set against the engine's registered
+    // metrics every cycle — the health monitor detects the drift (alert
+    // fires), the hot-swap recalibrates, and quiet cycles clear it again.
+    println!("\ndrifted adaptive run with the demo SLO alert set:");
+    let chip2 = ChipConfig::two_qubit_test();
+    let code = RotatedSurfaceCode::new(3);
+    let mf = train_mf_discriminator_typed(&chip2, 12, 7);
+    let adaptive = AdaptiveMf::from_mf(
+        &mf,
+        RecalConfig {
+            capacity: 128,
+            min_windows: 8,
+            ..RecalConfig::default()
+        },
+    );
+    let cfg = CycleConfig {
+        rounds: 3,
+        data_error_prob: 0.03,
+        seed: 20_230_612,
+    };
+    let registry = Registry::new();
+    let scope = registry.scope(&[("engine", "qec-stream-drift")]);
+    let mut drifted = CycleEngine::<f64, _>::new(cfg, &chip2, &code, &adaptive);
+    drifted.set_health_config(HealthConfig {
+        alpha: 0.04,
+        baseline_rounds: 60,
+        hold_rounds: 4,
+        degraded_defect_factor: 3.0,
+        critical_defect_factor: 8.0,
+        ..HealthConfig::default()
+    });
+    drifted.set_recal_cooldown(12);
+    drifted.set_telemetry(EngineTelemetry::registered(&scope));
+    let mut alerts = AlertEngine::registered(demo_alert_rules(), &scope);
+
+    // Clean baseline, then step every readout cloud by 0.3 of its
+    // ground/excited separation (the drift recipe the stream tests pin).
+    let _ = drifted.run_cycles_adaptive(40);
+    alerts.evaluate(&registry.snapshot());
+    let onset = drifted.stats().rounds;
+    let mut plan = FaultPlan::none();
+    for (k, q) in chip2.qubits.iter().enumerate() {
+        plan.push(DriftEvent::CentroidDrift {
+            qubit: k,
+            start_round: onset,
+            end_round: onset,
+            delta: q.separation_dir() * (0.30 * q.separation()),
+        });
+    }
+    drifted.set_fault_plan(plan);
+    for _ in 0..60 {
+        let _ = drifted.run_cycle_adaptive();
+        alerts.evaluate(&registry.snapshot());
+    }
+
+    println!(
+        "  drift detected and recalibrated: {} hot-swap(s), {} health transition(s)",
+        drifted.stats().hot_swaps,
+        drifted.stats().health_transitions,
+    );
+    println!("  after {} evaluations:", alerts.evaluations());
+    for s in alerts.statuses() {
+        println!(
+            "    {:<24} {:<8} fired {} cleared {} (last value {:?})",
+            s.name,
+            s.state.label(),
+            s.fired,
+            s.cleared,
+            s.last_value,
+        );
+    }
+
+    // The alert lifecycle lands in the flight recorder too.
+    let pid = alloc_pid(&mut trace, "qec_stream drifted");
+    trace.add_spans(pid, 0, &drifted.telemetry().spans().snapshot());
+    trace.add_instants(pid, 0, &drifted.telemetry().trace().snapshot());
+    trace.add_instants(pid, 0, &alerts.trace().snapshot());
+
+    std::fs::write("qec_stream.trace.json", trace.to_json()).expect("write trace");
+    println!(
+        "\nwrote qec_stream.trace.json ({} events) — open it in Perfetto or chrome://tracing",
+        trace.event_count()
+    );
 }
