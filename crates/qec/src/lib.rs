@@ -11,9 +11,16 @@
 //!   errors with probability `p` and syndrome measurement flips with
 //!   probability `εR` (the readout error HERQULES improves), producing
 //!   space-time detection events;
-//! * [`decoder`] — a greedy space-time matching decoder (nearest
-//!   detection-event pairing with boundary matches), sufficient to exhibit
-//!   threshold behaviour and the εR sensitivity the paper demonstrates;
+//! * [`decoder`] — block decoding: exact minimum-weight matching (subset
+//!   DP with a canonical tie-break) for small event sets, dispatching to the
+//!   union-find decoder for everything larger;
+//! * [`graph`] — the precomputed space-time decoding graph (stabilizer ×
+//!   round nodes, virtual west/east boundary nodes, uniform-weight edges);
+//! * [`uf`] — the union-find decoder: synchronous half-step cluster growth
+//!   with weighted union + path compression, boundary absorption, and
+//!   spanning-forest peeling — no defect-count ceiling, near-linear cost;
+//! * [`window`] — sliding-window streaming decode: commit clusters `lag`
+//!   rounds behind the stream, defer seam-straddling clusters wholesale;
 //! * [`logical`] — Monte-Carlo logical-error-rate estimation;
 //! * [`cycle`] — the surface-code syndrome-extraction cycle-time model with
 //!   Google-like and IBM-like gate sets (Fig. 14(b)).
@@ -42,13 +49,22 @@
 
 pub mod cycle;
 pub mod decoder;
+pub mod graph;
 pub mod layout;
 pub mod logical;
 pub mod syndrome;
+pub mod uf;
+pub mod window;
 
 pub use cycle::{CycleTimes, GateSet};
 pub use decoder::DecodeOutcome;
-pub use decoder::{decode_block, decode_block_with, DecodeScratch};
+pub use decoder::{
+    decode_block, decode_block_exact, decode_block_uf, decode_block_with, DecodeScratch,
+    EXACT_DISPATCH_LIMIT, EXACT_MATCHING_LIMIT,
+};
+pub use graph::DecodingGraph;
 pub use layout::RotatedSurfaceCode;
 pub use logical::{estimate_logical_error_rate, LogicalErrorConfig};
 pub use syndrome::{stabilizer_parities, NoiseParams, SyndromeBlock, SyndromeSim};
+pub use uf::UnionFindScratch;
+pub use window::SlidingWindowDecoder;

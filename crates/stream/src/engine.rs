@@ -42,7 +42,8 @@ use readout_sim::drift::{FaultPlan, RoundFaults};
 use readout_sim::{BasisState, ChipConfig, ShotBatch};
 use surface_code::decoder::DecodeOutcome;
 use surface_code::{
-    decode_block_with, DecodeScratch, NoiseParams, RotatedSurfaceCode, SyndromeBlock, SyndromeSim,
+    decode_block_with, DecodeScratch, NoiseParams, RotatedSurfaceCode, SlidingWindowDecoder,
+    SyndromeBlock, SyndromeSim,
 };
 
 use crate::health::{HealthConfig, HealthMonitor, HealthStatus};
@@ -150,8 +151,10 @@ pub struct EngineStats {
     pub rounds: u64,
     /// Logical errors observed.
     pub logical_errors: u64,
-    /// Blocks that exceeded the exact matcher's ceiling and fell back to
-    /// the greedy decoder ([`DecodeOutcome::degraded`]).
+    /// Blocks whose decode overran the configured real-time budget
+    /// ([`CycleEngine::set_decode_budget_ns`]) and were stamped
+    /// [`DecodeOutcome::degraded`]. Always zero with no budget set — every
+    /// block decodes exactly (union-find past the small-block dispatch).
     pub degraded_decodes: u64,
     /// Health-status transitions reported by the engine's
     /// [`HealthMonitor`].
@@ -281,6 +284,17 @@ struct PoolState<'a, R: Real> {
     back: RoundBuffers<R>,
 }
 
+/// Sliding-window streaming decode state: the window decoder plus per-block
+/// feed progress and budget bookkeeping.
+struct WindowState {
+    wd: SlidingWindowDecoder,
+    /// Detection events already fed to the window this block.
+    events_fed: usize,
+    /// Whether any decode step of the current block overran the engine's
+    /// real-time budget.
+    over_budget: bool,
+}
+
 /// Streaming readout → syndrome → decode engine for one surface code, one
 /// feedline chip, and one trained discriminator.
 ///
@@ -310,6 +324,19 @@ pub struct CycleEngine<'a, R: Real = f64, D: ?Sized = dyn Discriminator + 'a> {
     /// decode in [`CycleEngine::finish_cycle`] never allocates, completing
     /// the warm whole-cycle zero-allocation invariant (`tests/alloc.rs`).
     decode: DecodeScratch,
+    /// Sliding-window streaming decode state
+    /// ([`CycleEngine::set_sliding_window`]); `None` = whole-block mode.
+    window: Option<WindowState>,
+    /// Real-time budget per decode step; overruns stamp
+    /// [`DecodeOutcome::degraded`].
+    decode_budget_ns: Option<u64>,
+    /// Whether block decodes are offloaded into the next cycle's round-0
+    /// pipeline slot ([`CycleEngine::set_async_decode`]).
+    async_decode: bool,
+    /// A finished block is awaiting its offloaded decode.
+    async_pending: bool,
+    /// Outcome of the most recent offloaded decode.
+    async_outcome: DecodeOutcome,
     in_flight: StageNanos,
     totals: EngineStats,
     /// Present iff the engine was built with [`CycleEngine::with_pool`].
@@ -394,7 +421,15 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             round,
             blocks: [empty.clone(), empty],
             active: 0,
-            decode: DecodeScratch::prewarmed(),
+            // Sized for this engine's worst case up front: the decoding
+            // graph, union-find buffers, and DP table for (code, rounds)
+            // blocks, so the first cycle decodes without allocating.
+            decode: DecodeScratch::prewarmed(code, cfg.rounds),
+            window: None,
+            decode_budget_ns: None,
+            async_decode: false,
+            async_pending: false,
+            async_outcome: DecodeOutcome::default(),
             in_flight: StageNanos::default(),
             totals: EngineStats::default(),
             exec: None,
@@ -503,6 +538,91 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.recal_cooldown = rounds;
     }
 
+    /// Switches the engine to sliding-window streaming decode: every
+    /// committed round feeds the union-find window, clusters confined `lag`
+    /// rounds behind the stream commit while later rounds are still being
+    /// synthesized, and [`CycleEngine::finish_cycle`] only resolves the
+    /// remainder. Cycle outcomes stay identical to whole-block mode (pinned
+    /// by `tests/decode_modes.rs`); the difference is *when* the decode work
+    /// happens. Call between cycles, not mid-block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if async decode offload is enabled (the two schedules are
+    /// mutually exclusive) or if `lag == 0`.
+    pub fn set_sliding_window(&mut self, lag: usize) {
+        assert!(
+            !self.async_decode,
+            "sliding-window and async decode offload are mutually exclusive"
+        );
+        let (graph, _) = self.decode.window_parts(self.code, self.cfg.rounds);
+        let mut wd = SlidingWindowDecoder::new(lag);
+        wd.reserve_for(graph);
+        self.window = Some(WindowState {
+            wd,
+            events_fed: 0,
+            over_budget: false,
+        });
+    }
+
+    /// Sets (or clears) the real-time decode budget: any decode step — a
+    /// sliding-window advance, a block decode, an offloaded decode — that
+    /// takes longer stamps its cycle's [`DecodeOutcome::degraded`], counted
+    /// by [`EngineStats::degraded_decodes`].
+    pub fn set_decode_budget_ns(&mut self, budget: Option<u64>) {
+        self.decode_budget_ns = budget;
+    }
+
+    /// Enables decode offload on a pooled engine: a finished block's decode
+    /// runs inside the *next* cycle's round-0 pipeline slot, hidden behind
+    /// that round's synthesis fan-out, so decode latency leaves the cycle's
+    /// critical path. Each [`CycleEngine::run_cycle`] then reports the
+    /// *previous* block's outcome (the first reports an empty
+    /// [`DecodeOutcome::default`]); call
+    /// [`CycleEngine::drain_async_decode`] after the last cycle for the
+    /// final block. The outcome *sequence* is identical to synchronous
+    /// decoding, one cycle later.
+    ///
+    /// # Panics
+    ///
+    /// Panics when enabling on a non-pooled engine or while sliding-window
+    /// mode is active.
+    pub fn set_async_decode(&mut self, enabled: bool) {
+        if enabled {
+            assert!(
+                self.exec.is_some(),
+                "async decode offload requires a pooled engine (with_pool)"
+            );
+            assert!(
+                self.window.is_none(),
+                "sliding-window and async decode offload are mutually exclusive"
+            );
+        }
+        self.async_decode = enabled;
+    }
+
+    /// Decodes the block still awaiting its offloaded decode (the last
+    /// block of an async run), accounts it into the engine totals, and
+    /// returns its outcome. `None` when nothing is pending.
+    pub fn drain_async_decode(&mut self) -> Option<DecodeOutcome> {
+        if !self.async_pending {
+            return None;
+        }
+        self.async_pending = false;
+        let mut timer = StageTimer::start();
+        let mut outcome = decode_block_with(self.code, &self.blocks[self.active], &mut self.decode);
+        let (begin, ns) = timer.lap_span_ns();
+        if self.decode_budget_ns.is_some_and(|b| ns > b) {
+            outcome.degraded = true;
+        }
+        self.totals.stage.decode += ns;
+        self.totals.logical_errors += u64::from(outcome.logical_error);
+        self.totals.degraded_decodes += u64::from(outcome.degraded);
+        self.telem
+            .note_span(SpanKind::Decode, begin, ns, self.totals.cycles);
+        Some(outcome)
+    }
+
     /// The engine's telemetry bundle (histograms, counters, event trace).
     pub fn telemetry(&self) -> &EngineTelemetry {
         &self.telem
@@ -547,9 +667,48 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.sim.reset();
         self.sim.reserve_rounds(self.cfg.rounds);
         self.health.monitor.begin_block();
+        if let Some(ws) = self.window.as_mut() {
+            ws.wd.reset();
+            ws.events_fed = 0;
+            ws.over_budget = false;
+        }
         self.in_flight = StageNanos::default();
         self.cycle_begin_ns = now_ns();
         self.telem.note_cycle_begin(self.totals.cycles);
+    }
+
+    /// Feeds the rounds committed so far into the sliding window and
+    /// commits every cluster confined behind the lag. No-op in whole-block
+    /// mode. Runs on the calling thread right after a round's
+    /// measured-syndrome commit, so in the pooled pipeline the committed
+    /// decode work overlaps the next round's synthesis fan-out.
+    fn advance_window(&mut self) {
+        if self.window.is_none() {
+            return;
+        }
+        let mut timer = StageTimer::start();
+        let CycleEngine {
+            window,
+            decode,
+            sim,
+            code,
+            cfg,
+            ..
+        } = self;
+        let ws = window.as_mut().expect("window mode");
+        // The round just committed (sim.round() counts committed rounds).
+        let t = sim.round().saturating_sub(1);
+        let events = sim.events();
+        ws.wd.push_events(&events[ws.events_fed..]);
+        ws.events_fed = events.len();
+        let (graph, uf) = decode.window_parts(code, cfg.rounds);
+        ws.wd.advance(t, graph, uf);
+        let (begin, ns) = timer.lap_span_ns();
+        self.in_flight.decode += ns;
+        self.telem.note_span(SpanKind::Decode, begin, ns, t as u64);
+        if self.decode_budget_ns.is_some_and(|b| ns > b) {
+            self.window.as_mut().expect("window mode").over_budget = true;
+        }
     }
 
     /// Processes one noisy round: data errors → true parities → multiplexed
@@ -615,6 +774,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             .note_span(SpanKind::Discriminate, disc_begin, disc_ns, round_arg);
         self.telem
             .note_span(SpanKind::Syndrome, commit_begin, commit_ns, round_arg);
+        self.advance_window();
     }
 
     /// Draws the round's entropy word from the master RNG. Every group's
@@ -636,13 +796,9 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         self.sim.write_block(&mut self.blocks[self.active]);
         let (write_begin, write_ns) = timer.lap_span_ns();
         self.in_flight.syndrome += write_ns;
-        let outcome = decode_block_with(self.code, &self.blocks[self.active], &mut self.decode);
-        let (decode_begin, decode_ns) = timer.lap_span_ns();
-        self.in_flight.decode += decode_ns;
         self.telem
             .note_span(SpanKind::Syndrome, write_begin, write_ns, cycle_index);
-        self.telem
-            .note_span(SpanKind::Decode, decode_begin, decode_ns, cycle_index);
+        let outcome = self.decode_finished_block(cycle_index);
         self.telem.note_span(
             SpanKind::Cycle,
             self.cycle_begin_ns,
@@ -670,6 +826,98 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
         }
         self.totals.trace_dropped = self.telem.dropped_events();
         CycleResult { outcome, stats }
+    }
+
+    /// Decodes the block just swapped into the active home, according to
+    /// the engine's decode mode: async offload defers to the next cycle's
+    /// round-0 slot (returning the previous block's outcome), sliding
+    /// window resolves the deferred remainder, and whole-block mode runs
+    /// the standard dispatch. Stamps [`DecodeOutcome::degraded`] on budget
+    /// overruns.
+    fn decode_finished_block(&mut self, cycle_index: u64) -> DecodeOutcome {
+        if self.async_decode {
+            // The block's decode runs inside the next cycle's round-0
+            // pipeline slot; hand back the previous block's outcome now.
+            let prev = if self.async_pending {
+                // The slot never ran (manual round stepping): decode the
+                // previous block — still intact in the other home —
+                // synchronously so it is not lost.
+                let mut timer = StageTimer::start();
+                let mut out =
+                    decode_block_with(self.code, &self.blocks[self.active ^ 1], &mut self.decode);
+                let (begin, ns) = timer.lap_span_ns();
+                self.in_flight.decode += ns;
+                if self.decode_budget_ns.is_some_and(|b| ns > b) {
+                    out.degraded = true;
+                }
+                self.telem
+                    .note_span(SpanKind::Decode, begin, ns, cycle_index);
+                out
+            } else {
+                self.async_outcome
+            };
+            self.async_pending = true;
+            return prev;
+        }
+        let mut timer = StageTimer::start();
+        let mut outcome = if self.window.is_some() {
+            self.finish_window_block()
+        } else {
+            decode_block_with(self.code, &self.blocks[self.active], &mut self.decode)
+        };
+        let (decode_begin, decode_ns) = timer.lap_span_ns();
+        self.in_flight.decode += decode_ns;
+        self.telem
+            .note_span(SpanKind::Decode, decode_begin, decode_ns, cycle_index);
+        if self.decode_budget_ns.is_some_and(|b| decode_ns > b) {
+            outcome.degraded = true;
+        }
+        if self.window.as_ref().is_some_and(|ws| ws.over_budget) {
+            outcome.degraded = true;
+        }
+        outcome
+    }
+
+    /// Ends a sliding-window block: feeds the terminating perfect round's
+    /// events, resolves whatever the window deferred, and combines with the
+    /// west parity committed during the stream. When the stream committed
+    /// nothing ahead of the block end, the whole block goes through the
+    /// standard dispatch instead — bit-identical to whole-block mode on
+    /// quiet or short streams.
+    fn finish_window_block(&mut self) -> DecodeOutcome {
+        let CycleEngine {
+            window,
+            decode,
+            sim,
+            code,
+            cfg,
+            blocks,
+            active,
+            ..
+        } = self;
+        let ws = window.as_mut().expect("window mode");
+        let events = sim.events();
+        ws.wd.push_events(&events[ws.events_fed..]);
+        ws.events_fed = events.len();
+        let block = &blocks[*active];
+        if ws.wd.committed_clusters() == 0 {
+            ws.wd.reset();
+            ws.events_fed = 0;
+            return decode_block_with(code, block, decode);
+        }
+        let (graph, uf) = decode.window_parts(code, cfg.rounds);
+        let west_matches = ws.wd.finish(graph, uf);
+        let n_events = ws.wd.n_events();
+        debug_assert_eq!(n_events, block.events.len());
+        let error_parity = block.west_column_error_parity(code);
+        ws.wd.reset();
+        ws.events_fed = 0;
+        DecodeOutcome {
+            n_events,
+            west_matches,
+            logical_error: error_parity != (west_matches % 2 == 1),
+            degraded: false,
+        }
     }
 
     /// Runs one full cycle (block) and returns its outcome.
@@ -760,6 +1008,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
     fn pipelined_round(&mut self, consume_front: bool, extra: Option<&mut dyn FnMut()>) {
         let mut wall_timer = StageTimer::start();
         let round_arg = self.sim.round() as u64;
+        let mut slot_decode_ns = 0u64;
         let CycleEngine {
             disc,
             map,
@@ -769,6 +1018,13 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             faults,
             health,
             telem,
+            code,
+            blocks,
+            active,
+            decode,
+            decode_budget_ns,
+            async_pending,
+            async_outcome,
             ..
         } = self;
         let disc: &D = disc;
@@ -815,6 +1071,22 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
                     if let Some(f) = extra {
                         f();
                     }
+                    if *async_pending {
+                        // Async decode offload: the previous cycle's block
+                        // (stable in the active home until the next
+                        // finish-cycle swap) decodes here, hidden behind
+                        // round 0's synthesis fan-out.
+                        let mut timer = StageTimer::start();
+                        let mut out = decode_block_with(code, &blocks[*active], decode);
+                        let (begin, ns) = timer.lap_span_ns();
+                        if decode_budget_ns.is_some_and(|b| ns > b) {
+                            out.degraded = true;
+                        }
+                        telem.note_span(SpanKind::Decode, begin, ns, round_arg);
+                        *async_outcome = out;
+                        *async_pending = false;
+                        slot_decode_ns = ns;
+                    }
                     return (0, 0);
                 }
                 let mut timer = StageTimer::start();
@@ -844,11 +1116,15 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             .note_span(SpanKind::Synth, wall_begin, wall, round_arg);
         self.in_flight.discriminate += disc_ns;
         self.in_flight.syndrome += syndrome_ns;
+        self.in_flight.decode += slot_decode_ns;
         // Pipeline accounting: the synth stage is charged only the wall time
-        // it was *not* hidden behind the consume stage — its exposed latency.
-        self.in_flight.synth += wall.saturating_sub(disc_ns + syndrome_ns);
+        // it was *not* hidden behind the consume stage (front-round
+        // discrimination + commit, plus any offloaded decode in the round-0
+        // slot) — its exposed latency.
+        self.in_flight.synth += wall.saturating_sub(disc_ns + syndrome_ns + slot_decode_ns);
         if consume_front {
             self.totals.rounds += 1;
+            self.advance_window();
         }
     }
 
@@ -881,6 +1157,7 @@ impl<'a, R: Real, D: ?Sized + PrecisionDiscriminator<R>> CycleEngine<'a, R, D> {
             .note_span(SpanKind::Discriminate, disc_begin, disc_ns, round_arg);
         self.telem
             .note_span(SpanKind::Syndrome, commit_begin, commit_ns, round_arg);
+        self.advance_window();
     }
 
     /// Ping-pongs the freshly synthesized back buffer into the front slot.

@@ -192,7 +192,7 @@ impl EngineTelemetry {
             ),
             degraded_decodes: scope.counter(
                 "herqles_degraded_decodes_total",
-                "Blocks that fell back to the greedy decoder",
+                "Blocks whose decode overran the real-time budget",
                 &[],
             ),
             health_transitions: scope.counter(
@@ -357,7 +357,7 @@ impl EngineTelemetry {
 ///
 /// * `decode_p99_high` — block-decode p99 above 5 ms (well clear of the
 ///   µs-scale nominal decode; fires only on genuine stalls);
-/// * `degraded_decode_rate` — any greedy-decoder fallback between two
+/// * `degraded_decode_rate` — any decode-budget overrun between two
 ///   evaluations;
 /// * `health_transitions` — any health-status transition between two
 ///   evaluations; clears only after six consecutive quiet evaluations, so

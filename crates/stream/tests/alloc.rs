@@ -315,4 +315,82 @@ fn warm_engine_rounds_perform_zero_heap_allocations() {
         }),
         "registered counters must have seen the probed cycles"
     );
+
+    // Dense blocks under active faults route through the union-find decoder
+    // (past `EXACT_DISPATCH_LIMIT`), whose scratch — parents, sizes,
+    // half-edge support, frontier queues, peeling stacks, interaction-group
+    // buffers and the local-DP memo — is pre-sized by
+    // `DecodeScratch::prewarmed` at engine construction. Warm cycles that
+    // grow, peel, and refine real clusters must stay heap-free.
+    let dense_cfg = CycleConfig {
+        rounds: 20,
+        data_error_prob: 0.06,
+        seed: 17,
+    };
+    let mut dense = CycleEngine::new(dense_cfg, &chip, &code, disc.as_ref());
+    dense.set_fault_plan(FaultPlan::new(vec![DriftEvent::SigmaScale {
+        start_round: 0,
+        end_round: 0,
+        factor: 1.5,
+    }]));
+    let _ = dense.run_cycle();
+    let _ = dense.run_cycle();
+    let mut dense_events = 0usize;
+    let dense_cycle_allocs = min_allocs_over(3, || {
+        dense_events = dense_events.max(dense.run_cycle().outcome.n_events);
+    });
+    assert!(
+        dense_events > surface_code::EXACT_DISPATCH_LIMIT,
+        "probe produced only {dense_events} events — union-find path not exercised"
+    );
+    assert_eq!(
+        dense_cycle_allocs, 0,
+        "warm union-find decodes of dense faulted blocks must not touch the heap"
+    );
+
+    // Sliding-window streaming decode rides inside the same invariant: every
+    // warm round pushes events into the window, advances cluster growth, and
+    // commits confined clusters behind the lag — all against the pre-sized
+    // window scratch. Serial and pooled (where the window advance overlaps
+    // the next round's synthesis fan-out).
+    let mut windowed = CycleEngine::new(dense_cfg, &chip, &code, disc.as_ref());
+    windowed.set_sliding_window(3);
+    let _ = windowed.run_cycle();
+    let _ = windowed.run_cycle();
+    let windowed_cycle_allocs = min_allocs_over(3, || {
+        let _ = windowed.run_cycle();
+    });
+    assert_eq!(
+        windowed_cycle_allocs, 0,
+        "warm sliding-window cycles must not touch the heap"
+    );
+
+    let mut windowed_pooled = CycleEngine::with_pool(dense_cfg, &chip, &code, disc.as_ref(), &pool);
+    windowed_pooled.set_sliding_window(3);
+    let _ = windowed_pooled.run_cycle();
+    let _ = windowed_pooled.run_cycle();
+    let windowed_pooled_allocs = min_allocs_over(3, || {
+        let _ = windowed_pooled.run_cycle();
+    });
+    assert_eq!(
+        windowed_pooled_allocs, 0,
+        "warm pooled sliding-window cycles must not touch the heap"
+    );
+
+    // Async decode offload: a warm pooled cycle that decodes the previous
+    // block inside its round-0 pipeline slot (alongside the synthesis
+    // fan-out) must be allocation-free too.
+    let mut offloaded = CycleEngine::with_pool(dense_cfg, &chip, &code, disc.as_ref(), &pool);
+    offloaded.set_async_decode(true);
+    let _ = offloaded.run_cycle();
+    let _ = offloaded.run_cycle();
+    let offloaded_cycle_allocs = min_allocs_over(3, || {
+        let _ = offloaded.run_cycle();
+    });
+    assert_eq!(
+        offloaded_cycle_allocs, 0,
+        "warm async-offload cycles must not touch the heap"
+    );
+    let drained = offloaded.drain_async_decode().expect("final block pending");
+    assert!(drained.n_events > 0);
 }

@@ -39,7 +39,7 @@ pub enum EventKind {
     /// A recalibrated discriminator was atomically published; `arg` =
     /// lifetime hot-swap count after the swap.
     HotSwap = 7,
-    /// A block decode fell back to the greedy decoder; `arg` = cycle index.
+    /// A block decode overran its real-time budget; `arg` = cycle index.
     DegradedDecode = 8,
     /// An adaptive discriminator retrained successfully; `arg` = cycle
     /// index.
